@@ -1,0 +1,45 @@
+#![allow(missing_docs)]
+//! Appendix A ablation: *Online I* (corner enumeration, Θ(2^d·f)) vs
+//! *Online II* (δ-split low/high corners, Θ(f)) MBR transforms, for Haar
+//! and a filter with negative taps (db2), plus the tightness gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stardust_dsp::mbr_transform::Bounds;
+use stardust_dsp::FilterBank;
+
+fn make_bounds(dims: usize) -> Bounds {
+    let lo: Vec<f64> = (0..dims).map(|i| (i as f64 * 0.7).sin()).collect();
+    let hi: Vec<f64> = lo.iter().enumerate().map(|(i, v)| v + 0.2 + (i % 3) as f64 * 0.1).collect();
+    Bounds::new(lo, hi)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    for dims in [4usize, 8, 16] {
+        let b = make_bounds(dims);
+        let haar = FilterBank::haar();
+        let db2 = FilterBank::db2();
+        let mut group = c.benchmark_group(format!("mbr_transform_d{dims}"));
+        group.bench_function("online2_haar", |bch| bch.iter(|| b.analyze_online2(&haar)));
+        group.bench_function("online2_db2", |bch| bch.iter(|| b.analyze_online2(&db2)));
+        group.bench_function("online1_haar", |bch| bch.iter(|| b.analyze_online1(&haar)));
+        group.bench_function("online1_db2", |bch| bch.iter(|| b.analyze_online1(&db2)));
+        group.finish();
+
+        // Print the accuracy side of the trade-off once per dimension.
+        let tight = b.analyze_online1(&db2);
+        let fast = b.analyze_online2(&db2);
+        let tw: f64 = tight.widths().iter().sum();
+        let fw: f64 = fast.widths().iter().sum();
+        println!("# d={dims}: Online II total width / Online I total width = {:.3}", fw / tw);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

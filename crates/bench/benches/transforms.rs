@@ -1,0 +1,71 @@
+#![allow(missing_docs)]
+//! Transform microbenchmarks: direct Haar vs the incremental merges of
+//! Lemmas 4.1 / 4.2, and the sliding DFT.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stardust_dsp::dft::SlidingDft;
+use stardust_dsp::haar;
+use stardust_dsp::mbr_transform::Bounds;
+use stardust_core::transform::{MergePrecision, TransformKind};
+
+fn bench_transforms(c: &mut Criterion) {
+    let window: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.13).sin() * 5.0 + 10.0).collect();
+
+    let mut group = c.benchmark_group("haar");
+    for w in [64usize, 256, 1024] {
+        group.bench_function(format!("direct_approx_w{w}_f4"), |b| {
+            b.iter(|| haar::approx(&window[..w], 4))
+        });
+    }
+    let left = haar::approx(&window[..512], 4);
+    let right = haar::approx(&window[512..], 4);
+    group.bench_function("incremental_merge_f4", |b| {
+        let mut out = [0.0; 4];
+        b.iter(|| {
+            haar::merge_halves_into(&left, &right, &mut out);
+            out
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("interval_merge");
+    let bl = Bounds::new(left.iter().map(|v| v - 0.5).collect(), left.iter().map(|v| v + 0.5).collect());
+    let br = Bounds::new(right.iter().map(|v| v - 0.5).collect(), right.iter().map(|v| v + 0.5).collect());
+    group.bench_function("dwt_fast_f4", |b| {
+        b.iter(|| TransformKind::Dwt.merge_bounds(&bl, &br, MergePrecision::Fast))
+    });
+    group.bench_function("sum", |b| {
+        let l = Bounds::new(vec![1.0], vec![2.0]);
+        let r = Bounds::new(vec![3.0], vec![4.0]);
+        b.iter(|| TransformKind::Sum.merge_bounds(&l, &r, MergePrecision::Fast))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sliding_dft");
+    group.throughput(Throughput::Elements(window.len() as u64));
+    for f in [2usize, 8] {
+        group.bench_function(format!("push_f{f}"), |b| {
+            b.iter(|| {
+                let mut dft = SlidingDft::new(32, 8, f);
+                let mut emitted = 0;
+                for &x in &window {
+                    if dft.push(x).is_some() {
+                        emitted += 1;
+                    }
+                }
+                emitted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_transforms
+}
+criterion_main!(benches);

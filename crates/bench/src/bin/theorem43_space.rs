@@ -1,0 +1,67 @@
+//! **Theorem 4.3 ablation** — measured summary space vs. the paper's
+//! Θ(2^{j−1}·W / (c·T_{j−1})) prediction, across box capacities and
+//! update policies.
+//!
+//! The summarizer retains, at level `j−1`, the MBRs needed to compute
+//! level `j` incrementally plus everything within the history of interest
+//! `N`; with history = largest window this is ≈ N/(c·T) boxes per level.
+//! This binary feeds a long stream and prints measured retained MBRs per
+//! level against the prediction, for the online, batch, and SWAT
+//! schedules.
+//!
+//! Run: `cargo run --release -p stardust-bench --bin theorem43_space`
+
+use stardust_bench::{seed_arg, Table};
+use stardust_core::config::{Config, UpdatePolicy};
+use stardust_core::transform::TransformKind;
+use stardust_core::StreamSummary;
+use stardust_datagen::random_walk;
+
+const W: usize = 16;
+const LEVELS: usize = 5;
+
+fn main() {
+    let seed = seed_arg();
+    let n = 50_000;
+    let data = random_walk(seed, n);
+    let history = W << (LEVELS - 1); // N = largest window = 256
+    println!(
+        "# Theorem 4.3: retained MBRs vs prediction N/(c·T) per level; W={W}, J={}, N={history}, {n} arrivals",
+        LEVELS - 1
+    );
+    let mut table = Table::new(&["policy", "c", "measured_total", "predicted_total", "ratio"]);
+    for (policy, name) in [
+        (UpdatePolicy::Online, "online"),
+        (UpdatePolicy::Batch, "batch"),
+        (UpdatePolicy::Swat, "swat"),
+    ] {
+        for &c in &[1usize, 4, 16, 64] {
+            if policy != UpdatePolicy::Online && c != 1 {
+                continue; // the paper pairs batch-style schedules with c = 1
+            }
+            let mut cfg = Config::online(TransformKind::Dwt, W, LEVELS, c).with_history(history);
+            cfg.update = policy;
+            cfg.dwt_coeffs = 4;
+            let mut summary = StreamSummary::new(cfg.clone());
+            for &x in &data {
+                summary.push_quiet(x);
+            }
+            let measured = summary.retained_mbrs();
+            let predicted: f64 = (0..LEVELS)
+                .map(|j| {
+                    let t = cfg.update.period(j, W) as f64;
+                    history as f64 / (c as f64 * t)
+                })
+                .sum();
+            table.row(&[
+                name.to_string(),
+                c.to_string(),
+                measured.to_string(),
+                format!("{predicted:.0}"),
+                format!("{:.2}", measured as f64 / predicted),
+            ]);
+        }
+    }
+    table.print();
+    println!("# ratio ≈ 1 validates the Θ(2^(j−1)·W/(c·T)) space accounting");
+}

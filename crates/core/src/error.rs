@@ -1,0 +1,61 @@
+//! Query-level errors.
+
+/// Why a query could not be posed against the engine. (Data not yet
+/// available — warm-up — is reported as an empty/`None` answer, not an
+/// error.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query sequence was empty.
+    EmptyQuery,
+    /// The window/query length is not a multiple of the base window, or its
+    /// binary decomposition needs a resolution level the index does not
+    /// maintain.
+    LengthNotDecomposable {
+        /// Offending length.
+        len: usize,
+        /// Base window `W`.
+        base: usize,
+        /// Highest maintained level `J`.
+        max_level: usize,
+    },
+    /// The query is shorter than the smallest length the batch algorithm
+    /// can serve (`2W − 1`).
+    QueryTooShort {
+        /// Offending length.
+        len: usize,
+        /// Minimum serviceable length.
+        min: usize,
+    },
+    /// The radius/threshold was negative or not finite.
+    InvalidRadius,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "query sequence is empty"),
+            QueryError::LengthNotDecomposable { len, base, max_level } => write!(
+                f,
+                "length {len} cannot be decomposed over base window {base} with levels 0..={max_level}"
+            ),
+            QueryError::QueryTooShort { len, min } => {
+                write!(f, "query length {len} below the minimum of {min}")
+            }
+            QueryError::InvalidRadius => write!(f, "radius must be finite and nonnegative"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = QueryError::LengthNotDecomposable { len: 100, base: 8, max_level: 2 };
+        assert!(e.to_string().contains("100"));
+        assert!(QueryError::EmptyQuery.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,518 @@
+//! Correlation monitoring — §5.3.
+//!
+//! Every time a new level-`J` feature of a stream is computed (batch
+//! algorithm, `c = 1`, `T_j = W`), a range query around the feature reports
+//! every other synchronized stream whose current feature is within distance
+//! `r` — the candidates for `corr ≥ 1 − r²/2` (the z-norm reduction of
+//! §2.4). As in the paper's evaluation, reported pairs are **approximate**:
+//! the filter is the feature distance (which lower-bounds the true z-norm
+//! distance, so no true pair is ever dismissed), and the §6.3 precision
+//! metric is the fraction of reported pairs that survive raw-window
+//! verification. Verification can be kept inline (for precision runs) or
+//! disabled (for timing runs).
+//!
+//! The only difference from a pattern query is the normalization, handled
+//! analytically from the threaded (coefficients, sum, sum-of-squares)
+//! triple: a z-normalized window has zero mean, so its leading ordered-DWT
+//! coefficient vanishes and the *first `f` detail coefficients* carry the
+//! signal ("the first f DWT coefficients retain most of the energy", §4).
+//! Details are mean-invariant, so the feature is simply the ordered DWT of
+//! the maintained approximation vector, coefficients `1..=f`, scaled by
+//! `1/√(Σx² − w·μ²)`.
+
+use stardust_dsp::haar;
+use stardust_index::{Params, RStarTree, Rect};
+
+use crate::config::Config;
+use crate::normalize;
+use crate::stream::{StreamId, Time};
+use crate::summarizer::StreamSummary;
+
+/// A reported (approximately) correlated pair at one point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedPair {
+    /// The stream whose arrival triggered the report.
+    pub a: StreamId,
+    /// The other stream of the pair.
+    pub b: StreamId,
+    /// Feature time of stream `a` (the window of `a` ends here).
+    pub time: Time,
+    /// Feature time of stream `b`; equal to `time` for synchronized
+    /// pairs, earlier for lagged pairs.
+    pub time_other: Time,
+    /// Distance between the two streams' features (≤ the true z-norm
+    /// distance).
+    pub feature_distance: f64,
+    /// Exact correlation over the raw windows; `Some` only when inline
+    /// verification is enabled.
+    pub correlation: Option<f64>,
+}
+
+/// Running counters for the §6.3 metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorrelationStats {
+    /// Pairs reported (feature distance within threshold).
+    pub reported: u64,
+    /// Reported pairs confirmed on the raw windows (only counted when
+    /// inline verification is enabled).
+    pub true_pairs: u64,
+}
+
+impl CorrelationStats {
+    /// True pairs over reported pairs (1.0 when nothing was reported).
+    /// Meaningful only when the monitor verifies inline.
+    pub fn precision(&self) -> f64 {
+        if self.reported == 0 {
+            1.0
+        } else {
+            self.true_pairs as f64 / self.reported as f64
+        }
+    }
+}
+
+/// Continuous correlation monitoring over `M` synchronized streams.
+///
+/// ```
+/// use stardust_core::query::correlation::CorrelationMonitor;
+///
+/// // Correlation over windows of 4·2² = 16 values, threshold corr ≥ 0.995.
+/// let mut monitor = CorrelationMonitor::new(4, 3, 2, 0.1, 2);
+/// let mut confirmed = 0;
+/// for t in 0..64 {
+///     let x = (t as f64 * 0.3).sin() * 5.0 + 10.0;
+///     monitor.append(0, x);
+///     // Stream 1 is an affine copy of stream 0: perfectly correlated.
+///     for pair in monitor.append(1, 2.0 * x + 1.0) {
+///         if pair.correlation.unwrap_or(0.0) > 0.995 {
+///             confirmed += 1;
+///         }
+///     }
+/// }
+/// assert!(confirmed > 0);
+/// ```
+///
+/// Streams must be appended round-robin (`0, 1, …, M−1, 0, 1, …`); each
+/// unordered correlated pair is reported exactly once, when the later of
+/// the two streams produces its feature for that time step. The feature
+/// index holds exactly the current round's features (it is reset when the
+/// first stream of a round emits), so maintenance is insert-only.
+pub struct CorrelationMonitor {
+    summaries: Vec<StreamSummary>,
+    tree: RStarTree<(StreamId, Time)>,
+    round: Option<Time>,
+    /// Per-stream indexed features, oldest first (used when `lag_periods > 1`).
+    entries: Vec<std::collections::VecDeque<(Vec<f64>, Time)>>,
+    /// How many feature periods back a lagged partner may be (1 =
+    /// synchronized only).
+    lag_periods: usize,
+    radius: f64,
+    level: usize,
+    window: usize,
+    f: usize,
+    verify: bool,
+    stats: CorrelationStats,
+}
+
+impl CorrelationMonitor {
+    /// A monitor detecting correlations over windows of size
+    /// `N = W·2^(levels−1)` with z-norm distance threshold `r` (equivalent
+    /// correlation threshold `1 − r²/2`). Inline verification is enabled
+    /// by default.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (see [`Config::validate`]) or a
+    /// non-finite/negative radius.
+    pub fn new(base_window: usize, levels: usize, f: usize, radius: f64, n_streams: usize) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "radius must be finite and nonnegative");
+        assert!(n_streams >= 2, "correlation needs at least two streams");
+        // The maintained approximation vector must be long enough to carry
+        // the leading coefficient plus f details.
+        let pyramid = (f + 1).next_power_of_two();
+        assert!(
+            pyramid <= base_window,
+            "f = {f} needs an approximation pyramid of {pyramid} ≤ W = {base_window}"
+        );
+        let config = Config::batch(base_window, levels, pyramid, 1.0);
+        config.validate();
+        let level = levels - 1;
+        let window = config.window_at(level);
+        let summaries = (0..n_streams).map(|_| StreamSummary::new(config.clone())).collect();
+        CorrelationMonitor {
+            summaries,
+            tree: RStarTree::with_params(f, Params::new(8)),
+            round: None,
+            entries: (0..n_streams).map(|_| std::collections::VecDeque::new()).collect(),
+            lag_periods: 1,
+            radius,
+            level,
+            window,
+            f,
+            verify: true,
+            stats: CorrelationStats::default(),
+        }
+    }
+
+    /// Enables or disables inline raw-window verification (disable for
+    /// timing runs; reported pairs then carry `correlation: None`).
+    pub fn with_verification(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Also reports **lagged** correlations: partners whose feature is up
+    /// to `periods − 1` update periods (of `W` ticks each) in the past —
+    /// the "lag time" dimension of StatStream that §3 mentions. `1`
+    /// (default) reports synchronized pairs only.
+    ///
+    /// # Panics
+    /// Panics if `periods` is zero or the monitor has already consumed
+    /// values (the raw-history size depends on the lag horizon).
+    pub fn with_lag_periods(mut self, periods: usize) -> Self {
+        assert!(periods >= 1, "need at least one period");
+        assert!(
+            self.summaries[0].now().is_none(),
+            "configure the lag before feeding values"
+        );
+        // Verifying a lagged pair needs the partner's full window, which
+        // ends up to `periods − 1` update periods in the past.
+        let mut config = self.summaries[0].config().clone();
+        config.history = self.window + (periods - 1) * config.base_window;
+        self.summaries = (0..self.summaries.len())
+            .map(|_| StreamSummary::new(config.clone()))
+            .collect();
+        self.lag_periods = periods;
+        self
+    }
+
+    /// Number of monitored streams.
+    pub fn n_streams(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// The correlation window size `N`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Cumulative reported/true-pair counters.
+    pub fn stats(&self) -> CorrelationStats {
+        self.stats
+    }
+
+    /// The summary of one stream.
+    pub fn summary(&self, stream: StreamId) -> &StreamSummary {
+        &self.summaries[stream as usize]
+    }
+
+    /// Appends one value to one stream; returns the pairs reported by this
+    /// arrival.
+    ///
+    /// # Panics
+    /// Panics if the stream id is out of range.
+    pub fn append(&mut self, stream: StreamId, value: f64) -> Vec<CorrelatedPair> {
+        let s = stream as usize;
+        self.summaries[s].push_quiet(value);
+        let t = self.summaries[s].now().expect("just pushed");
+        // Fast path: no level-J feature due at this time step.
+        if !(t + 1).is_multiple_of(self.summaries[s].config().base_window as u64)
+            || t + 1 < self.window as u64
+        {
+            return Vec::new();
+        }
+        let Some(mbr) = self.summaries[s].mbr_at(self.level, t) else {
+            return Vec::new();
+        };
+        // Analytic z-normalization of the degenerate (c = 1) feature: the
+        // detail coefficients are mean-invariant, so transforming the
+        // maintained approximation vector and scaling by the centered
+        // energy gives the z-normed window's ordered coefficients 1..=f.
+        let w = self.window as f64;
+        let mean = mbr.sum.0 / w;
+        let energy = (mbr.sumsq.0 - w * mean * mean).max(0.0);
+        let period = self.summaries[s].config().base_window as u64;
+        if self.lag_periods == 1 {
+            // Synchronized-only: the previous round's features are stale
+            // and would be filtered anyway, so reset the index at each
+            // round boundary (insert-only maintenance — measurably faster
+            // than per-feature deletion).
+            if self.round != Some(t) {
+                self.round = Some(t);
+                self.tree = RStarTree::with_params(self.f, Params::new(8));
+            }
+        } else {
+            // Lagged mode: retire this stream's entries that fell out of
+            // the lag horizon (other streams retire on their own turns;
+            // the query filters any stragglers by time).
+            let horizon = t.saturating_sub(self.lag_periods as u64 * period);
+            while self.entries[s].front().is_some_and(|&(_, ft)| ft <= horizon) {
+                let (coords, ft) = self.entries[s].pop_front().expect("just checked");
+                let removed = self.tree.remove(&Rect::point(&coords), &(stream, ft));
+                debug_assert!(removed);
+            }
+        }
+        if energy <= f64::EPSILON {
+            // z-norm undefined for (near-)constant windows; the stream
+            // simply has no current feature.
+            return Vec::new();
+        }
+        let scale = 1.0 / energy.sqrt();
+        let ordered = haar::dwt(mbr.bounds.lo());
+        let coords: Vec<f64> = ordered[1..=self.f].iter().map(|c| c * scale).collect();
+
+        // Range query before inserting ourselves; partners from other
+        // streams within the lag horizon are reports.
+        let horizon = t.saturating_sub(self.lag_periods as u64 * period);
+        let mut reported: Vec<(StreamId, Time, f64)> = Vec::new();
+        self.tree.search_within(&coords, self.radius, |rect, &(other, ot)| {
+            // Point entries: min_dist to the rect is the exact feature
+            // distance.
+            if other != stream && ot > horizon {
+                reported.push((other, ot, rect.min_dist_point(&coords)));
+            }
+        });
+        self.tree.insert(Rect::point(&coords), (stream, t));
+        if self.lag_periods > 1 {
+            self.entries[s].push_back((coords, t));
+        }
+
+        let mut pairs = Vec::with_capacity(reported.len());
+        for (other, time_other, feature_distance) in reported {
+            self.stats.reported += 1;
+            let correlation = if self.verify {
+                let win_a = self.summaries[s]
+                    .history()
+                    .window(t, self.window)
+                    .expect("feature implies full window");
+                let win_b = self.summaries[other as usize]
+                    .history()
+                    .window(time_other, self.window)
+                    .expect("indexed feature implies full window");
+                let corr = normalize::correlation(&win_a, &win_b);
+                if corr.is_some_and(|c| normalize::correlation_to_distance(c) <= self.radius) {
+                    self.stats.true_pairs += 1;
+                }
+                corr
+            } else {
+                None
+            };
+            pairs.push(CorrelatedPair {
+                a: stream,
+                b: other,
+                time: t,
+                time_other,
+                feature_distance,
+                correlation,
+            });
+        }
+        pairs
+    }
+
+    /// Brute-force ground truth: all pairs correlated within the threshold
+    /// over the windows ending at time `t` (for tests and precision
+    /// baselines).
+    pub fn linear_scan_pairs(&self, t: Time) -> Vec<(StreamId, StreamId, f64)> {
+        let mut out = Vec::new();
+        let windows: Vec<Option<Vec<f64>>> =
+            self.summaries.iter().map(|s| s.history().window(t, self.window)).collect();
+        for a in 0..self.summaries.len() {
+            for b in a + 1..self.summaries.len() {
+                let (Some(wa), Some(wb)) = (&windows[a], &windows[b]) else { continue };
+                let Some(corr) = normalize::correlation(wa, wb) else { continue };
+                if normalize::correlation_to_distance(corr) <= self.radius {
+                    out.push((a as StreamId, b as StreamId, corr));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn rng(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Streams 0 and 1 follow (almost) the same walk, stream 2 an
+    /// independent one.
+    fn feed(mon: &mut CorrelationMonitor, n: usize) -> Vec<Vec<CorrelatedPair>> {
+        let mut s1 = 42u64;
+        let mut s2 = 4242u64;
+        let (mut a, mut c) = (50.0f64, 50.0f64);
+        let mut reports = Vec::new();
+        for i in 0..n {
+            a += rng(&mut s1) - 0.5;
+            c += rng(&mut s2) - 0.5;
+            let b = a + 0.01 * ((i % 7) as f64 - 3.0);
+            let mut batch = Vec::new();
+            batch.extend(mon.append(0, a));
+            batch.extend(mon.append(1, b));
+            batch.extend(mon.append(2, c));
+            reports.push(batch);
+        }
+        reports
+    }
+
+    #[test]
+    fn detects_planted_correlation() {
+        let mut mon = CorrelationMonitor::new(8, 3, 4, 0.2, 3);
+        let reports = feed(&mut mon, 200);
+        let verified: Vec<&CorrelatedPair> = reports
+            .iter()
+            .flatten()
+            .filter(|p| {
+                p.correlation
+                    .is_some_and(|c| normalize::correlation_to_distance(c) <= 0.2)
+            })
+            .collect();
+        assert!(!verified.is_empty(), "correlated pair never confirmed");
+        assert!(
+            verified.iter().all(|p| (p.a.min(p.b), p.a.max(p.b)) == (0, 1)),
+            "only streams 0,1 are truly correlated"
+        );
+    }
+
+    #[test]
+    fn no_false_dismissals_against_ground_truth() {
+        // Feature distance lower-bounds true distance, so reported ⊇ truth
+        // at every feature-complete step.
+        let mut mon = CorrelationMonitor::new(4, 3, 2, 0.5, 3);
+        let mut s1 = 42u64;
+        let mut s2 = 4242u64;
+        let (mut a, mut c) = (50.0f64, 50.0f64);
+        for i in 0..160u64 {
+            a += rng(&mut s1) - 0.5;
+            c += rng(&mut s2) - 0.5;
+            let b = a + 0.01 * ((i % 7) as f64 - 3.0);
+            let mut batch = Vec::new();
+            batch.extend(mon.append(0, a));
+            batch.extend(mon.append(1, b));
+            batch.extend(mon.append(2, c));
+            if (i + 1) % 4 != 0 || (i + 1) < 16 {
+                assert!(batch.is_empty(), "no features due at t={i}");
+                continue;
+            }
+            let got: BTreeSet<(StreamId, StreamId)> =
+                batch.iter().map(|p| (p.a.min(p.b), p.a.max(p.b))).collect();
+            for &(x, y, _) in &mon.linear_scan_pairs(i) {
+                assert!(got.contains(&(x, y)), "t={i}: true pair ({x},{y}) dismissed");
+            }
+            // And feature distances never exceed the radius.
+            for p in &batch {
+                assert!(p.feature_distance <= 0.5 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn verification_counters_bound_reports() {
+        let mut mon = CorrelationMonitor::new(8, 3, 4, 0.3, 3);
+        feed(&mut mon, 300);
+        let st = mon.stats();
+        assert!(st.true_pairs <= st.reported);
+        assert!(st.true_pairs > 0);
+        assert!(st.precision() > 0.0 && st.precision() <= 1.0);
+    }
+
+    #[test]
+    fn unverified_mode_reports_without_correlation() {
+        let mut mon = CorrelationMonitor::new(8, 3, 4, 0.3, 3).with_verification(false);
+        let reports = feed(&mut mon, 300);
+        let all: Vec<&CorrelatedPair> = reports.iter().flatten().collect();
+        assert!(!all.is_empty());
+        assert!(all.iter().all(|p| p.correlation.is_none()));
+        assert_eq!(mon.stats().true_pairs, 0);
+        assert_eq!(mon.stats().reported, all.len() as u64);
+    }
+
+    #[test]
+    fn constant_stream_is_skipped() {
+        let mut mon = CorrelationMonitor::new(4, 2, 2, 1.0, 2);
+        for i in 0..64 {
+            let _ = mon.append(0, 5.0); // constant: z-norm undefined
+            let _ = mon.append(1, (i as f64 * 0.3).sin());
+        }
+        // No panic, no pairs involving the constant stream.
+        assert_eq!(mon.stats().reported, 0);
+    }
+
+    #[test]
+    fn higher_f_yields_fewer_or_equal_reports() {
+        // More coefficients = tighter filter (Fig. 6 mechanism).
+        let mut counts = Vec::new();
+        for f in [2usize, 7] {
+            let mut mon = CorrelationMonitor::new(8, 3, f, 0.8, 3);
+            feed(&mut mon, 400);
+            counts.push(mon.stats().reported);
+        }
+        assert!(counts[1] <= counts[0], "f=8 reported {} > f=2 reported {}", counts[1], counts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two streams")]
+    fn needs_two_streams() {
+        let _ = CorrelationMonitor::new(8, 2, 2, 0.1, 1);
+    }
+
+    /// Stream 1 replays stream 0 with a delay of exactly 2 update periods;
+    /// lagged mode must find the pair, synchronized mode must not.
+    #[test]
+    fn lagged_replay_is_detected() {
+        let delay = 16usize; // 2 periods of W = 8
+        let make = |lag: usize| {
+            let mut mon = CorrelationMonitor::new(8, 3, 4, 0.3, 2).with_verification(true);
+            if lag > 1 {
+                mon = mon.with_lag_periods(lag);
+            }
+            let mut s1 = 7u64;
+            let mut a = 50.0f64;
+            let mut walk = Vec::new();
+            let mut lagged_hits = 0usize;
+            for i in 0..400usize {
+                a += rng(&mut s1) - 0.5;
+                walk.push(a);
+                let b = if i >= delay { walk[i - delay] } else { 50.0 };
+                mon.append(0, a);
+                for p in mon.append(1, b) {
+                    if p.time != p.time_other {
+                        lagged_hits += 1;
+                        // The verified correlation over the shifted windows
+                        // must be near-perfect when the lag matches.
+                        if p.b == 0 && p.time - p.time_other == delay as u64 {
+                            assert!(p.correlation.unwrap_or(0.0) > 0.999);
+                        }
+                    }
+                }
+            }
+            lagged_hits
+        };
+        assert_eq!(make(1), 0, "synchronized mode must not report lagged pairs");
+        assert!(make(4) > 0, "lagged mode must find the delayed replay");
+    }
+
+    /// Lagged pairs respect the horizon: time_other is never more than
+    /// lag_periods·W in the past.
+    #[test]
+    fn lag_horizon_is_enforced() {
+        let mut mon =
+            CorrelationMonitor::new(4, 2, 2, 2.0, 2).with_verification(false).with_lag_periods(3);
+        let mut s1 = 3u64;
+        let mut s2 = 33u64;
+        let (mut a, mut b) = (10.0f64, 20.0f64);
+        for _ in 0..200 {
+            a += rng(&mut s1) - 0.5;
+            b += rng(&mut s2) - 0.5;
+            for p in mon.append(0, a).into_iter().chain(mon.append(1, b)) {
+                assert!(p.time - p.time_other < 3 * 4, "{p:?}");
+            }
+        }
+    }
+}

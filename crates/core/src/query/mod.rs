@@ -1,0 +1,6 @@
+//! The three monitoring query classes of the paper (§5).
+
+pub mod aggregate;
+pub mod correlation;
+pub mod pattern;
+pub mod trend;

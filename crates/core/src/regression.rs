@@ -1,0 +1,375 @@
+//! Incremental regression models — the future-work direction of §7.
+//!
+//! "In the future, we will explore fitting incremental regression models
+//! in our framework in order to enable parameter estimation, e.g.,
+//! determining the right window sizes to monitor, for different kinds of
+//! queries." This module realizes that sentence in the style of the
+//! co-evolving-sequences regression the paper cites (Yi et al., ICDE
+//! 2000):
+//!
+//! * [`RecursiveLeastSquares`] — exponentially forgetting RLS, the O(d²)
+//!   per-item multivariate regression primitive;
+//! * [`ArForecaster`] — an autoregressive one-step forecaster for a single
+//!   stream built on it (current value as a linear combination of its own
+//!   recent values, the §3 description of \[19\] restricted to one stream);
+//! * [`recommend_windows`] — window-size estimation for aggregate
+//!   monitors: candidate windows ranked by how sharply their sliding
+//!   aggregate separates anomalies from the bulk (peak z-score), so a
+//!   monitor can be configured from a training prefix instead of a guess.
+
+use std::collections::VecDeque;
+
+use crate::stats;
+use crate::transform::TransformKind;
+
+/// Multivariate linear regression via recursive least squares with an
+/// exponential forgetting factor `λ ∈ (0, 1]` (λ = 1 gives ordinary
+/// growing-window least squares).
+#[derive(Debug, Clone)]
+pub struct RecursiveLeastSquares {
+    /// Inverse (weighted) covariance matrix, d×d row-major.
+    p: Vec<f64>,
+    /// Coefficient vector.
+    w: Vec<f64>,
+    lambda: f64,
+    d: usize,
+    samples: u64,
+}
+
+impl RecursiveLeastSquares {
+    /// A model over `d` regressors. `delta` scales the initial inverse
+    /// covariance `P = δ·I` (larger = faster initial adaptation).
+    ///
+    /// # Panics
+    /// Panics if `d` is zero, `lambda` is outside `(0, 1]`, or `delta` is
+    /// not positive.
+    pub fn new(d: usize, lambda: f64, delta: f64) -> Self {
+        assert!(d > 0, "need at least one regressor");
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor must be in (0, 1]");
+        assert!(delta > 0.0, "initial covariance scale must be positive");
+        let mut p = vec![0.0; d * d];
+        for i in 0..d {
+            p[i * d + i] = delta;
+        }
+        RecursiveLeastSquares { p, w: vec![0.0; d], lambda, d, samples: 0 }
+    }
+
+    /// Number of regressors.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Samples absorbed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current coefficient estimates.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Prediction `wᵀx` for regressor vector `x`.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.d, "regressor dimensionality mismatch");
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum()
+    }
+
+    /// Absorbs one observation `(x, y)`; returns the *a-priori* residual
+    /// `y − wᵀx` (prediction error before the update).
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.d, "regressor dimensionality mismatch");
+        let d = self.d;
+        // px = P·x
+        let mut px = vec![0.0; d];
+        for i in 0..d {
+            let row = &self.p[i * d..(i + 1) * d];
+            px[i] = row.iter().zip(x).map(|(p, x)| p * x).sum();
+        }
+        // gain k = P·x / (λ + xᵀ·P·x)
+        let denom = self.lambda + x.iter().zip(&px).map(|(x, px)| x * px).sum::<f64>();
+        let err = y - self.predict(x);
+        for i in 0..d {
+            self.w[i] += px[i] / denom * err;
+        }
+        // P ← (P − k·xᵀ·P) / λ  with k = px/denom; xᵀ·P = pxᵀ (P symmetric).
+        for i in 0..d {
+            for j in 0..d {
+                self.p[i * d + j] = (self.p[i * d + j] - px[i] * px[j] / denom) / self.lambda;
+            }
+        }
+        self.samples += 1;
+        err
+    }
+}
+
+/// One-step-ahead autoregressive forecaster: predicts `x[t]` from
+/// `[x[t−1], …, x[t−p], 1]` via [`RecursiveLeastSquares`].
+///
+/// ```
+/// use stardust_core::regression::ArForecaster;
+///
+/// let mut ar = ArForecaster::new(1, 1.0);
+/// let mut x = 0.0f64;
+/// for _ in 0..200 {
+///     ar.push(x);
+///     x = 0.9 * x + 1.0; // AR(1) with fixed point 10
+/// }
+/// let coeffs = ar.coefficients();
+/// assert!((coeffs[0] - 0.9).abs() < 1e-2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArForecaster {
+    rls: RecursiveLeastSquares,
+    order: usize,
+    lags: VecDeque<f64>,
+    regressors: Vec<f64>,
+    sse: f64,
+    predictions: u64,
+}
+
+impl ArForecaster {
+    /// An AR(`order`) forecaster with forgetting factor `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `order` is zero or `lambda` is outside `(0, 1]`.
+    pub fn new(order: usize, lambda: f64) -> Self {
+        assert!(order > 0, "order must be positive");
+        ArForecaster {
+            rls: RecursiveLeastSquares::new(order + 1, lambda, 1e4),
+            order,
+            lags: VecDeque::with_capacity(order),
+            regressors: vec![0.0; order + 1],
+            sse: 0.0,
+            predictions: 0,
+        }
+    }
+
+    /// The AR order `p`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Feeds the next value; returns the prediction that was made for it
+    /// (before seeing it), once `order` lags have accumulated.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let prediction = if self.lags.len() == self.order {
+            for (slot, lag) in self.regressors.iter_mut().zip(self.lags.iter().rev()) {
+                *slot = *lag;
+            }
+            self.regressors[self.order] = 1.0; // intercept
+            let pred = self.rls.predict(&self.regressors);
+            let err = self.rls.update(&self.regressors, x);
+            self.sse += err * err;
+            self.predictions += 1;
+            Some(pred)
+        } else {
+            None
+        };
+        if self.lags.len() == self.order {
+            self.lags.pop_front();
+        }
+        self.lags.push_back(x);
+        prediction
+    }
+
+    /// Fitted coefficients `[φ₁, …, φ_p, intercept]` (φ₁ multiplies the
+    /// most recent lag).
+    pub fn coefficients(&self) -> &[f64] {
+        self.rls.coefficients()
+    }
+
+    /// Root-mean-square one-step prediction error so far.
+    pub fn rmse(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            (self.sse / self.predictions as f64).sqrt()
+        }
+    }
+}
+
+/// A candidate window ranked by [`recommend_windows`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowScore {
+    /// Window size.
+    pub window: usize,
+    /// Peak z-score of the window's sliding aggregate over the training
+    /// series — how sharply the most anomalous period stands out.
+    pub score: f64,
+}
+
+/// Ranks candidate window sizes for an aggregate monitor by anomaly
+/// separability on a training series: for each window `w`, the sliding
+/// aggregate series `y` is computed and scored by `max |y − μ_y| / σ_y`.
+/// Windows matched to the burst timescale score highest, which is exactly
+/// the parameter the paper's §7 wants estimated.
+///
+/// Returns scores sorted descending; candidates longer than the series or
+/// with degenerate aggregates are skipped.
+///
+/// # Panics
+/// Panics if `kind` is DWT (no scalar aggregate).
+pub fn recommend_windows(
+    series: &[f64],
+    candidates: &[usize],
+    kind: TransformKind,
+) -> Vec<WindowScore> {
+    assert_ne!(kind, TransformKind::Dwt, "window recommendation needs a scalar aggregate");
+    let mut out: Vec<WindowScore> = candidates
+        .iter()
+        .filter(|&&w| w > 0 && w <= series.len())
+        .filter_map(|&w| {
+            let ys = sliding(series, w, kind);
+            let mu = stats::mean(&ys);
+            let sd = stats::std_dev(&ys);
+            if sd <= 0.0 {
+                return None;
+            }
+            let peak = ys.iter().map(|y| (y - mu).abs() / sd).fold(0.0f64, f64::max);
+            Some(WindowScore { window: w, score: peak })
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    out
+}
+
+fn sliding(series: &[f64], w: usize, kind: TransformKind) -> Vec<f64> {
+    series
+        .windows(w)
+        .map(|win| kind.scalar_aggregate(win).expect("scalar transform"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rls_recovers_linear_model() {
+        // y = 3x₁ − 2x₂ + 0.5, noiseless.
+        let mut rls = RecursiveLeastSquares::new(3, 1.0, 1e4);
+        let mut seed = 9u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / 2f64.powi(31) - 1.0
+        };
+        for _ in 0..200 {
+            let x = [next(), next(), 1.0];
+            let y = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+            rls.update(&x, y);
+        }
+        let w = rls.coefficients();
+        assert!((w[0] - 3.0).abs() < 1e-3, "{w:?}");
+        assert!((w[1] + 2.0).abs() < 1e-3, "{w:?}");
+        assert!((w[2] - 0.5).abs() < 1e-3, "{w:?}");
+    }
+
+    #[test]
+    fn rls_residual_shrinks() {
+        let mut rls = RecursiveLeastSquares::new(2, 1.0, 1e4);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..100 {
+            let x = [(i % 7) as f64, 1.0];
+            let y = 2.0 * x[0] + 1.0;
+            let e = rls.update(&x, y).abs();
+            if i == 1 {
+                first = e;
+            }
+            last = e;
+        }
+        assert!(last < first * 1e-6 + 1e-9, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn forgetting_adapts_to_drift() {
+        // The model switches halfway; λ < 1 adapts, λ = 1 averages.
+        let gen = |i: usize, x: f64| if i < 300 { 2.0 * x } else { -2.0 * x };
+        let run = |lambda: f64| {
+            let mut rls = RecursiveLeastSquares::new(1, lambda, 1e4);
+            for i in 0..600 {
+                let x = [((i % 13) as f64 - 6.0) / 6.0];
+                rls.update(&x, gen(i, x[0]));
+            }
+            rls.coefficients()[0]
+        };
+        let adaptive = run(0.9);
+        let stubborn = run(1.0);
+        assert!((adaptive + 2.0).abs() < 0.05, "adaptive coefficient {adaptive}");
+        assert!((stubborn + 2.0).abs() > 0.2, "λ=1 should lag: {stubborn}");
+    }
+
+    #[test]
+    fn ar_forecaster_learns_ar1() {
+        // x[t] = 0.8·x[t−1] + 5 (fixed point 25), noiseless.
+        let mut ar = ArForecaster::new(1, 1.0);
+        let mut x = 0.0;
+        for _ in 0..300 {
+            ar.push(x);
+            x = 0.8 * x + 5.0;
+        }
+        let w = ar.coefficients();
+        assert!((w[0] - 0.8).abs() < 1e-3, "{w:?}");
+        assert!((w[1] - 5.0).abs() < 0.05, "{w:?}");
+        assert!(ar.rmse() < 1.0);
+    }
+
+    #[test]
+    fn ar_forecaster_predicts_sine_well() {
+        // A sine is an AR(2) process: predictions should become accurate.
+        let mut ar = ArForecaster::new(2, 1.0);
+        let mut errs = Vec::new();
+        for i in 0..500 {
+            let x = (i as f64 * 0.2).sin();
+            if let Some(pred) = ar.push(x) {
+                if i > 100 {
+                    errs.push((pred - x).abs());
+                }
+            }
+        }
+        let max_err = errs.iter().copied().fold(0.0f64, f64::max);
+        assert!(max_err < 1e-3, "max late error {max_err}");
+    }
+
+    #[test]
+    fn window_recommendation_finds_burst_timescale() {
+        // Flat series with a rectangular burst of length 40: among
+        // candidate SUM windows, sizes near 40 must rank on top.
+        let mut series = vec![1.0; 2000];
+        for v in series.iter_mut().skip(900).take(40) {
+            *v = 5.0;
+        }
+        let candidates = [5usize, 10, 20, 40, 80, 160, 320];
+        let ranked = recommend_windows(&series, &candidates, TransformKind::Sum);
+        assert_eq!(ranked.len(), candidates.len());
+        assert!(
+            ranked[0].window == 40,
+            "expected 40 on top, got {:?}",
+            &ranked[..3]
+        );
+        // Scores strictly ordered and finite.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn window_recommendation_skips_degenerate() {
+        let series = vec![2.0; 100]; // constant: σ = 0 for every window
+        let ranked = recommend_windows(&series, &[4, 8], TransformKind::Sum);
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar aggregate")]
+    fn window_recommendation_rejects_dwt() {
+        recommend_windows(&[1.0; 50], &[8], TransformKind::Dwt);
+    }
+}

@@ -1,0 +1,277 @@
+//! The "single body" of the paper's vision (§1): one monitor, one
+//! per-arrival call, all three query classes.
+//!
+//! "We envision that all these queries are interconnected in a monitoring
+//! infrastructure. […] a general scheme that accommodates all these tasks
+//! in a single body has not been addressed. We try to fill this gap by
+//! proposing a unified system solution called 'Stardust'."
+//!
+//! [`UnifiedMonitor`] composes the three monitors behind one builder and
+//! one [`UnifiedMonitor::append`], multiplexing their reports into a
+//! single [`Event`] stream — the exact shape of the paper's motivating
+//! story ("an unusual volatility of a time series may trigger an in-depth
+//! trend analysis"): aggregate alarms, trend matches, and correlation
+//! reports arrive interleaved, in arrival order, tagged by class.
+//!
+//! Each query class keeps its own summarizer per stream (they need
+//! different transforms and update rates — SUM/SPREAD online for
+//! aggregates, DWT online for trends, DWT batch for correlations — exactly
+//! as §4 prescribes), so enabling only some classes costs only their
+//! share.
+
+use crate::config::{Config, UpdatePolicy};
+use crate::error::QueryError;
+use crate::query::aggregate::{AggregateMonitor, Alarm, WindowSpec};
+use crate::query::correlation::{CorrelatedPair, CorrelationMonitor};
+use crate::query::trend::{PatternId, TrendMatch, TrendMonitor};
+use crate::stream::StreamId;
+use crate::transform::TransformKind;
+
+/// One report from the unified monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An aggregate (burst/volatility) alarm on one stream.
+    Aggregate {
+        /// The alarming stream.
+        stream: StreamId,
+        /// The alarm details (window, bound, verification).
+        alarm: Alarm,
+    },
+    /// A stream currently matches a registered trend.
+    Trend(TrendMatch),
+    /// Two streams are (approximately) correlated.
+    Correlation(CorrelatedPair),
+}
+
+/// Builder for [`UnifiedMonitor`].
+pub struct Builder {
+    base_window: usize,
+    levels: usize,
+    n_streams: usize,
+    r_max: f64,
+    aggregate: Option<(TransformKind, Vec<WindowSpec>, usize)>,
+    trend: Option<(usize, usize)>,
+    correlation: Option<(usize, f64)>,
+}
+
+impl Builder {
+    /// Enables aggregate monitoring (SUM for bursts, SPREAD for
+    /// volatility) over the given windows with box capacity `c`.
+    pub fn aggregates(mut self, kind: TransformKind, specs: Vec<WindowSpec>, c: usize) -> Self {
+        self.aggregate = Some((kind, specs, c));
+        self
+    }
+
+    /// Enables continuous trend monitoring with `f` DWT coefficients and
+    /// box capacity `c`. Patterns are registered on the built monitor.
+    pub fn trends(mut self, f: usize, c: usize) -> Self {
+        self.trend = Some((f, c));
+        self
+    }
+
+    /// Enables correlation monitoring with `f` feature dimensions and
+    /// z-norm distance threshold `radius` over windows of
+    /// `W·2^(levels−1)`.
+    pub fn correlations(mut self, f: usize, radius: f64) -> Self {
+        self.correlation = Some((f, radius));
+        self
+    }
+
+    /// Builds the monitor.
+    ///
+    /// # Panics
+    /// Panics if no query class was enabled or a sub-configuration is
+    /// invalid (see the respective monitors).
+    pub fn build(self) -> UnifiedMonitor {
+        assert!(
+            self.aggregate.is_some() || self.trend.is_some() || self.correlation.is_some(),
+            "enable at least one query class"
+        );
+        let aggregates = self.aggregate.map(|(kind, specs, c)| {
+            let max_w = specs.iter().map(|s| s.window).max().unwrap_or(self.base_window);
+            let history = max_w
+                .div_ceil(self.base_window)
+                .max(1)
+                .next_power_of_two()
+                .max(1 << (self.levels - 1))
+                * self.base_window;
+            let cfg = Config::online(kind, self.base_window, self.levels, c)
+                .with_history(history.max(self.base_window << (self.levels - 1)));
+            let monitors =
+                (0..self.n_streams).map(|_| AggregateMonitor::new(cfg.clone(), &specs)).collect();
+            (monitors, specs)
+        });
+        let trends = self.trend.map(|(f, c)| {
+            let mut cfg = Config::batch(self.base_window, self.levels, f, self.r_max)
+                .with_history(self.base_window << (self.levels - 1));
+            cfg.update = UpdatePolicy::Online;
+            cfg.box_capacity = c;
+            TrendMonitor::new(cfg, self.n_streams)
+        });
+        let correlations = self.correlation.map(|(f, radius)| {
+            CorrelationMonitor::new(self.base_window, self.levels, f, radius, self.n_streams)
+        });
+        UnifiedMonitor { aggregates, trends, correlations }
+    }
+}
+
+/// A single monitor over `M` streams serving every enabled query class.
+pub struct UnifiedMonitor {
+    aggregates: Option<(Vec<AggregateMonitor>, Vec<WindowSpec>)>,
+    trends: Option<TrendMonitor>,
+    correlations: Option<CorrelationMonitor>,
+}
+
+impl UnifiedMonitor {
+    /// Starts a builder over `n_streams` streams, base window `W`, and
+    /// the given number of resolution levels. `r_max` bounds the value
+    /// range (used by pattern normalization).
+    ///
+    /// # Panics
+    /// Panics on zero streams.
+    pub fn builder(base_window: usize, levels: usize, n_streams: usize, r_max: f64) -> Builder {
+        assert!(n_streams >= 1, "need at least one stream");
+        Builder {
+            base_window,
+            levels,
+            n_streams,
+            r_max,
+            aggregate: None,
+            trend: None,
+            correlation: None,
+        }
+    }
+
+    /// Registers a trend pattern (requires `trends` to be enabled).
+    ///
+    /// # Panics
+    /// Panics if trend monitoring is not enabled.
+    pub fn register_trend(&mut self, sequence: Vec<f64>, radius: f64) -> Result<PatternId, QueryError> {
+        self.trends
+            .as_mut()
+            .expect("trend monitoring not enabled")
+            .register(sequence, radius)
+    }
+
+    /// Appends one value to one stream; returns every event the arrival
+    /// produced, across all enabled query classes.
+    ///
+    /// # Panics
+    /// Panics if the stream id is out of range.
+    pub fn append(&mut self, stream: StreamId, value: f64) -> Vec<Event> {
+        let mut events = Vec::new();
+        if let Some((monitors, _)) = &mut self.aggregates {
+            for alarm in monitors[stream as usize].push(value) {
+                events.push(Event::Aggregate { stream, alarm });
+            }
+        }
+        if let Some(trends) = &mut self.trends {
+            events.extend(trends.append(stream, value).into_iter().map(Event::Trend));
+        }
+        if let Some(corr) = &mut self.correlations {
+            events.extend(corr.append(stream, value).into_iter().map(Event::Correlation));
+        }
+        events
+    }
+
+    /// The aggregate monitor of one stream, if enabled.
+    pub fn aggregate_monitor(&self, stream: StreamId) -> Option<&AggregateMonitor> {
+        self.aggregates.as_ref().map(|(m, _)| &m[stream as usize])
+    }
+
+    /// The trend monitor, if enabled.
+    pub fn trend_monitor(&self) -> Option<&TrendMonitor> {
+        self.trends.as_ref()
+    }
+
+    /// The correlation monitor, if enabled.
+    pub fn correlation_monitor(&self) -> Option<&CorrelationMonitor> {
+        self.correlations.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    #[test]
+    fn all_three_classes_fire_from_one_feed() {
+        let specs = vec![WindowSpec { window: 16, threshold: 60.0 }];
+        let mut unified = UnifiedMonitor::builder(8, 3, 2, 100.0)
+            .aggregates(TransformKind::Sum, specs, 2)
+            .trends(4, 4)
+            .correlations(4, 0.3)
+            .build();
+        // A trend: the surge ramp; register before feeding.
+        let ramp: Vec<f64> = (0..16).map(|i| 2.0 + i as f64 * 0.5).collect();
+        let trend_id = unified.register_trend(ramp.clone(), 0.05).expect("valid");
+
+        let mut seed = 9u64;
+        let mut saw_aggregate = false;
+        let mut saw_trend = false;
+        let mut saw_correlation = false;
+        let mut x = 2.0f64;
+        for i in 0..400usize {
+            // Stream 0: noise, then the ramp surge at i = 300.
+            let v0 = if (300..316).contains(&i) {
+                ramp[i - 300]
+            } else {
+                x += (splitmix(&mut seed) - 0.5) * 0.1;
+                x.clamp(0.5, 4.0)
+            };
+            // Stream 1: affine copy of stream 0 => correlated.
+            let v1 = 2.0 * v0 + 1.0;
+            for ev in unified.append(0, v0).into_iter().chain(unified.append(1, v1)) {
+                match ev {
+                    Event::Aggregate { alarm, .. } => saw_aggregate |= alarm.is_true_alarm,
+                    Event::Trend(m) => saw_trend |= m.pattern == trend_id,
+                    Event::Correlation(p) => {
+                        saw_correlation |= p.correlation.unwrap_or(0.0) > 0.9
+                    }
+                }
+            }
+        }
+        assert!(saw_trend, "trend event missing");
+        assert!(saw_correlation, "correlation event missing");
+        assert!(saw_aggregate, "aggregate event missing");
+    }
+
+    #[test]
+    fn partial_configuration_only_produces_enabled_classes() {
+        let mut unified = UnifiedMonitor::builder(8, 2, 2, 10.0).correlations(2, 0.5).build();
+        assert!(unified.aggregate_monitor(0).is_none());
+        assert!(unified.trend_monitor().is_none());
+        assert!(unified.correlation_monitor().is_some());
+        for i in 0..64 {
+            let v = (i as f64 * 0.3).sin();
+            for ev in unified.append(0, v).into_iter().chain(unified.append(1, v + 0.1)) {
+                assert!(matches!(ev, Event::Correlation(_)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "enable at least one query class")]
+    fn empty_configuration_rejected() {
+        let _ = UnifiedMonitor::builder(8, 2, 1, 1.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "trend monitoring not enabled")]
+    fn registering_without_trends_panics() {
+        let specs = vec![WindowSpec { window: 8, threshold: 1.0 }];
+        let mut unified = UnifiedMonitor::builder(8, 2, 1, 1.0)
+            .aggregates(TransformKind::Sum, specs, 1)
+            .build();
+        let _ = unified.register_trend(vec![0.0; 8], 0.1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload generators reproducing the datasets of the Stardust
+//! evaluation (§6).
+//!
+//! The paper's real datasets (UCR `burst.dat` / `packet.dat`, the CMU Host
+//! Load traces) are not redistributable, so each is replaced by a seeded
+//! synthetic generator that reproduces the statistical structure the
+//! corresponding experiment depends on — see the module docs and DESIGN.md
+//! for the substitution arguments:
+//!
+//! * [`random_walk`](mod@random_walk) — the paper's own synthetic model, implemented
+//!   verbatim.
+//! * [`burst`] — Poisson background + heavy-tailed injected showers
+//!   (`burst.dat`).
+//! * [`packet`] — superposed Pareto ON/OFF sources, long-range dependent
+//!   (`packet.dat`).
+//! * [`hostload`] — AR(1) around a drifting mean with job spikes (CMU
+//!   Host Load).
+//! * [`sampler`] — the underlying distribution samplers (normal, Poisson,
+//!   Pareto, exponential), hand-rolled to keep the dependency set minimal.
+//!
+//! Every generator is deterministic in its seed.
+
+pub mod burst;
+pub mod csv;
+pub mod hostload;
+pub mod packet;
+pub mod random_walk;
+pub mod sampler;
+
+pub use burst::{burst_dat, burst_series, BurstParams};
+pub use csv::{from_csv, to_csv, write_csv};
+pub use hostload::{host_load_fleet, host_load_trace, HostLoadParams};
+pub use packet::{packet_dat, packet_series, PacketParams};
+pub use random_walk::{random_walk, random_walk_streams};

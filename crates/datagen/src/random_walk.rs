@@ -1,0 +1,75 @@
+//! The paper's synthetic model (§6): random-walk streams.
+//!
+//! "For a stream x, the value at time i (0 < i) is
+//! `x[i] = R + Σ_{j=1..i} (u_j − 0.5)` where R is a constant uniform random
+//! number in [0, 100] and `u_j` are uniform random reals in [0, 1]."
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One random-walk stream of `n` values, per the paper's model.
+pub fn random_walk(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r: f64 = rng.random::<f64>() * 100.0;
+    let mut x = r;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(x);
+        x += rng.random::<f64>() - 0.5;
+    }
+    out
+}
+
+/// `m` independent random-walk streams of `n` values each.
+pub fn random_walk_streams(seed: u64, m: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..m).map(|s| random_walk(seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed, n)).collect()
+}
+
+/// The smallest `R_max` covering all values of the given streams (§2.1
+/// assumes values in `[0, R_max]`; the walk is unbounded, so experiments
+/// derive the bound from the generated data and clamp).
+pub fn observed_r_max(streams: &[Vec<f64>]) -> f64 {
+    streams
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .fold(1.0f64, |acc, v| acc.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_walk(11, 100), random_walk(11, 100));
+        assert_ne!(random_walk(11, 100), random_walk(12, 100));
+    }
+
+    #[test]
+    fn starts_in_range_and_walks_slowly() {
+        let w = random_walk(5, 1000);
+        assert!(w[0] >= 0.0 && w[0] <= 100.0);
+        for pair in w.windows(2) {
+            assert!((pair[1] - pair[0]).abs() <= 0.5);
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let ss = random_walk_streams(3, 4, 50);
+        assert_eq!(ss.len(), 4);
+        assert_ne!(ss[0], ss[1]);
+        assert_ne!(ss[1], ss[2]);
+    }
+
+    #[test]
+    fn r_max_covers_everything() {
+        let ss = random_walk_streams(9, 3, 500);
+        let rm = observed_r_max(&ss);
+        for s in &ss {
+            for &v in s {
+                assert!(v.abs() <= rm);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Distribution samplers built on a uniform source.
+//!
+//! The allowed dependency set contains `rand` but not `rand_distr`, so the
+//! Poisson, Pareto, exponential and normal samplers the workload generators
+//! need are implemented here (inverse-transform / Box–Muller / Knuth).
+
+use rand::prelude::*;
+
+/// A standard-normal sample via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal_with(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * normal(rng)
+}
+
+/// An exponential sample with rate `lambda` (mean `1/λ`).
+///
+/// # Panics
+/// Panics if `lambda` is not positive.
+pub fn exponential(rng: &mut impl Rng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "rate must be positive");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / lambda
+}
+
+/// A Poisson sample with mean `lambda` (Knuth's product method for small
+/// means, normal approximation above 64 — adequate for count workloads).
+///
+/// # Panics
+/// Panics if `lambda` is negative.
+pub fn poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0, "mean must be nonnegative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 64.0 {
+        let x = normal_with(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// A Pareto sample with scale `xm > 0` and shape `alpha > 0`
+/// (inverse transform: `xm / U^{1/α}`). Heavy-tailed for `α ≤ 2` — the
+/// regime that produces self-similar ON/OFF traffic.
+///
+/// # Panics
+/// Panics if `xm` or `alpha` is not positive.
+pub fn pareto(rng: &mut impl Rng, xm: f64, alpha: f64) -> f64 {
+    assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    xm / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let m = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_mean_small_lambda() {
+        let mut r = rng();
+        let n = 20_000;
+        let m = (0..n).map(|_| poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((m - 3.5).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_mean_large_lambda() {
+        let mut r = rng();
+        let n = 5_000;
+        let m = (0..n).map(|_| poisson(&mut r, 200.0) as f64).sum::<f64>() / n as f64;
+        assert!((m - 200.0).abs() < 2.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn pareto_bounds_and_tail() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // Median of Pareto(xm, α) is xm·2^{1/α} ≈ 3.1748.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        assert!((median - 2.0 * 2f64.powf(1.0 / 1.5)).abs() < 0.15, "median {median}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut a), normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Sliding-window discrete Fourier transform over basic windows.
+//!
+//! This is the summary substrate of the StatStream baseline (Zhu & Shasha,
+//! VLDB 2002): the history of a stream is divided into `n_b` *basic windows*
+//! of length `bw`; per-item work accumulates the current basic window's
+//! partial DFT sums (Θ(f) per item), and each time a basic window completes
+//! the sliding-window DFT over the whole history is updated in Θ(f) with a
+//! phase rotation — a *batch* update.
+//!
+//! Conventions: the unitary DFT `X_k = (1/√w) Σ_t x[t] e^{-i2πkt/w}`, so
+//! Parseval gives `Σ_k |X_k|² = Σ_t x[t]²`. For a real signal, coefficients
+//! `k` and `w−k` are conjugate, so the energy captured by keeping
+//! `k = 1..=f/2` is doubled; Euclidean distance on the kept coefficients
+//! lower-bounds `1/√2` times the distance between the z-normalized windows
+//! (see [`feature_distance_lower_bound`]).
+
+use std::collections::VecDeque;
+use std::f64::consts::TAU;
+
+use crate::complex::Complex;
+
+/// Direct unitary DFT coefficient `X_k` of `x`.
+pub fn dft_coefficient(x: &[f64], k: usize) -> Complex {
+    let w = x.len() as f64;
+    let mut acc = Complex::ZERO;
+    for (t, &v) in x.iter().enumerate() {
+        acc += Complex::cis(-TAU * k as f64 * t as f64 / w) * v;
+    }
+    acc.scale(1.0 / w.sqrt())
+}
+
+/// The z-normalized DFT feature of a full window, computed directly; used
+/// by tests and the linear-scan ground truth.
+///
+/// Returns `f` real dimensions: `[Re X̂_1, Im X̂_1, …, Re X̂_{f/2}, Im X̂_{f/2}]`
+/// where `X̂` is the unitary DFT of the z-normalized window. Returns `None`
+/// if the window has zero variance (z-norm undefined).
+///
+/// # Panics
+/// Panics if `f` is zero or odd, or `f/2` ≥ `x.len()/2`.
+pub fn znorm_dft_feature(x: &[f64], f: usize) -> Option<Vec<f64>> {
+    assert!(f > 0 && f.is_multiple_of(2), "feature dimensionality must be even and positive");
+    assert!(f / 2 < x.len() / 2 + 1, "too many coefficients for window length");
+    let w = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / w;
+    let energy: f64 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if energy <= 0.0 {
+        return None;
+    }
+    let scale = 1.0 / energy.sqrt();
+    let mut out = Vec::with_capacity(f);
+    for k in 1..=f / 2 {
+        // Mean subtraction only affects k = 0, so transform x directly.
+        let c = dft_coefficient(x, k).scale(scale);
+        out.push(c.re);
+        out.push(c.im);
+    }
+    Some(out)
+}
+
+/// Euclidean distance between two real signals.
+pub fn l2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Lower bound on the distance between two *z-normalized* windows implied by
+/// their DFT features: `√2 · ‖feat(x) − feat(y)‖ ≤ ‖x̂ − ŷ‖`.
+pub fn feature_distance_lower_bound(fa: &[f64], fb: &[f64]) -> f64 {
+    std::f64::consts::SQRT_2 * l2(fa, fb)
+}
+
+/// A sliding-window DFT maintained incrementally over basic windows.
+///
+/// Per-item cost Θ(f); per-basic-window cost Θ(f) extra. Emits a fresh
+/// feature each time a basic window completes *and* the full sliding window
+/// has been observed.
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    window: usize,
+    basic: usize,
+    n_basic: usize,
+    half_f: usize,
+    /// e^{-i 2π k / w} for each kept frequency k.
+    omega_item: Vec<Complex>,
+    /// e^{+i 2π k·bw / w}: rotation applied when the window slides by one
+    /// basic window.
+    omega_shift: Vec<Complex>,
+    /// e^{-i 2π k·(n_b−1)·bw / w}: phase of the newest basic window.
+    omega_newest: Vec<Complex>,
+    /// Partial sums of the currently-filling basic window (position-local
+    /// phases).
+    cur_partial: Vec<Complex>,
+    cur_phase: Vec<Complex>,
+    cur_len: usize,
+    cur_sum: f64,
+    cur_sumsq: f64,
+    /// Completed basic windows, oldest first.
+    partials: VecDeque<Vec<Complex>>,
+    moments: VecDeque<(f64, f64)>,
+    /// Combined unnormalized sums Σ_j phase_j · P_{j,k} over completed
+    /// basic windows.
+    combined: Vec<Complex>,
+    total_sum: f64,
+    total_sumsq: f64,
+}
+
+/// A z-normalized DFT feature together with the window moments it was
+/// derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DftFeature {
+    /// Real feature dimensions `[Re X̂_1, Im X̂_1, …]`, or `None` when the
+    /// window had zero variance.
+    pub coords: Option<Vec<f64>>,
+    /// Window mean.
+    pub mean: f64,
+    /// Window centered energy `Σ (x−μ)²`.
+    pub energy: f64,
+}
+
+impl SlidingDft {
+    /// Creates a sliding DFT over a window of `n_basic` basic windows of
+    /// length `basic`, keeping `f` real feature dimensions (`f/2` complex
+    /// coefficients, `k = 1..=f/2`).
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero, `f` is odd, or `f/2 ≥ window/2`.
+    pub fn new(basic: usize, n_basic: usize, f: usize) -> Self {
+        assert!(basic > 0 && n_basic > 0, "window dimensions must be positive");
+        assert!(f > 0 && f.is_multiple_of(2), "feature dimensionality must be even and positive");
+        let window = basic * n_basic;
+        assert!(f / 2 < window / 2 + 1, "too many coefficients for window length");
+        let half_f = f / 2;
+        let omega_item: Vec<Complex> =
+            (1..=half_f).map(|k| Complex::cis(-TAU * k as f64 / window as f64)).collect();
+        let omega_shift: Vec<Complex> = (1..=half_f)
+            .map(|k| Complex::cis(TAU * k as f64 * basic as f64 / window as f64))
+            .collect();
+        let omega_newest: Vec<Complex> = (1..=half_f)
+            .map(|k| {
+                Complex::cis(
+                    -TAU * k as f64 * ((n_basic - 1) * basic) as f64 / window as f64,
+                )
+            })
+            .collect();
+        SlidingDft {
+            window,
+            basic,
+            n_basic,
+            half_f,
+            omega_item,
+            omega_shift,
+            omega_newest,
+            cur_partial: vec![Complex::ZERO; half_f],
+            cur_phase: vec![Complex::new(1.0, 0.0); half_f],
+            cur_len: 0,
+            cur_sum: 0.0,
+            cur_sumsq: 0.0,
+            partials: VecDeque::new(),
+            moments: VecDeque::new(),
+            combined: vec![Complex::ZERO; half_f],
+            total_sum: 0.0,
+            total_sumsq: 0.0,
+        }
+    }
+
+    /// Sliding window length `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Basic window length `bw`.
+    pub fn basic(&self) -> usize {
+        self.basic
+    }
+
+    /// Appends one value. Returns a feature when this value completes a
+    /// basic window and the full sliding window has been seen.
+    pub fn push(&mut self, x: f64) -> Option<DftFeature> {
+        // Accumulate into the current basic window with position-local phase.
+        for k in 0..self.half_f {
+            self.cur_partial[k] += self.cur_phase[k] * x;
+            self.cur_phase[k] = self.cur_phase[k] * self.omega_item[k];
+        }
+        self.cur_sum += x;
+        self.cur_sumsq += x * x;
+        self.cur_len += 1;
+        if self.cur_len < self.basic {
+            return None;
+        }
+        // Basic window complete: slide.
+        if self.partials.len() == self.n_basic {
+            let old = self.partials.pop_front().expect("nonempty");
+            let (osum, osumsq) = self.moments.pop_front().expect("nonempty");
+            self.total_sum -= osum;
+            self.total_sumsq -= osumsq;
+            for k in 0..self.half_f {
+                // Remove the oldest window (phase 1, position 0), then
+                // rotate everything one basic window towards the past and
+                // add the newest at position n_b − 1.
+                self.combined[k] = (self.combined[k] - old[k]) * self.omega_shift[k]
+                    + self.omega_newest[k] * self.cur_partial[k];
+            }
+        } else {
+            let j = self.partials.len();
+            for k in 0..self.half_f {
+                let phase = Complex::cis(
+                    -TAU * (k + 1) as f64 * (j * self.basic) as f64 / self.window as f64,
+                );
+                self.combined[k] += phase * self.cur_partial[k];
+            }
+        }
+        self.total_sum += self.cur_sum;
+        self.total_sumsq += self.cur_sumsq;
+        self.partials.push_back(std::mem::replace(
+            &mut self.cur_partial,
+            vec![Complex::ZERO; self.half_f],
+        ));
+        self.moments.push_back((self.cur_sum, self.cur_sumsq));
+        self.cur_len = 0;
+        self.cur_sum = 0.0;
+        self.cur_sumsq = 0.0;
+        for p in &mut self.cur_phase {
+            *p = Complex::new(1.0, 0.0);
+        }
+        if self.partials.len() < self.n_basic {
+            return None;
+        }
+        // Emit z-normalized feature.
+        let w = self.window as f64;
+        let mean = self.total_sum / w;
+        let energy = (self.total_sumsq - w * mean * mean).max(0.0);
+        let coords = if energy > 0.0 {
+            let scale = 1.0 / (w.sqrt() * energy.sqrt());
+            let mut out = Vec::with_capacity(self.half_f * 2);
+            for k in 0..self.half_f {
+                let c = self.combined[k].scale(scale);
+                out.push(c.re);
+                out.push(c.im);
+            }
+            Some(out)
+        } else {
+            None
+        };
+        Some(DftFeature { coords, mean, energy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-8;
+
+    fn ramp_sin(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 2.0 + i as f64 * 0.01).collect()
+    }
+
+    #[test]
+    fn dft_parseval() {
+        let x = ramp_sin(16);
+        let energy_time: f64 = x.iter().map(|v| v * v).sum();
+        let energy_freq: f64 = (0..16).map(|k| dft_coefficient(&x, k).norm_sqr()).sum();
+        assert!((energy_time - energy_freq).abs() < EPS);
+    }
+
+    #[test]
+    fn dft_dc_coefficient_is_scaled_mean() {
+        let x = [2.0, 2.0, 2.0, 2.0];
+        let c = dft_coefficient(&x, 0);
+        assert!((c.re - 4.0).abs() < EPS); // (1/√4)·8 = 4
+        assert!(c.im.abs() < EPS);
+    }
+
+    #[test]
+    fn znorm_feature_invariant_to_offset_and_scale() {
+        let x = ramp_sin(32);
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 100.0).collect();
+        let fx = znorm_dft_feature(&x, 4).unwrap();
+        let fy = znorm_dft_feature(&y, 4).unwrap();
+        for (a, b) in fx.iter().zip(&fy) {
+            assert!((a - b).abs() < EPS, "{fx:?} vs {fy:?}");
+        }
+    }
+
+    #[test]
+    fn znorm_feature_none_for_constant() {
+        assert!(znorm_dft_feature(&[5.0; 16], 2).is_none());
+    }
+
+    #[test]
+    fn sliding_dft_matches_direct() {
+        let data = ramp_sin(96);
+        let mut sliding = SlidingDft::new(8, 4, 4); // w = 32
+        let mut emitted = 0;
+        for (i, &x) in data.iter().enumerate() {
+            if let Some(feat) = sliding.push(x) {
+                emitted += 1;
+                let start = i + 1 - 32;
+                let direct = znorm_dft_feature(&data[start..=i], 4).unwrap();
+                let got = feat.coords.as_ref().unwrap();
+                for (a, b) in got.iter().zip(&direct) {
+                    assert!((a - b).abs() < 1e-7, "at i={i}: {got:?} vs {direct:?}");
+                }
+            }
+        }
+        // Windows complete at i = 31, 39, 47, ..., 95.
+        assert_eq!(emitted, (96 - 32) / 8 + 1);
+    }
+
+    #[test]
+    fn sliding_dft_moments_match_window() {
+        let data = ramp_sin(64);
+        let mut sliding = SlidingDft::new(4, 4, 2); // w = 16
+        for (i, &x) in data.iter().enumerate() {
+            if let Some(feat) = sliding.push(x) {
+                let start = i + 1 - 16;
+                let win = &data[start..=i];
+                let mean = win.iter().sum::<f64>() / 16.0;
+                let energy: f64 = win.iter().map(|v| (v - mean) * (v - mean)).sum();
+                assert!((feat.mean - mean).abs() < EPS);
+                assert!((feat.energy - energy).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn feature_distance_lower_bound_holds() {
+        let x = ramp_sin(32);
+        let y: Vec<f64> = (0..32).map(|i| (i as f64 * 0.9).cos() * 1.5).collect();
+        // z-normalize both.
+        let zn = |v: &[f64]| -> Vec<f64> {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            let e: f64 = v.iter().map(|a| (a - m) * (a - m)).sum::<f64>().sqrt();
+            v.iter().map(|a| (a - m) / e).collect()
+        };
+        let zx = zn(&x);
+        let zy = zn(&y);
+        let true_dist = l2(&zx, &zy);
+        for f in [2usize, 4, 8] {
+            let fx = znorm_dft_feature(&x, f).unwrap();
+            let fy = znorm_dft_feature(&y, f).unwrap();
+            let lb = feature_distance_lower_bound(&fx, &fy);
+            assert!(lb <= true_dist + EPS, "f={f}: {lb} > {true_dist}");
+        }
+    }
+
+    #[test]
+    fn sliding_dft_constant_window_yields_none_coords() {
+        let mut sliding = SlidingDft::new(4, 2, 2);
+        let mut last = None;
+        for _ in 0..8 {
+            if let Some(f) = sliding.push(7.0) {
+                last = Some(f);
+            }
+        }
+        let f = last.expect("one full window");
+        assert!(f.coords.is_none());
+        assert!((f.mean - 7.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,298 @@
+//! Multi-level wavelet decomposition for general orthonormal filter banks
+//! (Mallat's pyramid algorithm — the paper's reference \[13\]).
+//!
+//! The Stardust summarizer itself only needs Haar (whose half-merge is
+//! exact), but Appendix A states Lemma A.2 for *arbitrary* low-pass
+//! decomposition filters; this module provides the Daubechies family and a
+//! full analysis/synthesis pyramid with perfect reconstruction, so the
+//! δ-split machinery is exercised against real non-trivial filters.
+//!
+//! Conventions: periodic (circular) signal extension, orthonormal filters
+//! (`Σ h̃ₖ² = 1`, `Σ h̃ₖ = √2`), high-pass by the alternating-flip QMF
+//! relation `g̃ₖ = (−1)ᵏ·h̃_{L−1−k}`.
+
+use crate::filter::FilterBank;
+
+/// The Daubechies orthonormal low-pass decomposition filters D2 (Haar)
+/// through D8 (four vanishing moments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wavelet {
+    /// Haar / Daubechies-2.
+    Haar,
+    /// Daubechies-4 (2 vanishing moments).
+    Db2,
+    /// Daubechies-6 (3 vanishing moments).
+    Db3,
+    /// Daubechies-8 (4 vanishing moments).
+    Db4,
+}
+
+impl Wavelet {
+    /// The low-pass decomposition taps.
+    pub fn lowpass(self) -> Vec<f64> {
+        match self {
+            Wavelet::Haar => vec![std::f64::consts::FRAC_1_SQRT_2; 2],
+            Wavelet::Db2 => {
+                let s3 = 3f64.sqrt();
+                let n = 4.0 * 2f64.sqrt();
+                vec![(1.0 + s3) / n, (3.0 + s3) / n, (3.0 - s3) / n, (1.0 - s3) / n]
+            }
+            // Standard published coefficients (Daubechies, "Ten Lectures").
+            Wavelet::Db3 => vec![
+                0.332670552950957,
+                0.806891509313339,
+                0.459877502119331,
+                -0.135011020010391,
+                -0.085441273882241,
+                0.035226291882101,
+            ],
+            Wavelet::Db4 => vec![
+                0.230377813308855,
+                0.714846570552542,
+                0.630880767929590,
+                -0.027983769416984,
+                -0.187034811718881,
+                0.030841381835987,
+                0.032883011666983,
+                -0.010597401784997,
+            ],
+        }
+    }
+
+    /// The matching [`FilterBank`].
+    pub fn bank(self) -> FilterBank {
+        FilterBank::from_taps(self.lowpass())
+    }
+
+    /// The high-pass decomposition taps via the alternating-flip QMF
+    /// relation.
+    pub fn highpass(self) -> Vec<f64> {
+        let h = self.lowpass();
+        let l = h.len();
+        (0..l).map(|k| if k % 2 == 0 { h[l - 1 - k] } else { -h[l - 1 - k] }).collect()
+    }
+}
+
+/// A full multi-level decomposition: the final approximation plus detail
+/// bands from coarsest to finest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Approximation coefficients at the deepest level.
+    pub approx: Vec<f64>,
+    /// Detail bands, coarsest first.
+    pub details: Vec<Vec<f64>>,
+}
+
+impl Decomposition {
+    /// Total coefficient count (equals the input length).
+    pub fn len(&self) -> usize {
+        self.approx.len() + self.details.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` if there are no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flattens to the ordered coefficient vector
+    /// `[approx, coarsest detail, …, finest detail]`.
+    pub fn ordered(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.approx);
+        for d in &self.details {
+            out.extend_from_slice(d);
+        }
+        out
+    }
+
+    /// Total energy of the coefficients.
+    pub fn energy(&self) -> f64 {
+        self.ordered().iter().map(|c| c * c).sum()
+    }
+}
+
+fn convolve_down(x: &[f64], taps: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    (0..n / 2)
+        .map(|i| taps.iter().enumerate().map(|(k, &h)| h * x[(2 * i + k) % n]).sum())
+        .collect()
+}
+
+/// `levels`-deep wavelet decomposition of `x` with periodic extension.
+///
+/// # Panics
+/// Panics if `x.len()` is not a power of two, `levels` is zero, or
+/// `x.len() < 2^levels`.
+pub fn wavedec(x: &[f64], wavelet: Wavelet, levels: usize) -> Decomposition {
+    assert!(x.len().is_power_of_two(), "signal length must be a power of two");
+    assert!(levels >= 1, "need at least one level");
+    assert!(x.len() >= 1 << levels, "signal too short for {levels} levels");
+    let lo = wavelet.lowpass();
+    let hi = wavelet.highpass();
+    let mut approx = x.to_vec();
+    let mut details_fine_first = Vec::with_capacity(levels);
+    for _ in 0..levels {
+        let d = convolve_down(&approx, &hi);
+        let a = convolve_down(&approx, &lo);
+        details_fine_first.push(d);
+        approx = a;
+    }
+    details_fine_first.reverse();
+    Decomposition { approx, details: details_fine_first }
+}
+
+/// Inverse of [`wavedec`]: perfect reconstruction for orthonormal banks.
+///
+/// # Panics
+/// Panics if the band sizes are inconsistent.
+pub fn waverec(dec: &Decomposition, wavelet: Wavelet) -> Vec<f64> {
+    let lo = wavelet.lowpass();
+    let hi = wavelet.highpass();
+    let mut approx = dec.approx.clone();
+    for detail in &dec.details {
+        assert_eq!(detail.len(), approx.len(), "band size mismatch");
+        let n = approx.len() * 2;
+        // Transposed (adjoint) periodic analysis: for orthonormal banks the
+        // synthesis operator is the adjoint of the analysis operator.
+        let mut next = vec![0.0; n];
+        for i in 0..approx.len() {
+            for (k, &h) in lo.iter().enumerate() {
+                next[(2 * i + k) % n] += h * approx[i];
+            }
+            for (k, &g) in hi.iter().enumerate() {
+                next[(2 * i + k) % n] += g * detail[i];
+            }
+        }
+        approx = next;
+    }
+    approx
+}
+
+/// Fraction of the (centered) signal energy carried by the `keep` leading
+/// ordered coefficients — the "first f coefficients retain most of the
+/// energy" measurement of §4.
+///
+/// # Panics
+/// Panics on invalid lengths (see [`wavedec`]).
+pub fn leading_energy_fraction(x: &[f64], wavelet: Wavelet, keep: usize) -> f64 {
+    let levels = x.len().trailing_zeros() as usize;
+    let dec = wavedec(x, wavelet, levels.max(1));
+    let ordered = dec.ordered();
+    let total: f64 = ordered.iter().map(|c| c * c).sum();
+    if total == 0.0 {
+        return 1.0;
+    }
+    let lead: f64 = ordered.iter().take(keep).map(|c| c * c).sum();
+    lead / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.31).sin() * 3.0 + (i as f64 * 0.05).cos()).collect()
+    }
+
+    #[test]
+    fn filters_are_orthonormal() {
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db3, Wavelet::Db4] {
+            let h = w.lowpass();
+            let norm: f64 = h.iter().map(|c| c * c).sum();
+            let sum: f64 = h.iter().sum();
+            assert!((norm - 1.0).abs() < 1e-10, "{w:?}: ‖h‖² = {norm}");
+            assert!((sum - 2f64.sqrt()).abs() < 1e-10, "{w:?}: Σh = {sum}");
+            // Double-shift orthogonality: Σ h[k]·h[k+2m] = 0 for m ≠ 0.
+            for m in 1..h.len() / 2 {
+                let dot: f64 = (0..h.len() - 2 * m).map(|k| h[k] * h[k + 2 * m]).sum();
+                assert!(dot.abs() < 1e-10, "{w:?}: shift {m} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn highpass_is_orthogonal_to_lowpass() {
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db3, Wavelet::Db4] {
+            let h = w.lowpass();
+            let g = w.highpass();
+            let dot: f64 = h.iter().zip(&g).map(|(a, b)| a * b).sum();
+            assert!(dot.abs() < 1e-10, "{w:?}: <h,g> = {dot}");
+            let gsum: f64 = g.iter().sum();
+            assert!(gsum.abs() < 1e-10, "{w:?}: Σg = {gsum} (vanishing moment)");
+        }
+    }
+
+    #[test]
+    fn perfect_reconstruction_all_wavelets() {
+        let x = sample(64);
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db3, Wavelet::Db4] {
+            for levels in 1..=4 {
+                let dec = wavedec(&x, w, levels);
+                let back = waverec(&dec, w);
+                for (a, b) in x.iter().zip(&back) {
+                    assert!((a - b).abs() < 1e-8, "{w:?} at {levels} levels");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let x = sample(32);
+        let e: f64 = x.iter().map(|v| v * v).sum();
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let dec = wavedec(&x, w, 3);
+            assert!((dec.energy() - e).abs() < 1e-8 * (1.0 + e), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn haar_matches_dedicated_implementation() {
+        let x = sample(16);
+        let dec = wavedec(&x, Wavelet::Haar, 4);
+        let reference = crate::haar::dwt(&x);
+        let ordered = dec.ordered();
+        assert_eq!(ordered.len(), reference.len());
+        for (a, b) in ordered.iter().zip(&reference) {
+            assert!((a - b).abs() < EPS, "{ordered:?} vs {reference:?}");
+        }
+    }
+
+    #[test]
+    fn smooth_signals_compact_into_leading_coefficients() {
+        // §4's premise: for smooth series a handful of coefficients carry
+        // the energy. (Periodic extension means the probe signal must be
+        // periodic itself — one full sine cycle plus an offset.)
+        let smooth: Vec<f64> = (0..64)
+            .map(|i| 10.0 + 4.0 * (i as f64 / 64.0 * std::f64::consts::TAU).sin())
+            .collect();
+        for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
+            let frac = leading_energy_fraction(&smooth, w, 8);
+            assert!(frac > 0.99, "{w:?}: leading fraction {frac}");
+        }
+        // White-noise-like content does NOT compact: the leading fraction
+        // stays near keep/len.
+        let noisy: Vec<f64> =
+            (0..64).map(|i| if (i * 2654435761usize).is_multiple_of(2) { 1.0 } else { -1.0 }).collect();
+        let frac = leading_energy_fraction(&noisy, Wavelet::Haar, 8);
+        assert!(frac < 0.6, "noise should not compact: {frac}");
+    }
+
+    #[test]
+    fn decomposition_shapes() {
+        let x = sample(32);
+        let dec = wavedec(&x, Wavelet::Db2, 3);
+        assert_eq!(dec.approx.len(), 4);
+        assert_eq!(dec.details.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 8, 16]);
+        assert_eq!(dec.len(), 32);
+        assert!(!dec.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_many_levels_rejected() {
+        wavedec(&[1.0, 2.0, 3.0, 4.0], Wavelet::Haar, 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests of the transform substrate: the exactness and
+//! conservativeness guarantees that everything above relies on.
+
+use proptest::prelude::*;
+use stardust_dsp::dft::{dft_coefficient, znorm_dft_feature};
+use stardust_dsp::haar;
+use stardust_dsp::mbr_transform::Bounds;
+use stardust_dsp::FilterBank;
+
+fn signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    /// Haar DWT is orthonormal: perfect reconstruction and Parseval.
+    #[test]
+    fn dwt_roundtrip_and_parseval(x in signal(32)) {
+        let coeffs = haar::dwt(&x);
+        let back = haar::idwt(&coeffs);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+        let e1: f64 = x.iter().map(|v| v * v).sum();
+        let e2: f64 = coeffs.iter().map(|v| v * v).sum();
+        prop_assert!((e1 - e2).abs() < 1e-6 * (1.0 + e1));
+    }
+
+    /// Lemma A.1: the incremental merge equals the direct transform for
+    /// every keep-length.
+    #[test]
+    fn merge_halves_is_exact(x in signal(64), keep_pow in 0usize..6) {
+        let keep = 1usize << keep_pow; // 1..32
+        let left = haar::approx(&x[..32], keep);
+        let right = haar::approx(&x[32..], keep);
+        let merged = haar::merge_halves(&left, &right);
+        let direct = haar::approx(&x, keep);
+        for (m, d) in merged.iter().zip(&direct) {
+            prop_assert!((m - d).abs() < 1e-8);
+        }
+    }
+
+    /// Projection contraction: approximation distance never exceeds signal
+    /// distance (the no-false-dismissal property of range queries).
+    #[test]
+    fn approx_distance_contracts(x in signal(32), y in signal(32), keep_pow in 0usize..6) {
+        let keep = 1usize << keep_pow;
+        let d_sig: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let ax = haar::approx(&x, keep);
+        let ay = haar::approx(&y, keep);
+        let d_app: f64 = ax.iter().zip(&ay).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        prop_assert!(d_app <= d_sig + 1e-8);
+    }
+
+    /// Lemma A.2 conservativeness for both filter families: the Online II
+    /// output box contains the transform of every corner and of midpoints.
+    #[test]
+    fn online2_is_conservative(
+        lo in proptest::collection::vec(-50.0f64..50.0, 8),
+        widths in proptest::collection::vec(0.0f64..20.0, 8),
+        use_db2 in any::<bool>(),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&widths).map(|(l, w)| l + w).collect();
+        let b = Bounds::new(lo.clone(), hi.clone());
+        let bank = if use_db2 { FilterBank::db2() } else { FilterBank::haar() };
+        let out = b.analyze_online2(&bank);
+        // corners: lo, hi, alternating, midpoint
+        let mid: Vec<f64> = lo.iter().zip(&hi).map(|(l, h)| (l + h) / 2.0).collect();
+        let alt: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .enumerate()
+            .map(|(i, (l, h))| if i % 2 == 0 { *l } else { *h })
+            .collect();
+        for probe in [&lo, &hi, &mid, &alt] {
+            let t = bank.analyze(probe);
+            prop_assert!(out.contains(&t, 1e-7), "{t:?} outside {out:?}");
+        }
+    }
+
+    /// Online I is always at least as tight as Online II and still
+    /// conservative.
+    #[test]
+    fn online1_tighter_than_online2(
+        lo in proptest::collection::vec(-10.0f64..10.0, 6),
+        widths in proptest::collection::vec(0.0f64..5.0, 6),
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&widths).map(|(l, w)| l + w).collect();
+        let b = Bounds::new(lo, hi);
+        let bank = FilterBank::db2();
+        let tight = b.analyze_online1(&bank);
+        let loose = b.analyze_online2(&bank);
+        prop_assert!(loose.contains_bounds(&tight, 1e-7));
+    }
+
+    /// DFT: Parseval over all coefficients, and z-norm feature invariance
+    /// under affine transformations with positive scale.
+    #[test]
+    fn dft_properties(x in signal(16), scale in 0.1f64..10.0, offset in -100.0f64..100.0) {
+        let e_time: f64 = x.iter().map(|v| v * v).sum();
+        let e_freq: f64 = (0..16).map(|k| dft_coefficient(&x, k).norm_sqr()).sum();
+        prop_assert!((e_time - e_freq).abs() < 1e-6 * (1.0 + e_time));
+
+        if let Some(fx) = znorm_dft_feature(&x, 4) {
+            let y: Vec<f64> = x.iter().map(|v| scale * v + offset).collect();
+            let fy = znorm_dft_feature(&y, 4).expect("scaled signal keeps variance");
+            for (a, b) in fx.iter().zip(&fy) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// The δ-split identity holds for arbitrary filters with negative taps.
+    #[test]
+    fn delta_split_identity(
+        taps in proptest::collection::vec(-2.0f64..2.0, 2..6),
+        x in signal(16),
+    ) {
+        prop_assume!(taps.iter().any(|t| t.abs() > 1e-6));
+        let bank = FilterBank::from_taps(taps);
+        let d = bank.delta();
+        let direct = bank.analyze(&x);
+        let plus = bank.analyze_shifted(&x, d);
+        let minus = bank.analyze_delta(&x, d);
+        for i in 0..direct.len() {
+            prop_assert!((direct[i] - (plus[i] - minus[i])).abs() < 1e-7);
+        }
+    }
+}

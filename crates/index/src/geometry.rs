@@ -1,0 +1,302 @@
+//! Axis-aligned rectangles and the metrics the R\*-tree optimizes.
+//!
+//! The R\*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990) chooses
+//! subtrees and splits by a combination of *area*, *margin* (perimeter) and
+//! *overlap*; this module implements those primitives plus the point/rect
+//! distance functions used by range queries and by the hierarchical radius
+//! refinement of the pattern-query algorithms.
+
+/// An axis-aligned hyper-rectangle with `f64` coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    lo: Box<[f64]>,
+    hi: Box<[f64]>,
+}
+
+impl Rect {
+    /// Builds a rectangle from low/high corners.
+    ///
+    /// # Panics
+    /// Panics if the corners differ in length, are empty, or are inverted.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(!lo.is_empty(), "rectangles need at least one dimension");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(l <= h, "inverted rectangle: lo {l} > hi {h}");
+        }
+        Rect { lo: lo.into_boxed_slice(), hi: hi.into_boxed_slice() }
+    }
+
+    /// A degenerate rectangle at point `p`.
+    pub fn point(p: &[f64]) -> Self {
+        assert!(!p.is_empty(), "rectangles need at least one dimension");
+        Rect { lo: p.into(), hi: p.into() }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Low corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// High corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| (l + h) * 0.5).collect()
+    }
+
+    /// Volume (product of extents). Zero for degenerate rectangles.
+    pub fn area(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).product()
+    }
+
+    /// Margin: the sum of extents (half-perimeter generalized to d
+    /// dimensions). The R\*-tree split axis minimizes this.
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).sum()
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dims(), other.dims());
+        let lo = self.lo.iter().zip(other.lo.iter()).map(|(a, b)| a.min(*b)).collect();
+        let hi = self.hi.iter().zip(other.hi.iter()).map(|(a, b)| a.max(*b)).collect();
+        Rect { lo, hi }
+    }
+
+    /// Grows `self` in place to contain `other`.
+    pub fn union_in_place(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for i in 0..self.lo.len() {
+            if other.lo[i] < self.lo[i] {
+                self.lo[i] = other.lo[i];
+            }
+            if other.hi[i] > self.hi[i] {
+                self.hi[i] = other.hi[i];
+            }
+        }
+    }
+
+    /// Area of `self ∪ other` without materializing the union.
+    pub fn union_area(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut acc = 1.0;
+        for i in 0..self.lo.len() {
+            acc *= self.hi[i].max(other.hi[i]) - self.lo[i].min(other.lo[i]);
+        }
+        acc
+    }
+
+    /// Extra area `area(self ∪ other) − area(self)` needed to include
+    /// `other`; the ChooseSubtree criterion for internal levels.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union_area(other) - self.area()
+    }
+
+    /// Volume of the intersection, zero if disjoint.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut acc = 1.0;
+        for i in 0..self.lo.len() {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            acc *= hi - lo;
+        }
+        acc
+    }
+
+    /// `true` if the rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .all(|((sl, sh), (ol, oh))| sl <= oh && ol <= sh)
+    }
+
+    /// `true` if `other` lies fully inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(other.lo.iter().zip(other.hi.iter()))
+            .all(|((sl, sh), (ol, oh))| sl <= ol && oh <= sh)
+    }
+
+    /// `true` if point `p` lies inside `self`.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), p.len());
+        self.lo.iter().zip(self.hi.iter()).zip(p).all(|((l, h), x)| l <= x && x <= h)
+    }
+
+    /// Minimum Euclidean distance from `p` to the rectangle — `d_min(p, B)`
+    /// of Roussopoulos et al. Zero if `p` is inside.
+    pub fn min_dist_point(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(self.dims(), p.len());
+        let mut acc = 0.0;
+        for ((l, h), x) in self.lo.iter().zip(self.hi.iter()).zip(p) {
+            let d = if x < l {
+                l - x
+            } else if x > h {
+                x - h
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Minimum Euclidean distance between two rectangles; zero if they
+    /// intersect.
+    pub fn min_dist_rect(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut acc = 0.0;
+        for i in 0..self.lo.len() {
+            let d = if other.hi[i] < self.lo[i] {
+                self.lo[i] - other.hi[i]
+            } else if other.lo[i] > self.hi[i] {
+                other.lo[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// Squared distance between the centers of two rectangles; the R\*-tree
+    /// reinsertion heuristic sorts by this.
+    pub fn center_dist_sqr(&self, other: &Rect) -> f64 {
+        debug_assert_eq!(self.dims(), other.dims());
+        let mut acc = 0.0;
+        for i in 0..self.lo.len() {
+            let c1 = (self.lo[i] + self.hi[i]) * 0.5;
+            let c2 = (other.lo[i] + other.hi[i]) * 0.5;
+            acc += (c1 - c2) * (c1 - c2);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn r(lo: &[f64], hi: &[f64]) -> Rect {
+        Rect::new(lo.to_vec(), hi.to_vec())
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let b = r(&[0.0, 0.0], &[2.0, 3.0]);
+        assert!((b.area() - 6.0).abs() < EPS);
+        assert!((b.margin() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, -1.0], &[3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u.lo(), &[0.0, -1.0]);
+        assert_eq!(u.hi(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn union_in_place_matches_union() {
+        let mut a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[-1.0, 0.5], &[0.5, 2.0]);
+        let u = a.union(&b);
+        a.union_in_place(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn enlargement_zero_when_contained() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        let b = r(&[1.0, 1.0], &[2.0, 2.0]);
+        assert!(a.enlargement(&b).abs() < EPS);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_is_zero() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, 2.0], &[3.0, 3.0]);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_of_nested_is_inner_area() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        let b = r(&[1.0, 1.0], &[2.0, 3.0]);
+        assert!((a.overlap_area(&b) - b.area()).abs() < EPS);
+    }
+
+    #[test]
+    fn touching_rectangles_intersect_with_zero_overlap() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[1.0, 0.0], &[2.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap_area(&b), 0.0);
+    }
+
+    #[test]
+    fn min_dist_point_cases() {
+        let b = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(b.min_dist_point(&[1.0, 1.0]), 0.0);
+        assert!((b.min_dist_point(&[3.0, 1.0]) - 1.0).abs() < EPS);
+        assert!((b.min_dist_point(&[3.0, 3.0]) - 2f64.sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn min_dist_rect_cases() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[3.0, 0.0], &[4.0, 1.0]);
+        assert!((a.min_dist_rect(&b) - 2.0).abs() < EPS);
+        let c = r(&[0.5, 0.5], &[5.0, 5.0]);
+        assert_eq!(a.min_dist_rect(&c), 0.0);
+    }
+
+    #[test]
+    fn center_dist() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = r(&[4.0, 0.0], &[6.0, 2.0]);
+        assert!((a.center_dist_sqr(&b) - 16.0).abs() < EPS);
+    }
+
+    #[test]
+    fn point_rect_is_degenerate() {
+        let p = Rect::point(&[1.0, -2.0, 3.0]);
+        assert_eq!(p.area(), 0.0);
+        assert!(p.contains_point(&[1.0, -2.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted rectangle")]
+    fn inverted_rejected() {
+        let _ = r(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Best-first k-nearest-neighbour search (Roussopoulos, Kelley & Vincent —
+//! the paper's reference \[17\], whose `d_min` metric also drives the
+//! hierarchical radius refinement of Algorithm 3).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::geometry::Rect;
+use crate::tree::RStarTree;
+
+/// A k-NN result: rectangle, value, and its `d_min` distance to the query
+/// point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor<'a, T> {
+    /// The stored rectangle.
+    pub rect: &'a Rect,
+    /// The stored value.
+    pub value: &'a T,
+    /// Minimum Euclidean distance from the query point to the rectangle.
+    pub distance: f64,
+}
+
+/// Min-heap entry ordered by distance.
+struct HeapEntry<I> {
+    dist: f64,
+    item: I,
+}
+
+impl<I> PartialEq for HeapEntry<I> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<I> Eq for HeapEntry<I> {}
+impl<I> PartialOrd for HeapEntry<I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<I> Ord for HeapEntry<I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want smallest distance on
+        // top. Distances are finite by construction.
+        other.dist.partial_cmp(&self.dist).expect("finite distances")
+    }
+}
+
+/// The `k` items nearest to `point` by `d_min`, closest first. Ties are
+/// broken arbitrarily; fewer than `k` items are returned if the tree is
+/// smaller.
+///
+/// # Panics
+/// Panics on a dimensionality mismatch.
+pub fn nearest_k<'a, T>(tree: &'a RStarTree<T>, point: &[f64], k: usize) -> Vec<Neighbor<'a, T>> {
+    assert_eq!(point.len(), tree.dims(), "query dimensionality mismatch");
+    if k == 0 || tree.is_empty() {
+        return Vec::new();
+    }
+    // Best-first search over a frontier of (distance, node-or-item).
+    enum Frontier<'a, T> {
+        Node(crate::tree::NodeRef<'a, T>),
+        Item(&'a Rect, &'a T),
+    }
+    let mut heap: BinaryHeap<HeapEntry<Frontier<'a, T>>> = BinaryHeap::new();
+    heap.push(HeapEntry { dist: 0.0, item: Frontier::Node(tree.root_ref()) });
+    let mut out = Vec::with_capacity(k);
+    while let Some(HeapEntry { dist, item }) = heap.pop() {
+        match item {
+            Frontier::Item(rect, value) => {
+                out.push(Neighbor { rect, value, distance: dist });
+                if out.len() == k {
+                    break;
+                }
+            }
+            Frontier::Node(node) => {
+                for child in node.children() {
+                    match child {
+                        crate::tree::ChildRef::Item(rect, value) => {
+                            heap.push(HeapEntry {
+                                dist: rect.min_dist_point(point),
+                                item: Frontier::Item(rect, value),
+                            });
+                        }
+                        crate::tree::ChildRef::Node(rect, node) => {
+                            heap.push(HeapEntry {
+                                dist: rect.min_dist_point(point),
+                                item: Frontier::Node(node),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Params;
+
+    fn grid_tree(n: usize) -> RStarTree<usize> {
+        let mut tree = RStarTree::with_params(2, Params::new(8));
+        for i in 0..n {
+            let x = (i % 20) as f64;
+            let y = (i / 20) as f64;
+            tree.insert(Rect::point(&[x, y]), i);
+        }
+        tree
+    }
+
+    #[test]
+    fn nearest_one_is_exact() {
+        let tree = grid_tree(400);
+        let nn = nearest_k(&tree, &[7.2, 3.4], 1);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(*nn[0].value, 3 * 20 + 7); // (7, 3)
+    }
+
+    #[test]
+    fn k_results_sorted_and_match_bruteforce() {
+        let tree = grid_tree(400);
+        let q = [4.6, 9.1];
+        let got = nearest_k(&tree, &q, 10);
+        assert_eq!(got.len(), 10);
+        for pair in got.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        // Brute force kth distance.
+        let mut dists: Vec<f64> = (0..400)
+            .map(|i| {
+                let x = (i % 20) as f64 - q[0];
+                let y = (i / 20) as f64 - q[1];
+                (x * x + y * y).sqrt()
+            })
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (n, d) in got.iter().zip(&dists) {
+            assert!((n.distance - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let tree = grid_tree(3);
+        let got = nearest_k(&tree, &[0.0, 0.0], 10);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let tree: RStarTree<usize> = RStarTree::new(2);
+        assert!(nearest_k(&tree, &[0.0, 0.0], 5).is_empty());
+        let tree = grid_tree(10);
+        assert!(nearest_k(&tree, &[0.0, 0.0], 0).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! R\*-tree spatial index substrate for the Stardust framework.
+//!
+//! The paper (§4) indexes the MBRs produced at every resolution level in an
+//! R\*-tree ("We use the R\*-Tree family of index structures for indexing
+//! MBRs at each level"). This crate is a from-scratch implementation of the
+//! R\*-tree of Beckmann et al. (SIGMOD 1990) with:
+//!
+//! * overlap-minimizing ChooseSubtree, margin-driven split, and forced
+//!   reinsertion ([`tree`]),
+//! * deletion with tree condensation, required by the summarizer's sliding
+//!   history (features older than `N` are retired),
+//! * rectangle-intersection and point/radius range queries, the primitives
+//!   behind Algorithms 2–4,
+//! * STR bulk loading ([`bulk`]) used by the offline baselines,
+//! * best-first k-NN search ([`knn`], Roussopoulos et al. \[17\]).
+
+pub mod bulk;
+pub mod geometry;
+pub mod knn;
+pub mod tree;
+
+pub use bulk::bulk_load;
+pub use knn::{nearest_k, Neighbor};
+pub use geometry::Rect;
+pub use tree::{Params, RStarTree};

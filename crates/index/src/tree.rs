@@ -1,0 +1,1155 @@
+//! The R\*-tree of Beckmann, Kriegel, Schneider and Seeger (SIGMOD 1990).
+//!
+//! Stardust maintains one R\*-tree per resolution level; every MBR produced
+//! by the summarizer is inserted here and retired (deleted) once it falls
+//! out of the history of interest, so the tree must support efficient
+//! inserts, deletes, rectangle-intersection queries and point/radius
+//! queries. The implementation follows the original paper:
+//!
+//! * **ChooseSubtree** — minimum *overlap* enlargement at the level above
+//!   the leaves, minimum *area* enlargement elsewhere, with the published
+//!   tie-breaks.
+//! * **Split** — choose the split axis by minimum total margin over all
+//!   candidate distributions, then the distribution with minimum overlap
+//!   (ties: minimum combined area).
+//! * **Forced reinsertion** — on the first overflow per level per insertion,
+//!   the `p` entries farthest from the node center are reinserted instead of
+//!   splitting, which is where most of the R\*-tree's query-quality advantage
+//!   comes from.
+//! * **Deletion** with tree condensation: underfull nodes are dissolved and
+//!   their entries reinserted at their home level.
+
+use crate::geometry::Rect;
+
+/// Tuning parameters for an [`RStarTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per node (`m`), 40% of `M` by default.
+    pub min_entries: usize,
+    /// Entries removed by forced reinsertion (30% of `M` by default).
+    pub reinsert_count: usize,
+}
+
+impl Params {
+    /// The parameters recommended by the R\*-tree paper for a node capacity
+    /// of `max_entries`: `m = 40%·M`, `p = 30%·M`.
+    ///
+    /// # Panics
+    /// Panics if `max_entries < 4`.
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "node capacity must be at least 4");
+        let min_entries = (max_entries * 2 / 5).max(2);
+        let reinsert_count = (max_entries * 3 / 10).max(1);
+        Params { max_entries, min_entries, reinsert_count }
+    }
+}
+
+impl Default for Params {
+    /// Capacity 16: measured sweet spot for the insert/delete-heavy
+    /// workloads of the streaming summarizer (the O(M²) overlap criterion
+    /// in ChooseSubtree dominates insertion at larger capacities).
+    fn default() -> Self {
+        Params::new(16)
+    }
+}
+
+enum Entry<T> {
+    /// A data item; only at level 0.
+    Item { rect: Rect, value: T },
+    /// A subtree; the rect is the MBR of the child node.
+    Child { rect: Rect, node: Box<Node<T>> },
+}
+
+impl<T> Entry<T> {
+    fn rect(&self) -> &Rect {
+        match self {
+            Entry::Item { rect, .. } | Entry::Child { rect, .. } => rect,
+        }
+    }
+}
+
+struct Node<T> {
+    /// 0 for leaves, increasing towards the root.
+    level: usize,
+    entries: Vec<Entry<T>>,
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Rect {
+        let mut it = self.entries.iter();
+        let first = it.next().expect("mbr of empty node").rect().clone();
+        it.fold(first, |mut acc, e| {
+            acc.union_in_place(e.rect());
+            acc
+        })
+    }
+}
+
+/// An R\*-tree mapping rectangles to values of type `T`.
+///
+/// ```
+/// use stardust_index::{Rect, RStarTree};
+///
+/// let mut tree = RStarTree::new(2);
+/// for i in 0..100 {
+///     let x = (i % 10) as f64;
+///     let y = (i / 10) as f64;
+///     tree.insert(Rect::point(&[x, y]), i);
+/// }
+/// let mut hits = Vec::new();
+/// tree.search_intersecting(&Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]), |_, &v| {
+///     hits.push(v)
+/// });
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1, 10, 11]);
+/// ```
+pub struct RStarTree<T> {
+    root: Box<Node<T>>,
+    dims: usize,
+    params: Params,
+    len: usize,
+}
+
+impl<T> RStarTree<T> {
+    /// An empty tree over `dims`-dimensional rectangles with default
+    /// parameters.
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero.
+    pub fn new(dims: usize) -> Self {
+        Self::with_params(dims, Params::default())
+    }
+
+    /// An empty tree with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero or the parameters are inconsistent.
+    pub fn with_params(dims: usize, params: Params) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        assert!(params.min_entries >= 2, "min entries must be at least 2");
+        assert!(
+            params.min_entries * 2 <= params.max_entries + 1,
+            "min entries too large for capacity"
+        );
+        assert!(
+            params.reinsert_count >= 1 && params.reinsert_count <= params.max_entries / 2,
+            "reinsert count out of range"
+        );
+        RStarTree {
+            root: Box::new(Node { level: 0, entries: Vec::new() }),
+            dims,
+            params,
+            len: 0,
+        }
+    }
+
+    /// Number of data items stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed rectangles.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Tree height (1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        self.root.level + 1
+    }
+
+    /// MBR of the whole tree, `None` when empty.
+    pub fn bounding_rect(&self) -> Option<Rect> {
+        if self.root.entries.is_empty() {
+            None
+        } else {
+            Some(self.root.mbr())
+        }
+    }
+
+    /// Inserts a rectangle/value pair.
+    ///
+    /// # Panics
+    /// Panics if the rectangle has the wrong dimensionality.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
+        self.len += 1;
+        self.insert_queue(vec![(Entry::Item { rect, value }, 0)]);
+    }
+
+    /// Runs the insertion machinery over a queue of (entry, home level)
+    /// pairs; shared by public insert, forced reinsertion and deletion
+    /// condensation.
+    fn insert_queue(&mut self, mut queue: Vec<(Entry<T>, usize)>) {
+        let mut reinserted = vec![false; self.root.level + 1];
+        while let Some((entry, level)) = queue.pop() {
+            if reinserted.len() <= self.root.level {
+                reinserted.resize(self.root.level + 1, false);
+            }
+            let split = insert_rec(
+                &mut self.root,
+                entry,
+                level,
+                true,
+                &mut reinserted,
+                &mut queue,
+                &self.params,
+            );
+            if let Some(sibling) = split {
+                let new_level = self.root.level + 1;
+                let old_root =
+                    std::mem::replace(&mut self.root, Box::new(Node { level: new_level, entries: Vec::new() }));
+                let old_rect = old_root.mbr();
+                self.root.entries.push(Entry::Child { rect: old_rect, node: old_root });
+                self.root.entries.push(sibling);
+            }
+        }
+    }
+
+    /// Removes one item equal to `(rect, value)`. Returns `true` if found.
+    ///
+    /// # Panics
+    /// Panics if the rectangle has the wrong dimensionality.
+    pub fn remove(&mut self, rect: &Rect, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.take(rect, value).is_some()
+    }
+
+    /// Removes one item equal to `(rect, value)` and returns its value.
+    ///
+    /// # Panics
+    /// Panics if the rectangle has the wrong dimensionality.
+    pub fn take(&mut self, rect: &Rect, value: &T) -> Option<T>
+    where
+        T: PartialEq,
+    {
+        assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
+        let mut orphans = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, value, &mut orphans, &self.params);
+        if removed.is_none() {
+            debug_assert!(orphans.is_empty());
+            return None;
+        }
+        self.len -= 1;
+        // Shrink the root while it is an internal node with a single child.
+        while self.root.level > 0 && self.root.entries.len() == 1 {
+            let Some(Entry::Child { node, .. }) = self.root.entries.pop() else {
+                unreachable!("internal node holds child entries")
+            };
+            self.root = node;
+        }
+        if !orphans.is_empty() {
+            self.insert_queue(orphans);
+        }
+        removed
+    }
+
+    /// Replaces the rectangle of the item `(old_rect, value)` with
+    /// `new_rect` — the frequent-update optimization of Lee et al. (VLDB
+    /// 2003), which §4 cites for accelerating streaming workloads where
+    /// consecutive feature boxes barely move.
+    ///
+    /// When the new rectangle stays inside the hosting leaf's MBR, the
+    /// entry is patched **in place** (ancestor MBRs are tightened on the
+    /// way back up, no structural change); otherwise it falls back to
+    /// `remove` + `insert`. Returns `false` if the item was not found.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch.
+    pub fn update(&mut self, old_rect: &Rect, value: &T, new_rect: Rect) -> bool
+    where
+        T: PartialEq,
+    {
+        assert_eq!(old_rect.dims(), self.dims, "rectangle dimensionality mismatch");
+        assert_eq!(new_rect.dims(), self.dims, "rectangle dimensionality mismatch");
+        match update_rec(&mut self.root, old_rect, value, &new_rect) {
+            UpdateOutcome::NotFound => false,
+            UpdateOutcome::Patched => true,
+            UpdateOutcome::NeedsReinsert => {
+                let owned = self.take(old_rect, value).expect("entry was just located");
+                self.insert(new_rect, owned);
+                true
+            }
+        }
+    }
+
+    /// Visits every item whose rectangle intersects `query`.
+    pub fn search_intersecting<'a, F>(&'a self, query: &Rect, mut visit: F)
+    where
+        F: FnMut(&'a Rect, &'a T),
+    {
+        assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
+        search_rec(&self.root, query, &mut visit);
+    }
+
+    /// Collects every item whose rectangle intersects `query`.
+    pub fn collect_intersecting(&self, query: &Rect) -> Vec<(&Rect, &T)> {
+        let mut out = Vec::new();
+        self.search_intersecting(query, |r, v| out.push((r, v)));
+        out
+    }
+
+    /// Visits every item whose rectangle lies within Euclidean distance `r`
+    /// of `point` (`d_min(point, rect) ≤ r`) — the range query of the
+    /// pattern and correlation monitors.
+    pub fn search_within<'a, F>(&'a self, point: &[f64], r: f64, mut visit: F)
+    where
+        F: FnMut(&'a Rect, &'a T),
+    {
+        assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
+        assert!(r >= 0.0, "radius must be nonnegative");
+        within_rec(&self.root, point, r, &mut visit);
+    }
+
+    /// Collects every item within distance `r` of `point`.
+    pub fn collect_within(&self, point: &[f64], r: f64) -> Vec<(&Rect, &T)> {
+        let mut out = Vec::new();
+        self.search_within(point, r, |rect, v| out.push((rect, v)));
+        out
+    }
+
+    /// Iterates over all items in unspecified order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { stack: vec![self.root.entries.iter()] }
+    }
+
+    /// Verifies the structural invariants of the tree; used by tests and
+    /// property checks. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.root.level > 0 && self.root.entries.len() < 2 {
+            return Err("internal root with fewer than 2 entries".into());
+        }
+        let mut count = 0;
+        validate_rec(&self.root, true, &self.params, self.dims, &mut count)?;
+        if count != self.len {
+            return Err(format!("len {} but {} items reachable", self.len, count));
+        }
+        Ok(())
+    }
+}
+
+impl<T> std::fmt::Debug for RStarTree<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RStarTree")
+            .field("dims", &self.dims)
+            .field("len", &self.len)
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+/// Read-only handle to a tree node, used by traversal-based algorithms
+/// (best-first k-NN in [`crate::knn`]).
+pub struct NodeRef<'a, T> {
+    node: &'a Node<T>,
+}
+
+/// One child of a [`NodeRef`]: either a stored item or a subtree with its
+/// bounding rectangle.
+pub enum ChildRef<'a, T> {
+    /// A data item at the leaf level.
+    Item(&'a Rect, &'a T),
+    /// An internal child with its MBR.
+    Node(&'a Rect, NodeRef<'a, T>),
+}
+
+impl<'a, T> NodeRef<'a, T> {
+    /// Iterates the node's children.
+    pub fn children(&self) -> impl Iterator<Item = ChildRef<'a, T>> + 'a {
+        self.node.entries.iter().map(|e| match e {
+            Entry::Item { rect, value } => ChildRef::Item(rect, value),
+            Entry::Child { rect, node } => ChildRef::Node(rect, NodeRef { node }),
+        })
+    }
+
+    /// Level of this node (0 = leaf).
+    pub fn level(&self) -> usize {
+        self.node.level
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// Read-only handle to the root node.
+    pub fn root_ref(&self) -> NodeRef<'_, T> {
+        NodeRef { node: &self.root }
+    }
+}
+
+/// Depth-first iterator over the items of an [`RStarTree`].
+pub struct Iter<'a, T> {
+    stack: Vec<std::slice::Iter<'a, Entry<T>>>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (&'a Rect, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let top = self.stack.last_mut()?;
+            match top.next() {
+                None => {
+                    self.stack.pop();
+                }
+                Some(Entry::Item { rect, value }) => return Some((rect, value)),
+                Some(Entry::Child { node, .. }) => self.stack.push(node.entries.iter()),
+            }
+        }
+    }
+}
+
+fn search_rec<'a, T, F>(node: &'a Node<T>, query: &Rect, visit: &mut F)
+where
+    F: FnMut(&'a Rect, &'a T),
+{
+    for entry in &node.entries {
+        match entry {
+            Entry::Item { rect, value } => {
+                if rect.intersects(query) {
+                    visit(rect, value);
+                }
+            }
+            Entry::Child { rect, node } => {
+                if rect.intersects(query) {
+                    search_rec(node, query, visit);
+                }
+            }
+        }
+    }
+}
+
+fn within_rec<'a, T, F>(node: &'a Node<T>, point: &[f64], r: f64, visit: &mut F)
+where
+    F: FnMut(&'a Rect, &'a T),
+{
+    for entry in &node.entries {
+        match entry {
+            Entry::Item { rect, value } => {
+                if rect.min_dist_point(point) <= r {
+                    visit(rect, value);
+                }
+            }
+            Entry::Child { rect, node } => {
+                if rect.min_dist_point(point) <= r {
+                    within_rec(node, point, r, visit);
+                }
+            }
+        }
+    }
+}
+
+/// Inserts `entry` (whose home level is `target_level`) into the subtree
+/// rooted at `node`. Returns a sibling entry if `node` was split.
+fn insert_rec<T>(
+    node: &mut Node<T>,
+    entry: Entry<T>,
+    target_level: usize,
+    is_root: bool,
+    reinserted: &mut [bool],
+    queue: &mut Vec<(Entry<T>, usize)>,
+    params: &Params,
+) -> Option<Entry<T>> {
+    if node.level == target_level {
+        node.entries.push(entry);
+    } else {
+        let idx = choose_subtree(node, entry.rect());
+        let split = {
+            let Entry::Child { rect, node: child } = &mut node.entries[idx] else {
+                unreachable!("non-leaf nodes hold child entries")
+            };
+            let split =
+                insert_rec(child, entry, target_level, false, reinserted, queue, params);
+            // The child may have grown (insert) or shrunk (reinsertion
+            // removed entries), so recompute its MBR either way.
+            *rect = child.mbr();
+            split
+        };
+        if let Some(sibling) = split {
+            node.entries.push(sibling);
+        }
+    }
+    if node.entries.len() > params.max_entries {
+        overflow_treatment(node, is_root, reinserted, queue, params)
+    } else {
+        None
+    }
+}
+
+/// R\*-tree OverflowTreatment: forced reinsertion on the first overflow per
+/// level per insertion, split otherwise.
+fn overflow_treatment<T>(
+    node: &mut Node<T>,
+    is_root: bool,
+    reinserted: &mut [bool],
+    queue: &mut Vec<(Entry<T>, usize)>,
+    params: &Params,
+) -> Option<Entry<T>> {
+    if !is_root && !reinserted[node.level] {
+        reinserted[node.level] = true;
+        let center = node.mbr();
+        // Sort by distance of entry center to node center, take the p
+        // farthest for reinsertion ("far reinsert"); keeping the closest
+        // entries compacts the node.
+        let mut order: Vec<usize> = (0..node.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = node.entries[a].rect().center_dist_sqr(&center);
+            let db = node.entries[b].rect().center_dist_sqr(&center);
+            da.partial_cmp(&db).expect("finite distances")
+        });
+        let cut = node.entries.len() - params.reinsert_count;
+        let far: Vec<usize> = order[cut..].to_vec();
+        let mut removed = extract_indices(&mut node.entries, &far);
+        let level = node.level;
+        // Reinsert closest-first: the last popped from the LIFO queue is the
+        // closest, matching the paper's "close reinsert" ordering.
+        removed.reverse();
+        for e in removed {
+            queue.push((e, level));
+        }
+        None
+    } else {
+        Some(split_node(node, params))
+    }
+}
+
+/// Removes the entries at `indices` (any order) and returns them in
+/// ascending index order.
+fn extract_indices<T>(entries: &mut Vec<Entry<T>>, indices: &[usize]) -> Vec<Entry<T>> {
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    let mut out = Vec::with_capacity(sorted.len());
+    for &i in sorted.iter().rev() {
+        out.push(entries.swap_remove(i));
+    }
+    out.reverse();
+    out
+}
+
+/// R\*-tree ChooseSubtree.
+fn choose_subtree<T>(node: &Node<T>, rect: &Rect) -> usize {
+    debug_assert!(node.level > 0);
+    if node.level == 1 {
+        // Children are leaves: minimize overlap enlargement. The grown
+        // rectangle is materialized once per candidate; overlap deltas
+        // prune early against the running best.
+        let mut best = 0usize;
+        let mut best_overlap = f64::INFINITY;
+        let mut best_enlarge = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        let mut grown = rect.clone();
+        for (i, e) in node.entries.iter().enumerate() {
+            grown.clone_from(e.rect());
+            grown.union_in_place(rect);
+            let mut overlap_delta = 0.0;
+            for (j, other) in node.entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                overlap_delta += grown.overlap_area(other.rect())
+                    - e.rect().overlap_area(other.rect());
+                if overlap_delta > best_overlap {
+                    break;
+                }
+            }
+            let enlarge = grown.area() - e.rect().area();
+            let area = e.rect().area();
+            if overlap_delta < best_overlap
+                || (overlap_delta == best_overlap && enlarge < best_enlarge)
+                || (overlap_delta == best_overlap
+                    && enlarge == best_enlarge
+                    && area < best_area)
+            {
+                best = i;
+                best_overlap = overlap_delta;
+                best_enlarge = enlarge;
+                best_area = area;
+            }
+        }
+        best
+    } else {
+        // Minimize area enlargement, ties by smallest area.
+        let mut best = 0usize;
+        let mut best_enlarge = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, e) in node.entries.iter().enumerate() {
+            let enlarge = e.rect().enlargement(rect);
+            let area = e.rect().area();
+            if enlarge < best_enlarge || (enlarge == best_enlarge && area < best_area) {
+                best = i;
+                best_enlarge = enlarge;
+                best_area = area;
+            }
+        }
+        best
+    }
+}
+
+/// R\*-tree Split: returns the new sibling as a child entry; `node` keeps
+/// the first group.
+fn split_node<T>(node: &mut Node<T>, params: &Params) -> Entry<T> {
+    let entries = std::mem::take(&mut node.entries);
+    let total = entries.len();
+    let min = params.min_entries;
+    debug_assert!(total > params.max_entries);
+    let dims = entries[0].rect().dims();
+
+    // ChooseSplitAxis: minimize the sum of margins over all distributions
+    // of both sort orders.
+    let mut best_axis = 0usize;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..dims {
+        let mut margin_sum = 0.0;
+        for sort_by_hi in [false, true] {
+            let order = sorted_order(&entries, axis, sort_by_hi);
+            let (prefix, suffix) = prefix_suffix_rects(&entries, &order);
+            for k in min..=total - min {
+                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
+            }
+        }
+        if margin_sum < best_margin {
+            best_margin = margin_sum;
+            best_axis = axis;
+        }
+    }
+
+    // ChooseSplitIndex on the best axis: minimize overlap, ties by area.
+    let mut best: Option<(Vec<usize>, usize)> = None;
+    let mut best_overlap = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for sort_by_hi in [false, true] {
+        let order = sorted_order(&entries, best_axis, sort_by_hi);
+        let (prefix, suffix) = prefix_suffix_rects(&entries, &order);
+        for k in min..=total - min {
+            let overlap = prefix[k - 1].overlap_area(&suffix[k]);
+            let area = prefix[k - 1].area() + suffix[k].area();
+            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                best_overlap = overlap;
+                best_area = area;
+                best = Some((order.clone(), k));
+            }
+        }
+    }
+    let (order, k) = best.expect("at least one distribution");
+
+    // Partition the entries according to the chosen distribution.
+    let mut slots: Vec<Option<Entry<T>>> = entries.into_iter().map(Some).collect();
+    let mut group1 = Vec::with_capacity(k);
+    let mut group2 = Vec::with_capacity(total - k);
+    for (pos, &idx) in order.iter().enumerate() {
+        let e = slots[idx].take().expect("each entry used once");
+        if pos < k {
+            group1.push(e);
+        } else {
+            group2.push(e);
+        }
+    }
+    node.entries = group1;
+    let sibling = Node { level: node.level, entries: group2 };
+    let rect = sibling.mbr();
+    Entry::Child { rect, node: Box::new(sibling) }
+}
+
+fn sorted_order<T>(entries: &[Entry<T>], axis: usize, by_hi: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ka, kb) = if by_hi {
+            (entries[a].rect().hi()[axis], entries[b].rect().hi()[axis])
+        } else {
+            (entries[a].rect().lo()[axis], entries[b].rect().lo()[axis])
+        };
+        ka.partial_cmp(&kb).expect("finite coordinates")
+    });
+    order
+}
+
+/// `prefix[i]` = MBR of `order[0..=i]`, `suffix[i]` = MBR of `order[i..]`.
+fn prefix_suffix_rects<T>(entries: &[Entry<T>], order: &[usize]) -> (Vec<Rect>, Vec<Rect>) {
+    let n = order.len();
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = entries[order[0]].rect().clone();
+    prefix.push(acc.clone());
+    for &i in &order[1..] {
+        acc.union_in_place(entries[i].rect());
+        prefix.push(acc.clone());
+    }
+    let mut suffix = vec![entries[order[n - 1]].rect().clone(); n];
+    for pos in (0..n - 1).rev() {
+        let mut r = entries[order[pos]].rect().clone();
+        r.union_in_place(&suffix[pos + 1]);
+        suffix[pos] = r;
+    }
+    (prefix, suffix)
+}
+
+/// Removes one matching item, returning its value; collects orphaned
+/// entries from dissolved underfull nodes into `orphans` as (entry, home
+/// level) pairs.
+fn remove_rec<T: PartialEq>(
+    node: &mut Node<T>,
+    rect: &Rect,
+    value: &T,
+    orphans: &mut Vec<(Entry<T>, usize)>,
+    params: &Params,
+) -> Option<T> {
+    if node.level == 0 {
+        let pos = node.entries.iter().position(|e| match e {
+            Entry::Item { rect: r, value: v } => r == rect && v == value,
+            Entry::Child { .. } => unreachable!("leaf holds items"),
+        });
+        pos.map(|i| match node.entries.swap_remove(i) {
+            Entry::Item { value, .. } => value,
+            Entry::Child { .. } => unreachable!("leaf holds items"),
+        })
+    } else {
+        let mut found = None;
+        for (i, entry) in node.entries.iter_mut().enumerate() {
+            let Entry::Child { rect: crect, node: child } = entry else {
+                unreachable!("internal node holds child entries")
+            };
+            if !crect.contains_rect(rect) {
+                continue;
+            }
+            if let Some(v) = remove_rec(child, rect, value, orphans, params) {
+                found = Some((i, v));
+                break;
+            }
+        }
+        let (i, taken) = found?;
+        let underfull = {
+            let Entry::Child { node: child, .. } = &node.entries[i] else { unreachable!() };
+            child.entries.len() < params.min_entries
+        };
+        if underfull {
+            let Entry::Child { node: child, .. } = node.entries.swap_remove(i) else {
+                unreachable!()
+            };
+            let level = child.level;
+            for e in child.entries {
+                orphans.push((e, level));
+            }
+        } else {
+            let Entry::Child { rect: crect, node: child } = &mut node.entries[i] else {
+                unreachable!()
+            };
+            *crect = child.mbr();
+        }
+        Some(taken)
+    }
+}
+
+/// Outcome of the in-place update descent.
+enum UpdateOutcome {
+    /// No matching item in this subtree.
+    NotFound,
+    /// The entry was patched in place; ancestor MBRs were refreshed.
+    Patched,
+    /// The entry exists, but the new rectangle escapes its leaf's MBR —
+    /// delete + reinsert is required for tree quality (Lee et al.).
+    NeedsReinsert,
+}
+
+/// Descends guided by `old_rect`; patches the entry in place if `new_rect`
+/// stays within the hosting leaf's MBR.
+fn update_rec<T: PartialEq>(
+    node: &mut Node<T>,
+    old_rect: &Rect,
+    value: &T,
+    new_rect: &Rect,
+) -> UpdateOutcome {
+    if node.level == 0 {
+        let pos = node.entries.iter().position(|e| match e {
+            Entry::Item { rect: r, value: v } => r == old_rect && v == value,
+            Entry::Child { .. } => unreachable!("leaf holds items"),
+        });
+        let Some(i) = pos else { return UpdateOutcome::NotFound };
+        if !node.mbr().contains_rect(new_rect) {
+            return UpdateOutcome::NeedsReinsert;
+        }
+        let Entry::Item { rect, .. } = &mut node.entries[i] else { unreachable!() };
+        *rect = new_rect.clone();
+        UpdateOutcome::Patched
+    } else {
+        for entry in node.entries.iter_mut() {
+            let Entry::Child { rect: crect, node: child } = entry else {
+                unreachable!("internal node holds child entries")
+            };
+            if !crect.contains_rect(old_rect) {
+                continue;
+            }
+            match update_rec(child, old_rect, value, new_rect) {
+                UpdateOutcome::NotFound => continue,
+                UpdateOutcome::Patched => {
+                    // The leaf may have shrunk if the old rectangle was on
+                    // its boundary; tighten MBRs on the way up.
+                    *crect = child.mbr();
+                    return UpdateOutcome::Patched;
+                }
+                UpdateOutcome::NeedsReinsert => return UpdateOutcome::NeedsReinsert,
+            }
+        }
+        UpdateOutcome::NotFound
+    }
+}
+
+fn validate_rec<T>(
+    node: &Node<T>,
+    is_root: bool,
+    params: &Params,
+    dims: usize,
+    count: &mut usize,
+) -> Result<(), String> {
+    if !is_root
+        && (node.entries.len() < params.min_entries
+            || node.entries.len() > params.max_entries)
+    {
+        return Err(format!(
+            "node at level {} has {} entries (bounds {}..={})",
+            node.level,
+            node.entries.len(),
+            params.min_entries,
+            params.max_entries
+        ));
+    }
+    if node.entries.len() > params.max_entries {
+        return Err("root exceeds capacity".into());
+    }
+    for entry in &node.entries {
+        if entry.rect().dims() != dims {
+            return Err("entry with wrong dimensionality".into());
+        }
+        match entry {
+            Entry::Item { .. } => {
+                if node.level != 0 {
+                    return Err("item entry above leaf level".into());
+                }
+                *count += 1;
+            }
+            Entry::Child { rect, node: child } => {
+                if node.level == 0 {
+                    return Err("child entry at leaf level".into());
+                }
+                if child.level + 1 != node.level {
+                    return Err(format!(
+                        "child level {} under node level {}",
+                        child.level, node.level
+                    ));
+                }
+                if child.entries.is_empty() {
+                    return Err("empty child node".into());
+                }
+                let actual = child.mbr();
+                if &actual != rect {
+                    return Err(format!(
+                        "stale child MBR at level {}: stored {:?}, actual {:?}",
+                        node.level, rect, actual
+                    ));
+                }
+                validate_rec(child, false, params, dims, count)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f64 in [0, 1) via splitmix64.
+    fn rng(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn random_rect(seed: &mut u64, dims: usize) -> Rect {
+        let lo: Vec<f64> = (0..dims).map(|_| rng(seed) * 100.0).collect();
+        let hi: Vec<f64> = lo.iter().map(|l| l + rng(seed) * 5.0).collect();
+        Rect::new(lo, hi)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RStarTree<u32> = RStarTree::new(3);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert!(tree.bounding_rect().is_none());
+        assert!(tree.validate().is_ok());
+        assert_eq!(tree.collect_intersecting(&Rect::point(&[0.0, 0.0, 0.0])).len(), 0);
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut tree = RStarTree::new(2);
+        tree.insert(Rect::point(&[1.0, 1.0]), "a");
+        tree.insert(Rect::point(&[5.0, 5.0]), "b");
+        tree.insert(Rect::new(vec![0.0, 0.0], vec![2.0, 2.0]), "c");
+        assert_eq!(tree.len(), 3);
+        let hits = tree.collect_intersecting(&Rect::new(vec![0.5, 0.5], vec![1.5, 1.5]));
+        let mut vals: Vec<&str> = hits.iter().map(|(_, v)| **v).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn grows_and_validates_with_many_inserts() {
+        let mut tree = RStarTree::with_params(2, Params::new(8));
+        let mut seed = 42;
+        for i in 0..500 {
+            tree.insert(random_rect(&mut seed, 2), i);
+        }
+        assert_eq!(tree.len(), 500);
+        assert!(tree.height() > 2);
+        tree.validate().expect("valid after inserts");
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let mut tree = RStarTree::with_params(3, Params::new(10));
+        let mut seed = 7;
+        let mut items = Vec::new();
+        for i in 0..300 {
+            let r = random_rect(&mut seed, 3);
+            items.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        for _ in 0..20 {
+            let q = random_rect(&mut seed, 3);
+            let mut expect: Vec<i32> =
+                items.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, v)| v).collect();
+            expect.sort_unstable();
+            let mut got: Vec<i32> =
+                tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn within_query_matches_linear_scan() {
+        let mut tree = RStarTree::with_params(2, Params::new(8));
+        let mut seed = 99;
+        let mut items = Vec::new();
+        for i in 0..200 {
+            let r = random_rect(&mut seed, 2);
+            items.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        for _ in 0..10 {
+            let p = [rng(&mut seed) * 100.0, rng(&mut seed) * 100.0];
+            let radius = rng(&mut seed) * 20.0;
+            let mut expect: Vec<i32> = items
+                .iter()
+                .filter(|(r, _)| r.min_dist_point(&p) <= radius)
+                .map(|&(_, v)| v)
+                .collect();
+            expect.sort_unstable();
+            let mut got: Vec<i32> =
+                tree.collect_within(&p, radius).iter().map(|&(_, v)| *v).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn remove_then_queries_shrink() {
+        let mut tree = RStarTree::with_params(2, Params::new(6));
+        let mut seed = 5;
+        let mut items = Vec::new();
+        for i in 0..200 {
+            let r = random_rect(&mut seed, 2);
+            items.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        // Remove every other item.
+        for (r, v) in items.iter().step_by(2) {
+            assert!(tree.remove(r, v), "item {v} should be removable");
+        }
+        assert_eq!(tree.len(), 100);
+        tree.validate().expect("valid after removals");
+        // Removed items are gone; kept items remain.
+        for (i, (r, v)) in items.iter().enumerate() {
+            let found = tree.collect_intersecting(r).iter().any(|&(_, got)| got == v);
+            assert_eq!(found, i % 2 == 1, "item {v}");
+        }
+    }
+
+    #[test]
+    fn remove_everything_empties_tree() {
+        let mut tree = RStarTree::with_params(2, Params::new(4));
+        let mut seed = 11;
+        let mut items = Vec::new();
+        for i in 0..80 {
+            let r = random_rect(&mut seed, 2);
+            items.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        for (r, v) in &items {
+            assert!(tree.remove(r, v));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        tree.validate().expect("valid when emptied");
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut tree = RStarTree::new(2);
+        tree.insert(Rect::point(&[1.0, 1.0]), 1);
+        assert!(!tree.remove(&Rect::point(&[2.0, 2.0]), &1));
+        assert!(!tree.remove(&Rect::point(&[1.0, 1.0]), &2));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rect_distinct_values() {
+        let mut tree = RStarTree::new(2);
+        let r = Rect::point(&[3.0, 3.0]);
+        tree.insert(r.clone(), 1);
+        tree.insert(r.clone(), 2);
+        assert!(tree.remove(&r, &1));
+        let hits = tree.collect_intersecting(&r);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(*hits[0].1, 2);
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let mut tree = RStarTree::with_params(2, Params::new(5));
+        let mut seed = 3;
+        for i in 0..137 {
+            tree.insert(random_rect(&mut seed, 2), i);
+        }
+        let mut seen: Vec<i32> = tree.iter().map(|(_, &v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..137).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stays_valid() {
+        let mut tree = RStarTree::with_params(2, Params::new(8));
+        let mut seed = 21;
+        let mut live: Vec<(Rect, i32)> = Vec::new();
+        for round in 0..40 {
+            for i in 0..20 {
+                let r = random_rect(&mut seed, 2);
+                let v = round * 100 + i;
+                live.push((r.clone(), v));
+                tree.insert(r, v);
+            }
+            // Remove ~half, oldest first (the Stardust retirement pattern).
+            for _ in 0..10 {
+                let (r, v) = live.remove(0);
+                assert!(tree.remove(&r, &v));
+            }
+            tree.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        assert_eq!(tree.len(), live.len());
+    }
+
+    #[test]
+    fn high_dimensional_inserts() {
+        let mut tree = RStarTree::with_params(16, Params::new(12));
+        let mut seed = 77;
+        for i in 0..300 {
+            tree.insert(random_rect(&mut seed, 16), i);
+        }
+        tree.validate().expect("valid in 16 dims");
+        // Query the full space returns everything.
+        let everything = tree
+            .collect_intersecting(&Rect::new(vec![-1e9; 16], vec![1e9; 16]))
+            .len();
+        assert_eq!(everything, 300);
+    }
+
+    #[test]
+    fn take_returns_the_value() {
+        let mut tree = RStarTree::new(2);
+        tree.insert(Rect::point(&[1.0, 2.0]), "payload".to_string());
+        assert_eq!(tree.take(&Rect::point(&[9.0, 9.0]), &"payload".to_string()), None);
+        assert_eq!(
+            tree.take(&Rect::point(&[1.0, 2.0]), &"payload".to_string()),
+            Some("payload".to_string())
+        );
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn update_in_place_small_move() {
+        let mut tree = RStarTree::with_params(2, Params::new(8));
+        let mut seed = 42;
+        let mut rects = Vec::new();
+        for i in 0..120 {
+            let r = random_rect(&mut seed, 2);
+            rects.push(r.clone());
+            tree.insert(r, i);
+        }
+        // Nudge every item slightly (typical streaming feature drift).
+        for (i, r) in rects.iter_mut().enumerate() {
+            let lo: Vec<f64> = r.lo().iter().map(|v| v + 0.01).collect();
+            let hi: Vec<f64> = r.hi().iter().map(|v| v + 0.01).collect();
+            let moved = Rect::new(lo, hi);
+            assert!(tree.update(r, &(i as i32), moved.clone()), "item {i}");
+            *r = moved;
+        }
+        assert_eq!(tree.len(), 120);
+        tree.validate().expect("valid after in-place updates");
+        for (i, r) in rects.iter().enumerate() {
+            assert!(
+                tree.collect_intersecting(r).iter().any(|&(_, v)| *v == i as i32),
+                "item {i} findable at its new position"
+            );
+        }
+    }
+
+    #[test]
+    fn update_falls_back_to_reinsert_on_big_move() {
+        let mut tree = RStarTree::with_params(2, Params::new(6));
+        let mut seed = 3;
+        for i in 0..80 {
+            tree.insert(random_rect(&mut seed, 2), i);
+        }
+        let target = Rect::point(&[5.0, 5.0]);
+        tree.insert(target.clone(), 999);
+        let far = Rect::point(&[1e4, 1e4]);
+        assert!(tree.update(&target, &999, far.clone()));
+        tree.validate().expect("valid after relocating update");
+        assert!(tree.collect_intersecting(&far).iter().any(|&(_, v)| *v == 999));
+        assert!(!tree.collect_intersecting(&target).iter().any(|&(_, v)| *v == 999));
+        assert_eq!(tree.len(), 81);
+    }
+
+    #[test]
+    fn update_missing_item_is_false() {
+        let mut tree = RStarTree::new(2);
+        tree.insert(Rect::point(&[0.0, 0.0]), 1);
+        assert!(!tree.update(&Rect::point(&[1.0, 1.0]), &1, Rect::point(&[2.0, 2.0])));
+        assert!(!tree.update(&Rect::point(&[0.0, 0.0]), &2, Rect::point(&[2.0, 2.0])));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn params_defaults_follow_paper() {
+        let p = Params::new(32);
+        assert_eq!(p.min_entries, 12); // 40%
+        assert_eq!(p.reinsert_count, 9); // 30%
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_rejected() {
+        let mut tree = RStarTree::new(2);
+        tree.insert(Rect::point(&[1.0, 2.0, 3.0]), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! A network-operations console combining the whole framework — the
+//! telecom/web-click scenario of the paper's abstract, plus the §7
+//! future-work extensions implemented in `stardust_core::regression`:
+//!
+//! 1. **Parameter estimation**: candidate window sizes are *learned* from a
+//!    training prefix (`recommend_windows`) instead of guessed.
+//! 2. **Aggregate monitoring**: the recommended windows are armed with
+//!    trained thresholds.
+//! 3. **Trend monitoring**: a "flash-crowd ramp" pattern is registered and
+//!    continuously matched against the live stream.
+//! 4. **Forecasting**: an incremental AR model reports its drift as the
+//!    anomaly passes through.
+//!
+//! Run: `cargo run --release --example network_ops`
+
+use stardust::core::config::Config;
+use stardust::core::query::aggregate::{AggregateMonitor, WindowSpec};
+use stardust::core::query::trend::TrendMonitor;
+use stardust::core::regression::{recommend_windows, ArForecaster};
+use stardust::core::stats::train_threshold;
+use stardust::core::transform::TransformKind;
+use stardust::datagen::{packet_series, PacketParams};
+
+fn main() {
+    // Traffic with a flash crowd: baseline self-similar packet counts plus
+    // a 160-tick ramp injected into the live region.
+    let mut traffic = packet_series(7, 24_000, &PacketParams::default());
+    let anomaly_at = 15_000usize;
+    for i in 0..160 {
+        traffic[anomaly_at + i] += (i as f64 / 160.0) * 220.0;
+    }
+    let (train, live) = traffic.split_at(8_000);
+
+    // 1. Learn which windows to monitor (§7): rank candidates by anomaly
+    //    separability on the training prefix.
+    let candidates: Vec<usize> = (1..=16).map(|k| 20 * k).collect();
+    let ranked = recommend_windows(train, &candidates, TransformKind::Sum);
+    let chosen: Vec<usize> = ranked.iter().take(6).map(|s| s.window).collect();
+    println!("recommended SUM windows (by anomaly separability): {chosen:?}");
+
+    // 2. Arm the aggregate monitor with trained thresholds on them.
+    let specs: Vec<WindowSpec> = chosen
+        .iter()
+        .map(|&w| WindowSpec {
+            window: w,
+            threshold: train_threshold(train, w, 10.0, |win| win.iter().sum()).expect("train"),
+        })
+        .collect();
+    let cfg = Config::online(TransformKind::Sum, 20, 5, 10).with_history(320);
+    let mut aggregates = AggregateMonitor::new(cfg, &specs);
+
+    // 3. Register the flash-crowd ramp as a standing trend query.
+    let mut trend_cfg = Config::batch(16, 4, 4, 1000.0).with_history(256);
+    trend_cfg.update = stardust::core::config::UpdatePolicy::Online;
+    trend_cfg.box_capacity = 8;
+    let mut trends = TrendMonitor::new(trend_cfg, 1);
+    let base = train.iter().sum::<f64>() / train.len() as f64;
+    let ramp: Vec<f64> = (0..160).map(|i| base + (i as f64 / 160.0) * 220.0).collect();
+    let ramp_id = trends.register(ramp, 0.08).expect("valid pattern");
+
+    // 4. AR(3) forecaster for drift reporting.
+    let mut forecaster = ArForecaster::new(3, 0.999);
+
+    let mut burst_alarms = 0usize;
+    let mut trend_hits = Vec::new();
+    let mut worst_surprise: (f64, usize) = (0.0, 0);
+    for (i, &x) in live.iter().enumerate() {
+        burst_alarms += aggregates.push(x).iter().filter(|a| a.is_true_alarm).count();
+        trend_hits.extend(trends.append(0, x).into_iter().map(|m| (i, m)));
+        if let Some(pred) = forecaster.push(x) {
+            let surprise = (x - pred).abs();
+            if surprise > worst_surprise.0 {
+                worst_surprise = (surprise, i);
+            }
+        }
+    }
+
+    println!("\ntrue burst alarms on live traffic: {burst_alarms}");
+    println!(
+        "aggregate monitor precision: {:.3} over {} checks",
+        aggregates.stats().precision(),
+        aggregates.stats().candidates
+    );
+    match trend_hits.iter().find(|(_, m)| m.pattern == ramp_id) {
+        Some((i, m)) => println!(
+            "flash-crowd ramp matched at live tick {i} (distance {:.4})",
+            m.distance
+        ),
+        None => println!("flash-crowd ramp not matched"),
+    }
+    println!(
+        "largest forecast surprise: {:.1} packets at live tick {} (anomaly injected at {})",
+        worst_surprise.0,
+        worst_surprise.1,
+        anomaly_at - 8_000,
+    );
+    println!("AR coefficients: {:?}", forecaster.coefficients());
+
+    assert!(burst_alarms > 0, "the flash crowd must raise burst alarms");
+    assert!(
+        trend_hits.iter().any(|(_, m)| m.pattern == ramp_id),
+        "the registered ramp must be matched"
+    );
+}

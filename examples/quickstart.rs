@@ -1,0 +1,52 @@
+//! Quickstart: monitor one stream for bursts over several window sizes at
+//! once — the core "flexible window" capability of the framework.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use stardust::core::config::Config;
+use stardust::core::query::aggregate::{AggregateMonitor, WindowSpec};
+use stardust::core::transform::TransformKind;
+
+fn main() {
+    // A summarizer with base window W = 25 and 4 resolution levels
+    // (windows 25, 50, 100, 200), box capacity c = 5 (features are boxed
+    // 5 at a time: 5x less space, slightly approximate answers).
+    let config = Config::online(TransformKind::Sum, 25, 4, 5);
+
+    // We do not know the burst duration a priori, so monitor every
+    // multiple of W up to 200 with thresholds scaled to the window.
+    let windows: Vec<WindowSpec> = (1..=8)
+        .map(|k| WindowSpec { window: 25 * k, threshold: 30.0 * k as f64 })
+        .collect();
+    let mut monitor = AggregateMonitor::new(config, &windows);
+
+    // Baseline traffic of ~1 event/tick with a burst of 4/tick at t in
+    // [600, 680).
+    let mut alarm_windows = std::collections::BTreeSet::new();
+    for t in 0..2000u64 {
+        let value = if (600..680).contains(&t) { 4.0 } else { 1.0 };
+        for alarm in monitor.push(value) {
+            if alarm.is_true_alarm {
+                alarm_windows.insert(alarm.window);
+                if alarm.time % 25 == 0 {
+                    println!(
+                        "t={:4}  burst over the last {:3} values: sum {:.0} ≥ threshold {:.0}",
+                        alarm.time,
+                        alarm.window,
+                        alarm.true_value,
+                        windows.iter().find(|w| w.window == alarm.window).unwrap().threshold,
+                    );
+                }
+            }
+        }
+    }
+    let stats = monitor.stats();
+    println!(
+        "\n{} alarm checks, {} true alarms, precision {:.3}",
+        stats.candidates,
+        stats.true_alarms,
+        stats.precision()
+    );
+    println!("window sizes that fired: {alarm_windows:?}");
+    assert!(!alarm_windows.is_empty(), "the burst must be detected");
+}

@@ -1,0 +1,47 @@
+//! The `stardust` command-line tool: stream monitoring over CSV input.
+//!
+//! See `stardust help` for usage. All logic lives in [`stardust::cli`].
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, args) = match stardust::cli::Args::parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Input: last positional argument as a file, else stdin. `help` needs
+    // no input.
+    let input = if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        String::new()
+    } else if let Some(path) = args.positional().first() {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    };
+    match stardust::cli::run(&cmd, &args, &input) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Command-line front end: argument parsing, CSV ingestion, and the
+//! subcommand implementations behind the `stardust` binary.
+//!
+//! Kept as a library module so the logic is unit-testable; the binary in
+//! `src/bin/stardust.rs` is a thin wrapper.
+
+use std::collections::BTreeMap;
+
+use stardust_core::config::Config;
+use stardust_core::engine::Stardust;
+use stardust_core::query::aggregate::{AggregateMonitor, WindowSpec};
+use stardust_core::query::correlation::CorrelationMonitor;
+use stardust_core::query::pattern::{self, PatternQuery};
+use stardust_core::query::trend::TrendMonitor;
+use stardust_core::regression::recommend_windows;
+use stardust_core::stats::train_threshold;
+use stardust_core::transform::TransformKind;
+
+/// Parsed command line: a subcommand, `--flag value` pairs, and positional
+/// arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses `args` (without the program name). The first token is the
+    /// subcommand; `--name value` pairs become flags.
+    pub fn parse(args: &[String]) -> Result<(String, Args), String> {
+        let mut it = args.iter();
+        let cmd = it.next().ok_or_else(usage)?.clone();
+        let mut out = Args::default();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value =
+                    it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
+                out.flags.insert(name.to_string(), value);
+            } else {
+                out.positional.push(tok.clone());
+            }
+        }
+        Ok((cmd, out))
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// A parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// The usage string.
+pub fn usage() -> String {
+    "\
+stardust — monitor data streams in real time (Bulut & Singh, ICDE 2005)
+
+USAGE: stardust <COMMAND> [FLAGS] [FILE]
+
+Input is CSV with one column per stream (header-free; blank lines and
+'#' comments skipped); reads stdin when no file is given.
+
+COMMANDS:
+  burst       monitor moving sums over a ladder of windows
+              --base W (20)  --windows k (8: monitors W,2W,..,kW)
+              --lambda L (6.0: thresholds μ+Lσ)  --train N (1000)
+              --capacity c (5)
+  volatility  same as burst but for MAX−MIN spread
+  recommend   rank candidate window sizes by anomaly separability
+              --candidates 20,40,80,... (required)  --agg sum|spread
+  pattern     search all streams for a query subsequence
+              --query FILE (required, single column)  --radius r (0.05)
+              --base W (16)  --levels L (5)
+  correlate   report correlated stream pairs continuously
+              --base W (16)  --levels L (5: window W·2^(L−1))
+              --min-corr c (0.9)  --coeffs f (4)  --lag periods (1)
+  trend       continuously match registered patterns against all streams
+              --patterns FILE (required: one comma-separated pattern per
+              line)  --radius r (0.05)  --base W (16)  --levels L (4)
+
+EXAMPLE:
+  stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
+"
+    .to_string()
+}
+
+/// Parses a comma-separated list of positive integers.
+pub fn parse_usize_list(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad integer '{p}'")))
+        .collect()
+}
+
+/// Reads header-free CSV columns; `#`-prefixed and blank lines skipped.
+/// All rows must have the same arity.
+pub fn read_columns(input: &str) -> Result<Vec<Vec<f64>>, String> {
+    let mut columns: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let values: Result<Vec<f64>, String> = line
+            .split(',')
+            .map(|c| c.trim().parse::<f64>().map_err(|_| format!("line {}: bad number '{c}'", lineno + 1)))
+            .collect();
+        let values = values?;
+        if columns.is_empty() {
+            columns = values.iter().map(|&v| vec![v]).collect();
+        } else {
+            if values.len() != columns.len() {
+                return Err(format!(
+                    "line {}: expected {} columns, found {}",
+                    lineno + 1,
+                    columns.len(),
+                    values.len()
+                ));
+            }
+            for (col, v) in columns.iter_mut().zip(values) {
+                col.push(v);
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err("no data rows in input".to_string());
+    }
+    Ok(columns)
+}
+
+/// Runs a subcommand over pre-read input; returns the report text.
+pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
+    match cmd {
+        "burst" => run_aggregate(args, input, TransformKind::Sum),
+        "volatility" => run_aggregate(args, input, TransformKind::Spread),
+        "recommend" => run_recommend(args, input),
+        "pattern" => run_pattern(args, input),
+        "correlate" => run_correlate(args, input),
+        "trend" => run_trend(args, input),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn single_column(input: &str) -> Result<Vec<f64>, String> {
+    let mut cols = read_columns(input)?;
+    if cols.len() != 1 {
+        return Err(format!("expected a single-column stream, found {} columns", cols.len()));
+    }
+    Ok(cols.pop().expect("one column"))
+}
+
+fn run_aggregate(args: &Args, input: &str, kind: TransformKind) -> Result<String, String> {
+    let data = single_column(input)?;
+    let base: usize = args.get_or("base", 20)?;
+    let k: usize = args.get_or("windows", 8)?;
+    let lambda: f64 = args.get_or("lambda", 6.0)?;
+    let train_len: usize = args.get_or("train", 1000.min(data.len() / 4))?;
+    let capacity: usize = args.get_or("capacity", 5)?;
+    if base == 0 || k == 0 {
+        return Err("--base and --windows must be positive".into());
+    }
+    if data.len() <= train_len + base * k {
+        return Err(format!(
+            "input too short: {} values for training {} + largest window {}",
+            data.len(),
+            train_len,
+            base * k
+        ));
+    }
+    let (train, live) = data.split_at(train_len);
+    let mut specs = Vec::new();
+    for i in 1..=k {
+        let w = base * i;
+        let threshold = train_threshold(train, w, lambda, |win| {
+            kind.scalar_aggregate(win).expect("scalar kind")
+        })
+        .ok_or_else(|| format!("training prefix shorter than window {w}"))?;
+        specs.push(WindowSpec { window: w, threshold });
+    }
+    let mut levels = 1;
+    while base << (levels - 1) < base * k {
+        levels += 1;
+    }
+    let cfg = Config::online(kind, base, levels, capacity)
+        .with_history((base * k).max(base << (levels - 1)));
+    let mut monitor = AggregateMonitor::new(cfg, &specs);
+    let mut out = String::new();
+    out.push_str("time,window,aggregate,threshold\n");
+    for (i, &x) in live.iter().enumerate() {
+        for alarm in monitor.push(x) {
+            if alarm.is_true_alarm {
+                let tau = specs
+                    .iter()
+                    .find(|s| s.window == alarm.window)
+                    .expect("monitored window")
+                    .threshold;
+                out.push_str(&format!(
+                    "{},{},{:.3},{:.3}\n",
+                    i + train_len,
+                    alarm.window,
+                    alarm.true_value,
+                    tau
+                ));
+            }
+        }
+    }
+    let st = monitor.stats();
+    out.push_str(&format!(
+        "# {} checks, {} true alarms, precision {:.3}\n",
+        st.candidates,
+        st.true_alarms,
+        st.precision()
+    ));
+    Ok(out)
+}
+
+fn run_recommend(args: &Args, input: &str) -> Result<String, String> {
+    let data = single_column(input)?;
+    let candidates = parse_usize_list(
+        args.get("candidates").ok_or("recommend needs --candidates w1,w2,...")?,
+    )?;
+    let kind = match args.get("agg").unwrap_or("sum") {
+        "sum" => TransformKind::Sum,
+        "spread" => TransformKind::Spread,
+        other => return Err(format!("unknown aggregate '{other}' (sum|spread)")),
+    };
+    let ranked = recommend_windows(&data, &candidates, kind);
+    if ranked.is_empty() {
+        return Err("no usable candidate windows (too long or degenerate)".into());
+    }
+    let mut out = String::from("window,separability\n");
+    for w in ranked {
+        out.push_str(&format!("{},{:.3}\n", w.window, w.score));
+    }
+    Ok(out)
+}
+
+fn run_pattern(args: &Args, input: &str) -> Result<String, String> {
+    let streams = read_columns(input)?;
+    let query_path = args.get("query").ok_or("pattern needs --query FILE")?;
+    let query_text = std::fs::read_to_string(query_path)
+        .map_err(|e| format!("cannot read query file '{query_path}': {e}"))?;
+    let query = single_column(&query_text)?;
+    let radius: f64 = args.get_or("radius", 0.05)?;
+    let base: usize = args.get_or("base", 16)?;
+    let levels: usize = args.get_or("levels", 5)?;
+    let n = streams[0].len();
+    let r_max = streams
+        .iter()
+        .flatten()
+        .chain(query.iter())
+        .fold(1.0f64, |a, &b| a.max(b.abs()));
+    let cfg = Config::batch(base, levels, 4.min(base), r_max).with_history(n.max(base << (levels - 1)));
+    let mut engine = Stardust::new(cfg, streams.len());
+    for i in 0..n {
+        for (s, col) in streams.iter().enumerate() {
+            engine.append(s as u32, col[i]);
+        }
+    }
+    let q = PatternQuery { sequence: query, radius };
+    let ans = pattern::query_batch(&engine, &q).map_err(|e| e.to_string())?;
+    let mut out = String::from("stream,end_row,distance\n");
+    let precision = ans.precision();
+    let n_candidates = ans.candidates.len();
+    let mut matches = ans.matches;
+    matches.sort_by_key(|a| (a.stream, a.end_time));
+    for m in &matches {
+        out.push_str(&format!("{},{},{:.5}\n", m.stream, m.end_time, m.distance));
+    }
+    out.push_str(&format!(
+        "# {} candidates, {} matches, precision {:.3}\n",
+        n_candidates,
+        matches.len(),
+        precision
+    ));
+    Ok(out)
+}
+
+fn run_correlate(args: &Args, input: &str) -> Result<String, String> {
+    let streams = read_columns(input)?;
+    if streams.len() < 2 {
+        return Err("correlate needs at least two stream columns".into());
+    }
+    let base: usize = args.get_or("base", 16)?;
+    let levels: usize = args.get_or("levels", 5)?;
+    let min_corr: f64 = args.get_or("min-corr", 0.9)?;
+    let f: usize = args.get_or("coeffs", 4)?;
+    let lag: usize = args.get_or("lag", 1)?;
+    if !(-1.0..=1.0).contains(&min_corr) {
+        return Err("--min-corr must be in [-1, 1]".into());
+    }
+    let radius = stardust_core::normalize::correlation_to_distance(min_corr);
+    let mut monitor = CorrelationMonitor::new(base, levels, f, radius, streams.len());
+    if lag > 1 {
+        monitor = monitor.with_lag_periods(lag);
+    }
+    let n = streams[0].len();
+    let mut out = String::from("row,stream_a,stream_b,lag,correlation\n");
+    for i in 0..n {
+        for (s, col) in streams.iter().enumerate() {
+            for p in monitor.append(s as u32, col[i]) {
+                if let Some(corr) = p.correlation {
+                    if corr >= min_corr {
+                        out.push_str(&format!(
+                            "{},{},{},{},{:.4}\n",
+                            i,
+                            p.a,
+                            p.b,
+                            p.time - p.time_other,
+                            corr
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let st = monitor.stats();
+    out.push_str(&format!(
+        "# {} reported, {} confirmed, precision {:.3}\n",
+        st.reported,
+        st.true_pairs,
+        st.precision()
+    ));
+    Ok(out)
+}
+
+fn run_trend(args: &Args, input: &str) -> Result<String, String> {
+    let streams = read_columns(input)?;
+    let patterns_path = args.get("patterns").ok_or("trend needs --patterns FILE")?;
+    let text = std::fs::read_to_string(patterns_path)
+        .map_err(|e| format!("cannot read patterns file '{patterns_path}': {e}"))?;
+    let radius: f64 = args.get_or("radius", 0.05)?;
+    let base: usize = args.get_or("base", 16)?;
+    let levels: usize = args.get_or("levels", 4)?;
+    // One pattern per non-comment line.
+    let mut patterns: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let p: Result<Vec<f64>, String> = line
+            .split(',')
+            .map(|c| {
+                c.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("patterns line {}: bad number '{c}'", lineno + 1))
+            })
+            .collect();
+        patterns.push(p?);
+    }
+    if patterns.is_empty() {
+        return Err("no patterns in the patterns file".to_string());
+    }
+    if !base.is_power_of_two() || levels == 0 {
+        return Err("--base must be a power of two and --levels positive".to_string());
+    }
+    let r_max = streams
+        .iter()
+        .flatten()
+        .chain(patterns.iter().flatten())
+        .fold(1.0f64, |a, &b| a.max(b.abs()));
+    let mut cfg = Config::online(TransformKind::Dwt, base, levels, 8)
+        .with_history(base << (levels - 1));
+    cfg.dwt_coeffs = 4.min(base);
+    cfg.r_max = r_max;
+    let mut monitor = TrendMonitor::new(cfg, streams.len());
+    for p in patterns {
+        monitor.register(p, radius).map_err(|e| e.to_string())?;
+    }
+    let n = streams[0].len();
+    let mut out = String::from("row,stream,pattern,distance\n");
+    for i in 0..n {
+        for (s, col) in streams.iter().enumerate() {
+            for m in monitor.append(s as u32, col[i]) {
+                out.push_str(&format!("{i},{},{},{:.5}\n", m.stream, m.pattern, m.distance));
+            }
+        }
+    }
+    let st = monitor.stats();
+    out.push_str(&format!(
+        "# {} candidates, {} matches, precision {:.3}\n",
+        st.candidates,
+        st.matches,
+        st.precision()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positional() {
+        let (cmd, args) =
+            Args::parse(&argv("burst --base 20 --lambda 6.5 input.csv")).expect("valid");
+        assert_eq!(cmd, "burst");
+        assert_eq!(args.get("base"), Some("20"));
+        assert_eq!(args.get_or::<f64>("lambda", 0.0).unwrap(), 6.5);
+        assert_eq!(args.positional(), &["input.csv".to_string()]);
+        assert_eq!(args.get_or::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv("burst --base")).is_err());
+        let (_, args) = Args::parse(&argv("burst --base xyz")).unwrap();
+        assert!(args.get_or::<usize>("base", 1).is_err());
+    }
+
+    #[test]
+    fn csv_columns() {
+        let input = "# comment\n1, 2.5\n3,4\n\n5,6\n";
+        let cols = read_columns(input).expect("valid csv");
+        assert_eq!(cols, vec![vec![1.0, 3.0, 5.0], vec![2.5, 4.0, 6.0]]);
+        assert!(read_columns("1,2\n3\n").is_err());
+        assert!(read_columns("").is_err());
+        assert!(read_columns("a,b\n").is_err());
+    }
+
+    #[test]
+    fn usize_list() {
+        assert_eq!(parse_usize_list("1, 2,30").unwrap(), vec![1, 2, 30]);
+        assert!(parse_usize_list("1,x").is_err());
+    }
+
+    fn bursty_csv() -> String {
+        let mut s = String::new();
+        for i in 0..3000 {
+            let v = if (2000..2100).contains(&i) { 9.0 } else { 1.0 + (i % 3) as f64 * 0.1 };
+            s.push_str(&format!("{v}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn burst_subcommand_end_to_end() {
+        let (cmd, args) =
+            Args::parse(&argv("burst --base 10 --windows 4 --lambda 8 --train 800")).unwrap();
+        let out = run(&cmd, &args, &bursty_csv()).expect("runs");
+        assert!(out.lines().count() > 2, "alarms expected:\n{out}");
+        assert!(out.contains("precision"));
+        // Alarm rows land inside the burst region.
+        let first_alarm: usize = out
+            .lines()
+            .nth(1)
+            .and_then(|l| l.split(',').next())
+            .and_then(|t| t.parse().ok())
+            .expect("alarm row");
+        assert!((2000..2250).contains(&first_alarm), "first alarm at {first_alarm}");
+    }
+
+    #[test]
+    fn recommend_subcommand() {
+        let (cmd, args) =
+            Args::parse(&argv("recommend --candidates 10,50,100,400")).unwrap();
+        let out = run(&cmd, &args, &bursty_csv()).expect("runs");
+        let top = out.lines().nth(1).expect("ranked row");
+        let w: usize = top.split(',').next().unwrap().parse().unwrap();
+        assert_eq!(w, 100, "burst length 100 should rank first:\n{out}");
+    }
+
+    #[test]
+    fn correlate_subcommand() {
+        let mut csv = String::new();
+        let mut a = 50.0f64;
+        let mut seed = 5u64;
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            a += (seed >> 33) as f64 / 2f64.powi(32) - 0.5;
+            csv.push_str(&format!("{a},{},{}\n", a * 2.0 + 3.0, (seed % 100) as f64));
+        }
+        let (cmd, args) =
+            Args::parse(&argv("correlate --base 8 --levels 3 --min-corr 0.95")).unwrap();
+        let out = run(&cmd, &args, &csv).expect("runs");
+        assert!(
+            out.lines().skip(1).any(|l| l.contains(",0,") || l.starts_with(char::is_numeric)),
+            "correlated pair expected:\n{out}"
+        );
+    }
+
+    #[test]
+    fn trend_subcommand_end_to_end() {
+        // Pattern file on disk; stream contains the pattern at a known spot.
+        let dir = std::env::temp_dir().join("stardust_cli_trend");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pfile = dir.join("patterns.csv");
+        let ramp: Vec<String> = (0..32).map(|i| format!("{}", 10.0 + i as f64)).collect();
+        std::fs::write(&pfile, ramp.join(",") + "\n").unwrap();
+        let mut csv = String::new();
+        for i in 0..200 {
+            let v = if (120..152).contains(&i) { 10.0 + (i - 120) as f64 } else { 5.0 };
+            csv.push_str(&format!("{v}\n"));
+        }
+        let argv_s = format!("trend --patterns {} --radius 0.02 --base 16 --levels 2", pfile.display());
+        let (cmd, args) = Args::parse(&argv(&argv_s)).unwrap();
+        let out = run(&cmd, &args, &csv).expect("runs");
+        assert!(out.contains("151,0,0,"), "match at row 151 expected:\n{out}");
+        let _ = std::fs::remove_file(&pfile);
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let (cmd, args) = Args::parse(&argv("frobnicate")).unwrap();
+        let err = run(&cmd, &args, "1\n").unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let (cmd, args) = Args::parse(&argv("burst --base 10")).unwrap();
+        assert!(run(&cmd, &args, "1\n2\n3\n").is_err(), "too-short input must error");
+        let (cmd, args) = Args::parse(&argv("recommend")).unwrap();
+        assert!(run(&cmd, &args, &bursty_csv()).is_err(), "missing --candidates");
+    }
+}

@@ -1,0 +1,131 @@
+//! Cross-technique correlation monitoring: Stardust and StatStream must
+//! both cover the brute-force ground truth at every detection round, and
+//! their verified answers must agree with each other.
+
+use std::collections::BTreeSet;
+
+use stardust::baselines::StatStream;
+use stardust::core::normalize;
+use stardust::core::query::correlation::CorrelationMonitor;
+
+const W: usize = 8;
+const LEVELS: usize = 3; // N = 32
+const N: usize = 32;
+const M: usize = 5;
+
+fn splitmix(seed: &mut u64) -> f64 {
+    *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Five streams: 0/1 near-identical, 2/3 anti-correlated versions of a
+/// second walk, 4 independent.
+fn make_streams(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut s1 = seed;
+    let mut s2 = seed ^ 0xABCDEF;
+    let mut s3 = seed ^ 0x123456;
+    let (mut a, mut b, mut c) = (60.0f64, 40.0f64, 50.0f64);
+    let mut out: Vec<Vec<f64>> = (0..M).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        a += splitmix(&mut s1) - 0.5;
+        b += splitmix(&mut s2) - 0.5;
+        c += splitmix(&mut s3) - 0.5;
+        out[0].push(a);
+        out[1].push(a + 0.02 * ((i % 5) as f64 - 2.0));
+        out[2].push(b);
+        out[3].push(100.0 - b); // perfectly anti-correlated with 2
+        out[4].push(c);
+    }
+    out
+}
+
+#[test]
+fn both_monitors_cover_ground_truth_each_round() {
+    let n = 320;
+    let radius = 0.6;
+    let streams = make_streams(n, 77);
+    let mut sd = CorrelationMonitor::new(W, LEVELS, 4, radius, M);
+    let mut ss = StatStream::new(W, N / W, 4, 0.15, radius, M);
+    for i in 0..n {
+        let mut sd_batch = Vec::new();
+        let mut ss_batch = Vec::new();
+        for s in 0..M {
+            sd_batch.extend(sd.append(s as u32, streams[s][i]));
+            ss_batch.extend(ss.append(s as u32, streams[s][i]));
+        }
+        let t = i as u64;
+        if !(t + 1).is_multiple_of(W as u64) || (t + 1) < N as u64 {
+            continue;
+        }
+        let truth: BTreeSet<(u32, u32)> =
+            sd.linear_scan_pairs(t).iter().map(|&(a, b, _)| (a, b)).collect();
+        let sd_verified: BTreeSet<(u32, u32)> = sd_batch
+            .iter()
+            .filter(|p| {
+                p.correlation
+                    .is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
+            })
+            .map(|p| (p.a.min(p.b), p.a.max(p.b)))
+            .collect();
+        let ss_verified: BTreeSet<(u32, u32)> = ss_batch
+            .iter()
+            .filter(|p| {
+                p.correlation
+                    .is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
+            })
+            .map(|p| (p.a.min(p.b), p.a.max(p.b)))
+            .collect();
+        // Verified sets equal ground truth (reports cover it, verification
+        // removes the rest).
+        assert_eq!(sd_verified, truth, "stardust at t={t}");
+        assert_eq!(ss_verified, truth, "statstream at t={t}");
+    }
+    // The planted pair (0,1) must have been confirmed at least once.
+    assert!(sd.stats().true_pairs > 0);
+    assert!(ss.stats().true_pairs > 0);
+}
+
+#[test]
+fn anticorrelation_is_not_reported_as_correlation() {
+    // Streams 2 and 3 have corr ≈ −1 ⇒ z-norm distance ≈ 2, far outside
+    // any reasonable radius.
+    let n = 320;
+    let streams = make_streams(n, 13);
+    let mut sd = CorrelationMonitor::new(W, LEVELS, 4, 0.5, M);
+    let mut confirmed = BTreeSet::new();
+    for i in 0..n {
+        for s in 0..M {
+            for p in sd.append(s as u32, streams[s][i]) {
+                if p.correlation
+                    .is_some_and(|c| normalize::correlation_to_distance(c) <= 0.5)
+                {
+                    confirmed.insert((p.a.min(p.b), p.a.max(p.b)));
+                }
+            }
+        }
+    }
+    assert!(!confirmed.contains(&(2, 3)), "anti-correlated pair reported: {confirmed:?}");
+}
+
+#[test]
+fn correlation_coefficients_match_direct_computation() {
+    let n = 160;
+    let streams = make_streams(n, 999);
+    let mut sd = CorrelationMonitor::new(W, LEVELS, 2, 1.0, M);
+    for i in 0..n {
+        for s in 0..M {
+            for p in sd.append(s as u32, streams[s][i]) {
+                let t = p.time as usize;
+                let wa = &streams[p.a as usize][t + 1 - N..=t];
+                let wb = &streams[p.b as usize][t + 1 - N..=t];
+                let direct = normalize::correlation(wa, wb).expect("nonconstant");
+                let reported = p.correlation.expect("verification on");
+                assert!((direct - reported).abs() < 1e-9);
+            }
+        }
+    }
+}

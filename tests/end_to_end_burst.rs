@@ -1,0 +1,117 @@
+//! End-to-end burst monitoring: Stardust, SWT and the linear scan must
+//! agree on the ground truth while differing in approximation quality
+//! exactly as §5.1 predicts.
+
+use stardust::baselines::linear_scan::true_alarm_times;
+use stardust::baselines::SwtMonitor;
+use stardust::core::config::Config;
+use stardust::core::query::aggregate::{AggregateMonitor, WindowSpec};
+use stardust::core::stats::train_threshold;
+use stardust::core::transform::TransformKind;
+use stardust::datagen::{burst_series, BurstParams};
+
+fn workload() -> (Vec<f64>, Vec<WindowSpec>) {
+    let (data, _) = burst_series(5, 12_000, &BurstParams::default());
+    let train = &data[..1500];
+    let specs: Vec<WindowSpec> = (1..=20)
+        .map(|k| {
+            let w = 10 * k;
+            let threshold =
+                train_threshold(train, w, 8.0, |win| win.iter().sum()).expect("train");
+            WindowSpec { window: w, threshold }
+        })
+        .collect();
+    (data, specs)
+}
+
+/// Every technique catches exactly the linear-scan true alarms (recall is
+/// always perfect; only precision varies).
+#[test]
+fn recall_is_perfect_for_all_techniques() {
+    let (data, specs) = workload();
+    let live = &data[1500..];
+
+    let mut expected = 0usize;
+    for spec in &specs {
+        expected += true_alarm_times(live, spec, TransformKind::Sum).len();
+    }
+
+    for c in [1usize, 10, 50] {
+        let cfg = Config::online(TransformKind::Sum, 10, 5, c).with_history(200);
+        let mut mon = AggregateMonitor::new(cfg, &specs);
+        for &x in live {
+            mon.push(x);
+        }
+        assert_eq!(
+            mon.stats().true_alarms as usize,
+            expected,
+            "stardust c={c} true alarms"
+        );
+    }
+
+    let mut swt = SwtMonitor::new(TransformKind::Sum, 10, &specs);
+    for &x in live {
+        swt.push(x);
+    }
+    assert_eq!(swt.stats().true_alarms as usize, expected, "swt true alarms");
+}
+
+/// Precision ordering: exact (c=1) ≥ small boxes ≥ large boxes, and small
+/// boxes beat SWT on this workload (the Fig. 4 shape).
+#[test]
+fn precision_ordering_matches_paper() {
+    let (data, specs) = workload();
+    let live = &data[1500..];
+    let mut precisions = Vec::new();
+    for c in [1usize, 10, 50] {
+        let cfg = Config::online(TransformKind::Sum, 10, 5, c).with_history(200);
+        let mut mon = AggregateMonitor::new(cfg, &specs);
+        for &x in live {
+            mon.push(x);
+        }
+        precisions.push(mon.stats().precision());
+    }
+    assert_eq!(precisions[0], 1.0, "c = 1 is exact");
+    assert!(precisions[0] >= precisions[1] && precisions[1] >= precisions[2], "{precisions:?}");
+
+    let mut swt = SwtMonitor::new(TransformKind::Sum, 10, &specs);
+    for &x in live {
+        swt.push(x);
+    }
+    assert!(
+        precisions[1] >= swt.stats().precision(),
+        "stardust c=10 ({}) should beat SWT ({})",
+        precisions[1],
+        swt.stats().precision()
+    );
+}
+
+/// Volatility (SPREAD) end to end: interval bounds are sound, recall
+/// perfect.
+#[test]
+fn spread_monitoring_end_to_end() {
+    let data = stardust::datagen::packet_series(3, 20_000, &stardust::datagen::PacketParams::default());
+    let train = &data[..4000];
+    let spread = |w: &[f64]| {
+        w.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - w.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    let specs: Vec<WindowSpec> = (1..=10)
+        .map(|k| {
+            let w = 50 * k;
+            WindowSpec { window: w, threshold: train_threshold(train, w, 2.0, spread).unwrap() }
+        })
+        .collect();
+    let live = &data[4000..];
+    let cfg = Config::online(TransformKind::Spread, 50, 5, 20).with_history(800);
+    let mut mon = AggregateMonitor::new(cfg, &specs);
+    for &x in live {
+        mon.push(x);
+    }
+    let mut expected = 0usize;
+    for spec in &specs {
+        expected += true_alarm_times(live, spec, TransformKind::Spread).len();
+    }
+    assert_eq!(mon.stats().true_alarms as usize, expected);
+    assert!(mon.stats().candidates >= mon.stats().true_alarms);
+}

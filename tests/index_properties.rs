@@ -1,0 +1,134 @@
+//! Property tests of the R\*-tree against a naive shadow structure under
+//! interleaved inserts, deletes, and queries.
+
+use proptest::prelude::*;
+use stardust::index::{bulk_load, Params, RStarTree, Rect};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { lo: Vec<f64>, extent: Vec<f64> },
+    RemoveOldest,
+    /// Move the oldest item by a small or large offset (exercises both
+    /// the in-place and the reinsert path of `update`).
+    UpdateOldest { shift: f64 },
+    Query { lo: Vec<f64>, extent: Vec<f64> },
+    Within { point: Vec<f64>, radius: f64 },
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    -50.0f64..50.0
+}
+
+fn op_strategy(dims: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (
+            proptest::collection::vec(coord(), dims),
+            proptest::collection::vec(0.0f64..8.0, dims)
+        )
+            .prop_map(|(lo, extent)| Op::Insert { lo, extent }),
+        1 => Just(Op::RemoveOldest),
+        2 => (-60.0f64..60.0).prop_map(|shift| Op::UpdateOldest { shift }),
+        2 => (
+            proptest::collection::vec(coord(), dims),
+            proptest::collection::vec(0.0f64..30.0, dims)
+        )
+            .prop_map(|(lo, extent)| Op::Query { lo, extent }),
+        2 => (proptest::collection::vec(coord(), dims), 0.0f64..25.0)
+            .prop_map(|(point, radius)| Op::Within { point, radius }),
+    ]
+}
+
+fn rect(lo: &[f64], extent: &[f64]) -> Rect {
+    Rect::new(lo.to_vec(), lo.iter().zip(extent).map(|(l, e)| l + e).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn tree_agrees_with_shadow(
+        ops in proptest::collection::vec(op_strategy(3), 1..250),
+        cap in 4usize..12,
+    ) {
+        let mut tree = RStarTree::with_params(3, Params::new(cap));
+        let mut shadow: Vec<(Rect, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for op in &ops {
+            match op {
+                Op::Insert { lo, extent } => {
+                    let r = rect(lo, extent);
+                    tree.insert(r.clone(), next_id);
+                    shadow.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::RemoveOldest => {
+                    if let Some((r, v)) = shadow.first().cloned() {
+                        prop_assert!(tree.remove(&r, &v));
+                        shadow.remove(0);
+                    }
+                }
+                Op::UpdateOldest { shift } => {
+                    if let Some((r, v)) = shadow.first().cloned() {
+                        let moved = Rect::new(
+                            r.lo().iter().map(|x| x + shift).collect(),
+                            r.hi().iter().map(|x| x + shift).collect(),
+                        );
+                        prop_assert!(tree.update(&r, &v, moved.clone()));
+                        shadow[0] = (moved, v);
+                    }
+                }
+                Op::Query { lo, extent } => {
+                    let q = rect(lo, extent);
+                    let mut got: Vec<u32> =
+                        tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = shadow
+                        .iter()
+                        .filter(|(r, _)| r.intersects(&q))
+                        .map(|&(_, v)| v)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Within { point, radius } => {
+                    let mut got: Vec<u32> =
+                        tree.collect_within(point, *radius).iter().map(|&(_, v)| *v).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = shadow
+                        .iter()
+                        .filter(|(r, _)| r.min_dist_point(point) <= *radius)
+                        .map(|&(_, v)| v)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.validate().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len(), shadow.len());
+        }
+    }
+
+    #[test]
+    fn bulk_load_equivalent_to_inserts(
+        items in proptest::collection::vec(
+            (proptest::collection::vec(coord(), 2), proptest::collection::vec(0.0f64..5.0, 2)),
+            0..300
+        ),
+    ) {
+        let rects: Vec<(Rect, usize)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, extent))| (rect(lo, extent), i))
+            .collect();
+        let bulk = bulk_load(2, Params::default(), rects.clone());
+        bulk.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(bulk.len(), rects.len());
+        let q = Rect::new(vec![-20.0, -20.0], vec![20.0, 20.0]);
+        let mut got: Vec<usize> = bulk.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> =
+            rects.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, v)| v).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests of the pattern-query pipeline: for random workloads and
+//! random queries, neither search algorithm may ever dismiss a true match,
+//! and verified answers equal the linear scan.
+
+use proptest::prelude::*;
+use stardust::baselines::GeneralMatch;
+use stardust::core::config::{Config, UpdatePolicy};
+use stardust::core::engine::Stardust;
+use stardust::core::query::pattern::{self, PatternQuery};
+
+const W: usize = 8;
+const LEVELS: usize = 4;
+const HISTORY: usize = 256;
+const M: usize = 3;
+
+fn engines(values: &[Vec<f64>]) -> (Stardust, Stardust, GeneralMatch) {
+    let r_max = 120.0;
+    let mut online_cfg = Config::batch(W, LEVELS, 4, r_max).with_history(HISTORY);
+    online_cfg.update = UpdatePolicy::Online;
+    online_cfg.box_capacity = 4;
+    let mut online = Stardust::new(online_cfg, M);
+    let batch_cfg = Config::batch(W, LEVELS, 4, r_max).with_history(HISTORY);
+    let mut batch = Stardust::new(batch_cfg, M);
+    let mut gm = GeneralMatch::new(W, 4, r_max, HISTORY, M);
+    for i in 0..values[0].len() {
+        for s in 0..M {
+            online.append(s as u32, values[s][i]);
+            batch.append(s as u32, values[s][i]);
+            gm.append(s as u32, values[s][i]);
+        }
+    }
+    (online, batch, gm)
+}
+
+/// Bounded random-walk streams (values stay within [0, 120]).
+fn streams_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        (10.0f64..110.0, proptest::collection::vec(-0.9f64..0.9, 400)),
+        M,
+    )
+    .prop_map(|walks| {
+        walks
+            .into_iter()
+            .map(|(start, steps)| {
+                let mut x = start;
+                steps
+                    .into_iter()
+                    .map(|d| {
+                        x = (x + d).clamp(0.0, 120.0);
+                        x
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Online answers exactly match ground truth; batch and GeneralMatch
+    /// cover it (no false dismissals) and report only true matches.
+    #[test]
+    fn all_techniques_cover_ground_truth(
+        streams in streams_strategy(),
+        k in 2usize..6,
+        src in 0usize..M,
+        radius in 0.005f64..0.05,
+    ) {
+        let (online, batch, gm) = engines(&streams);
+        let len = k * W;
+        let n = streams[0].len();
+        let q = PatternQuery {
+            sequence: streams[src][n - len..].to_vec(),
+            radius,
+        };
+        let truth: std::collections::BTreeSet<(u32, u64)> =
+            pattern::linear_scan_matches(&batch, &q)
+                .iter()
+                .map(|m| (m.stream, m.end_time))
+                .collect();
+
+        let on = pattern::query_online(&online, &q).expect("valid query");
+        let on_set: std::collections::BTreeSet<(u32, u64)> =
+            on.matches.iter().map(|m| (m.stream, m.end_time)).collect();
+        prop_assert_eq!(&on_set, &truth, "online != linear scan");
+
+        if len >= 2 * W - 1 {
+            let ba = pattern::query_batch(&batch, &q).expect("valid query");
+            let ba_set: std::collections::BTreeSet<(u32, u64)> =
+                ba.matches.iter().map(|m| (m.stream, m.end_time)).collect();
+            prop_assert_eq!(&ba_set, &truth, "batch != linear scan");
+
+            let gm_ans = gm.query(&q);
+            let gm_set: std::collections::BTreeSet<(u32, u64)> =
+                gm_ans.matches.iter().map(|m| (m.stream, m.end_time)).collect();
+            prop_assert_eq!(&gm_set, &truth, "generalmatch != linear scan");
+        }
+    }
+
+    /// Reported distances are within the radius and consistent with raw
+    /// recomputation.
+    #[test]
+    fn reported_distances_are_valid(
+        streams in streams_strategy(),
+        k in 2usize..5,
+        radius in 0.01f64..0.06,
+    ) {
+        let (online, _, _) = engines(&streams);
+        let len = k * W;
+        let n = streams[0].len();
+        let q = PatternQuery { sequence: streams[0][n - len..].to_vec(), radius };
+        let ans = pattern::query_online(&online, &q).expect("valid query");
+        for m in &ans.matches {
+            prop_assert!(m.distance <= radius + 1e-9);
+            let hist = online.summary(m.stream).history();
+            let win = hist.window(m.end_time, len).expect("match within history");
+            let raw: f64 = win
+                .iter()
+                .zip(&q.sequence)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let normalized = raw / ((len as f64).sqrt() * online.config().r_max);
+            prop_assert!((normalized - m.distance).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests of the multi-resolution summarizer: the exactness /
+//! conservativeness guarantees of Lemmas 4.1–4.2 and the space bound of
+//! Theorem 4.3, end to end over random streams.
+
+use proptest::prelude::*;
+use stardust::core::config::{ComputeMode, Config, UpdatePolicy};
+use stardust::core::transform::TransformKind;
+use stardust::core::StreamSummary;
+
+fn stream_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    (0.0f64..100.0, proptest::collection::vec(-1.0f64..1.0, n)).prop_map(|(start, steps)| {
+        let mut x = start;
+        steps
+            .into_iter()
+            .map(|d| {
+                x = (x + d).clamp(0.0, 100.0);
+                x
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// c = 1 online summaries reproduce the direct transform exactly at
+    /// every level and time, for every transform kind.
+    #[test]
+    fn unit_capacity_is_exact(data in stream_strategy(200), kind_idx in 0usize..5) {
+        let kind = [
+            TransformKind::Sum,
+            TransformKind::Max,
+            TransformKind::Min,
+            TransformKind::Spread,
+            TransformKind::Dwt,
+        ][kind_idx];
+        let base = 8usize;
+        let mut cfg = Config::online(kind, base, 3, 1);
+        cfg.dwt_coeffs = 4;
+        cfg.history = cfg.max_window() * 2;
+        let mut s = StreamSummary::new(cfg.clone());
+        for (i, &x) in data.iter().enumerate() {
+            s.push_quiet(x);
+            for j in 0..3 {
+                let w = base << j;
+                if i + 1 < w {
+                    continue;
+                }
+                let mbr = s.mbr_at(j, i as u64).expect("feature exists");
+                let direct = kind.compute(&data[i + 1 - w..=i], 4);
+                for (d, (lo, hi)) in direct.iter().zip(mbr.bounds.lo().iter().zip(mbr.bounds.hi())) {
+                    prop_assert!((d - lo).abs() < 1e-6 && (d - hi).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Boxed summaries are conservative: the MBR always contains the true
+    /// feature, for any capacity and update policy.
+    #[test]
+    fn boxes_always_contain_truth(
+        data in stream_strategy(250),
+        c in 1usize..12,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [UpdatePolicy::Online, UpdatePolicy::Batch, UpdatePolicy::Swat][policy_idx];
+        let base = 8usize;
+        let mut cfg = Config::online(TransformKind::Dwt, base, 3, c);
+        cfg.update = policy;
+        cfg.dwt_coeffs = 4;
+        cfg.history = cfg.max_window() * 2;
+        let mut s = StreamSummary::new(cfg.clone());
+        for (i, &x) in data.iter().enumerate() {
+            s.push_quiet(x);
+            for j in 0..3 {
+                let w = base << j;
+                if let Some(mbr) = s.mbr_at(j, i as u64) {
+                    let direct = TransformKind::Dwt.compute(&data[i + 1 - w..=i], 4);
+                    prop_assert!(mbr.bounds.contains(&direct, 1e-6));
+                    let sum: f64 = data[i + 1 - w..=i].iter().sum();
+                    prop_assert!(mbr.sum.0 - 1e-6 <= sum && sum <= mbr.sum.1 + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Theorem 4.3 space bound: retained MBRs at level j−1 stay within a
+    /// small constant of 2^{j-1}·W/(c·T_{j-1}) plus the history term.
+    #[test]
+    fn space_stays_within_theorem_bound(
+        data in stream_strategy(600),
+        c in 1usize..10,
+    ) {
+        let base = 8usize;
+        let levels = 3usize;
+        let history = 128usize;
+        let cfg = Config::online(TransformKind::Sum, base, levels, c).with_history(history);
+        let mut s = StreamSummary::new(cfg);
+        for &x in &data {
+            s.push_quiet(x);
+        }
+        // Per level: at most history/(c·T) sealed boxes (+1 open, +1 edge).
+        let per_level_bound = history / c + 2;
+        prop_assert!(
+            s.retained_mbrs() <= levels * per_level_bound,
+            "retained {} > bound {}",
+            s.retained_mbrs(),
+            levels * per_level_bound
+        );
+    }
+
+    /// Direct (MR-Index) computation and incremental computation agree
+    /// exactly whenever boxes are degenerate.
+    #[test]
+    fn direct_equals_incremental_for_unit_boxes(data in stream_strategy(150)) {
+        let mut cfg = Config::batch(8, 3, 4, 1.0).with_history(64);
+        let mut inc = StreamSummary::new(cfg.clone());
+        cfg.compute = ComputeMode::Direct;
+        let mut dir = StreamSummary::new(cfg);
+        for (i, &x) in data.iter().enumerate() {
+            inc.push_quiet(x);
+            dir.push_quiet(x);
+            for j in 0..3 {
+                let (a, b) = (inc.mbr_at(j, i as u64), dir.mbr_at(j, i as u64));
+                prop_assert_eq!(a.is_some(), b.is_some());
+                if let (Some(a), Some(b)) = (a, b) {
+                    for (x1, x2) in a.bounds.lo().iter().zip(b.bounds.lo()) {
+                        prop_assert!((x1 - x2).abs() < 1e-6);
+                    }
+                }
+            }
+        }
+    }
+}

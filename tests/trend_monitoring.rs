@@ -1,0 +1,94 @@
+//! End-to-end continuous trend monitoring: registered patterns, multiple
+//! streams, agreement with one-time queries.
+
+use stardust::core::config::{Config, UpdatePolicy};
+use stardust::core::engine::Stardust;
+use stardust::core::query::pattern::{self, PatternQuery};
+use stardust::core::query::trend::TrendMonitor;
+use stardust::datagen::host_load_fleet;
+
+fn monitor_config() -> Config {
+    let mut cfg = Config::batch(16, 4, 4, 10.0).with_history(256);
+    cfg.update = UpdatePolicy::Online;
+    cfg.box_capacity = 8;
+    cfg
+}
+
+/// Feeding a stream into both a TrendMonitor (standing query) and an
+/// engine (one-time query at every step) must flag exactly the same
+/// (time, pattern) matches.
+#[test]
+fn standing_query_equals_repeated_one_time_queries() {
+    let fleet = host_load_fleet(31, 1, 700);
+    let stream = &fleet[0];
+    let pattern: Vec<f64> = stream[300..348].to_vec(); // 48 = 16 + 32
+    let radius = 0.04;
+
+    let mut trend = TrendMonitor::new(monitor_config(), 1);
+    let id = trend.register(pattern.clone(), radius).expect("valid pattern");
+    let mut engine = Stardust::new(monitor_config(), 1);
+
+    let mut standing: Vec<u64> = Vec::new();
+    let mut repeated: Vec<u64> = Vec::new();
+    let q = PatternQuery { sequence: pattern, radius };
+    for (i, &x) in stream.iter().enumerate() {
+        for m in trend.append(0, x) {
+            assert_eq!(m.pattern, id);
+            standing.push(m.time);
+        }
+        engine.append(0, x);
+        // One-time query restricted to matches ending exactly now.
+        if i + 1 >= 48 {
+            let ans = pattern::query_online(&engine, &q).expect("valid");
+            repeated.extend(
+                ans.matches.iter().filter(|m| m.end_time == i as u64).map(|m| m.end_time),
+            );
+        }
+    }
+    assert_eq!(standing, repeated, "standing and one-time answers diverge");
+    assert!(standing.contains(&347), "the planted occurrence must fire");
+}
+
+/// Patterns are matched per stream: a pattern planted in one stream does
+/// not fire on the others.
+#[test]
+fn per_stream_attribution() {
+    let fleet = host_load_fleet(77, 3, 600);
+    let mut trend = TrendMonitor::new(monitor_config(), 3);
+    let pattern: Vec<f64> = fleet[1][400..448].to_vec();
+    let id = trend.register(pattern, 0.01).expect("valid");
+    let mut hits = Vec::new();
+    for i in 0..600 {
+        for (s, stream) in fleet.iter().enumerate() {
+            hits.extend(trend.append(s as u32, stream[i]));
+        }
+    }
+    let exact: Vec<_> = hits.iter().filter(|m| m.time == 447 && m.pattern == id).collect();
+    assert!(exact.iter().any(|m| m.stream == 1), "planted stream must fire");
+    assert!(
+        exact.iter().all(|m| m.stream == 1),
+        "tight radius must not fire on other streams: {exact:?}"
+    );
+}
+
+/// Stats precision stays within [0, 1] and candidates dominate matches
+/// under a mixed pattern database.
+#[test]
+fn stats_accounting() {
+    let fleet = host_load_fleet(5, 2, 500);
+    let mut trend = TrendMonitor::new(monitor_config(), 2);
+    for k in 0..6 {
+        let start = 100 + k * 40;
+        let pat: Vec<f64> = fleet[k % 2][start..start + 32].to_vec();
+        trend.register(pat, 0.03).expect("valid");
+    }
+    for i in 0..500 {
+        for (s, stream) in fleet.iter().enumerate() {
+            trend.append(s as u32, stream[i]);
+        }
+    }
+    let st = trend.stats();
+    assert!(st.matches <= st.candidates);
+    assert!(st.matches > 0, "planted patterns must match");
+    assert!((0.0..=1.0).contains(&st.precision()));
+}
