@@ -108,11 +108,8 @@ mod tests {
         let ans = mr.query(&q).expect("valid");
         let truth = linear_scan_matches(mr.engine(), &q);
         let mut got: Vec<_> = ans.matches.iter().map(|m| (m.stream, m.end_time)).collect();
-        let mut want: Vec<_> = truth
-            .iter()
-            .filter(|m| m.end_time + 1 >= 24)
-            .map(|m| (m.stream, m.end_time))
-            .collect();
+        let mut want: Vec<_> =
+            truth.iter().filter(|m| m.end_time + 1 >= 24).map(|m| (m.stream, m.end_time)).collect();
         got.sort_unstable();
         want.sort_unstable();
         assert_eq!(got, want);

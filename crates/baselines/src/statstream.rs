@@ -161,9 +161,8 @@ impl StatStream {
         for (other, feature_distance) in reported {
             self.stats.reported += 1;
             let correlation = if self.verify {
-                let win_a = self.histories[s]
-                    .window(t, self.window)
-                    .expect("feature implies full window");
+                let win_a =
+                    self.histories[s].window(t, self.window).expect("feature implies full window");
                 let win_b = self.histories[other as usize]
                     .window(t, self.window)
                     .expect("same-time feature implies full window");
@@ -251,10 +250,7 @@ mod tests {
         let pairs = feed(&mut mon, 300);
         let confirmed: Vec<_> = pairs
             .iter()
-            .filter(|p| {
-                p.correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= 0.2)
-            })
+            .filter(|p| p.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= 0.2))
             .collect();
         assert!(!confirmed.is_empty(), "correlated pair never confirmed");
         assert!(confirmed.iter().all(|p| (p.a.min(p.b), p.a.max(p.b)) == (0, 1)));
@@ -329,9 +325,8 @@ mod tests {
                 continue;
             }
             // Brute force over the three windows.
-            let wins: Vec<Vec<f64>> = (0..3)
-                .map(|s| mon.histories[s].window(i, 16).expect("in history"))
-                .collect();
+            let wins: Vec<Vec<f64>> =
+                (0..3).map(|s| mon.histories[s].window(i, 16).expect("in history")).collect();
             for x in 0..3usize {
                 for y in x + 1..3 {
                     let Some(corr) = normalize::correlation(&wins[x], &wins[y]) else {

@@ -186,12 +186,7 @@ impl SwtMonitor {
                 if is_true_alarm {
                     self.stats.true_alarms += 1;
                 }
-                alarms.push(SwtAlarm {
-                    window: spec.window,
-                    time: t,
-                    true_value,
-                    is_true_alarm,
-                });
+                alarms.push(SwtAlarm { window: spec.window, time: t, true_value, is_true_alarm });
             }
         }
         alarms
@@ -240,7 +235,8 @@ mod tests {
         let mut swt = SwtMonitor::new(TransformKind::Sum, 10, &specs);
         let mut raised: Vec<(usize, Time)> = Vec::new();
         for &x in &data {
-            raised.extend(swt.push(x).iter().filter(|a| a.is_true_alarm).map(|a| (a.window, a.time)));
+            raised
+                .extend(swt.push(x).iter().filter(|a| a.is_true_alarm).map(|a| (a.window, a.time)));
         }
         // Brute force ground truth.
         let mut expect = Vec::new();
@@ -312,10 +308,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "SUM/MAX/SPREAD")]
     fn rejects_min() {
-        let _ = SwtMonitor::new(
-            TransformKind::Min,
-            10,
-            &[WindowSpec { window: 10, threshold: 0.0 }],
-        );
+        let _ =
+            SwtMonitor::new(TransformKind::Min, 10, &[WindowSpec { window: 10, threshold: 0.0 }]);
     }
 }

@@ -36,10 +36,7 @@ fn bench_queries(c: &mut Criterion) {
     let (online, batch, data) = engines();
     let mut group = c.benchmark_group("pattern_query");
     for len in [48usize, 112, 240] {
-        let q = PatternQuery {
-            sequence: data[0][N_ITEMS - len..].to_vec(),
-            radius: 0.02,
-        };
+        let q = PatternQuery { sequence: data[0][N_ITEMS - len..].to_vec(), radius: 0.02 };
         group.bench_function(format!("online_len{len}"), |b| {
             b.iter(|| pattern::query_online(&online, &q).expect("valid"))
         });

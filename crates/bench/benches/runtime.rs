@@ -1,0 +1,92 @@
+#![allow(missing_docs)]
+//! Shard-scaling: ingest throughput of the sharded runtime at 1/2/4/8
+//! shards against the single-threaded `UnifiedMonitor`, on the paper's
+//! §6.3 shape of workload (many streams, correlation enabled — the
+//! pair-search cost that dominates at scale is quadratic in the number
+//! of co-monitored streams, so partitioning pays even on one core; on
+//! multi-core hardware thread parallelism compounds it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::stream::StreamId;
+use stardust_core::transform::TransformKind;
+use stardust_datagen::random_walk_streams;
+use stardust_runtime::{
+    AggregateSpec, Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime,
+};
+
+const W: usize = 16;
+const LEVELS: usize = 3;
+const M: usize = 64;
+const N: usize = 512;
+
+fn workload() -> (Vec<Vec<f64>>, MonitorSpec) {
+    let streams = random_walk_streams(23, M, N);
+    let r_max = streams.iter().flatten().fold(1.0f64, |a, &b| a.max(b.abs()));
+    let spec = MonitorSpec::new(W, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window: 2 * W, threshold: r_max * 2.0 * W as f64 }],
+            box_capacity: 4,
+        })
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 0.8 });
+    (streams, spec)
+}
+
+/// Row-major batches of 16 rows, as a front end would submit them.
+fn batches(streams: &[Vec<f64>]) -> Vec<Batch> {
+    streams[0]
+        .chunks(16)
+        .enumerate()
+        .map(|(chunk, rows)| {
+            (0..rows.len())
+                .flat_map(|i| {
+                    let t = chunk * 16 + i;
+                    streams.iter().enumerate().map(move |(s, x)| (s as StreamId, x[t]))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let (streams, spec) = workload();
+    let batches = batches(&streams);
+    let mut group = c.benchmark_group("runtime_ingest");
+    group.throughput(Throughput::Elements((M * N) as u64));
+
+    group.bench_function("single_threaded", |b| {
+        b.iter(|| {
+            let mut monitor = spec.build(M).unwrap().unwrap();
+            let mut events = 0usize;
+            for t in 0..N {
+                for (s, x) in streams.iter().enumerate() {
+                    events += monitor.append(s as StreamId, x[t]).len();
+                }
+            }
+            events
+        })
+    });
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("sharded_{shards}"), |b| {
+            b.iter_batched(
+                || {
+                    ShardedRuntime::launch(&spec, M, RuntimeConfig { shards, queue_capacity: 64 })
+                        .unwrap()
+                },
+                |rt| {
+                    for batch in &batches {
+                        rt.submit_blocking(batch).unwrap();
+                    }
+                    rt.shutdown().events.len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

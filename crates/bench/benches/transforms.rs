@@ -3,10 +3,10 @@
 //! Lemmas 4.1 / 4.2, and the sliding DFT.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stardust_core::transform::{MergePrecision, TransformKind};
 use stardust_dsp::dft::SlidingDft;
 use stardust_dsp::haar;
 use stardust_dsp::mbr_transform::Bounds;
-use stardust_core::transform::{MergePrecision, TransformKind};
 
 fn bench_transforms(c: &mut Criterion) {
     let window: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.13).sin() * 5.0 + 10.0).collect();
@@ -29,8 +29,12 @@ fn bench_transforms(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("interval_merge");
-    let bl = Bounds::new(left.iter().map(|v| v - 0.5).collect(), left.iter().map(|v| v + 0.5).collect());
-    let br = Bounds::new(right.iter().map(|v| v - 0.5).collect(), right.iter().map(|v| v + 0.5).collect());
+    let bl =
+        Bounds::new(left.iter().map(|v| v - 0.5).collect(), left.iter().map(|v| v + 0.5).collect());
+    let br = Bounds::new(
+        right.iter().map(|v| v - 0.5).collect(),
+        right.iter().map(|v| v + 0.5).collect(),
+    );
     group.bench_function("dwt_fast_f4", |b| {
         b.iter(|| TransformKind::Dwt.merge_bounds(&bl, &br, MergePrecision::Fast))
     });

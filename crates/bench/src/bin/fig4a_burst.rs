@@ -46,14 +46,11 @@ fn main() {
     let capacities = [1usize, 5, 25, 150];
     let lambdas = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0];
 
-    let mut table = Table::new(&[
-        "lambda", "technique", "precision", "true", "raised", "time_ms",
-    ]);
+    let mut table = Table::new(&["lambda", "technique", "precision", "true", "raised", "time_ms"]);
     for &lambda in &lambdas {
         let specs = specs_for(train, lambda);
         for &c in &capacities {
-            let cfg = Config::online(TransformKind::Sum, K, levels, c)
-                .with_history(M_WINDOWS * K);
+            let cfg = Config::online(TransformKind::Sum, K, levels, c).with_history(M_WINDOWS * K);
             let mut mon = AggregateMonitor::new(cfg, &specs);
             let (_, ms) = timed(|| {
                 for &x in live {

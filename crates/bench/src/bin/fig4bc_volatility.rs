@@ -33,16 +33,16 @@ fn main() {
     let seed = seed_arg();
     let n = if full_scale() { 360_000 } else { 36_000 };
     let data = packet_series(seed, n, &PacketParams::default());
-    println!("# Fig 4(b)/(c): volatility detection on packet.dat substitute ({n} pts, seed {seed})");
+    println!(
+        "# Fig 4(b)/(c): volatility detection on packet.dat substitute ({n} pts, seed {seed})"
+    );
     let (train, live) = data.split_at(TRAIN);
     let capacities = [1usize, 10, 100, 1000];
     let window_counts = [50usize, 60, 70, 80];
     // Windows up to 80·100 = 8000 ⇒ b up to 80 ⇒ bits 0..=6.
     let levels = 7;
 
-    let mut table = Table::new(&[
-        "m", "technique", "precision", "true", "raised", "time_ms",
-    ]);
+    let mut table = Table::new(&["m", "technique", "precision", "true", "raised", "time_ms"]);
     for &m in &window_counts {
         let specs: Vec<WindowSpec> = (1..=m)
             .map(|k| {

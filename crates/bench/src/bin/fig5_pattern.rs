@@ -46,10 +46,7 @@ fn main() {
         "# Fig 5: pattern-query precision, Host Load substitute (M={M_STREAMS}, N={N_HISTORY}, W={W}, c={C}, f={F}, {n_queries} queries/radius, seed {seed})"
     );
     let fleet = host_load_fleet(seed, M_STREAMS, arrivals);
-    let r_max = fleet
-        .iter()
-        .flat_map(|s| s.iter().copied())
-        .fold(1.0f64, f64::max);
+    let r_max = fleet.iter().flat_map(|s| s.iter().copied()).fold(1.0f64, f64::max);
 
     // Build the four indexes.
     let mut online_cfg = Config::batch(W, LEVELS, F, r_max).with_history(N_HISTORY);

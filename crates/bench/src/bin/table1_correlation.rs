@@ -39,14 +39,19 @@ fn main() {
         "# Table 1: correlation detection total time (ms); N={N}, W={W}, f={F}, cell={CELL}, warm-up + {ARRIVALS} arrivals, seed {seed}"
     );
     let mut table = Table::new(&[
-        "streams", "r", "statstream_ms", "stardust_ms", "speedup", "ss_pairs", "sd_pairs",
+        "streams",
+        "r",
+        "statstream_ms",
+        "stardust_ms",
+        "speedup",
+        "ss_pairs",
+        "sd_pairs",
     ]);
     for &m in stream_counts {
         let data = random_walk_streams(seed, m, N + ARRIVALS);
         for &r in &radii {
             let mut ss = StatStream::new(W, N / W, F, CELL, r, m).with_verification(false);
-            let mut sd =
-                CorrelationMonitor::new(W, LEVELS, F, r, m).with_verification(false);
+            let mut sd = CorrelationMonitor::new(W, LEVELS, F, r, m).with_verification(false);
             // Warm-up: fill one full window (not timed).
             for i in 0..N {
                 for (s, stream) in data.iter().enumerate() {

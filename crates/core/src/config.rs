@@ -73,7 +73,12 @@ pub struct Config {
 impl Config {
     /// A configuration for the **online algorithm** (aggregate monitoring):
     /// `T_j = 1` with the given box capacity.
-    pub fn online(transform: TransformKind, base_window: usize, levels: usize, box_capacity: usize) -> Self {
+    pub fn online(
+        transform: TransformKind,
+        base_window: usize,
+        levels: usize,
+        box_capacity: usize,
+    ) -> Self {
         Config {
             base_window,
             levels,
@@ -177,10 +182,7 @@ impl Config {
                 return Err(format!("period at level {j} not a multiple of level {}", j - 1));
             }
             if !(self.window_at(j - 1) as u64).is_multiple_of(tprev) {
-                return Err(format!(
-                    "half-window at level {} not aligned with its period",
-                    j - 1
-                ));
+                return Err(format!("half-window at level {} not aligned with its period", j - 1));
             }
         }
         Ok(())

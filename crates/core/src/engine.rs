@@ -239,12 +239,8 @@ impl std::fmt::Debug for Stardust {
 /// deterministic so retirement can delete the exact record.
 fn index_record(stream: StreamId, mbr: &FeatureMbr) -> (Rect, IndexEntry) {
     let rect = Rect::new(mbr.bounds.lo().to_vec(), mbr.bounds.hi().to_vec());
-    let entry = IndexEntry {
-        stream,
-        first: mbr.first,
-        count: mbr.count as u32,
-        period: mbr.period,
-    };
+    let entry =
+        IndexEntry { stream, first: mbr.first, count: mbr.count as u32, period: mbr.period };
     (rect, entry)
 }
 

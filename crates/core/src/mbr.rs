@@ -33,7 +33,13 @@ pub struct FeatureMbr {
 impl FeatureMbr {
     /// A fresh MBR holding exactly one feature (possibly itself an
     /// interval, when the feature was produced by an approximate merge).
-    pub fn first(bounds: Bounds, sum: (f64, f64), sumsq: (f64, f64), time: Time, period: u64) -> Self {
+    pub fn first(
+        bounds: Bounds,
+        sum: (f64, f64),
+        sumsq: (f64, f64),
+        time: Time,
+        period: u64,
+    ) -> Self {
         debug_assert!(period >= 1);
         FeatureMbr { bounds, sum, sumsq, first: time, count: 1, period }
     }
@@ -110,13 +116,8 @@ mod tests {
 
     #[test]
     fn interval_features_absorb() {
-        let mut m = FeatureMbr::first(
-            Bounds::new(vec![0.0], vec![1.0]),
-            (0.0, 2.0),
-            (0.0, 4.0),
-            5,
-            1,
-        );
+        let mut m =
+            FeatureMbr::first(Bounds::new(vec![0.0], vec![1.0]), (0.0, 2.0), (0.0, 4.0), 5, 1);
         m.absorb(&Bounds::new(vec![-1.0], vec![0.5]), (1.0, 3.0), (1.0, 2.0), 6);
         assert_eq!(m.bounds.lo(), &[-1.0]);
         assert_eq!(m.bounds.hi(), &[1.0]);

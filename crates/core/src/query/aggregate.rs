@@ -110,6 +110,16 @@ pub struct AggregateMonitor {
     scratch: Vec<f64>,
 }
 
+// Compact by hand: the summary carries full per-level box state.
+impl std::fmt::Debug for AggregateMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregateMonitor")
+            .field("windows", &self.windows.iter().map(|m| m.spec).collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl AggregateMonitor {
     /// A monitor with the given summarizer configuration and monitored
     /// windows.
@@ -127,7 +137,11 @@ impl AggregateMonitor {
     /// not decomposable over the configured levels, a MIN window is not a
     /// multiple of `W`, or a covering window exceeds the history.
     pub fn new(config: Config, specs: &[WindowSpec]) -> Self {
-        assert_ne!(config.transform, TransformKind::Dwt, "aggregate monitoring needs a scalar transform");
+        assert_ne!(
+            config.transform,
+            TransformKind::Dwt,
+            "aggregate monitoring needs a scalar transform"
+        );
         config.validate();
         let windows = specs
             .iter()
@@ -178,8 +192,7 @@ impl AggregateMonitor {
         let t = self.summary.now().expect("just pushed");
         let mut alarms = Vec::new();
         for i in 0..self.windows.len() {
-            let (window, threshold) =
-                (self.windows[i].spec.window, self.windows[i].spec.threshold);
+            let (window, threshold) = (self.windows[i].spec.window, self.windows[i].spec.threshold);
             let effective = self.windows[i].effective;
             if (t + 1) < effective as u64 {
                 continue;
@@ -200,12 +213,8 @@ impl AggregateMonitor {
             let mut buf = std::mem::take(&mut self.scratch);
             let ok = self.summary.history().copy_window(t, window, &mut buf);
             debug_assert!(ok, "window within history");
-            let true_value = self
-                .summary
-                .config()
-                .transform
-                .scalar_aggregate(&buf)
-                .expect("scalar transform");
+            let true_value =
+                self.summary.config().transform.scalar_aggregate(&buf).expect("scalar transform");
             self.scratch = buf;
             let is_true_alarm = true_value >= threshold;
             if is_true_alarm {

@@ -113,6 +113,21 @@ pub struct CorrelationMonitor {
     stats: CorrelationStats,
 }
 
+// Compact by hand: summaries and the feature tree carry full state.
+impl std::fmt::Debug for CorrelationMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorrelationMonitor")
+            .field("n_streams", &self.summaries.len())
+            .field("window", &self.window)
+            .field("f", &self.f)
+            .field("radius", &self.radius)
+            .field("lag_periods", &self.lag_periods)
+            .field("verify", &self.verify)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl CorrelationMonitor {
     /// A monitor detecting correlations over windows of size
     /// `N = W·2^(levels−1)` with z-norm distance threshold `r` (equivalent
@@ -169,17 +184,13 @@ impl CorrelationMonitor {
     /// values (the raw-history size depends on the lag horizon).
     pub fn with_lag_periods(mut self, periods: usize) -> Self {
         assert!(periods >= 1, "need at least one period");
-        assert!(
-            self.summaries[0].now().is_none(),
-            "configure the lag before feeding values"
-        );
+        assert!(self.summaries[0].now().is_none(), "configure the lag before feeding values");
         // Verifying a lagged pair needs the partner's full window, which
         // ends up to `periods − 1` update periods in the past.
         let mut config = self.summaries[0].config().clone();
         config.history = self.window + (periods - 1) * config.base_window;
-        self.summaries = (0..self.summaries.len())
-            .map(|_| StreamSummary::new(config.clone()))
-            .collect();
+        self.summaries =
+            (0..self.summaries.len()).map(|_| StreamSummary::new(config.clone())).collect();
         self.lag_periods = periods;
         self
     }
@@ -368,10 +379,7 @@ mod tests {
         let verified: Vec<&CorrelatedPair> = reports
             .iter()
             .flatten()
-            .filter(|p| {
-                p.correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= 0.2)
-            })
+            .filter(|p| p.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= 0.2))
             .collect();
         assert!(!verified.is_empty(), "correlated pair never confirmed");
         assert!(

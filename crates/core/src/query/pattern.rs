@@ -165,19 +165,11 @@ pub fn query_online(engine: &Stardust, q: &PatternQuery) -> Result<PatternAnswer
         if !engine.summary(stream).history().copy_window(tf, len, &mut window) {
             continue;
         }
-        let d_raw: f64 = window
-            .iter()
-            .zip(&q.sequence)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt();
+        let d_raw: f64 =
+            window.iter().zip(&q.sequence).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         if d_raw <= r_abs {
             answer.relevant += 1;
-            answer.matches.push(PatternMatch {
-                stream,
-                end_time: tf,
-                distance: d_raw * scale,
-            });
+            answer.matches.push(PatternMatch { stream, end_time: tf, distance: d_raw * scale });
         }
     }
     Ok(answer)
@@ -289,11 +281,7 @@ pub fn query_batch(engine: &Stardust, q: &PatternQuery) -> Result<PatternAnswer,
                 if d_raw <= r_abs {
                     candidate_hit = true;
                     found.insert((stream, end_time));
-                    answer.matches.push(PatternMatch {
-                        stream,
-                        end_time,
-                        distance: d_raw * scale,
-                    });
+                    answer.matches.push(PatternMatch { stream, end_time, distance: d_raw * scale });
                 }
             }
         }
@@ -358,12 +346,8 @@ pub fn linear_scan_matches(engine: &Stardust, q: &PatternQuery) -> Vec<PatternMa
             if !hist.copy_window(te, len, &mut window) {
                 continue;
             }
-            let d_raw: f64 = window
-                .iter()
-                .zip(&q.sequence)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let d_raw: f64 =
+                window.iter().zip(&q.sequence).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             if d_raw <= r_abs {
                 out.push(PatternMatch { stream: s, end_time: te, distance: d_raw * scale });
             }
@@ -523,10 +507,7 @@ mod tests {
             truth.retain(|m| m.end_time + 1 >= 24);
             truth.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap());
             for (g, t) in got.iter().zip(&truth) {
-                assert!(
-                    (g.distance - t.distance).abs() < 1e-9,
-                    "k={k}: got {g:?} want {t:?}"
-                );
+                assert!((g.distance - t.distance).abs() < 1e-9, "k={k}: got {g:?} want {t:?}");
             }
             // The self-occurrence is always the nearest.
             assert_eq!(got[0].stream, 2);

@@ -111,6 +111,18 @@ pub struct TrendMonitor {
     scratch: Vec<f64>,
 }
 
+// Compact by hand: summaries and length groups carry full index state.
+impl std::fmt::Debug for TrendMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrendMonitor")
+            .field("n_streams", &self.summaries.len())
+            .field("n_patterns", &self.patterns.len())
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl TrendMonitor {
     /// A monitor over `n_streams` streams with the given summarizer
     /// configuration (must be DWT-based; typically the online policy so
@@ -122,8 +134,7 @@ impl TrendMonitor {
         assert!(n_streams >= 1, "need at least one stream");
         assert_eq!(config.transform, TransformKind::Dwt, "trend monitoring is DWT-based");
         config.validate();
-        let summaries =
-            (0..n_streams).map(|_| StreamSummary::new(config.clone())).collect();
+        let summaries = (0..n_streams).map(|_| StreamSummary::new(config.clone())).collect();
         TrendMonitor {
             config,
             summaries,
@@ -370,12 +381,8 @@ mod tests {
             reported += m.append(0, v).len();
             if series.len() >= 16 {
                 let win = &series[series.len() - 16..];
-                let d: f64 = win
-                    .iter()
-                    .zip(&pat)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>()
-                    .sqrt();
+                let d: f64 =
+                    win.iter().zip(&pat).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
                 if d <= r_abs {
                     expected += 1;
                 }

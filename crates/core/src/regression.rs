@@ -241,10 +241,7 @@ pub fn recommend_windows(
 }
 
 fn sliding(series: &[f64], w: usize, kind: TransformKind) -> Vec<f64> {
-    series
-        .windows(w)
-        .map(|win| kind.scalar_aggregate(win).expect("scalar transform"))
-        .collect()
+    series.windows(w).map(|win| kind.scalar_aggregate(win).expect("scalar transform")).collect()
 }
 
 #[cfg(test)]
@@ -349,11 +346,7 @@ mod tests {
         let candidates = [5usize, 10, 20, 40, 80, 160, 320];
         let ranked = recommend_windows(&series, &candidates, TransformKind::Sum);
         assert_eq!(ranked.len(), candidates.len());
-        assert!(
-            ranked[0].window == 40,
-            "expected 40 on top, got {:?}",
-            &ranked[..3]
-        );
+        assert!(ranked[0].window == 40, "expected 40 on top, got {:?}", &ranked[..3]);
         // Scores strictly ordered and finite.
         for pair in ranked.windows(2) {
             assert!(pair[0].score >= pair[1].score);

@@ -185,10 +185,7 @@ impl StreamSummary {
     /// Total MBRs retained across all levels — the space accounting of
     /// Theorem 4.3.
     pub fn retained_mbrs(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| l.sealed.len() + usize::from(l.open.is_some()))
-            .sum()
+        self.levels.iter().map(|l| l.sealed.len() + usize::from(l.open.is_some())).sum()
     }
 
     /// Serializes the full summary state — configuration, raw history,
@@ -315,12 +312,7 @@ impl StreamSummary {
                 prev_last = Some(m.last());
                 sealed.push_back(m);
             }
-            levels.push(LevelState {
-                window: config.window_at(j),
-                period,
-                open,
-                sealed,
-            });
+            levels.push(LevelState { window: config.window_at(j), period, open, sealed });
         }
         r.expect_end()?;
         Ok(StreamSummary {
@@ -344,10 +336,8 @@ impl StreamSummary {
         self.run_sum += value;
         self.run_sumsq += value * value;
         if t >= w0 as u64 {
-            let old = self
-                .history
-                .get(t - w0 as u64)
-                .expect("history capacity covers the base window");
+            let old =
+                self.history.get(t - w0 as u64).expect("history capacity covers the base window");
             self.run_sum -= old;
             self.run_sumsq -= old * old;
         }
@@ -424,11 +414,7 @@ impl StreamSummary {
                 coeffs
             }
         };
-        (
-            Bounds::point(&coords),
-            (self.run_sum, self.run_sum),
-            (self.run_sumsq, self.run_sumsq),
-        )
+        (Bounds::point(&coords), (self.run_sum, self.run_sum), (self.run_sumsq, self.run_sumsq))
     }
 
     fn insert_feature(
@@ -500,7 +486,9 @@ mod tests {
                     if i + 1 < w {
                         continue;
                     }
-                    let mbr = s.mbr_at(j, t).unwrap_or_else(|| panic!("{kind:?} missing level {j} at t={t}"));
+                    let mbr = s
+                        .mbr_at(j, t)
+                        .unwrap_or_else(|| panic!("{kind:?} missing level {j} at t={t}"));
                     let direct = kind.compute(&data[i + 1 - w..=i], cfg.dwt_coeffs);
                     for (d, (lo, hi)) in
                         direct.iter().zip(mbr.bounds.lo().iter().zip(mbr.bounds.hi()))
@@ -636,11 +624,7 @@ mod tests {
         assert!(sealed > 0 && retired > 0);
         assert!(sealed >= retired);
         // Retained MBRs: per level about history/(c·T) plus slack.
-        assert!(
-            s.retained_mbrs() <= 3 * (64 / 4 + 3),
-            "retained {} MBRs",
-            s.retained_mbrs()
-        );
+        assert!(s.retained_mbrs() <= 3 * (64 / 4 + 3), "retained {} MBRs", s.retained_mbrs());
         // Everything sealed is eventually retired or still retained.
         let still: usize = (0..3).map(|j| s.sealed_mbrs(j).count()).sum();
         assert_eq!(sealed, retired + still);
@@ -705,11 +689,7 @@ mod tests {
     #[test]
     fn snapshot_restore_is_transparent() {
         let data = series(500);
-        for kind in [
-            TransformKind::Sum,
-            TransformKind::Spread,
-            TransformKind::Dwt,
-        ] {
+        for kind in [TransformKind::Sum, TransformKind::Spread, TransformKind::Dwt] {
             for policy in [UpdatePolicy::Online, UpdatePolicy::Batch, UpdatePolicy::Swat] {
                 let base = 8usize;
                 let mut cfg = Config::online(kind, base, 3, 4);

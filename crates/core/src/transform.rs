@@ -100,10 +100,9 @@ impl TransformKind {
     pub fn merge_bounds(self, left: &Bounds, right: &Bounds, precision: MergePrecision) -> Bounds {
         assert_eq!(left.dims(), right.dims(), "half bounds dimensionality mismatch");
         match self {
-            TransformKind::Sum => Bounds::new(
-                vec![left.lo()[0] + right.lo()[0]],
-                vec![left.hi()[0] + right.hi()[0]],
-            ),
+            TransformKind::Sum => {
+                Bounds::new(vec![left.lo()[0] + right.lo()[0]], vec![left.hi()[0] + right.hi()[0]])
+            }
             TransformKind::Max => Bounds::new(
                 vec![left.lo()[0].max(right.lo()[0])],
                 vec![left.hi()[0].max(right.hi()[0])],
@@ -146,9 +145,7 @@ impl TransformKind {
     pub fn scalar_aggregate(self, window: &[f64]) -> Option<f64> {
         match self {
             TransformKind::Sum => Some(window.iter().sum()),
-            TransformKind::Max => {
-                Some(window.iter().copied().fold(f64::NEG_INFINITY, f64::max))
-            }
+            TransformKind::Max => Some(window.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
             TransformKind::Min => Some(window.iter().copied().fold(f64::INFINITY, f64::min)),
             TransformKind::Spread => {
                 let mx = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);

@@ -44,6 +44,7 @@ pub enum Event {
 }
 
 /// Builder for [`UnifiedMonitor`].
+#[derive(Debug)]
 pub struct Builder {
     base_window: usize,
     levels: usize,
@@ -122,6 +123,16 @@ pub struct UnifiedMonitor {
     correlations: Option<CorrelationMonitor>,
 }
 
+impl std::fmt::Debug for UnifiedMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnifiedMonitor")
+            .field("aggregates", &self.aggregates.as_ref().map(|(m, specs)| (m.len(), specs)))
+            .field("trends", &self.trends)
+            .field("correlations", &self.correlations)
+            .finish()
+    }
+}
+
 impl UnifiedMonitor {
     /// Starts a builder over `n_streams` streams, base window `W`, and
     /// the given number of resolution levels. `r_max` bounds the value
@@ -146,11 +157,12 @@ impl UnifiedMonitor {
     ///
     /// # Panics
     /// Panics if trend monitoring is not enabled.
-    pub fn register_trend(&mut self, sequence: Vec<f64>, radius: f64) -> Result<PatternId, QueryError> {
-        self.trends
-            .as_mut()
-            .expect("trend monitoring not enabled")
-            .register(sequence, radius)
+    pub fn register_trend(
+        &mut self,
+        sequence: Vec<f64>,
+        radius: f64,
+    ) -> Result<PatternId, QueryError> {
+        self.trends.as_mut().expect("trend monitoring not enabled").register(sequence, radius)
     }
 
     /// Appends one value to one stream; returns every event the arrival
@@ -194,6 +206,17 @@ impl UnifiedMonitor {
 mod tests {
     use super::*;
 
+    /// Compile-time guarantee that monitors can be moved into worker
+    /// threads (the sharded runtime relies on this). Breaking it — e.g.
+    /// by introducing an `Rc` — fails this test at compile time.
+    #[test]
+    fn monitors_are_send() {
+        fn _assert_send<T: Send>() {}
+        _assert_send::<UnifiedMonitor>();
+        _assert_send::<Builder>();
+        _assert_send::<Event>();
+    }
+
     fn splitmix(seed: &mut u64) -> f64 {
         *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = *seed;
@@ -234,9 +257,7 @@ mod tests {
                 match ev {
                     Event::Aggregate { alarm, .. } => saw_aggregate |= alarm.is_true_alarm,
                     Event::Trend(m) => saw_trend |= m.pattern == trend_id,
-                    Event::Correlation(p) => {
-                        saw_correlation |= p.correlation.unwrap_or(0.0) > 0.9
-                    }
+                    Event::Correlation(p) => saw_correlation |= p.correlation.unwrap_or(0.0) > 0.9,
                 }
             }
         }
@@ -269,9 +290,8 @@ mod tests {
     #[should_panic(expected = "trend monitoring not enabled")]
     fn registering_without_trends_panics() {
         let specs = vec![WindowSpec { window: 8, threshold: 1.0 }];
-        let mut unified = UnifiedMonitor::builder(8, 2, 1, 1.0)
-            .aggregates(TransformKind::Sum, specs, 1)
-            .build();
+        let mut unified =
+            UnifiedMonitor::builder(8, 2, 1, 1.0).aggregates(TransformKind::Sum, specs, 1).build();
         let _ = unified.register_trend(vec![0.0; 8], 0.1);
     }
 }

@@ -60,18 +60,16 @@ pub fn burst_series(seed: u64, n: usize, params: &BurstParams) -> (Vec<f64>, Vec
     let mut intervals = Vec::with_capacity(count);
     for _ in 0..count {
         let start = rng.random_range(0..n.max(1));
-        let duration =
-            (pareto(&mut rng, params.min_duration as f64, params.duration_shape).round() as usize)
-                .clamp(params.min_duration, n / 4 + 1);
+        let duration = (pareto(&mut rng, params.min_duration as f64, params.duration_shape).round()
+            as usize)
+            .clamp(params.min_duration, n / 4 + 1);
         intervals.push(BurstInterval { start, duration });
         for b in boost.iter_mut().skip(start).take(duration) {
             *b = params.intensity;
         }
     }
-    let series = boost
-        .iter()
-        .map(|&b| poisson(&mut rng, params.background_rate * b) as f64)
-        .collect();
+    let series =
+        boost.iter().map(|&b| poisson(&mut rng, params.background_rate * b) as f64).collect();
     (series, intervals)
 }
 
@@ -114,10 +112,7 @@ mod tests {
         if end > longest.start + 8 {
             let inside: f64 =
                 s[longest.start..end].iter().sum::<f64>() / (end - longest.start) as f64;
-            assert!(
-                inside > global_mean * 1.5,
-                "burst mean {inside} vs global {global_mean}"
-            );
+            assert!(inside > global_mean * 1.5, "burst mean {inside} vs global {global_mean}");
         }
     }
 

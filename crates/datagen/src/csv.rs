@@ -10,10 +10,7 @@ use std::fmt::Write as _;
 pub fn to_csv(streams: &[Vec<f64>]) -> String {
     assert!(!streams.is_empty(), "need at least one stream");
     let n = streams[0].len();
-    assert!(
-        streams.iter().all(|s| s.len() == n),
-        "streams must have equal lengths"
-    );
+    assert!(streams.iter().all(|s| s.len() == n), "streams must have equal lengths");
     let mut out = String::with_capacity(n * streams.len() * 8);
     for i in 0..n {
         for (s, col) in streams.iter().enumerate() {

@@ -117,10 +117,7 @@ mod tests {
                 .collect();
         }
         let coarse: f64 = a.iter().map(|x| x * x).sum();
-        assert!(
-            coarse > 0.4 * total,
-            "coarse energy {coarse} of {total} — spectrum too flat"
-        );
+        assert!(coarse > 0.4 * total, "coarse energy {coarse} of {total} — spectrum too flat");
     }
 
     #[test]

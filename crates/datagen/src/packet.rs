@@ -86,10 +86,8 @@ mod tests {
     fn variance_time_plot_shows_long_range_dependence() {
         let s = packet_series(77, 200_000, &PacketParams::default());
         let var_of = |block: usize| -> f64 {
-            let means: Vec<f64> = s
-                .chunks_exact(block)
-                .map(|c| c.iter().sum::<f64>() / block as f64)
-                .collect();
+            let means: Vec<f64> =
+                s.chunks_exact(block).map(|c| c.iter().sum::<f64>() / block as f64).collect();
             let m = means.iter().sum::<f64>() / means.len() as f64;
             means.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / means.len() as f64
         };

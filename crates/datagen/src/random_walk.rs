@@ -22,17 +22,18 @@ pub fn random_walk(seed: u64, n: usize) -> Vec<f64> {
 
 /// `m` independent random-walk streams of `n` values each.
 pub fn random_walk_streams(seed: u64, m: usize, n: usize) -> Vec<Vec<f64>> {
-    (0..m).map(|s| random_walk(seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed, n)).collect()
+    (0..m)
+        .map(|s| {
+            random_walk(seed.wrapping_add(s as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ seed, n)
+        })
+        .collect()
 }
 
 /// The smallest `R_max` covering all values of the given streams (§2.1
 /// assumes values in `[0, R_max]`; the walk is unbounded, so experiments
 /// derive the bound from the generated data and clamp).
 pub fn observed_r_max(streams: &[Vec<f64>]) -> f64 {
-    streams
-        .iter()
-        .flat_map(|s| s.iter().copied())
-        .fold(1.0f64, |acc, v| acc.max(v.abs()))
+    streams.iter().flat_map(|s| s.iter().copied()).fold(1.0f64, |acc, v| acc.max(v.abs()))
 }
 
 #[cfg(test)]

@@ -137,11 +137,7 @@ impl SlidingDft {
             .map(|k| Complex::cis(TAU * k as f64 * basic as f64 / window as f64))
             .collect();
         let omega_newest: Vec<Complex> = (1..=half_f)
-            .map(|k| {
-                Complex::cis(
-                    -TAU * k as f64 * ((n_basic - 1) * basic) as f64 / window as f64,
-                )
-            })
+            .map(|k| Complex::cis(-TAU * k as f64 * ((n_basic - 1) * basic) as f64 / window as f64))
             .collect();
         SlidingDft {
             window,
@@ -212,10 +208,8 @@ impl SlidingDft {
         }
         self.total_sum += self.cur_sum;
         self.total_sumsq += self.cur_sumsq;
-        self.partials.push_back(std::mem::replace(
-            &mut self.cur_partial,
-            vec![Complex::ZERO; self.half_f],
-        ));
+        self.partials
+            .push_back(std::mem::replace(&mut self.cur_partial, vec![Complex::ZERO; self.half_f]));
         self.moments.push_back((self.cur_sum, self.cur_sumsq));
         self.cur_len = 0;
         self.cur_sum = 0.0;

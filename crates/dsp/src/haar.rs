@@ -39,7 +39,10 @@ pub fn is_pow2(n: usize) -> bool {
 /// # Panics
 /// Panics if `x.len()` is odd or zero.
 pub fn averaging_step(x: &[f64]) -> Vec<f64> {
-    assert!(!x.is_empty() && x.len().is_multiple_of(2), "averaging step needs even, nonzero length");
+    assert!(
+        !x.is_empty() && x.len().is_multiple_of(2),
+        "averaging step needs even, nonzero length"
+    );
     x.chunks_exact(2).map(|p| (p[0] + p[1]) * INV_SQRT2).collect()
 }
 
@@ -49,7 +52,10 @@ pub fn averaging_step(x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `x.len()` is odd or zero.
 pub fn differencing_step(x: &[f64]) -> Vec<f64> {
-    assert!(!x.is_empty() && x.len().is_multiple_of(2), "differencing step needs even, nonzero length");
+    assert!(
+        !x.is_empty() && x.len().is_multiple_of(2),
+        "differencing step needs even, nonzero length"
+    );
     x.chunks_exact(2).map(|p| (p[0] - p[1]) * INV_SQRT2).collect()
 }
 
@@ -263,8 +269,7 @@ mod tests {
         for f in [1usize, 2, 4, 8, 16, 32] {
             let ax = approx(&x, f);
             let ay = approx(&y, f);
-            let d_approx =
-                ax.iter().zip(&ay).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let d_approx = ax.iter().zip(&ay).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             assert!(
                 d_approx <= d_signal + EPS,
                 "f={f}: approx distance {d_approx} exceeds signal distance {d_signal}"

@@ -265,17 +265,17 @@ mod tests {
         // §4's premise: for smooth series a handful of coefficients carry
         // the energy. (Periodic extension means the probe signal must be
         // periodic itself — one full sine cycle plus an offset.)
-        let smooth: Vec<f64> = (0..64)
-            .map(|i| 10.0 + 4.0 * (i as f64 / 64.0 * std::f64::consts::TAU).sin())
-            .collect();
+        let smooth: Vec<f64> =
+            (0..64).map(|i| 10.0 + 4.0 * (i as f64 / 64.0 * std::f64::consts::TAU).sin()).collect();
         for w in [Wavelet::Haar, Wavelet::Db2, Wavelet::Db4] {
             let frac = leading_energy_fraction(&smooth, w, 8);
             assert!(frac > 0.99, "{w:?}: leading fraction {frac}");
         }
         // White-noise-like content does NOT compact: the leading fraction
         // stays near keep/len.
-        let noisy: Vec<f64> =
-            (0..64).map(|i| if (i * 2654435761usize).is_multiple_of(2) { 1.0 } else { -1.0 }).collect();
+        let noisy: Vec<f64> = (0..64)
+            .map(|i| if (i * 2654435761usize).is_multiple_of(2) { 1.0 } else { -1.0 })
+            .collect();
         let frac = leading_energy_fraction(&noisy, Wavelet::Haar, 8);
         assert!(frac < 0.6, "noise should not compact: {frac}");
     }

@@ -51,13 +51,7 @@ pub fn bulk_load<T>(dims: usize, params: Params, items: Vec<(Rect, T)>) -> RStar
 
 /// Recursively orders `order[..]` so that consecutive runs of `capacity`
 /// items are spatially clustered (sort by dim, tile, recurse on next dim).
-fn str_sort<T>(
-    items: &[(Rect, T)],
-    order: &mut [usize],
-    dim: usize,
-    dims: usize,
-    capacity: usize,
-) {
+fn str_sort<T>(items: &[(Rect, T)], order: &mut [usize], dim: usize, dims: usize, capacity: usize) {
     if order.len() <= capacity || dim >= dims {
         return;
     }
@@ -125,8 +119,7 @@ mod tests {
         let mut expect: Vec<usize> =
             items.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, v)| v).collect();
         expect.sort_unstable();
-        let mut got: Vec<usize> =
-            tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
+        let mut got: Vec<usize> = tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
         got.sort_unstable();
         assert_eq!(got, expect);
     }

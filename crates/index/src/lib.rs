@@ -20,6 +20,6 @@ pub mod knn;
 pub mod tree;
 
 pub use bulk::bulk_load;
-pub use knn::{nearest_k, Neighbor};
 pub use geometry::Rect;
+pub use knn::{nearest_k, Neighbor};
 pub use tree::{Params, RStarTree};

@@ -137,12 +137,7 @@ impl<T> RStarTree<T> {
             params.reinsert_count >= 1 && params.reinsert_count <= params.max_entries / 2,
             "reinsert count out of range"
         );
-        RStarTree {
-            root: Box::new(Node { level: 0, entries: Vec::new() }),
-            dims,
-            params,
-            len: 0,
-        }
+        RStarTree { root: Box::new(Node { level: 0, entries: Vec::new() }), dims, params, len: 0 }
     }
 
     /// Number of data items stored.
@@ -204,8 +199,10 @@ impl<T> RStarTree<T> {
             );
             if let Some(sibling) = split {
                 let new_level = self.root.level + 1;
-                let old_root =
-                    std::mem::replace(&mut self.root, Box::new(Node { level: new_level, entries: Vec::new() }));
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Box::new(Node { level: new_level, entries: Vec::new() }),
+                );
                 let old_rect = old_root.mbr();
                 self.root.entries.push(Entry::Child { rect: old_rect, node: old_root });
                 self.root.entries.push(sibling);
@@ -465,8 +462,7 @@ fn insert_rec<T>(
             let Entry::Child { rect, node: child } = &mut node.entries[idx] else {
                 unreachable!("non-leaf nodes hold child entries")
             };
-            let split =
-                insert_rec(child, entry, target_level, false, reinserted, queue, params);
+            let split = insert_rec(child, entry, target_level, false, reinserted, queue, params);
             // The child may have grown (insert) or shrunk (reinsertion
             // removed entries), so recompute its MBR either way.
             *rect = child.mbr();
@@ -553,8 +549,8 @@ fn choose_subtree<T>(node: &Node<T>, rect: &Rect) -> usize {
                 if i == j {
                     continue;
                 }
-                overlap_delta += grown.overlap_area(other.rect())
-                    - e.rect().overlap_area(other.rect());
+                overlap_delta +=
+                    grown.overlap_area(other.rect()) - e.rect().overlap_area(other.rect());
                 if overlap_delta > best_overlap {
                     break;
                 }
@@ -563,9 +559,7 @@ fn choose_subtree<T>(node: &Node<T>, rect: &Rect) -> usize {
             let area = e.rect().area();
             if overlap_delta < best_overlap
                 || (overlap_delta == best_overlap && enlarge < best_enlarge)
-                || (overlap_delta == best_overlap
-                    && enlarge == best_enlarge
-                    && area < best_area)
+                || (overlap_delta == best_overlap && enlarge == best_enlarge && area < best_area)
             {
                 best = i;
                 best_overlap = overlap_delta;
@@ -807,8 +801,7 @@ fn validate_rec<T>(
     count: &mut usize,
 ) -> Result<(), String> {
     if !is_root
-        && (node.entries.len() < params.min_entries
-            || node.entries.len() > params.max_entries)
+        && (node.entries.len() < params.min_entries || node.entries.len() > params.max_entries)
     {
         return Err(format!(
             "node at level {} has {} entries (bounds {}..={})",
@@ -1067,9 +1060,7 @@ mod tests {
         }
         tree.validate().expect("valid in 16 dims");
         // Query the full space returns everything.
-        let everything = tree
-            .collect_intersecting(&Rect::new(vec![-1e9; 16], vec![1e9; 16]))
-            .len();
+        let everything = tree.collect_intersecting(&Rect::new(vec![-1e9; 16], vec![1e9; 16])).len();
         assert_eq!(everything, 300);
     }
 

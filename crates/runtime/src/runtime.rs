@@ -1,0 +1,455 @@
+//! The sharded runtime: stream partitioning, bounded-queue ingestion
+//! with backpressure, scatter-gather queries, and drain-then-join
+//! shutdown.
+
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use stardust_core::stream::StreamId;
+use stardust_core::unified::Event;
+
+use crate::shard::{QueryReply, QueryRequest, ShardMsg, Worker};
+use crate::spec::MonitorSpec;
+use crate::stats::{RuntimeStats, ShardCounters};
+use crate::{ClassStats, RuntimeError};
+
+/// The bounded per-shard queue rejected a message; retry later or use a
+/// blocking variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("shard queue full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A group of values for ingestion, each tagged with its (global)
+/// stream. Values of one stream are applied in batch order.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    items: Vec<(StreamId, f64)>,
+}
+
+impl Batch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Appends one value for one stream.
+    pub fn push(&mut self, stream: StreamId, value: f64) {
+        self.items.push((stream, value));
+    }
+
+    /// Number of values in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl FromIterator<(StreamId, f64)> for Batch {
+    fn from_iter<I: IntoIterator<Item = (StreamId, f64)>>(iter: I) -> Self {
+        Batch { items: iter.into_iter().collect() }
+    }
+}
+
+/// `try_submit` could not enqueue everything; `rejected` holds the
+/// unqueued remainder (per-stream order preserved) for retry.
+#[derive(Debug, Clone)]
+pub struct PartialSubmit {
+    /// Values that were not enqueued.
+    pub rejected: Batch,
+    /// Values that were enqueued before the first full queue.
+    pub accepted: usize,
+}
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker shards. `0` means one per available CPU. Clamped to the
+    /// stream count (an empty shard serves nothing).
+    pub shards: usize,
+    /// Bounded queue capacity per shard, in messages (batches), not
+    /// values. When a queue is full, `try_*` reports [`QueueFull`] and
+    /// the blocking variants wait — that is the backpressure contract.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { shards: 0, queue_capacity: 64 }
+    }
+}
+
+/// Result of [`ShardedRuntime::shutdown`]: final counters plus every
+/// event not yet drained.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final per-shard counters.
+    pub stats: RuntimeStats,
+    /// Events emitted after the last `drain_events` call, in collector
+    /// arrival order.
+    pub events: Vec<Event>,
+}
+
+/// A multi-threaded monitor over `M` streams, partitioned across `S`
+/// worker shards.
+///
+/// Stream `g` lives on shard `g mod S` as local stream `g div S`; each
+/// shard owns a private [`stardust_core::unified::UnifiedMonitor`] over
+/// its slice and communicates only through channels, so no monitor state
+/// is ever shared or locked.
+///
+/// **Semantics vs. a single monitor.** Aggregate and trend monitoring
+/// are per-stream computations: the sharded runtime emits *exactly* the
+/// events a single-threaded monitor would (the determinism test in
+/// `tests/` proves the set equality). Correlation is a cross-stream
+/// computation and is **partitioned**: each shard reports pairs among
+/// its own streams only, so cross-shard pairs are not searched — the
+/// standard throughput/recall trade of partitioned stream joins. With
+/// `S = 1` the runtime is exactly the paper's semantics on one core.
+///
+/// **Backpressure.** Per-shard queues are bounded at
+/// [`RuntimeConfig::queue_capacity`] messages. `try_append` /
+/// `try_submit` never block: a full queue returns [`QueueFull`] (or a
+/// [`PartialSubmit`] remainder). `append_blocking` / `submit_blocking`
+/// park the producer until the worker drains. Queries share the same
+/// queues, so a query answered by a shard has observed every batch
+/// submitted to that shard before it.
+pub struct ShardedRuntime {
+    n_streams: usize,
+    senders: Vec<SyncSender<ShardMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    events_rx: Receiver<Event>,
+    counters: Vec<Arc<ShardCounters>>,
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("n_streams", &self.n_streams)
+            .field("n_shards", &self.senders.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedRuntime {
+    /// Launches workers for `n_streams` streams described by `spec`.
+    ///
+    /// # Errors
+    /// Fails on zero streams, a spec with no query class, or a rejected
+    /// trend pattern.
+    pub fn launch(
+        spec: &MonitorSpec,
+        n_streams: usize,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        if n_streams == 0 {
+            return Err(RuntimeError::NoStreams);
+        }
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n_shards = if config.shards == 0 { hw } else { config.shards }.min(n_streams).max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+
+        let (events_tx, events_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        let mut counters = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            // Streams with `g mod n_shards == shard`.
+            let n_local = (n_streams - shard).div_ceil(n_shards);
+            let monitor = spec.build(n_local)?;
+            let (tx, rx) = mpsc::sync_channel(queue_capacity);
+            let shared = Arc::new(ShardCounters::new());
+            let worker = Worker {
+                shard,
+                n_shards,
+                n_local_streams: n_local,
+                monitor,
+                inbox: rx,
+                events: events_tx.clone(),
+                counters: Arc::clone(&shared),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("stardust-shard-{shard}"))
+                .spawn(move || worker.run())
+                .map_err(RuntimeError::Spawn)?;
+            senders.push(tx);
+            handles.push(handle);
+            counters.push(shared);
+        }
+        drop(events_tx); // workers hold the only senders
+        Ok(ShardedRuntime { n_streams, senders, handles, events_rx, counters })
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Number of monitored streams.
+    pub fn n_streams(&self) -> usize {
+        self.n_streams
+    }
+
+    fn place(&self, stream: StreamId) -> Result<(usize, StreamId), RuntimeError> {
+        if (stream as usize) < self.n_streams {
+            let s = self.n_shards();
+            Ok((stream as usize % s, stream / s as StreamId))
+        } else {
+            Err(RuntimeError::UnknownStream { stream, n_streams: self.n_streams })
+        }
+    }
+
+    /// Appends one value without blocking.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Backpressure`] when the owning shard's queue is
+    /// full (the value is *not* enqueued; retry or use
+    /// [`Self::append_blocking`]), [`RuntimeError::UnknownStream`] on an
+    /// out-of-range id.
+    pub fn try_append(&self, stream: StreamId, value: f64) -> Result<(), RuntimeError> {
+        let (shard, local) = self.place(stream)?;
+        let msg = ShardMsg::Batch(vec![(local, value)], Instant::now());
+        self.counters[shard].note_enqueued();
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.counters[shard].undo_enqueued();
+                Err(RuntimeError::Backpressure(QueueFull))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters[shard].undo_enqueued();
+                Err(RuntimeError::Disconnected)
+            }
+        }
+    }
+
+    /// Appends one value, waiting while the owning shard's queue is
+    /// full.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownStream`] on an out-of-range id,
+    /// [`RuntimeError::Disconnected`] if the worker died.
+    pub fn append_blocking(&self, stream: StreamId, value: f64) -> Result<(), RuntimeError> {
+        let (shard, local) = self.place(stream)?;
+        self.counters[shard].note_enqueued();
+        self.senders[shard].send(ShardMsg::Batch(vec![(local, value)], Instant::now())).map_err(
+            |_| {
+                self.counters[shard].undo_enqueued();
+                RuntimeError::Disconnected
+            },
+        )?;
+        Ok(())
+    }
+
+    fn split(&self, batch: &Batch) -> Result<Vec<Vec<(StreamId, f64)>>, RuntimeError> {
+        let mut per_shard: Vec<Vec<(StreamId, f64)>> = vec![Vec::new(); self.n_shards()];
+        for &(stream, value) in &batch.items {
+            let (shard, local) = self.place(stream)?;
+            per_shard[shard].push((local, value));
+        }
+        Ok(per_shard)
+    }
+
+    /// Submits a batch, waiting on full queues. Values are split into
+    /// one message per involved shard; per-stream order is preserved.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownStream`] on any out-of-range id (nothing
+    /// is enqueued), [`RuntimeError::Disconnected`] if a worker died.
+    pub fn submit_blocking(&self, batch: &Batch) -> Result<(), RuntimeError> {
+        let now = Instant::now();
+        for (shard, items) in self.split(batch)?.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            self.counters[shard].note_enqueued();
+            self.senders[shard].send(ShardMsg::Batch(items, now)).map_err(|_| {
+                self.counters[shard].undo_enqueued();
+                RuntimeError::Disconnected
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Submits a batch without blocking. Sub-batches for shards with
+    /// room are enqueued; the rest is returned for retry.
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownStream`] on any out-of-range id (nothing
+    /// is enqueued); otherwise `Ok` with an optional [`PartialSubmit`]
+    /// remainder — `None` means everything was enqueued.
+    pub fn try_submit(&self, batch: &Batch) -> Result<Option<PartialSubmit>, RuntimeError> {
+        let now = Instant::now();
+        let mut rejected = Batch::new();
+        let mut accepted = 0usize;
+        for (shard, items) in self.split(batch)?.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            let n = items.len();
+            self.counters[shard].note_enqueued();
+            match self.senders[shard].try_send(ShardMsg::Batch(items, now)) {
+                Ok(()) => {
+                    accepted += n;
+                }
+                Err(TrySendError::Full(ShardMsg::Batch(items, _))) => {
+                    self.counters[shard].undo_enqueued();
+                    let s = self.n_shards() as StreamId;
+                    rejected.items.extend(
+                        items.into_iter().map(|(local, v)| (local * s + shard as StreamId, v)),
+                    );
+                }
+                Err(TrySendError::Full(_)) => unreachable!("only batches are retried"),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.counters[shard].undo_enqueued();
+                    return Err(RuntimeError::Disconnected);
+                }
+            }
+        }
+        if rejected.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(PartialSubmit { rejected, accepted }))
+        }
+    }
+
+    /// Every event collected so far, in collector arrival order
+    /// (interleaved across shards; per-stream order is preserved).
+    pub fn drain_events(&mut self) -> Vec<Event> {
+        self.events_rx.try_iter().collect()
+    }
+
+    /// A live counter snapshot (racy by one message against in-flight
+    /// producers, by design).
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats { shards: self.counters.iter().map(|c| c.snapshot()).collect() }
+    }
+
+    fn scatter(&self, req: QueryRequest) -> Result<Vec<QueryReply>, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::Query(req.clone(), tx.clone()))
+                .map_err(|_| RuntimeError::Disconnected)?;
+        }
+        drop(tx);
+        let mut replies: Vec<(usize, QueryReply)> = Vec::with_capacity(self.n_shards());
+        for _ in 0..self.n_shards() {
+            replies.push(rx.recv().map_err(|_| RuntimeError::Disconnected)?);
+        }
+        replies.sort_by_key(|&(shard, _)| shard);
+        Ok(replies.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// The current composed interval of one monitored aggregate window
+    /// on one stream (routed to the owning shard; waits for queued
+    /// batches ahead of it).
+    ///
+    /// # Errors
+    /// [`RuntimeError::UnknownStream`] / [`RuntimeError::Disconnected`].
+    pub fn aggregate_interval(
+        &self,
+        stream: StreamId,
+        window: usize,
+    ) -> Result<Option<(f64, f64)>, RuntimeError> {
+        let (shard, local) = self.place(stream)?;
+        let (tx, rx) = mpsc::channel();
+        self.senders[shard]
+            .send(ShardMsg::Query(QueryRequest::AggregateInterval { stream: local, window }, tx))
+            .map_err(|_| RuntimeError::Disconnected)?;
+        match rx.recv().map_err(|_| RuntimeError::Disconnected)? {
+            (_, QueryReply::AggregateInterval(ans)) => Ok(ans),
+            _ => Err(RuntimeError::Disconnected),
+        }
+    }
+
+    /// Cumulative per-class counters, merged across all shards
+    /// (scatter-gather).
+    ///
+    /// # Errors
+    /// [`RuntimeError::Disconnected`] if a worker died.
+    pub fn class_stats(&self) -> Result<ClassStats, RuntimeError> {
+        let mut merged = ClassStats::default();
+        for reply in self.scatter(QueryRequest::ClassStats)? {
+            if let QueryReply::ClassStats(s) = reply {
+                merged.merge(&s);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Currently correlated pairs among same-shard streams, merged
+    /// across shards and sorted by `(a, b)` — deterministic across runs
+    /// and shard counts (for the pairs a partition can see).
+    ///
+    /// # Errors
+    /// [`RuntimeError::Disconnected`] if a worker died.
+    pub fn correlated_pairs(&self) -> Result<Vec<(StreamId, StreamId, f64)>, RuntimeError> {
+        let mut merged = Vec::new();
+        for reply in self.scatter(QueryRequest::CorrelatedPairs)? {
+            if let QueryReply::CorrelatedPairs(pairs) = reply {
+                merged.extend(pairs);
+            }
+        }
+        merged.sort_by_key(|x| (x.0, x.1));
+        Ok(merged)
+    }
+
+    /// Graceful shutdown: queued batches are fully drained, workers
+    /// join, and the final stats plus all undrained events are returned.
+    pub fn shutdown(self) -> ShutdownReport {
+        for sender in &self.senders {
+            // A worker that already died still counts as shut down.
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        drop(self.senders);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+        // All workers are gone, so their event senders are dropped and
+        // this drains to disconnect.
+        let events: Vec<Event> = self.events_rx.iter().collect();
+        ShutdownReport {
+            stats: RuntimeStats { shards: self.counters.iter().map(|c| c.snapshot()).collect() },
+            events,
+        }
+    }
+}
+
+/// Sorts events into a canonical total order: by query class, then
+/// stream(s), then time, then the class-specific payload. Two event
+/// multisets are equal iff they compare equal after this sort —
+/// used to check sharded against single-threaded execution.
+pub fn sort_events(events: &mut [Event]) {
+    fn key(e: &Event) -> (u8, u64, u64, u64, u64, u64) {
+        match e {
+            Event::Aggregate { stream, alarm } => (
+                0,
+                *stream as u64,
+                alarm.time,
+                alarm.window as u64,
+                alarm.true_value.to_bits(),
+                alarm.is_true_alarm as u64,
+            ),
+            Event::Trend(m) => {
+                (1, m.stream as u64, m.time, m.pattern as u64, m.distance.to_bits(), 0)
+            }
+            Event::Correlation(p) => {
+                (2, p.a as u64, p.time, p.b as u64, p.time_other, p.feature_distance.to_bits())
+            }
+        }
+    }
+    events.sort_by_key(key);
+}

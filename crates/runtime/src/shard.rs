@@ -1,0 +1,214 @@
+//! The per-shard worker: drains batches into its own
+//! [`UnifiedMonitor`], remaps local stream ids back to global ones, and
+//! answers scatter-gather queries in queue order.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use stardust_core::query::aggregate::AlarmStats;
+use stardust_core::query::correlation::CorrelationStats;
+use stardust_core::query::trend::TrendStats;
+use stardust_core::stream::StreamId;
+use stardust_core::unified::{Event, UnifiedMonitor};
+
+use crate::stats::ShardCounters;
+
+/// Messages a shard's bounded queue carries. Queries ride the same
+/// queue as batches, so a query observes every batch submitted before
+/// it (per-shard sequential consistency).
+pub(crate) enum ShardMsg {
+    /// Local-id value batch plus its submission instant (for latency).
+    Batch(Vec<(StreamId, f64)>, Instant),
+    /// A query and the channel to answer on (tagged with shard id).
+    Query(QueryRequest, Sender<(usize, QueryReply)>),
+    /// Drain nothing further; reply channelless, exit the loop.
+    Shutdown,
+}
+
+/// A scatter-gather query, expressed in shard-local stream ids (the
+/// runtime translates global ids before sending).
+#[derive(Debug, Clone)]
+pub(crate) enum QueryRequest {
+    /// Current composed interval of one monitored aggregate window.
+    AggregateInterval {
+        /// Local stream id.
+        stream: StreamId,
+        /// Monitored window size.
+        window: usize,
+    },
+    /// Cumulative per-class counters.
+    ClassStats,
+    /// Ground-truth correlated pairs among this shard's streams at its
+    /// current time.
+    CorrelatedPairs,
+}
+
+/// A shard's answer to a [`QueryRequest`]. Stream ids are already
+/// remapped to global ids.
+#[derive(Debug, Clone)]
+pub(crate) enum QueryReply {
+    /// `AggregateInterval` answer.
+    AggregateInterval(Option<(f64, f64)>),
+    /// `ClassStats` answer.
+    ClassStats(ClassStats),
+    /// `CorrelatedPairs` answer (global ids, unsorted).
+    CorrelatedPairs(Vec<(StreamId, StreamId, f64)>),
+}
+
+/// Cumulative counters of all three query classes, mergeable across
+/// shards by field-wise addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Aggregate (burst/volatility) counters.
+    pub aggregate: AlarmStats,
+    /// Trend counters.
+    pub trend: TrendStats,
+    /// Correlation counters.
+    pub correlation: CorrelationStats,
+}
+
+impl ClassStats {
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.aggregate.candidates += other.aggregate.candidates;
+        self.aggregate.true_alarms += other.aggregate.true_alarms;
+        self.trend.candidates += other.trend.candidates;
+        self.trend.matches += other.trend.matches;
+        self.correlation.reported += other.correlation.reported;
+        self.correlation.true_pairs += other.correlation.true_pairs;
+    }
+}
+
+/// Local stream id → global stream id for shard `shard` of `n_shards`.
+fn global_id(shard: usize, n_shards: usize, local: StreamId) -> StreamId {
+    local * n_shards as StreamId + shard as StreamId
+}
+
+/// Rewrites an event's shard-local stream ids back to global ids.
+fn remap_event(shard: usize, n_shards: usize, ev: Event) -> Event {
+    match ev {
+        Event::Aggregate { stream, alarm } => {
+            Event::Aggregate { stream: global_id(shard, n_shards, stream), alarm }
+        }
+        Event::Trend(mut m) => {
+            m.stream = global_id(shard, n_shards, m.stream);
+            Event::Trend(m)
+        }
+        Event::Correlation(mut p) => {
+            p.a = global_id(shard, n_shards, p.a);
+            p.b = global_id(shard, n_shards, p.b);
+            Event::Correlation(p)
+        }
+    }
+}
+
+/// Everything one worker thread owns.
+pub(crate) struct Worker {
+    pub shard: usize,
+    pub n_shards: usize,
+    pub n_local_streams: usize,
+    pub monitor: Option<UnifiedMonitor>,
+    pub inbox: Receiver<ShardMsg>,
+    pub events: Sender<Event>,
+    pub counters: Arc<ShardCounters>,
+}
+
+impl Worker {
+    /// Local stream id → global stream id for this shard.
+    fn global(&self, local: StreamId) -> StreamId {
+        global_id(self.shard, self.n_shards, local)
+    }
+
+    fn answer(&self, req: QueryRequest) -> QueryReply {
+        let Some(monitor) = &self.monitor else {
+            return match req {
+                QueryRequest::AggregateInterval { .. } => QueryReply::AggregateInterval(None),
+                QueryRequest::ClassStats => QueryReply::ClassStats(ClassStats::default()),
+                QueryRequest::CorrelatedPairs => QueryReply::CorrelatedPairs(Vec::new()),
+            };
+        };
+        match req {
+            QueryRequest::AggregateInterval { stream, window } => QueryReply::AggregateInterval(
+                monitor.aggregate_monitor(stream).and_then(|m| m.window_interval(window)),
+            ),
+            QueryRequest::ClassStats => {
+                let mut stats = ClassStats::default();
+                // Aggregate stats live per stream; trend/correlation are
+                // monitor-wide.
+                for local in 0..self.n_local_streams as StreamId {
+                    let Some(m) = monitor.aggregate_monitor(local) else { break };
+                    let s = m.stats();
+                    stats.aggregate.candidates += s.candidates;
+                    stats.aggregate.true_alarms += s.true_alarms;
+                }
+                if let Some(t) = monitor.trend_monitor() {
+                    stats.trend = t.stats();
+                }
+                if let Some(c) = monitor.correlation_monitor() {
+                    stats.correlation = c.stats();
+                }
+                QueryReply::ClassStats(stats)
+            }
+            QueryRequest::CorrelatedPairs => {
+                let Some(corr) = monitor.correlation_monitor() else {
+                    return QueryReply::CorrelatedPairs(Vec::new());
+                };
+                // Ground truth needs every stream's window to end at the
+                // same instant: use the slowest stream's clock.
+                let t = (0..corr.n_streams() as StreamId)
+                    .map(|s| corr.summary(s).now())
+                    .min()
+                    .flatten();
+                let pairs = match t {
+                    None => Vec::new(),
+                    Some(t) => corr
+                        .linear_scan_pairs(t)
+                        .into_iter()
+                        .map(|(a, b, c)| (self.global(a), self.global(b), c))
+                        .collect(),
+                };
+                QueryReply::CorrelatedPairs(pairs)
+            }
+        }
+    }
+
+    /// The worker loop: drain messages until `Shutdown` or every sender
+    /// hangs up, whichever comes first.
+    pub fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                ShardMsg::Batch(items, submitted) => {
+                    // Only batches count toward queue depth; queries and
+                    // shutdown ride the queue but are not backpressure
+                    // signals.
+                    self.counters.note_dequeued();
+                    let mut events = 0u64;
+                    if let Some(monitor) = &mut self.monitor {
+                        for &(local, value) in &items {
+                            for ev in monitor.append(local, value) {
+                                // A send error means the runtime dropped its
+                                // receiver (shutdown already under way);
+                                // keep draining so producers unblock.
+                                events += 1;
+                                let global = remap_event(self.shard, self.n_shards, ev);
+                                let _ = self.events.send(global);
+                            }
+                        }
+                    }
+                    self.counters.appends.fetch_add(items.len() as u64, Ordering::Relaxed);
+                    if events > 0 {
+                        self.counters.events.fetch_add(events, Ordering::Relaxed);
+                    }
+                    let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    self.counters.note_batch(ns);
+                }
+                ShardMsg::Query(req, reply) => {
+                    let _ = reply.send((self.shard, self.answer(req)));
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+    }
+}

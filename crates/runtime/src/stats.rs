@@ -1,0 +1,166 @@
+//! Shared per-shard counters and the [`RuntimeStats`] snapshot.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters one shard's worker and its producers share.
+/// Producers bump the queue depth on enqueue; the worker decrements on
+/// dequeue and owns every other field.
+#[derive(Debug)]
+pub(crate) struct ShardCounters {
+    pub appends: AtomicU64,
+    pub events: AtomicU64,
+    pub batches: AtomicU64,
+    pub queue_depth: AtomicUsize,
+    pub queue_high_water: AtomicUsize,
+    pub latency_sum_ns: AtomicU64,
+    pub latency_min_ns: AtomicU64,
+    pub latency_max_ns: AtomicU64,
+}
+
+impl ShardCounters {
+    pub fn new() -> Self {
+        ShardCounters {
+            appends: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            latency_sum_ns: AtomicU64::new(0),
+            latency_min_ns: AtomicU64::new(u64::MAX),
+            latency_max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Producer side: called *before* the send attempt, so the depth
+    /// never underflows on the worker side. Pair a failed send with
+    /// [`Self::undo_enqueued`].
+    pub fn note_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Producer side: the send that followed [`Self::note_enqueued`]
+    /// failed; roll the depth back.
+    pub fn undo_enqueued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Worker side: one batch dequeued.
+    pub fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Worker side: one batch fully processed, `ns` nanoseconds after it
+    /// was submitted.
+    pub fn note_batch(&self, ns: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> ShardStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let latency = match self.latency_sum_ns.load(Ordering::Relaxed).checked_div(batches) {
+            None => LatencyStats::default(),
+            Some(mean_ns) => LatencyStats {
+                min: Some(Duration::from_nanos(self.latency_min_ns.load(Ordering::Relaxed))),
+                mean: Some(Duration::from_nanos(mean_ns)),
+                max: Some(Duration::from_nanos(self.latency_max_ns.load(Ordering::Relaxed))),
+            },
+        };
+        ShardStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            batches,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            batch_latency: latency,
+        }
+    }
+}
+
+/// Submit-to-drained batch latency extremes and mean; `None` until the
+/// shard has processed at least one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Fastest batch.
+    pub min: Option<Duration>,
+    /// Arithmetic mean over all batches.
+    pub mean: Option<Duration>,
+    /// Slowest batch.
+    pub max: Option<Duration>,
+}
+
+/// One shard's counters at a point in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Values appended into this shard's monitor.
+    pub appends: u64,
+    /// Events this shard pushed to the collector.
+    pub events: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Messages currently queued (approximate — producers and the worker
+    /// race by design).
+    pub queue_depth: usize,
+    /// Highest queue depth observed since launch.
+    pub queue_high_water: usize,
+    /// Submit-to-drained latency summary.
+    pub batch_latency: LatencyStats,
+}
+
+/// A point-in-time snapshot of the whole runtime, one entry per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Per-shard counters, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RuntimeStats {
+    /// Total values appended across shards.
+    pub fn total_appends(&self) -> u64 {
+        self.shards.iter().map(|s| s.appends).sum()
+    }
+
+    /// Total events emitted across shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Highest queue high-water mark across shards.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
+    }
+
+    /// A small fixed-width table for CLI / log output.
+    pub fn render(&self) -> String {
+        fn dur(d: Option<Duration>) -> String {
+            match d {
+                None => "-".to_string(),
+                Some(d) if d.as_secs_f64() >= 1e-3 => {
+                    format!("{:.2}ms", d.as_secs_f64() * 1e3)
+                }
+                Some(d) => format!("{:.1}µs", d.as_secs_f64() * 1e6),
+            }
+        }
+        let mut out = String::from(
+            "shard   appends     events   batches  q_depth  q_hwm  lat_min  lat_mean  lat_max\n",
+        );
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "{i:>5} {:>9} {:>10} {:>9} {:>8} {:>6} {:>8} {:>9} {:>8}\n",
+                s.appends,
+                s.events,
+                s.batches,
+                s.queue_depth,
+                s.queue_high_water,
+                dur(s.batch_latency.min),
+                dur(s.batch_latency.mean),
+                dur(s.batch_latency.max),
+            ));
+        }
+        out
+    }
+}

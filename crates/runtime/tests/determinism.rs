@@ -1,0 +1,209 @@
+//! Sharded execution must not change what the framework detects.
+//!
+//! Aggregate and trend monitoring are per-stream computations, so the
+//! sharded runtime must emit exactly the same event set as one
+//! single-threaded `UnifiedMonitor` over all streams — regardless of
+//! shard count or thread interleaving. Correlation is partitioned:
+//! each shard reports pairs among its own streams, and for those pairs
+//! it must agree exactly with the single-threaded monitor.
+
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::stream::StreamId;
+use stardust_core::transform::TransformKind;
+use stardust_core::unified::Event;
+use stardust_datagen::random_walk::{observed_r_max, random_walk_streams};
+use stardust_runtime::{
+    sort_events, AggregateSpec, Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime,
+    TrendPattern, TrendSpec,
+};
+
+const BASE_WINDOW: usize = 16;
+const LEVELS: usize = 3;
+const N_STREAMS: usize = 6;
+const N_VALUES: usize = 512;
+
+fn workload() -> (Vec<Vec<f64>>, f64) {
+    let streams = random_walk_streams(42, N_STREAMS, N_VALUES);
+    let r_max = observed_r_max(&streams);
+    (streams, r_max)
+}
+
+/// A SUM threshold low enough that some windows of the data cross it
+/// (so the test actually compares alarm events, not empty sets).
+fn crossing_threshold(streams: &[Vec<f64>], window: usize) -> f64 {
+    let max_sum = streams
+        .iter()
+        .flat_map(|s| s.windows(window).map(|w| w.iter().sum::<f64>()))
+        .fold(f64::MIN, f64::max);
+    max_sum * 0.98
+}
+
+/// Replays `streams` through a single-threaded monitor built from
+/// `spec`, returning every event in arrival order.
+fn single_threaded_events(spec: &MonitorSpec, streams: &[Vec<f64>]) -> Vec<Event> {
+    let mut monitor = spec.build(streams.len()).unwrap().unwrap();
+    let mut events = Vec::new();
+    for t in 0..N_VALUES {
+        for (s, stream) in streams.iter().enumerate() {
+            events.extend(monitor.append(s as StreamId, stream[t]));
+        }
+    }
+    events
+}
+
+/// Replays `streams` through a sharded runtime (one batch per time
+/// step), returning every event.
+fn sharded_events(spec: &MonitorSpec, streams: &[Vec<f64>], shards: usize) -> Vec<Event> {
+    let rt =
+        ShardedRuntime::launch(spec, streams.len(), RuntimeConfig { shards, queue_capacity: 32 })
+            .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+    }
+    let report = rt.shutdown();
+    assert_eq!(report.stats.total_appends(), (N_STREAMS * N_VALUES) as u64);
+    report.events
+}
+
+#[test]
+fn aggregate_and_trend_events_match_single_threaded() {
+    let (streams, r_max) = workload();
+    let threshold = crossing_threshold(&streams, 2 * BASE_WINDOW);
+    // A registered pattern cut from the data itself, so at least one
+    // exact match exists.
+    let pattern: Vec<f64> = streams[2][100..100 + 2 * BASE_WINDOW].to_vec();
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window: 2 * BASE_WINDOW, threshold }],
+            box_capacity: 4,
+        })
+        .with_trends(TrendSpec {
+            coeffs: 4,
+            box_capacity: 4,
+            patterns: vec![TrendPattern { sequence: pattern, radius: 0.05 }],
+        });
+
+    let mut reference = single_threaded_events(&spec, &streams);
+    assert!(
+        reference.iter().any(|e| matches!(e, Event::Aggregate { .. })),
+        "workload should raise at least one aggregate alarm"
+    );
+    assert!(
+        reference.iter().any(|e| matches!(e, Event::Trend(_))),
+        "workload should produce at least one trend match"
+    );
+    sort_events(&mut reference);
+
+    for shards in [1, 2, 3, 4] {
+        let mut sharded = sharded_events(&spec, &streams, shards);
+        sort_events(&mut sharded);
+        assert_eq!(sharded, reference, "event set diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn correlation_events_match_single_threaded_for_same_shard_pairs() {
+    let (streams, r_max) = workload();
+    // A radius wide enough that random walks correlate now and then.
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 1.0 });
+
+    let reference = single_threaded_events(&spec, &streams);
+    assert!(
+        reference.iter().any(|e| matches!(e, Event::Correlation(_))),
+        "workload should report at least one correlated pair"
+    );
+
+    let shards = 2;
+    let mut expected: Vec<Event> = reference
+        .into_iter()
+        .filter(|e| match e {
+            Event::Correlation(p) => p.a as usize % shards == p.b as usize % shards,
+            _ => false,
+        })
+        .collect();
+    sort_events(&mut expected);
+
+    let mut sharded = sharded_events(&spec, &streams, shards);
+    for e in &sharded {
+        let Event::Correlation(p) = e else { panic!("unexpected event class: {e:?}") };
+        assert_eq!(
+            p.a as usize % shards,
+            p.b as usize % shards,
+            "a shard reported a cross-shard pair"
+        );
+    }
+    sort_events(&mut sharded);
+    assert_eq!(sharded, expected, "same-shard pairs must match the single-threaded monitor");
+}
+
+#[test]
+fn queries_match_single_threaded_monitor() {
+    let (streams, r_max) = workload();
+    let window = 2 * BASE_WINDOW;
+    let threshold = crossing_threshold(&streams, window);
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max).with_aggregates(AggregateSpec {
+        transform: TransformKind::Sum,
+        windows: vec![WindowSpec { window, threshold }],
+        box_capacity: 4,
+    });
+
+    let mut reference = spec.build(N_STREAMS).unwrap().unwrap();
+    let rt =
+        ShardedRuntime::launch(&spec, N_STREAMS, RuntimeConfig { shards: 3, queue_capacity: 32 })
+            .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+        for (s, stream) in streams.iter().enumerate() {
+            reference.append(s as StreamId, stream[t]);
+        }
+    }
+
+    // Scatter-gather answers must agree with the single monitor.
+    for s in 0..N_STREAMS as StreamId {
+        let expected = reference.aggregate_monitor(s).unwrap().window_interval(window);
+        assert_eq!(rt.aggregate_interval(s, window).unwrap(), expected, "stream {s}");
+    }
+    let merged = rt.class_stats().unwrap();
+    let mut expected_candidates = 0;
+    let mut expected_true = 0;
+    for s in 0..N_STREAMS as StreamId {
+        let st = reference.aggregate_monitor(s).unwrap().stats();
+        expected_candidates += st.candidates;
+        expected_true += st.true_alarms;
+    }
+    assert_eq!(merged.aggregate.candidates, expected_candidates);
+    assert_eq!(merged.aggregate.true_alarms, expected_true);
+
+    rt.shutdown();
+}
+
+#[test]
+fn single_shard_correlated_pairs_match_linear_scan() {
+    let (streams, r_max) = workload();
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 1.0 });
+
+    let mut reference = spec.build(N_STREAMS).unwrap().unwrap();
+    let rt =
+        ShardedRuntime::launch(&spec, N_STREAMS, RuntimeConfig { shards: 1, queue_capacity: 32 })
+            .unwrap();
+    for t in 0..N_VALUES {
+        for (s, stream) in streams.iter().enumerate() {
+            reference.append(s as StreamId, stream[t]);
+            rt.append_blocking(s as StreamId, stream[t]).unwrap();
+        }
+    }
+
+    let corr = reference.correlation_monitor().unwrap();
+    let t = (0..N_STREAMS as StreamId).filter_map(|s| corr.summary(s).now()).min().unwrap();
+    let mut expected = corr.linear_scan_pairs(t);
+    expected.sort_by_key(|x| (x.0, x.1));
+    assert!(!expected.is_empty(), "workload should have at least one correlated pair");
+
+    assert_eq!(rt.correlated_pairs().unwrap(), expected);
+    rt.shutdown();
+}

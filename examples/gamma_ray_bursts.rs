@@ -70,9 +70,10 @@ fn main() {
         .iter()
         .filter(|s| s.start >= 4000 && s.duration >= base)
         .filter(|s| {
-            fired.iter().flatten().any(|&t| {
-                (t as usize) >= s.start && (t as usize) <= s.start + 2 * s.duration + 512
-            })
+            fired
+                .iter()
+                .flatten()
+                .any(|&t| (t as usize) >= s.start && (t as usize) <= s.start + 2 * s.duration + 512)
         })
         .count();
     let eligible = showers.iter().filter(|s| s.start >= 4000 && s.duration >= base).count();

@@ -82,10 +82,9 @@ fn main() {
         aggregates.stats().candidates
     );
     match trend_hits.iter().find(|(_, m)| m.pattern == ramp_id) {
-        Some((i, m)) => println!(
-            "flash-crowd ramp matched at live tick {i} (distance {:.4})",
-            m.distance
-        ),
+        Some((i, m)) => {
+            println!("flash-crowd ramp matched at live tick {i} (distance {:.4})", m.distance)
+        }
         None => println!("flash-crowd ramp not matched"),
     }
     println!(

@@ -15,9 +15,8 @@ fn main() {
 
     // We do not know the burst duration a priori, so monitor every
     // multiple of W up to 200 with thresholds scaled to the window.
-    let windows: Vec<WindowSpec> = (1..=8)
-        .map(|k| WindowSpec { window: 25 * k, threshold: 30.0 * k as f64 })
-        .collect();
+    let windows: Vec<WindowSpec> =
+        (1..=8).map(|k| WindowSpec { window: 25 * k, threshold: 30.0 * k as f64 }).collect();
     let mut monitor = AggregateMonitor::new(config, &windows);
 
     // Baseline traffic of ~1 event/tick with a burst of 4/tick at t in

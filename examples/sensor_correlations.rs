@@ -46,9 +46,7 @@ fn main() {
             };
             let reading = diurnal + local + 0.3 * normal(&mut rng);
             for pair in monitor.append(s as u32, reading) {
-                if pair
-                    .correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
+                if pair.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
                 {
                     let key = (pair.a.min(pair.b), pair.a.max(pair.b));
                     *confirmed.entry(key).or_default() += 1;
@@ -70,7 +68,8 @@ fn main() {
     }
 
     // Within-group pairs should dominate the ranking.
-    let same_group = |a: u32, b: u32| (a <= 3 && b <= 3) || ((8..=11).contains(&a) && (8..=11).contains(&b));
+    let same_group =
+        |a: u32, b: u32| (a <= 3 && b <= 3) || ((8..=11).contains(&a) && (8..=11).contains(&b));
     let top: Vec<_> = ranked.iter().take(8).collect();
     let in_group = top.iter().filter(|((a, b), _)| same_group(*a, *b)).count();
     println!("\n{in_group}/8 of the top pairs are within a group");

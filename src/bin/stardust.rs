@@ -15,8 +15,14 @@ fn main() -> ExitCode {
         }
     };
     // Input: last positional argument as a file, else stdin. `help` needs
-    // no input.
-    let input = if cmd == "help" || cmd == "--help" || cmd == "-h" {
+    // no input; `serve-bench` generates its own workload when none is
+    // given (piped stdin is still honored — only an interactive terminal
+    // is skipped, so the command runs without waiting for input).
+    let no_input = matches!(cmd.as_str(), "help" | "--help" | "-h")
+        || (cmd == "serve-bench"
+            && args.positional().is_empty()
+            && std::io::IsTerminal::is_terminal(&std::io::stdin()));
+    let input = if no_input {
         String::new()
     } else if let Some(path) = args.positional().first() {
         match std::fs::read_to_string(path) {

@@ -89,9 +89,17 @@ COMMANDS:
   trend       continuously match registered patterns against all streams
               --patterns FILE (required: one comma-separated pattern per
               line)  --radius r (0.05)  --base W (16)  --levels L (4)
+  serve-bench replay a workload through the sharded multi-threaded
+              runtime and report ingest throughput + per-shard stats;
+              generates random-walk streams when no input is given
+              --shards S (0: one per CPU)  --queue Q (64)  --batch rows (16)
+              --streams M (64)  --values N (2048)  --seed (42)
+              --base W (16)  --levels L (3)  --min-corr c (0.9)
+              --classes agg,corr (which query classes to enable)
 
 EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
+  stardust serve-bench --shards 4 --streams 128 --values 4096
 "
     .to_string()
 }
@@ -114,7 +122,11 @@ pub fn read_columns(input: &str) -> Result<Vec<Vec<f64>>, String> {
         }
         let values: Result<Vec<f64>, String> = line
             .split(',')
-            .map(|c| c.trim().parse::<f64>().map_err(|_| format!("line {}: bad number '{c}'", lineno + 1)))
+            .map(|c| {
+                c.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {}: bad number '{c}'", lineno + 1))
+            })
             .collect();
         let values = values?;
         if columns.is_empty() {
@@ -148,6 +160,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "pattern" => run_pattern(args, input),
         "correlate" => run_correlate(args, input),
         "trend" => run_trend(args, input),
+        "serve-bench" => run_serve_bench(args, input),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -228,9 +241,8 @@ fn run_aggregate(args: &Args, input: &str, kind: TransformKind) -> Result<String
 
 fn run_recommend(args: &Args, input: &str) -> Result<String, String> {
     let data = single_column(input)?;
-    let candidates = parse_usize_list(
-        args.get("candidates").ok_or("recommend needs --candidates w1,w2,...")?,
-    )?;
+    let candidates =
+        parse_usize_list(args.get("candidates").ok_or("recommend needs --candidates w1,w2,...")?)?;
     let kind = match args.get("agg").unwrap_or("sum") {
         "sum" => TransformKind::Sum,
         "spread" => TransformKind::Spread,
@@ -257,12 +269,9 @@ fn run_pattern(args: &Args, input: &str) -> Result<String, String> {
     let base: usize = args.get_or("base", 16)?;
     let levels: usize = args.get_or("levels", 5)?;
     let n = streams[0].len();
-    let r_max = streams
-        .iter()
-        .flatten()
-        .chain(query.iter())
-        .fold(1.0f64, |a, &b| a.max(b.abs()));
-    let cfg = Config::batch(base, levels, 4.min(base), r_max).with_history(n.max(base << (levels - 1)));
+    let r_max = streams.iter().flatten().chain(query.iter()).fold(1.0f64, |a, &b| a.max(b.abs()));
+    let cfg =
+        Config::batch(base, levels, 4.min(base), r_max).with_history(n.max(base << (levels - 1)));
     let mut engine = Stardust::new(cfg, streams.len());
     for i in 0..n {
         for (s, col) in streams.iter().enumerate() {
@@ -336,6 +345,100 @@ fn run_correlate(args: &Args, input: &str) -> Result<String, String> {
     Ok(out)
 }
 
+fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{
+        AggregateSpec, Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime,
+    };
+
+    let shards: usize = args.get_or("shards", 0)?;
+    let queue: usize = args.get_or("queue", 64)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+    let base: usize = args.get_or("base", 16)?;
+    let levels: usize = args.get_or("levels", 3)?;
+    let min_corr: f64 = args.get_or("min-corr", 0.9)?;
+    if base == 0 || !base.is_power_of_two() || levels == 0 {
+        return Err("--base must be a positive power of two and --levels positive".into());
+    }
+    if !(-1.0..=1.0).contains(&min_corr) {
+        return Err("--min-corr must be in [-1, 1]".into());
+    }
+
+    // Workload: CSV columns when given, the paper's random-walk model
+    // otherwise.
+    let streams = if input.trim().is_empty() {
+        let m: usize = args.get_or("streams", 64)?;
+        let n: usize = args.get_or("values", 2048)?;
+        let seed: u64 = args.get_or("seed", 42)?;
+        if m == 0 || n == 0 {
+            return Err("--streams and --values must be positive".into());
+        }
+        stardust_datagen::random_walk_streams(seed, m, n)
+    } else {
+        read_columns(input)?
+    };
+    let m = streams.len();
+    let n = streams[0].len();
+    let r_max = streams.iter().flatten().fold(1.0f64, |a, &b| a.max(b.abs()));
+
+    let mut spec = MonitorSpec::new(base, levels, r_max);
+    for class in args.get("classes").unwrap_or("agg,corr").split(',') {
+        match class.trim() {
+            "agg" => {
+                // Thresholds trained on each stream's prefix, like `burst`.
+                let window = 2 * base;
+                let train = (n / 4).max(window + 1).min(n);
+                let threshold =
+                    train_threshold(&streams[0][..train], window, 6.0, |w| w.iter().sum::<f64>())
+                        .ok_or("input too short to train an aggregate threshold")?;
+                spec = spec.with_aggregates(AggregateSpec {
+                    transform: TransformKind::Sum,
+                    windows: vec![WindowSpec { window, threshold }],
+                    box_capacity: 4,
+                });
+            }
+            "corr" => {
+                let radius = stardust_core::normalize::correlation_to_distance(min_corr);
+                spec = spec.with_correlations(CorrelationSpec { coeffs: 4, radius });
+            }
+            other => return Err(format!("unknown class '{other}' (agg|corr)")),
+        }
+    }
+
+    let mut rt = ShardedRuntime::launch(&spec, m, RuntimeConfig { shards, queue_capacity: queue })
+        .map_err(|e| e.to_string())?;
+    let n_shards = rt.n_shards();
+
+    let started = std::time::Instant::now();
+    let mut events = 0u64;
+    let mut row = 0;
+    while row < n {
+        let rows = batch_rows.min(n - row);
+        let batch: Batch = (row..row + rows)
+            .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+            .collect();
+        rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+        events += rt.drain_events().len() as u64;
+        row += rows;
+    }
+    let report = rt.shutdown();
+    let elapsed = started.elapsed();
+    events += report.events.len() as u64;
+
+    let total = (m * n) as u64;
+    let rate = total as f64 / elapsed.as_secs_f64();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# {m} streams x {n} values, {n_shards} shard(s), queue {queue}, batch {batch_rows} row(s)\n"
+    ));
+    out.push_str(&format!(
+        "ingested {total} values in {:.3}s: {:.0} values/s, {events} event(s)\n",
+        elapsed.as_secs_f64(),
+        rate,
+    ));
+    out.push_str(&report.stats.render());
+    Ok(out)
+}
+
 fn run_trend(args: &Args, input: &str) -> Result<String, String> {
     let streams = read_columns(input)?;
     let patterns_path = args.get("patterns").ok_or("trend needs --patterns FILE")?;
@@ -372,8 +475,8 @@ fn run_trend(args: &Args, input: &str) -> Result<String, String> {
         .flatten()
         .chain(patterns.iter().flatten())
         .fold(1.0f64, |a, &b| a.max(b.abs()));
-    let mut cfg = Config::online(TransformKind::Dwt, base, levels, 8)
-        .with_history(base << (levels - 1));
+    let mut cfg =
+        Config::online(TransformKind::Dwt, base, levels, 8).with_history(base << (levels - 1));
     cfg.dwt_coeffs = 4.min(base);
     cfg.r_max = r_max;
     let mut monitor = TrendMonitor::new(cfg, streams.len());
@@ -470,8 +573,7 @@ mod tests {
 
     #[test]
     fn recommend_subcommand() {
-        let (cmd, args) =
-            Args::parse(&argv("recommend --candidates 10,50,100,400")).unwrap();
+        let (cmd, args) = Args::parse(&argv("recommend --candidates 10,50,100,400")).unwrap();
         let out = run(&cmd, &args, &bursty_csv()).expect("runs");
         let top = out.lines().nth(1).expect("ranked row");
         let w: usize = top.split(',').next().unwrap().parse().unwrap();
@@ -510,11 +612,39 @@ mod tests {
             let v = if (120..152).contains(&i) { 10.0 + (i - 120) as f64 } else { 5.0 };
             csv.push_str(&format!("{v}\n"));
         }
-        let argv_s = format!("trend --patterns {} --radius 0.02 --base 16 --levels 2", pfile.display());
+        let argv_s =
+            format!("trend --patterns {} --radius 0.02 --base 16 --levels 2", pfile.display());
         let (cmd, args) = Args::parse(&argv(&argv_s)).unwrap();
         let out = run(&cmd, &args, &csv).expect("runs");
         assert!(out.contains("151,0,0,"), "match at row 151 expected:\n{out}");
         let _ = std::fs::remove_file(&pfile);
+    }
+
+    #[test]
+    fn serve_bench_generated_workload() {
+        let (cmd, args) = Args::parse(&argv(
+            "serve-bench --shards 2 --streams 8 --values 256 --batch 8 --seed 7",
+        ))
+        .unwrap();
+        let out = run(&cmd, &args, "").expect("runs");
+        assert!(out.contains("8 streams x 256 values, 2 shard(s)"), "header:\n{out}");
+        assert!(out.contains("values/s"), "throughput line:\n{out}");
+        assert!(out.contains("q_hwm"), "per-shard stats table:\n{out}");
+        assert!(out.contains("ingested 2048 values"), "total count:\n{out}");
+    }
+
+    #[test]
+    fn serve_bench_csv_input() {
+        let mut csv = String::new();
+        let mut x = 10.0f64;
+        for i in 0..400 {
+            x += ((i * 37) % 11) as f64 / 11.0 - 0.5;
+            csv.push_str(&format!("{x},{},{}\n", x + 1.0, 40.0 - x / 2.0));
+        }
+        let (cmd, args) =
+            Args::parse(&argv("serve-bench --shards 3 --batch 4 --classes corr")).unwrap();
+        let out = run(&cmd, &args, &csv).expect("runs");
+        assert!(out.contains("3 streams x 400 values, 3 shard(s)"), "header:\n{out}");
     }
 
     #[test]

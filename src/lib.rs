@@ -16,6 +16,7 @@
 //! | [`dsp`] | `stardust-dsp` | Haar DWT + incremental merges (Lemmas A.1/A.2), sliding DFT |
 //! | [`baselines`] | `stardust-baselines` | SWT, StatStream, GeneralMatch, MR-Index, linear scan |
 //! | [`datagen`] | `stardust-datagen` | seeded workload generators for every §6 experiment |
+//! | [`runtime`] | `stardust-runtime` | sharded, multi-threaded ingestion & query runtime |
 //!
 //! ## Quickstart
 //!
@@ -49,3 +50,4 @@ pub use stardust_core as core;
 pub use stardust_datagen as datagen;
 pub use stardust_dsp as dsp;
 pub use stardust_index as index;
+pub use stardust_runtime as runtime;

@@ -66,16 +66,14 @@ fn both_monitors_cover_ground_truth_each_round() {
         let sd_verified: BTreeSet<(u32, u32)> = sd_batch
             .iter()
             .filter(|p| {
-                p.correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
+                p.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
             })
             .map(|p| (p.a.min(p.b), p.a.max(p.b)))
             .collect();
         let ss_verified: BTreeSet<(u32, u32)> = ss_batch
             .iter()
             .filter(|p| {
-                p.correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
+                p.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= radius)
             })
             .map(|p| (p.a.min(p.b), p.a.max(p.b)))
             .collect();
@@ -100,9 +98,7 @@ fn anticorrelation_is_not_reported_as_correlation() {
     for i in 0..n {
         for s in 0..M {
             for p in sd.append(s as u32, streams[s][i]) {
-                if p.correlation
-                    .is_some_and(|c| normalize::correlation_to_distance(c) <= 0.5)
-                {
+                if p.correlation.is_some_and(|c| normalize::correlation_to_distance(c) <= 0.5) {
                     confirmed.insert((p.a.min(p.b), p.a.max(p.b)));
                 }
             }

@@ -16,8 +16,7 @@ fn workload() -> (Vec<f64>, Vec<WindowSpec>) {
     let specs: Vec<WindowSpec> = (1..=20)
         .map(|k| {
             let w = 10 * k;
-            let threshold =
-                train_threshold(train, w, 8.0, |win| win.iter().sum()).expect("train");
+            let threshold = train_threshold(train, w, 8.0, |win| win.iter().sum()).expect("train");
             WindowSpec { window: w, threshold }
         })
         .collect();
@@ -42,11 +41,7 @@ fn recall_is_perfect_for_all_techniques() {
         for &x in live {
             mon.push(x);
         }
-        assert_eq!(
-            mon.stats().true_alarms as usize,
-            expected,
-            "stardust c={c} true alarms"
-        );
+        assert_eq!(mon.stats().true_alarms as usize, expected, "stardust c={c} true alarms");
     }
 
     let mut swt = SwtMonitor::new(TransformKind::Sum, 10, &specs);
@@ -90,7 +85,8 @@ fn precision_ordering_matches_paper() {
 /// perfect.
 #[test]
 fn spread_monitoring_end_to_end() {
-    let data = stardust::datagen::packet_series(3, 20_000, &stardust::datagen::PacketParams::default());
+    let data =
+        stardust::datagen::packet_series(3, 20_000, &stardust::datagen::PacketParams::default());
     let train = &data[..4000];
     let spread = |w: &[f64]| {
         w.iter().copied().fold(f64::NEG_INFINITY, f64::max)

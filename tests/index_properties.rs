@@ -6,13 +6,24 @@ use stardust::index::{bulk_load, Params, RStarTree, Rect};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { lo: Vec<f64>, extent: Vec<f64> },
+    Insert {
+        lo: Vec<f64>,
+        extent: Vec<f64>,
+    },
     RemoveOldest,
     /// Move the oldest item by a small or large offset (exercises both
     /// the in-place and the reinsert path of `update`).
-    UpdateOldest { shift: f64 },
-    Query { lo: Vec<f64>, extent: Vec<f64> },
-    Within { point: Vec<f64>, radius: f64 },
+    UpdateOldest {
+        shift: f64,
+    },
+    Query {
+        lo: Vec<f64>,
+        extent: Vec<f64>,
+    },
+    Within {
+        point: Vec<f64>,
+        radius: f64,
+    },
 }
 
 fn coord() -> impl Strategy<Value = f64> {

@@ -34,25 +34,22 @@ fn engines(values: &[Vec<f64>]) -> (Stardust, Stardust, GeneralMatch) {
 
 /// Bounded random-walk streams (values stay within [0, 120]).
 fn streams_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
-    proptest::collection::vec(
-        (10.0f64..110.0, proptest::collection::vec(-0.9f64..0.9, 400)),
-        M,
-    )
-    .prop_map(|walks| {
-        walks
-            .into_iter()
-            .map(|(start, steps)| {
-                let mut x = start;
-                steps
-                    .into_iter()
-                    .map(|d| {
-                        x = (x + d).clamp(0.0, 120.0);
-                        x
-                    })
-                    .collect()
-            })
-            .collect()
-    })
+    proptest::collection::vec((10.0f64..110.0, proptest::collection::vec(-0.9f64..0.9, 400)), M)
+        .prop_map(|walks| {
+            walks
+                .into_iter()
+                .map(|(start, steps)| {
+                    let mut x = start;
+                    steps
+                        .into_iter()
+                        .map(|d| {
+                            x = (x + d).clamp(0.0, 120.0);
+                            x
+                        })
+                        .collect()
+                })
+                .collect()
+        })
 }
 
 proptest! {

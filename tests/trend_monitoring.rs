@@ -40,9 +40,8 @@ fn standing_query_equals_repeated_one_time_queries() {
         // One-time query restricted to matches ending exactly now.
         if i + 1 >= 48 {
             let ans = pattern::query_online(&engine, &q).expect("valid");
-            repeated.extend(
-                ans.matches.iter().filter(|m| m.end_time == i as u64).map(|m| m.end_time),
-            );
+            repeated
+                .extend(ans.matches.iter().filter(|m| m.end_time == i as u64).map(|m| m.end_time));
         }
     }
     assert_eq!(standing, repeated, "standing and one-time answers diverge");

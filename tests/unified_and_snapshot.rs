@@ -32,8 +32,12 @@ fn unified_agrees_with_dedicated_monitors() {
         for s in 0..2u32 {
             for ev in unified.append(s, data[s as usize][i]) {
                 match ev {
-                    Event::Aggregate { alarm, .. } => unified_aggr += usize::from(alarm.is_true_alarm),
-                    Event::Correlation(p) => unified_pairs.push((p.a.min(p.b), p.a.max(p.b), p.time)),
+                    Event::Aggregate { alarm, .. } => {
+                        unified_aggr += usize::from(alarm.is_true_alarm)
+                    }
+                    Event::Correlation(p) => {
+                        unified_pairs.push((p.a.min(p.b), p.a.max(p.b), p.time))
+                    }
                     Event::Trend(_) => unreachable!("trends not enabled"),
                 }
             }
@@ -51,8 +55,7 @@ fn unified_agrees_with_dedicated_monitors() {
     let mut dedicated_aggr = stardust::core::query::aggregate::AggregateMonitor::new(cfg, &specs);
     let mut count0 = 0usize;
     for i in 0..600 {
-        count0 +=
-            dedicated_aggr.push(data[0][i]).iter().filter(|a| a.is_true_alarm).count();
+        count0 += dedicated_aggr.push(data[0][i]).iter().filter(|a| a.is_true_alarm).count();
     }
     // The unified count covers both streams; stream 0's share must match.
     assert!(unified_aggr >= count0);

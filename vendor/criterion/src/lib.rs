@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a miniature wall-clock harness with criterion's API shape:
+//! [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `Bencher::iter_batched`, [`Throughput`], [`BatchSize`], and
+//! [`black_box`]. It warms up, then runs timed samples for the
+//! configured measurement window and reports median/mean per-iteration
+//! time (plus derived throughput) on stdout. No statistics beyond that,
+//! no HTML reports, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; advisory only here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The harness: configuration plus an optional name filter taken from
+/// the command line (first non-flag argument, substring match).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up_time,
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        b.mode = Mode::Measure;
+        b.budget = self.measurement_time;
+        b.samples.clear();
+        f(&mut b);
+        report(id, &mut b.samples, throughput);
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration work volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.c.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Timing callback handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    samples: Vec<f64>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        match self.mode {
+            Mode::WarmUp => {
+                // At least one pass even if the budget is tiny.
+                loop {
+                    let input = setup();
+                    black_box(routine(input));
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+            Mode::Measure => {
+                // One timed sample = one routine call; run until both the
+                // sample target and the time budget are exhausted (or the
+                // budget is exceeded fourfold — slow routines still finish).
+                let hard_stop = Instant::now() + self.budget * 4;
+                loop {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    let dt = t0.elapsed();
+                    self.samples.push(dt.as_secs_f64());
+                    let now = Instant::now();
+                    let enough = self.samples.len() >= self.target_samples;
+                    if (enough && now >= deadline) || now >= hard_stop {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} /s")
+    }
+}
+
+fn report(id: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  thrpt: {} elem", human_rate(n as f64 / median))
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!("  thrpt: {} bytes", human_rate(n as f64 / median))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<40} time: [median {} mean {}] ({} samples){extra}",
+        human_time(median),
+        human_time(mean),
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions, criterion-style. Both the
+/// `name/config/targets` form and the positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
