@@ -72,8 +72,12 @@ fn bench_runtime(c: &mut Criterion) {
         group.bench_function(format!("sharded_{shards}"), |b| {
             b.iter_batched(
                 || {
-                    ShardedRuntime::launch(&spec, M, RuntimeConfig { shards, queue_capacity: 64 })
-                        .unwrap()
+                    ShardedRuntime::launch(
+                        &spec,
+                        M,
+                        RuntimeConfig { shards, queue_capacity: 64, ..RuntimeConfig::default() },
+                    )
+                    .unwrap()
                 },
                 |rt| {
                     for batch in &batches {

@@ -11,6 +11,7 @@
 
 use crate::config::Config;
 use crate::error::QueryError;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::stream::Time;
 use crate::summarizer::StreamSummary;
 use crate::transform::{MergePrecision, TransformKind};
@@ -223,6 +224,57 @@ impl AggregateMonitor {
             alarms.push(Alarm { window, time: t, upper_bound: hi, true_value, is_true_alarm });
         }
         alarms
+    }
+
+    /// Serializes the monitor — summary, window specs, and alarm
+    /// counters — into a self-describing byte buffer. The decomposition
+    /// tables are derived state and are rebuilt by [`Self::restore`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.blob(&self.summary.snapshot());
+        w.u64(self.stats.candidates);
+        w.u64(self.stats.true_alarms);
+        w.usize(self.windows.len());
+        for m in &self.windows {
+            w.usize(m.spec.window);
+            w.f64(m.spec.threshold);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a monitor from [`Self::snapshot`] bytes; continuation is
+    /// bit-identical to the uninterrupted original.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on a truncated, corrupt, or inconsistent buffer.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes)?;
+        let summary = StreamSummary::restore(r.blob()?)?;
+        let stats = AlarmStats { candidates: r.u64()?, true_alarms: r.u64()? };
+        let n = r.count(16)?;
+        let mut windows = Vec::with_capacity(n);
+        let config = summary.config().clone();
+        if config.transform == TransformKind::Dwt {
+            return Err(SnapshotError::Corrupt("aggregate snapshot with DWT transform"));
+        }
+        for _ in 0..n {
+            let spec = WindowSpec { window: r.usize()?, threshold: r.f64()? };
+            if spec.window == 0 {
+                return Err(SnapshotError::Corrupt("zero aggregate window"));
+            }
+            let effective = spec.window.div_ceil(config.base_window) * config.base_window;
+            if effective != spec.window && config.transform == TransformKind::Min {
+                return Err(SnapshotError::Corrupt("unaligned MIN window"));
+            }
+            if effective > config.history {
+                return Err(SnapshotError::Corrupt("window exceeds history"));
+            }
+            let levels = decompose(effective, config.base_window, config.levels - 1)
+                .map_err(|_| SnapshotError::Corrupt("window not decomposable"))?;
+            windows.push(Monitored { spec, effective, levels });
+        }
+        r.expect_end()?;
+        Ok(AggregateMonitor { summary, windows, stats, scratch: Vec::new() })
     }
 
     /// The current composed interval for the monitored window of size `w`

@@ -25,6 +25,7 @@ use stardust_index::{Params, RStarTree, Rect};
 
 use crate::config::Config;
 use crate::normalize;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::stream::{StreamId, Time};
 use crate::summarizer::StreamSummary;
 
@@ -100,6 +101,11 @@ pub struct CorrelationMonitor {
     summaries: Vec<StreamSummary>,
     tree: RStarTree<(StreamId, Time)>,
     round: Option<Time>,
+    /// Insertion-ordered mirror of the live tree entries. Snapshots
+    /// serialize this instead of the tree; restoring re-inserts in the
+    /// original order, reproducing the identical index structure in the
+    /// synchronized (insert-only) mode.
+    log: Vec<(Vec<f64>, StreamId, Time)>,
     /// Per-stream indexed features, oldest first (used when `lag_periods > 1`).
     entries: Vec<std::collections::VecDeque<(Vec<f64>, Time)>>,
     /// How many feature periods back a lagged partner may be (1 =
@@ -156,6 +162,7 @@ impl CorrelationMonitor {
             summaries,
             tree: RStarTree::with_params(f, Params::new(8)),
             round: None,
+            log: Vec::new(),
             entries: (0..n_streams).map(|_| std::collections::VecDeque::new()).collect(),
             lag_periods: 1,
             radius,
@@ -215,6 +222,124 @@ impl CorrelationMonitor {
         &self.summaries[stream as usize]
     }
 
+    /// Serializes the monitor: stream summaries, parameters, counters,
+    /// and the live feature-index entries in insertion order. The
+    /// R\*-tree itself is derived state; [`Self::restore`] re-inserts
+    /// the logged entries in the original order, which reproduces the
+    /// identical tree in the synchronized (insert-only) mode. In lagged
+    /// mode the rebuilt tree holds the same entries but may differ
+    /// structurally (removals are not replayed), so reported pairs are
+    /// set-identical while the order *within* one arrival may permute.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.usize(self.summaries.len());
+        for s in &self.summaries {
+            w.blob(&s.snapshot());
+        }
+        w.usize(self.f);
+        w.f64(self.radius);
+        w.usize(self.lag_periods);
+        w.u8(self.verify as u8);
+        match self.round {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                w.u64(t);
+            }
+        }
+        w.u64(self.stats.reported);
+        w.u64(self.stats.true_pairs);
+        w.usize(self.log.len());
+        for (coords, stream, t) in &self.log {
+            w.f64_slice(coords);
+            w.u64(*stream as u64);
+            w.u64(*t);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a monitor from [`Self::snapshot`] bytes.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on a truncated, corrupt, or inconsistent buffer.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes)?;
+        let n_streams = r.count(16)?;
+        if n_streams < 2 {
+            return Err(SnapshotError::Corrupt("correlation needs at least two streams"));
+        }
+        let mut summaries = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            summaries.push(StreamSummary::restore(r.blob()?)?);
+        }
+        let config = summaries[0].config().clone();
+        if summaries.iter().any(|s| *s.config() != config) {
+            return Err(SnapshotError::Corrupt("correlation summaries disagree on config"));
+        }
+        let f = r.usize()?;
+        if (f + 1).next_power_of_two() != config.dwt_coeffs {
+            return Err(SnapshotError::Corrupt("feature count disagrees with config"));
+        }
+        let radius = r.f64()?;
+        if !(radius.is_finite() && radius >= 0.0) {
+            return Err(SnapshotError::Corrupt("invalid correlation radius"));
+        }
+        let lag_periods = r.usize()?;
+        if lag_periods == 0 {
+            return Err(SnapshotError::Corrupt("zero lag periods"));
+        }
+        let verify = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapshotError::Corrupt("verify tag")),
+        };
+        let round = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return Err(SnapshotError::Corrupt("round tag")),
+        };
+        let stats = CorrelationStats { reported: r.u64()?, true_pairs: r.u64()? };
+        let n_entries = r.count(24)?;
+        let mut log = Vec::with_capacity(n_entries);
+        let mut tree = RStarTree::with_params(f, Params::new(8));
+        let mut entries: Vec<std::collections::VecDeque<(Vec<f64>, Time)>> =
+            (0..n_streams).map(|_| std::collections::VecDeque::new()).collect();
+        for _ in 0..n_entries {
+            let coords = r.f64_vec()?;
+            if coords.len() != f {
+                return Err(SnapshotError::Corrupt("feature arity"));
+            }
+            let stream = StreamId::try_from(r.u64()?)
+                .map_err(|_| SnapshotError::Corrupt("oversized stream id"))?;
+            if stream as usize >= n_streams {
+                return Err(SnapshotError::Corrupt("entry stream out of range"));
+            }
+            let t = r.u64()?;
+            tree.insert(Rect::point(&coords), (stream, t));
+            if lag_periods > 1 {
+                entries[stream as usize].push_back((coords.clone(), t));
+            }
+            log.push((coords, stream, t));
+        }
+        r.expect_end()?;
+        let level = config.levels - 1;
+        let window = config.window_at(level);
+        Ok(CorrelationMonitor {
+            summaries,
+            tree,
+            round,
+            log,
+            entries,
+            lag_periods,
+            radius,
+            level,
+            window,
+            f,
+            verify,
+            stats,
+        })
+    }
+
     /// Appends one value to one stream; returns the pairs reported by this
     /// arrival.
     ///
@@ -249,6 +374,7 @@ impl CorrelationMonitor {
             if self.round != Some(t) {
                 self.round = Some(t);
                 self.tree = RStarTree::with_params(self.f, Params::new(8));
+                self.log.clear();
             }
         } else {
             // Lagged mode: retire this stream's entries that fell out of
@@ -259,6 +385,10 @@ impl CorrelationMonitor {
                 let (coords, ft) = self.entries[s].pop_front().expect("just checked");
                 let removed = self.tree.remove(&Rect::point(&coords), &(stream, ft));
                 debug_assert!(removed);
+                if let Some(pos) = self.log.iter().position(|&(_, ls, lt)| ls == stream && lt == ft)
+                {
+                    self.log.remove(pos);
+                }
             }
         }
         if energy <= f64::EPSILON {
@@ -282,6 +412,7 @@ impl CorrelationMonitor {
             }
         });
         self.tree.insert(Rect::point(&coords), (stream, t));
+        self.log.push((coords.clone(), stream, t));
         if self.lag_periods > 1 {
             self.entries[s].push_back((coords, t));
         }

@@ -19,6 +19,7 @@ use crate::config::Config;
 use crate::error::QueryError;
 use crate::normalize::unit_sphere_scale;
 use crate::query::aggregate::decompose;
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::stream::{StreamId, Time};
 use crate::summarizer::StreamSummary;
 use crate::transform::TransformKind;
@@ -148,17 +149,32 @@ impl TrendMonitor {
     /// Registers a pattern; returns its id. The pattern length must be a
     /// positive multiple of `W` decomposable over the configured levels.
     pub fn register(&mut self, sequence: Vec<f64>, radius: f64) -> Result<PatternId, QueryError> {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(QueryError::InvalidRadius);
+        }
+        let r_abs = radius * (sequence.len() as f64).sqrt() * self.config.r_max;
+        self.register_with_r_abs(sequence, r_abs)
+    }
+
+    /// Registers a pattern by its precomputed raw-space radius budget
+    /// `r_abs = r·√L·R_max`. [`Self::register`] and snapshot restoration
+    /// both funnel through here, so a restored pattern carries the exact
+    /// same budget (no radius round-trip through division).
+    fn register_with_r_abs(
+        &mut self,
+        sequence: Vec<f64>,
+        r_abs: f64,
+    ) -> Result<PatternId, QueryError> {
         if sequence.is_empty() {
             return Err(QueryError::EmptyQuery);
         }
-        if !radius.is_finite() || radius < 0.0 {
+        if !r_abs.is_finite() || r_abs < 0.0 {
             return Err(QueryError::InvalidRadius);
         }
         let len = sequence.len();
         let w0 = self.config.base_window;
         let f = self.config.dwt_coeffs;
         let levels = decompose(len, w0, self.config.levels - 1)?;
-        let r_abs = radius * (len as f64).sqrt() * self.config.r_max;
         // Sub-window features, most recent (tail of the pattern) first.
         let mut sub_feats = Vec::with_capacity(levels.len());
         let mut end = len;
@@ -194,6 +210,71 @@ impl TrendMonitor {
     /// The summary of one stream.
     pub fn summary(&self, stream: StreamId) -> &StreamSummary {
         &self.summaries[stream as usize]
+    }
+
+    /// Serializes the monitor: every stream summary, the registered
+    /// patterns (raw sequence plus exact radius budget), and the
+    /// counters. The per-length R\*-trees are derived state: they are
+    /// rebuilt by [`Self::restore`] re-registering the patterns in id
+    /// order, which reproduces the identical insertion sequence and
+    /// therefore the identical index structure.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.usize(self.summaries.len());
+        for s in &self.summaries {
+            w.blob(&s.snapshot());
+        }
+        w.u64(self.stats.candidates);
+        w.u64(self.stats.matches);
+        w.usize(self.patterns.len());
+        for p in &self.patterns {
+            w.f64_slice(&p.sequence);
+            w.f64(p.r_abs);
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a monitor from [`Self::snapshot`] bytes; continuation is
+    /// bit-identical to the uninterrupted original.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on a truncated, corrupt, or inconsistent buffer.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::new(bytes)?;
+        let n_streams = r.count(16)?;
+        if n_streams == 0 {
+            return Err(SnapshotError::Corrupt("trend snapshot with zero streams"));
+        }
+        let mut summaries = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            summaries.push(StreamSummary::restore(r.blob()?)?);
+        }
+        let config = summaries[0].config().clone();
+        if config.transform != TransformKind::Dwt {
+            return Err(SnapshotError::Corrupt("trend snapshot without DWT transform"));
+        }
+        if summaries.iter().any(|s| *s.config() != config) {
+            return Err(SnapshotError::Corrupt("trend summaries disagree on config"));
+        }
+        let stats = TrendStats { candidates: r.u64()?, matches: r.u64()? };
+        let n_patterns = r.count(16)?;
+        let mut monitor = TrendMonitor {
+            config,
+            summaries,
+            patterns: Vec::with_capacity(n_patterns),
+            groups: BTreeMap::new(),
+            stats,
+            scratch: Vec::new(),
+        };
+        for _ in 0..n_patterns {
+            let sequence = r.f64_vec()?;
+            let r_abs = r.f64()?;
+            monitor
+                .register_with_r_abs(sequence, r_abs)
+                .map_err(|_| SnapshotError::Corrupt("unregistrable trend pattern"))?;
+        }
+        r.expect_end()?;
+        Ok(monitor)
     }
 
     /// Appends one value to one stream; returns the patterns the stream's

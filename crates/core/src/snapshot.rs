@@ -82,6 +82,13 @@ impl Writer {
         }
     }
 
+    /// A length-prefixed nested byte blob (e.g. an embedded sub-snapshot
+    /// that carries its own magic).
+    pub(crate) fn blob(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
     pub(crate) fn finish(self) -> Vec<u8> {
         self.buf
     }
@@ -145,6 +152,12 @@ impl<'a> Reader<'a> {
             out.push(self.f64()?);
         }
         Ok(out)
+    }
+
+    /// Reads a blob written by [`Writer::blob`].
+    pub(crate) fn blob(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.count(1)?;
+        self.take(n)
     }
 
     pub(crate) fn expect_end(&self) -> Result<(), SnapshotError> {

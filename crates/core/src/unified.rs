@@ -24,6 +24,7 @@ use crate::error::QueryError;
 use crate::query::aggregate::{AggregateMonitor, Alarm, WindowSpec};
 use crate::query::correlation::{CorrelatedPair, CorrelationMonitor};
 use crate::query::trend::{PatternId, TrendMatch, TrendMonitor};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::stream::StreamId;
 use crate::transform::TransformKind;
 
@@ -186,6 +187,89 @@ impl UnifiedMonitor {
         events
     }
 
+    /// Serializes the whole monitor — every enabled class, every
+    /// stream — into one self-describing byte buffer. Restoring with
+    /// [`Self::restore`] and continuing to append yields output
+    /// bit-identical to the uninterrupted original for aggregates and
+    /// trends, and report-set-identical for correlations (see
+    /// [`CorrelationMonitor::snapshot`]); the sharded runtime builds its
+    /// crash-recovery checkpoints out of exactly this buffer.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.aggregates {
+            None => w.u8(0),
+            Some((monitors, specs)) => {
+                w.u8(1);
+                w.usize(specs.len());
+                for spec in specs {
+                    w.usize(spec.window);
+                    w.f64(spec.threshold);
+                }
+                w.usize(monitors.len());
+                for m in monitors {
+                    w.blob(&m.snapshot());
+                }
+            }
+        }
+        match &self.trends {
+            None => w.u8(0),
+            Some(t) => {
+                w.u8(1);
+                w.blob(&t.snapshot());
+            }
+        }
+        match &self.correlations {
+            None => w.u8(0),
+            Some(c) => {
+                w.u8(1);
+                w.blob(&c.snapshot());
+            }
+        }
+        w.finish()
+    }
+
+    /// Rebuilds a monitor from [`Self::snapshot`] bytes.
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on a truncated, corrupt, or inconsistent buffer.
+    pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        fn class_tag(r: &mut Reader<'_>) -> Result<bool, SnapshotError> {
+            match r.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(SnapshotError::Corrupt("class tag")),
+            }
+        }
+        let mut r = Reader::new(bytes)?;
+        let aggregates = if class_tag(&mut r)? {
+            let n_specs = r.count(16)?;
+            let mut specs = Vec::with_capacity(n_specs);
+            for _ in 0..n_specs {
+                specs.push(WindowSpec { window: r.usize()?, threshold: r.f64()? });
+            }
+            let n_monitors = r.count(16)?;
+            if n_monitors == 0 {
+                return Err(SnapshotError::Corrupt("aggregate class with zero streams"));
+            }
+            let mut monitors = Vec::with_capacity(n_monitors);
+            for _ in 0..n_monitors {
+                monitors.push(AggregateMonitor::restore(r.blob()?)?);
+            }
+            Some((monitors, specs))
+        } else {
+            None
+        };
+        let trends =
+            if class_tag(&mut r)? { Some(TrendMonitor::restore(r.blob()?)?) } else { None };
+        let correlations =
+            if class_tag(&mut r)? { Some(CorrelationMonitor::restore(r.blob()?)?) } else { None };
+        r.expect_end()?;
+        if aggregates.is_none() && trends.is_none() && correlations.is_none() {
+            return Err(SnapshotError::Corrupt("no query class enabled"));
+        }
+        Ok(UnifiedMonitor { aggregates, trends, correlations })
+    }
+
     /// The aggregate monitor of one stream, if enabled.
     pub fn aggregate_monitor(&self, stream: StreamId) -> Option<&AggregateMonitor> {
         self.aggregates.as_ref().map(|(m, _)| &m[stream as usize])
@@ -278,6 +362,53 @@ mod tests {
                 assert!(matches!(ev, Event::Correlation(_)));
             }
         }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let specs = vec![WindowSpec { window: 16, threshold: 60.0 }];
+        let build = || {
+            let mut m = UnifiedMonitor::builder(8, 3, 2, 100.0)
+                .aggregates(TransformKind::Sum, specs.clone(), 2)
+                .trends(4, 4)
+                .correlations(4, 0.5)
+                .build();
+            let ramp: Vec<f64> = (0..16).map(|i| 2.0 + i as f64 * 0.5).collect();
+            m.register_trend(ramp, 0.05).expect("valid");
+            m
+        };
+        let mut live = build();
+        let mut seed = 77u64;
+        let value = |seed: &mut u64, s: StreamId| {
+            let x = splitmix(seed) * 8.0;
+            if s == 0 {
+                x
+            } else {
+                2.0 * x + 1.0
+            }
+        };
+        for _ in 0..137 {
+            for s in 0..2 {
+                let _ = live.append(s, value(&mut seed, s));
+            }
+        }
+        let mut revived = UnifiedMonitor::restore(&live.snapshot()).expect("restores");
+        for _ in 0..200 {
+            for s in 0..2 {
+                let v = value(&mut seed, s);
+                assert_eq!(live.append(s, v), revived.append(s, v));
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(UnifiedMonitor::restore(b"not a snapshot").is_err());
+        let m = UnifiedMonitor::builder(8, 2, 2, 10.0).correlations(2, 0.5).build();
+        let mut bytes = m.snapshot();
+        let n = bytes.len();
+        bytes.truncate(n - 3);
+        assert!(UnifiedMonitor::restore(&bytes).is_err());
     }
 
     #[test]

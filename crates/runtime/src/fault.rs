@@ -1,0 +1,168 @@
+//! Deterministic fault injection for the sharded runtime.
+//!
+//! A [`FaultPlan`] is a list of one-shot faults, each pinned to a shard
+//! and an append ordinal: "kill shard 2 when it applies its 1 000th
+//! value". Because shards process their queues sequentially, the append
+//! ordinal is a deterministic clock — the same plan over the same
+//! workload reproduces the same crash point on every run, regardless of
+//! thread scheduling. Plans are injected through
+//! [`crate::RuntimeConfig::fault_plan`] and cost one `Option` check per
+//! append when absent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What happens when a fault triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker thread panics mid-batch (before applying the
+    /// triggering append). The supervisor restores the shard from its
+    /// last snapshot and replays the journaled suffix.
+    Panic,
+    /// The worker sleeps in place, wedging its queue — producers feel
+    /// backpressure (`QueueFull` / parked blocking calls) until the
+    /// stall clears.
+    Stall(Duration),
+    /// The worker finishes the current batch, then sleeps before
+    /// draining the next message — a slow consumer rather than a wedged
+    /// one.
+    DelayDrain(Duration),
+}
+
+/// One scheduled fault.
+#[derive(Debug)]
+pub struct Fault {
+    /// The shard the fault lives on.
+    pub shard: usize,
+    /// The 1-based append ordinal (within the shard) that triggers it.
+    pub at_append: u64,
+    /// The failure mode.
+    pub kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A reproducible set of one-shot faults, shared read-only by every
+/// shard. Each fault fires at most once per run — a shard restored past
+/// its crash point does not re-crash.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan; add faults with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a worker panic on `shard` at its `at_append`-th value.
+    pub fn kill(mut self, shard: usize, at_append: u64) -> Self {
+        self.faults.push(Fault {
+            shard,
+            at_append,
+            kind: FaultKind::Panic,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Adds an in-place stall on `shard` at its `at_append`-th value.
+    pub fn stall(mut self, shard: usize, at_append: u64, pause: Duration) -> Self {
+        self.faults.push(Fault {
+            shard,
+            at_append,
+            kind: FaultKind::Stall(pause),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Adds a delayed drain on `shard` starting at its `at_append`-th
+    /// value.
+    pub fn delay_drain(mut self, shard: usize, at_append: u64, pause: Duration) -> Self {
+        self.faults.push(Fault {
+            shard,
+            at_append,
+            kind: FaultKind::DelayDrain(pause),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// One seeded kill per shard, each at a pseudo-random append ordinal
+    /// in `[lo, hi)` — the reproducible "crash every shard somewhere
+    /// mid-ingest" plan the chaos tests and `stardust chaos` use.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn seeded_kills(seed: u64, n_shards: usize, lo: u64, hi: u64) -> Self {
+        assert!(lo < hi, "empty kill window");
+        let mut plan = FaultPlan::new();
+        let mut state = seed;
+        for shard in 0..n_shards {
+            // splitmix64: statistically solid, dependency-free.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            plan = plan.kill(shard, lo + z % (hi - lo));
+        }
+        plan
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// How many faults have triggered so far.
+    pub fn fired_count(&self) -> usize {
+        self.faults.iter().filter(|f| f.fired.load(Ordering::Relaxed)).count()
+    }
+
+    /// Checks whether a fault triggers for `shard` at the (1-based)
+    /// append ordinal `append_no`; marks it fired. `>=` rather than `==`
+    /// so a fault scheduled inside an already-processed prefix (e.g.
+    /// `at_append: 0`) still fires on the next append.
+    pub(crate) fn fire(&self, shard: usize, append_no: u64) -> Option<FaultKind> {
+        for f in &self.faults {
+            if f.shard == shard
+                && append_no >= f.at_append
+                && !f.fired.swap(true, Ordering::Relaxed)
+            {
+                return Some(f.kind);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_at_their_ordinal() {
+        let plan = FaultPlan::new().kill(1, 5).stall(1, 7, Duration::from_millis(1));
+        assert_eq!(plan.fire(0, 5), None, "wrong shard");
+        assert_eq!(plan.fire(1, 4), None, "too early");
+        assert_eq!(plan.fire(1, 5), Some(FaultKind::Panic));
+        assert_eq!(plan.fire(1, 5), None, "one-shot");
+        assert_eq!(plan.fire(1, 6), None, "already fired");
+        assert_eq!(plan.fire(1, 9), Some(FaultKind::Stall(Duration::from_millis(1))));
+        assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        let a = FaultPlan::seeded_kills(9, 4, 100, 200);
+        let b = FaultPlan::seeded_kills(9, 4, 100, 200);
+        let ords = |p: &FaultPlan| p.faults().iter().map(|f| f.at_append).collect::<Vec<_>>();
+        assert_eq!(ords(&a), ords(&b));
+        assert!(a.faults().iter().all(|f| (100..200).contains(&f.at_append)));
+        assert_eq!(a.faults().len(), 4);
+        let c = FaultPlan::seeded_kills(10, 4, 100, 200);
+        assert_ne!(ords(&a), ords(&c), "different seed, different plan");
+    }
+}

@@ -28,6 +28,14 @@
 //! merge order. See [`ShardedRuntime`] for the exact semantics and the
 //! backpressure contract.
 //!
+//! **Fault tolerance.** Each shard's queue outlives its worker thread.
+//! With [`RuntimeConfig::recovery`] enabled (the default), batches are
+//! journaled ahead of processing, monitors are snapshotted on a
+//! cadence, and a supervisor thread restores any crashed worker from
+//! its shard's last snapshot — replaying the journaled suffix with
+//! exactly-once event delivery. [`FaultPlan`] injects deterministic
+//! crashes, stalls, and slow drains for testing this machinery.
+//!
 //! # Example
 //!
 //! ```
@@ -45,7 +53,7 @@
 //! let mut rt = ShardedRuntime::launch(
 //!     &spec,
 //!     4,
-//!     RuntimeConfig { shards: 2, queue_capacity: 8 },
+//!     RuntimeConfig { shards: 2, queue_capacity: 8, ..RuntimeConfig::default() },
 //! )
 //! .unwrap();
 //!
@@ -60,13 +68,18 @@
 use stardust_core::error::QueryError;
 use stardust_core::stream::StreamId;
 
+mod fault;
+mod queue;
 mod runtime;
 mod shard;
+mod snapshot;
 mod spec;
 mod stats;
 
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use runtime::{
-    sort_events, Batch, PartialSubmit, QueueFull, RuntimeConfig, ShardedRuntime, ShutdownReport,
+    sort_events, Batch, PartialSubmit, QueueFull, RecoveryPolicy, RuntimeConfig, ShardedRuntime,
+    ShutdownReport,
 };
 pub use shard::ClassStats;
 pub use spec::{AggregateSpec, CorrelationSpec, MonitorSpec, TrendPattern, TrendSpec};

@@ -1,0 +1,172 @@
+//! A bounded MPSC queue that survives the death of its consumer.
+//!
+//! `std::sync::mpsc::sync_channel` ties the queued messages to the
+//! `Receiver`: when a worker thread panics, its receiver is dropped and
+//! every queued batch is lost. Recovery needs the opposite — the queue
+//! must outlive any one worker so a restored worker can resume draining
+//! exactly where its predecessor died. This queue lives in an [`Arc`]
+//! shared by producers, the worker, and the supervisor; a panicking
+//! worker merely stops popping.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// The queue is at capacity; the message is handed back for retry.
+    Full(T),
+    /// The queue was closed; no further messages are accepted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded multi-producer queue with blocking and non-blocking push,
+/// blocking pop, and explicit close.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            capacity: capacity.max(1),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue returns the
+    /// message for the caller to retry or report.
+    pub(crate) fn try_push(&self, msg: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(msg));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(msg));
+        }
+        inner.items.push_back(msg);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, parking the producer while the queue is at capacity.
+    /// Returns the message back if the queue was closed.
+    pub(crate) fn push(&self, msg: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(msg);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(msg);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Dequeues, parking the consumer while the queue is empty. Returns
+    /// `None` once the queue is closed *and* drained — queued messages
+    /// are always delivered, even after close.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(msg) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(msg);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain the
+    /// remainder and then report exhaustion. Idempotent.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of queued messages (production code tracks depth
+    /// through `ShardCounters` instead).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_survives_a_dead_consumer() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(41).unwrap();
+        q.try_push(42).unwrap();
+        let q2 = Arc::clone(&q);
+        let dead = std::thread::spawn(move || {
+            let _ = q2.pop();
+            panic!("injected");
+        });
+        assert!(dead.join().is_err());
+        // A replacement consumer picks up exactly where the first died.
+        assert_eq!(q.pop(), Some(42));
+    }
+
+    #[test]
+    fn blocking_push_unparks_on_drain() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+}

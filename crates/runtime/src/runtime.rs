@@ -1,16 +1,19 @@
 //! The sharded runtime: stream partitioning, bounded-queue ingestion
-//! with backpressure, scatter-gather queries, and drain-then-join
-//! shutdown.
+//! with backpressure, scatter-gather queries, supervised crash
+//! recovery, and drain-then-join shutdown.
 
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use stardust_core::stream::StreamId;
-use stardust_core::unified::Event;
+use stardust_core::unified::{Event, UnifiedMonitor};
 
-use crate::shard::{QueryReply, QueryRequest, ShardMsg, Worker};
+use crate::fault::FaultPlan;
+use crate::queue::{BoundedQueue, PushError};
+use crate::shard::{Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, Worker};
+use crate::snapshot::ShardRecovery;
 use crate::spec::MonitorSpec;
 use crate::stats::{RuntimeStats, ShardCounters};
 use crate::{ClassStats, RuntimeError};
@@ -73,6 +76,22 @@ pub struct PartialSubmit {
     pub accepted: usize,
 }
 
+/// Crash-recovery tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Snapshot each shard's monitor after this many journaled appends;
+    /// crash recovery then replays at most this many values. `0` never
+    /// snapshots — recovery replays the shard's entire input from the
+    /// journal (simplest, but the journal grows without bound).
+    pub snapshot_every: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { snapshot_every: 1024 }
+    }
+}
+
 /// Runtime tuning knobs.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -83,11 +102,25 @@ pub struct RuntimeConfig {
     /// values. When a queue is full, `try_*` reports [`QueueFull`] and
     /// the blocking variants wait — that is the backpressure contract.
     pub queue_capacity: usize,
+    /// Crash recovery. `Some` (the default) journals every batch,
+    /// snapshots on the policy's cadence, and runs a supervisor thread
+    /// that restores crashed shard workers with exactly-once event
+    /// delivery. `None` disables all of it: a crashed shard is terminal
+    /// and its producers see [`RuntimeError::Disconnected`].
+    pub recovery: Option<RecoveryPolicy>,
+    /// Deterministic fault injection (tests, chaos drills). `None` — the
+    /// default — costs one pointer check per append.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { shards: 0, queue_capacity: 64 }
+        RuntimeConfig {
+            shards: 0,
+            queue_capacity: 64,
+            recovery: Some(RecoveryPolicy::default()),
+            fault_plan: None,
+        }
     }
 }
 
@@ -100,6 +133,101 @@ pub struct ShutdownReport {
     /// Events emitted after the last `drain_events` call, in collector
     /// arrival order.
     pub events: Vec<Event>,
+}
+
+/// State shared by producers, workers, and the supervisor. Everything a
+/// restored worker needs to resume a dead shard lives here.
+struct Shared {
+    spec: MonitorSpec,
+    n_shards: usize,
+    /// Streams per shard.
+    n_locals: Vec<usize>,
+    snapshot_every: u64,
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Per-shard queues. They live outside any worker so a worker crash
+    /// loses no queued message — the restored worker resumes draining.
+    queues: Vec<Arc<BoundedQueue<ShardMsg>>>,
+    counters: Vec<Arc<ShardCounters>>,
+    /// Per-shard recovery journals; `None` when recovery is disabled.
+    recovery: Option<Vec<Arc<ShardRecovery>>>,
+    board: Arc<Board>,
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// The collector sender respawned workers clone; dropped (set to
+    /// `None`) once every worker has joined so the receiver disconnects.
+    events_tx: Mutex<Option<Sender<Event>>>,
+}
+
+impl Shared {
+    fn spawn_worker(
+        self: &Arc<Self>,
+        shard: usize,
+        monitor: Option<UnifiedMonitor>,
+        processed: u64,
+    ) -> std::io::Result<JoinHandle<()>> {
+        let events = self
+            .events_tx
+            .lock()
+            .expect("events sender poisoned")
+            .clone()
+            .expect("worker spawned after shutdown");
+        let worker = Worker {
+            shard,
+            n_shards: self.n_shards,
+            n_local_streams: self.n_locals[shard],
+            monitor,
+            inbox: Arc::clone(&self.queues[shard]),
+            events,
+            counters: Arc::clone(&self.counters[shard]),
+            recovery: self.recovery.as_ref().map(|r| Arc::clone(&r[shard])),
+            faults: self.fault_plan.clone(),
+            processed,
+            snapshot_every: self.snapshot_every,
+        };
+        let board = Arc::clone(&self.board);
+        // Without a supervisor a death is terminal: the dying worker
+        // must close its queue so producers fail fast instead of
+        // parking forever.
+        let close_on_death =
+            if self.recovery.is_none() { Some(Arc::clone(&self.queues[shard])) } else { None };
+        std::thread::Builder::new().name(format!("stardust-shard-{shard}")).spawn(move || {
+            let mut notice = DeathNotice { shard, board, clean: false, close_on_death };
+            worker.run(&mut notice);
+        })
+    }
+
+    /// Supervisor path: joins the dead worker, rebuilds its monitor from
+    /// the recovery journal (replaying undelivered events), and spawns a
+    /// replacement that resumes draining the same queue.
+    fn restore_shard(self: &Arc<Self>, shard: usize) {
+        if let Some(handle) = self.handles.lock().expect("handles poisoned")[shard].take() {
+            let _ = handle.join();
+        }
+        let rec = &self.recovery.as_ref().expect("supervisor requires recovery")[shard];
+        let events = self
+            .events_tx
+            .lock()
+            .expect("events sender poisoned")
+            .clone()
+            .expect("restore after shutdown");
+        let (monitor, processed) = rec.rebuild(
+            &self.spec,
+            self.n_locals[shard],
+            shard,
+            self.n_shards,
+            &events,
+            &self.counters[shard],
+        );
+        match self.spawn_worker(shard, monitor, processed) {
+            Ok(handle) => {
+                self.handles.lock().expect("handles poisoned")[shard] = Some(handle);
+            }
+            Err(_) => {
+                // Can't spawn a replacement thread: give the shard up.
+                self.queues[shard].close();
+                self.board.mark_failed(shard);
+            }
+        }
+    }
 }
 
 /// A multi-threaded monitor over `M` streams, partitioned across `S`
@@ -126,19 +254,30 @@ pub struct ShutdownReport {
 /// park the producer until the worker drains. Queries share the same
 /// queues, so a query answered by a shard has observed every batch
 /// submitted to that shard before it.
+///
+/// **Crash recovery.** With [`RuntimeConfig::recovery`] enabled (the
+/// default), every batch is journaled before it is applied and each
+/// shard's monitor is snapshotted on a configurable cadence. A
+/// supervisor thread watches for dead workers; when one dies it
+/// restores the monitor from the last snapshot, replays the journaled
+/// suffix (suppressing the events the dead worker already delivered),
+/// and spawns a replacement that resumes draining the *same* queue — no
+/// queued batch or query is lost, no event is delivered twice, and the
+/// recovered event stream is bit-identical to an unfaulted run.
 pub struct ShardedRuntime {
     n_streams: usize,
-    senders: Vec<SyncSender<ShardMsg>>,
-    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
     events_rx: Receiver<Event>,
-    counters: Vec<Arc<ShardCounters>>,
+    supervisor: Option<JoinHandle<()>>,
+    finished: bool,
 }
 
 impl std::fmt::Debug for ShardedRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedRuntime")
             .field("n_streams", &self.n_streams)
-            .field("n_shards", &self.senders.len())
+            .field("n_shards", &self.shared.n_shards)
+            .field("recovery", &self.shared.recovery.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -161,45 +300,89 @@ impl ShardedRuntime {
         let n_shards = if config.shards == 0 { hw } else { config.shards }.min(n_streams).max(1);
         let queue_capacity = config.queue_capacity.max(1);
 
-        let (events_tx, events_rx) = mpsc::channel();
-        let mut senders = Vec::with_capacity(n_shards);
-        let mut handles = Vec::with_capacity(n_shards);
-        let mut counters = Vec::with_capacity(n_shards);
-        for shard in 0..n_shards {
-            // Streams with `g mod n_shards == shard`.
-            let n_local = (n_streams - shard).div_ceil(n_shards);
-            let monitor = spec.build(n_local)?;
-            let (tx, rx) = mpsc::sync_channel(queue_capacity);
-            let shared = Arc::new(ShardCounters::new());
-            let worker = Worker {
-                shard,
-                n_shards,
-                n_local_streams: n_local,
-                monitor,
-                inbox: rx,
-                events: events_tx.clone(),
-                counters: Arc::clone(&shared),
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("stardust-shard-{shard}"))
-                .spawn(move || worker.run())
-                .map_err(RuntimeError::Spawn)?;
-            senders.push(tx);
-            handles.push(handle);
-            counters.push(shared);
+        // Streams with `g mod n_shards == shard` live on `shard`.
+        let n_locals: Vec<usize> =
+            (0..n_shards).map(|shard| (n_streams - shard).div_ceil(n_shards)).collect();
+        let mut monitors = Vec::with_capacity(n_shards);
+        for &n_local in &n_locals {
+            monitors.push(spec.build(n_local)?);
         }
-        drop(events_tx); // workers hold the only senders
-        Ok(ShardedRuntime { n_streams, senders, handles, events_rx, counters })
+
+        let (events_tx, events_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            spec: spec.clone(),
+            n_shards,
+            n_locals,
+            snapshot_every: config.recovery.map(|r| r.snapshot_every).unwrap_or(0),
+            fault_plan: config.fault_plan,
+            queues: (0..n_shards).map(|_| Arc::new(BoundedQueue::new(queue_capacity))).collect(),
+            counters: (0..n_shards).map(|_| Arc::new(ShardCounters::new())).collect(),
+            recovery: config
+                .recovery
+                .map(|_| (0..n_shards).map(|_| Arc::new(ShardRecovery::new())).collect()),
+            board: Arc::new(Board::new(n_shards)),
+            handles: Mutex::new((0..n_shards).map(|_| None).collect()),
+            events_tx: Mutex::new(Some(events_tx)),
+        });
+
+        for (shard, monitor) in monitors.into_iter().enumerate() {
+            match shared.spawn_worker(shard, monitor, 0) {
+                Ok(handle) => {
+                    shared.handles.lock().expect("handles poisoned")[shard] = Some(handle)
+                }
+                Err(e) => {
+                    // Unblock the workers already spawned; they drain
+                    // nothing and exit.
+                    for queue in &shared.queues {
+                        queue.close();
+                    }
+                    return Err(RuntimeError::Spawn(e));
+                }
+            }
+        }
+
+        let supervisor = if shared.recovery.is_some() {
+            let sup = Arc::clone(&shared);
+            let handle = std::thread::Builder::new().name("stardust-supervisor".to_string()).spawn(
+                move || {
+                    while let Some(shard) = sup.board.next_dead() {
+                        sup.restore_shard(shard);
+                    }
+                },
+            );
+            match handle {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    for queue in &shared.queues {
+                        queue.close();
+                    }
+                    shared.board.begin_shutdown();
+                    return Err(RuntimeError::Spawn(e));
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false })
     }
 
     /// Number of worker shards.
     pub fn n_shards(&self) -> usize {
-        self.senders.len()
+        self.shared.n_shards
     }
 
     /// Number of monitored streams.
     pub fn n_streams(&self) -> usize {
         self.n_streams
+    }
+
+    /// Total worker restarts performed by the supervisor so far.
+    pub fn restarts(&self) -> u64 {
+        match &self.shared.recovery {
+            None => 0,
+            Some(recs) => recs.iter().map(|r| r.restarts()).sum(),
+        }
     }
 
     fn place(&self, stream: StreamId) -> Result<(usize, StreamId), RuntimeError> {
@@ -221,15 +404,15 @@ impl ShardedRuntime {
     pub fn try_append(&self, stream: StreamId, value: f64) -> Result<(), RuntimeError> {
         let (shard, local) = self.place(stream)?;
         let msg = ShardMsg::Batch(vec![(local, value)], Instant::now());
-        self.counters[shard].note_enqueued();
-        match self.senders[shard].try_send(msg) {
+        self.shared.counters[shard].note_enqueued();
+        match self.shared.queues[shard].try_push(msg) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => {
-                self.counters[shard].undo_enqueued();
+            Err(PushError::Full(_)) => {
+                self.shared.counters[shard].undo_enqueued();
                 Err(RuntimeError::Backpressure(QueueFull))
             }
-            Err(TrySendError::Disconnected(_)) => {
-                self.counters[shard].undo_enqueued();
+            Err(PushError::Closed(_)) => {
+                self.shared.counters[shard].undo_enqueued();
                 Err(RuntimeError::Disconnected)
             }
         }
@@ -240,16 +423,16 @@ impl ShardedRuntime {
     ///
     /// # Errors
     /// [`RuntimeError::UnknownStream`] on an out-of-range id,
-    /// [`RuntimeError::Disconnected`] if the worker died.
+    /// [`RuntimeError::Disconnected`] if the shard failed terminally.
     pub fn append_blocking(&self, stream: StreamId, value: f64) -> Result<(), RuntimeError> {
         let (shard, local) = self.place(stream)?;
-        self.counters[shard].note_enqueued();
-        self.senders[shard].send(ShardMsg::Batch(vec![(local, value)], Instant::now())).map_err(
-            |_| {
-                self.counters[shard].undo_enqueued();
+        self.shared.counters[shard].note_enqueued();
+        self.shared.queues[shard]
+            .push(ShardMsg::Batch(vec![(local, value)], Instant::now()))
+            .map_err(|_| {
+                self.shared.counters[shard].undo_enqueued();
                 RuntimeError::Disconnected
-            },
-        )?;
+            })?;
         Ok(())
     }
 
@@ -267,16 +450,17 @@ impl ShardedRuntime {
     ///
     /// # Errors
     /// [`RuntimeError::UnknownStream`] on any out-of-range id (nothing
-    /// is enqueued), [`RuntimeError::Disconnected`] if a worker died.
+    /// is enqueued), [`RuntimeError::Disconnected`] if a shard failed
+    /// terminally.
     pub fn submit_blocking(&self, batch: &Batch) -> Result<(), RuntimeError> {
         let now = Instant::now();
         for (shard, items) in self.split(batch)?.into_iter().enumerate() {
             if items.is_empty() {
                 continue;
             }
-            self.counters[shard].note_enqueued();
-            self.senders[shard].send(ShardMsg::Batch(items, now)).map_err(|_| {
-                self.counters[shard].undo_enqueued();
+            self.shared.counters[shard].note_enqueued();
+            self.shared.queues[shard].push(ShardMsg::Batch(items, now)).map_err(|_| {
+                self.shared.counters[shard].undo_enqueued();
                 RuntimeError::Disconnected
             })?;
         }
@@ -299,21 +483,21 @@ impl ShardedRuntime {
                 continue;
             }
             let n = items.len();
-            self.counters[shard].note_enqueued();
-            match self.senders[shard].try_send(ShardMsg::Batch(items, now)) {
+            self.shared.counters[shard].note_enqueued();
+            match self.shared.queues[shard].try_push(ShardMsg::Batch(items, now)) {
                 Ok(()) => {
                     accepted += n;
                 }
-                Err(TrySendError::Full(ShardMsg::Batch(items, _))) => {
-                    self.counters[shard].undo_enqueued();
+                Err(PushError::Full(ShardMsg::Batch(items, _))) => {
+                    self.shared.counters[shard].undo_enqueued();
                     let s = self.n_shards() as StreamId;
                     rejected.items.extend(
                         items.into_iter().map(|(local, v)| (local * s + shard as StreamId, v)),
                     );
                 }
-                Err(TrySendError::Full(_)) => unreachable!("only batches are retried"),
-                Err(TrySendError::Disconnected(_)) => {
-                    self.counters[shard].undo_enqueued();
+                Err(PushError::Full(_)) => unreachable!("only batches are retried"),
+                Err(PushError::Closed(_)) => {
+                    self.shared.counters[shard].undo_enqueued();
                     return Err(RuntimeError::Disconnected);
                 }
             }
@@ -334,19 +518,21 @@ impl ShardedRuntime {
     /// A live counter snapshot (racy by one message against in-flight
     /// producers, by design).
     pub fn stats(&self) -> RuntimeStats {
-        RuntimeStats { shards: self.counters.iter().map(|c| c.snapshot()).collect() }
+        RuntimeStats { shards: self.shared.counters.iter().map(|c| c.snapshot()).collect() }
     }
 
     fn scatter(&self, req: QueryRequest) -> Result<Vec<QueryReply>, RuntimeError> {
         let (tx, rx) = mpsc::channel();
-        for sender in &self.senders {
-            sender
-                .send(ShardMsg::Query(req.clone(), tx.clone()))
+        for queue in &self.shared.queues {
+            queue
+                .push(ShardMsg::Query(req.clone(), tx.clone()))
                 .map_err(|_| RuntimeError::Disconnected)?;
         }
         drop(tx);
         let mut replies: Vec<(usize, QueryReply)> = Vec::with_capacity(self.n_shards());
         for _ in 0..self.n_shards() {
+            // A worker crash cannot lose the query: it stays in the
+            // shared queue and the restored worker answers it.
             replies.push(rx.recv().map_err(|_| RuntimeError::Disconnected)?);
         }
         replies.sort_by_key(|&(shard, _)| shard);
@@ -366,8 +552,8 @@ impl ShardedRuntime {
     ) -> Result<Option<(f64, f64)>, RuntimeError> {
         let (shard, local) = self.place(stream)?;
         let (tx, rx) = mpsc::channel();
-        self.senders[shard]
-            .send(ShardMsg::Query(QueryRequest::AggregateInterval { stream: local, window }, tx))
+        self.shared.queues[shard]
+            .push(ShardMsg::Query(QueryRequest::AggregateInterval { stream: local, window }, tx))
             .map_err(|_| RuntimeError::Disconnected)?;
         match rx.recv().map_err(|_| RuntimeError::Disconnected)? {
             (_, QueryReply::AggregateInterval(ans)) => Ok(ans),
@@ -379,7 +565,7 @@ impl ShardedRuntime {
     /// (scatter-gather).
     ///
     /// # Errors
-    /// [`RuntimeError::Disconnected`] if a worker died.
+    /// [`RuntimeError::Disconnected`] if a shard failed terminally.
     pub fn class_stats(&self) -> Result<ClassStats, RuntimeError> {
         let mut merged = ClassStats::default();
         for reply in self.scatter(QueryRequest::ClassStats)? {
@@ -395,7 +581,7 @@ impl ShardedRuntime {
     /// and shard counts (for the pairs a partition can see).
     ///
     /// # Errors
-    /// [`RuntimeError::Disconnected`] if a worker died.
+    /// [`RuntimeError::Disconnected`] if a shard failed terminally.
     pub fn correlated_pairs(&self) -> Result<Vec<(StreamId, StreamId, f64)>, RuntimeError> {
         let mut merged = Vec::new();
         for reply in self.scatter(QueryRequest::CorrelatedPairs)? {
@@ -407,24 +593,59 @@ impl ShardedRuntime {
         Ok(merged)
     }
 
-    /// Graceful shutdown: queued batches are fully drained, workers
-    /// join, and the final stats plus all undrained events are returned.
-    pub fn shutdown(self) -> ShutdownReport {
-        for sender in &self.senders {
-            // A worker that already died still counts as shut down.
-            let _ = sender.send(ShardMsg::Shutdown);
+    /// Graceful shutdown: queued batches are fully drained (crashed
+    /// shards are restored one last time to finish their queues),
+    /// workers and the supervisor join, and the final stats plus all
+    /// undrained events are returned.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.finish(true);
+        let events: Vec<Event> = self.events_rx.try_iter().collect();
+        ShutdownReport { stats: self.stats(), events }
+    }
+
+    /// Common teardown. `graceful` sends `Shutdown` markers (workers
+    /// drain everything queued before them); the abrupt path closes the
+    /// queues instead, which also drains what is already queued but
+    /// refuses new messages.
+    fn finish(&mut self, graceful: bool) {
+        if self.finished {
+            return;
         }
-        drop(self.senders);
-        for handle in self.handles {
+        self.finished = true;
+        if graceful {
+            for queue in &self.shared.queues {
+                // Err means the shard failed terminally; it settled.
+                let _ = queue.push(ShardMsg::Shutdown);
+            }
+        } else {
+            for queue in &self.shared.queues {
+                queue.close();
+            }
+        }
+        // The supervisor keeps restoring crashed workers while this
+        // waits, so a shard that dies with messages still queued gets a
+        // fresh worker to finish the drain.
+        self.shared.board.wait_all_settled();
+        self.shared.board.begin_shutdown();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = self.shared.handles.lock().expect("handles poisoned");
+            slots.iter_mut().filter_map(|slot| slot.take()).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
-        // All workers are gone, so their event senders are dropped and
-        // this drains to disconnect.
-        let events: Vec<Event> = self.events_rx.iter().collect();
-        ShutdownReport {
-            stats: RuntimeStats { shards: self.counters.iter().map(|c| c.snapshot()).collect() },
-            events,
-        }
+        // Last sender gone: the receiver sees disconnect after the
+        // buffered events.
+        *self.shared.events_tx.lock().expect("events sender poisoned") = None;
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        self.finish(false);
     }
 }
 

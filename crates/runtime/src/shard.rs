@@ -1,11 +1,13 @@
 //! The per-shard worker: drains batches into its own
 //! [`UnifiedMonitor`], remaps local stream ids back to global ones, and
-//! answers scatter-gather queries in queue order.
+//! answers scatter-gather queries in queue order. The worker also hosts
+//! the fault-injection hooks and the crash-reporting [`Board`] the
+//! supervisor watches.
 
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use stardust_core::query::aggregate::AlarmStats;
 use stardust_core::query::correlation::CorrelationStats;
@@ -13,6 +15,9 @@ use stardust_core::query::trend::TrendStats;
 use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
+use crate::fault::{FaultKind, FaultPlan};
+use crate::queue::BoundedQueue;
+use crate::snapshot::ShardRecovery;
 use crate::stats::ShardCounters;
 
 /// Messages a shard's bounded queue carries. Queries ride the same
@@ -87,7 +92,7 @@ fn global_id(shard: usize, n_shards: usize, local: StreamId) -> StreamId {
 }
 
 /// Rewrites an event's shard-local stream ids back to global ids.
-fn remap_event(shard: usize, n_shards: usize, ev: Event) -> Event {
+pub(crate) fn remap_event(shard: usize, n_shards: usize, ev: Event) -> Event {
     match ev {
         Event::Aggregate { stream, alarm } => {
             Event::Aggregate { stream: global_id(shard, n_shards, stream), alarm }
@@ -104,15 +109,145 @@ fn remap_event(shard: usize, n_shards: usize, ev: Event) -> Event {
     }
 }
 
+/// What the board records for each shard.
+struct BoardState {
+    /// Shards whose workers died and await restoration, in death order.
+    dead: Vec<usize>,
+    /// `clean[s]`: shard `s`'s worker exited its loop normally.
+    clean: Vec<bool>,
+    /// `failed[s]`: shard `s` died with no supervisor to restore it (its
+    /// queue is closed, producers see `Disconnected`).
+    failed: Vec<bool>,
+    /// Set once the runtime wants the supervisor gone.
+    shutdown: bool,
+}
+
+/// Shared bulletin board between workers (reporting their own fate via
+/// [`DeathNotice`]), the supervisor (waiting for dead shards), and the
+/// runtime's shutdown path (waiting for every shard to settle).
+pub(crate) struct Board {
+    state: Mutex<BoardState>,
+    cv: Condvar,
+}
+
+impl Board {
+    pub(crate) fn new(n_shards: usize) -> Self {
+        Board {
+            state: Mutex::new(BoardState {
+                dead: Vec::new(),
+                clean: vec![false; n_shards],
+                failed: vec![false; n_shards],
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn report_clean(&self, shard: usize) {
+        self.state.lock().expect("board poisoned").clean[shard] = true;
+        self.cv.notify_all();
+    }
+
+    fn report_dead(&self, shard: usize, terminal: bool) {
+        let mut st = self.state.lock().expect("board poisoned");
+        if terminal {
+            st.failed[shard] = true;
+        } else {
+            st.dead.push(shard);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Marks a shard unrecoverable (the supervisor could not respawn a
+    /// worker for it).
+    pub(crate) fn mark_failed(&self, shard: usize) {
+        self.state.lock().expect("board poisoned").failed[shard] = true;
+        self.cv.notify_all();
+    }
+
+    /// Supervisor side: blocks until a shard dies (returning its id) or
+    /// shutdown begins with no deaths pending (returning `None`).
+    /// Pending deaths win over the shutdown flag so no shard is
+    /// abandoned mid-restore.
+    pub(crate) fn next_dead(&self) -> Option<usize> {
+        let mut st = self.state.lock().expect("board poisoned");
+        loop {
+            if let Some(shard) = st.dead.pop() {
+                return Some(shard);
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.cv.wait(st).expect("board poisoned");
+        }
+    }
+
+    /// Shutdown path: blocks until every shard either exited cleanly or
+    /// failed terminally. While this waits the supervisor is still
+    /// restoring crashed shards, so a shard that dies with `Shutdown`
+    /// still queued gets one more worker to drain it.
+    pub(crate) fn wait_all_settled(&self) {
+        let mut st = self.state.lock().expect("board poisoned");
+        while !st.clean.iter().zip(&st.failed).all(|(c, f)| *c || *f) {
+            st = self.cv.wait(st).expect("board poisoned");
+        }
+    }
+
+    /// Tells [`Self::next_dead`] to return once its backlog is empty.
+    pub(crate) fn begin_shutdown(&self) {
+        self.state.lock().expect("board poisoned").shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Reports a worker's fate to the [`Board`] from `Drop`, so a panic
+/// anywhere in the worker loop is reported on unwind. The loop flips
+/// `clean` to `true` on its orderly exits; any other unwinding is a
+/// death.
+pub(crate) struct DeathNotice {
+    pub shard: usize,
+    pub board: Arc<Board>,
+    pub clean: bool,
+    /// With recovery disabled there is no supervisor to restore the
+    /// shard, so death must close the queue (unparking producers into
+    /// `Disconnected`) and is terminal.
+    pub close_on_death: Option<Arc<BoundedQueue<ShardMsg>>>,
+}
+
+impl Drop for DeathNotice {
+    fn drop(&mut self) {
+        if self.clean {
+            self.board.report_clean(self.shard);
+        } else {
+            let terminal = self.close_on_death.is_some();
+            if let Some(queue) = &self.close_on_death {
+                queue.close();
+            }
+            self.board.report_dead(self.shard, terminal);
+        }
+    }
+}
+
 /// Everything one worker thread owns.
 pub(crate) struct Worker {
     pub shard: usize,
     pub n_shards: usize,
     pub n_local_streams: usize,
     pub monitor: Option<UnifiedMonitor>,
-    pub inbox: Receiver<ShardMsg>,
+    pub inbox: Arc<BoundedQueue<ShardMsg>>,
     pub events: Sender<Event>,
     pub counters: Arc<ShardCounters>,
+    /// Crash-recovery journal; `None` disables journaling entirely.
+    pub recovery: Option<Arc<ShardRecovery>>,
+    /// Injected faults; `None` costs nothing on the append path.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Appends applied over the shard's lifetime, across restarts — the
+    /// deterministic fault clock.
+    pub processed: u64,
+    /// Snapshot cadence in appends; `0` never snapshots (recovery then
+    /// replays the shard's full history from the journal).
+    pub snapshot_every: u64,
 }
 
 impl Worker {
@@ -174,19 +309,48 @@ impl Worker {
         }
     }
 
-    /// The worker loop: drain messages until `Shutdown` or every sender
-    /// hangs up, whichever comes first.
-    pub fn run(mut self) {
-        while let Ok(msg) = self.inbox.recv() {
+    /// The worker loop: drain messages until `Shutdown` or the queue is
+    /// closed and empty, whichever comes first. `notice` reports the
+    /// exit (or a panic's unwind) to the board.
+    pub fn run(mut self, notice: &mut DeathNotice) {
+        let mut pending_delay: Option<Duration> = None;
+        loop {
+            if let Some(pause) = pending_delay.take() {
+                std::thread::sleep(pause);
+            }
+            let Some(msg) = self.inbox.pop() else {
+                notice.clean = true;
+                return;
+            };
             match msg {
                 ShardMsg::Batch(items, submitted) => {
                     // Only batches count toward queue depth; queries and
                     // shutdown ride the queue but are not backpressure
                     // signals.
                     self.counters.note_dequeued();
+                    // Write-ahead: the batch is journaled before any of
+                    // it is applied, so a crash at any point inside it
+                    // loses nothing.
+                    if let Some(rec) = &self.recovery {
+                        rec.journal_batch(&items);
+                    }
                     let mut events = 0u64;
                     if let Some(monitor) = &mut self.monitor {
                         for &(local, value) in &items {
+                            self.processed += 1;
+                            if let Some(plan) = &self.faults {
+                                match plan.fire(self.shard, self.processed) {
+                                    Some(FaultKind::Panic) => panic!(
+                                        "injected fault: shard {} killed at append {}",
+                                        self.shard, self.processed
+                                    ),
+                                    Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
+                                    Some(FaultKind::DelayDrain(pause)) => {
+                                        pending_delay = Some(pause);
+                                    }
+                                    None => {}
+                                }
+                            }
                             for ev in monitor.append(local, value) {
                                 // A send error means the runtime dropped its
                                 // receiver (shutdown already under way);
@@ -194,6 +358,9 @@ impl Worker {
                                 events += 1;
                                 let global = remap_event(self.shard, self.n_shards, ev);
                                 let _ = self.events.send(global);
+                                if let Some(rec) = &self.recovery {
+                                    rec.note_emitted();
+                                }
                             }
                         }
                     }
@@ -203,11 +370,20 @@ impl Worker {
                     }
                     let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     self.counters.note_batch(ns);
+                    if let Some(rec) = &self.recovery {
+                        if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every
+                        {
+                            rec.record_snapshot(self.monitor.as_ref().map(|m| m.snapshot()));
+                        }
+                    }
                 }
                 ShardMsg::Query(req, reply) => {
                     let _ = reply.send((self.shard, self.answer(req)));
                 }
-                ShardMsg::Shutdown => break,
+                ShardMsg::Shutdown => {
+                    notice.clean = true;
+                    return;
+                }
             }
         }
     }

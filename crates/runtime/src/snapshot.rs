@@ -1,0 +1,147 @@
+//! Per-shard crash recovery: write-ahead journal, periodic monitor
+//! snapshots, and deterministic suffix replay.
+//!
+//! Every shard owns a [`ShardRecovery`] that outlives any one worker
+//! thread. The worker journals each batch *before* applying it, counts
+//! every event it delivers, and periodically stores a full
+//! [`UnifiedMonitor::snapshot`], truncating the journal. When the
+//! supervisor finds the worker dead it rebuilds the monitor from the
+//! last snapshot, replays the journaled suffix — monitor output is a
+//! pure function of the append sequence, so the replay regenerates
+//! exactly the events the dead worker produced — and suppresses the
+//! first `emitted − emitted_at_snapshot` of them, which were already
+//! delivered. The combination yields exactly-once event delivery across
+//! worker crashes: nothing lost (the journal is written ahead of
+//! processing), nothing duplicated (the suppression count is exact).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+use stardust_core::stream::StreamId;
+use stardust_core::unified::{Event, UnifiedMonitor};
+
+use crate::shard::remap_event;
+use crate::spec::MonitorSpec;
+use crate::stats::ShardCounters;
+
+/// The journaled, not-yet-snapshotted tail of one shard's input.
+struct Journal {
+    /// Last stored monitor snapshot (`None` until the first cadence
+    /// boundary, or for shards whose spec builds no monitor).
+    snapshot: Option<Vec<u8>>,
+    /// Appends covered by `snapshot`.
+    snapshot_appends: u64,
+    /// Value of `emitted` when `snapshot` was taken.
+    emitted_at_snapshot: u64,
+    /// Appends journaled after `snapshot`, in processing order
+    /// (local stream ids). Written ahead of processing.
+    suffix: Vec<(StreamId, f64)>,
+}
+
+/// One shard's recovery state, shared by the worker (journaling) and
+/// the supervisor (rebuilding). The worker is the only writer while it
+/// lives; the supervisor only touches this after the worker died, so
+/// the mutex is never contended.
+pub(crate) struct ShardRecovery {
+    journal: Mutex<Journal>,
+    /// Events delivered to the collector over the shard's lifetime,
+    /// bumped once per successful send — exact even mid-batch.
+    emitted: AtomicU64,
+    /// Times the supervisor restored this shard.
+    restarts: AtomicU64,
+}
+
+impl ShardRecovery {
+    pub(crate) fn new() -> Self {
+        ShardRecovery {
+            journal: Mutex::new(Journal {
+                snapshot: None,
+                snapshot_appends: 0,
+                emitted_at_snapshot: 0,
+                suffix: Vec::new(),
+            }),
+            emitted: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Write-ahead step: records a batch before the worker applies it.
+    pub(crate) fn journal_batch(&self, items: &[(StreamId, f64)]) {
+        self.journal.lock().expect("journal poisoned").suffix.extend_from_slice(items);
+    }
+
+    /// One event delivered to the collector.
+    pub(crate) fn note_emitted(&self) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends journaled since the last snapshot.
+    pub(crate) fn suffix_len(&self) -> usize {
+        self.journal.lock().expect("journal poisoned").suffix.len()
+    }
+
+    /// Stores a snapshot (taken *after* the worker fully applied every
+    /// journaled append) and truncates the journal to it.
+    pub(crate) fn record_snapshot(&self, snapshot: Option<Vec<u8>>) {
+        let mut journal = self.journal.lock().expect("journal poisoned");
+        journal.snapshot_appends += journal.suffix.len() as u64;
+        journal.suffix.clear();
+        journal.emitted_at_snapshot = self.emitted.load(Ordering::Relaxed);
+        journal.snapshot = snapshot;
+    }
+
+    /// Times this shard was restored.
+    pub(crate) fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Supervisor path: rebuilds the monitor of a dead shard and
+    /// replays the journaled suffix, delivering only the events the
+    /// dead worker had not yet sent. Returns the warm monitor and the
+    /// number of appends it has processed (the restored worker's fault
+    /// clock).
+    pub(crate) fn rebuild(
+        &self,
+        spec: &MonitorSpec,
+        n_local: usize,
+        shard: usize,
+        n_shards: usize,
+        events: &Sender<Event>,
+        counters: &ShardCounters,
+    ) -> (Option<UnifiedMonitor>, u64) {
+        let journal = self.journal.lock().expect("journal poisoned");
+        let mut monitor = match &journal.snapshot {
+            Some(bytes) => {
+                Some(UnifiedMonitor::restore(bytes).expect("self-written snapshot decodes"))
+            }
+            // No snapshot yet: rebuild from scratch and replay the full
+            // journal (which then spans the shard's whole history).
+            None => spec.build(n_local).expect("spec validated at launch"),
+        };
+        let already = self.emitted.load(Ordering::Relaxed) - journal.emitted_at_snapshot;
+        let mut regenerated = 0u64;
+        if let Some(monitor) = monitor.as_mut() {
+            for &(local, value) in &journal.suffix {
+                for ev in monitor.append(local, value) {
+                    regenerated += 1;
+                    if regenerated > already {
+                        let _ = events.send(remap_event(shard, n_shards, ev));
+                        self.emitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            regenerated >= already,
+            "replay regenerated {regenerated} events but {already} were already delivered"
+        );
+        let processed = journal.snapshot_appends + journal.suffix.len() as u64;
+        // The dead worker updated these per batch; make them exact again.
+        counters.appends.store(processed, Ordering::Relaxed);
+        counters.events.store(self.emitted.load(Ordering::Relaxed), Ordering::Relaxed);
+        counters.restarts.fetch_add(1, Ordering::Relaxed);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        (monitor, processed)
+    }
+}

@@ -11,6 +11,7 @@ pub(crate) struct ShardCounters {
     pub appends: AtomicU64,
     pub events: AtomicU64,
     pub batches: AtomicU64,
+    pub restarts: AtomicU64,
     pub queue_depth: AtomicUsize,
     pub queue_high_water: AtomicUsize,
     pub latency_sum_ns: AtomicU64,
@@ -24,6 +25,7 @@ impl ShardCounters {
             appends: AtomicU64::new(0),
             events: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_high_water: AtomicUsize::new(0),
             latency_sum_ns: AtomicU64::new(0),
@@ -46,9 +48,14 @@ impl ShardCounters {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Worker side: one batch dequeued.
+    /// Worker side: one batch dequeued. The high-water mark is sampled
+    /// here too, not just on enqueue: a queue that filled while the
+    /// worker was stalled and is drained without concurrent enqueues
+    /// would otherwise under-report its peak (producers may bail out
+    /// with `QueueFull` before ever bumping the mark past the stall).
     pub fn note_dequeued(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Worker side: one batch fully processed, `ns` nanoseconds after it
@@ -74,6 +81,7 @@ impl ShardCounters {
             appends: self.appends.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             batches,
+            restarts: self.restarts.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             batch_latency: latency,
@@ -102,6 +110,9 @@ pub struct ShardStats {
     pub events: u64,
     /// Batches drained.
     pub batches: u64,
+    /// Times this shard's worker died and was restored by the
+    /// supervisor (always `0` with recovery disabled).
+    pub restarts: u64,
     /// Messages currently queued (approximate — producers and the worker
     /// race by design).
     pub queue_depth: usize,
@@ -134,7 +145,17 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
     }
 
+    /// Total worker restarts across shards.
+    pub fn total_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
     /// A small fixed-width table for CLI / log output.
+    ///
+    /// ```text
+    /// shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_mean  lat_max
+    ///     0      1024         37        64         1        0      9    1.2µs    3.4µs   0.21ms
+    /// ```
     pub fn render(&self) -> String {
         fn dur(d: Option<Duration>) -> String {
             match d {
@@ -146,14 +167,15 @@ impl RuntimeStats {
             }
         }
         let mut out = String::from(
-            "shard   appends     events   batches  q_depth  q_hwm  lat_min  lat_mean  lat_max\n",
+            "shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_mean  lat_max\n",
         );
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i:>5} {:>9} {:>10} {:>9} {:>8} {:>6} {:>8} {:>9} {:>8}\n",
+                "{i:>5} {:>9} {:>10} {:>9} {:>9} {:>8} {:>6} {:>8} {:>9} {:>8}\n",
                 s.appends,
                 s.events,
                 s.batches,
+                s.restarts,
                 s.queue_depth,
                 s.queue_high_water,
                 dur(s.batch_latency.min),
@@ -162,5 +184,53 @@ impl RuntimeStats {
             ));
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_water_is_sampled_on_drain_too() {
+        // Fill-then-drain with no enqueues racing the drain: the peak
+        // must still be observed. Before the drain-side sample, only
+        // `note_enqueued` bumped the mark, so a worker stalled behind a
+        // full queue could report a high-water mark below the real peak.
+        let c = ShardCounters::new();
+        for _ in 0..5 {
+            c.note_enqueued();
+        }
+        // Simulate the enqueue-side mark having been missed (e.g. reset
+        // by a racing reader of a fresh counter set after restore).
+        c.queue_high_water.store(0, Ordering::Relaxed);
+        c.note_dequeued();
+        assert_eq!(c.snapshot().queue_high_water, 5, "drain must observe the pre-pop depth");
+        for _ in 0..4 {
+            c.note_dequeued();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_high_water, 5);
+    }
+
+    #[test]
+    fn undo_rolls_back_depth_but_not_high_water() {
+        let c = ShardCounters::new();
+        c.note_enqueued();
+        c.undo_enqueued();
+        let s = c.snapshot();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_high_water, 1, "the attempt still observed depth 1");
+    }
+
+    #[test]
+    fn restarts_flow_through_snapshot_and_totals() {
+        let c = ShardCounters::new();
+        c.restarts.fetch_add(2, Ordering::Relaxed);
+        let stats = RuntimeStats { shards: vec![c.snapshot(), ShardCounters::new().snapshot()] };
+        assert_eq!(stats.shards[0].restarts, 2);
+        assert_eq!(stats.total_restarts(), 2);
+        assert!(stats.render().contains("restarts"));
     }
 }

@@ -2,11 +2,14 @@
 //! (`*_blocking`) producers instead of buffering without limit, and the
 //! runtime recovers once the worker catches up.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use stardust_core::query::aggregate::WindowSpec;
 use stardust_core::stream::StreamId;
 use stardust_core::transform::TransformKind;
 use stardust_runtime::{
-    AggregateSpec, Batch, MonitorSpec, RuntimeConfig, RuntimeError, ShardedRuntime,
+    AggregateSpec, Batch, FaultPlan, MonitorSpec, RuntimeConfig, RuntimeError, ShardedRuntime,
 };
 
 fn spec() -> MonitorSpec {
@@ -24,8 +27,12 @@ fn heavy_batch() -> Batch {
 
 #[test]
 fn try_append_reports_queue_full_then_recovers() {
-    let mut rt =
-        ShardedRuntime::launch(&spec(), 1, RuntimeConfig { shards: 1, queue_capacity: 2 }).unwrap();
+    let mut rt = ShardedRuntime::launch(
+        &spec(),
+        1,
+        RuntimeConfig { shards: 1, queue_capacity: 2, ..RuntimeConfig::default() },
+    )
+    .unwrap();
 
     // Enqueueing is ~ns, draining a heavy batch is ~ms: a tight loop
     // must hit the bounded queue's limit almost immediately.
@@ -95,6 +102,79 @@ fn try_append_reports_queue_full_then_recovers() {
     assert_eq!(report.stats.shards[0].queue_depth, 0);
 }
 
+/// Regression: a stalled worker must surface as *bounded* backpressure
+/// — `try_append` fails within `queue_capacity + 1` accepted values
+/// (capacity plus the message the worker holds mid-stall), the observed
+/// queue depth never exceeds capacity, and `append_blocking` makes
+/// progress once the stall clears instead of parking forever.
+#[test]
+fn stalled_worker_bounds_the_queue_then_unparks_producers() {
+    const CAPACITY: usize = 4;
+    let stall = Duration::from_millis(150);
+    // Stall on the very first append, deterministically.
+    let plan = Arc::new(FaultPlan::new().stall(0, 1, stall));
+    let rt = ShardedRuntime::launch(
+        &spec(),
+        1,
+        RuntimeConfig {
+            shards: 1,
+            queue_capacity: CAPACITY,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // The first value triggers the stall inside the worker. Wait until
+    // the worker has actually picked it up (queue empty again) so the
+    // fills below land behind a worker that is provably asleep.
+    let started = Instant::now();
+    rt.try_append(0, 1.0).unwrap();
+    let mut accepted = 1u64;
+    while rt.stats().shards[0].queue_depth > 0 {
+        std::thread::yield_now();
+    }
+
+    // While the worker sleeps, exactly CAPACITY more values fit.
+    let mut full = false;
+    for _ in 0..(CAPACITY + 1) {
+        match rt.try_append(0, 1.0) {
+            Ok(()) => accepted += 1,
+            Err(RuntimeError::Backpressure(_)) => {
+                full = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(full, "queue never filled while the worker was stalled");
+    assert_eq!(
+        accepted,
+        CAPACITY as u64 + 1,
+        "a stalled worker must bound acceptance at queue capacity"
+    );
+    // The mark samples *attempted* depth: the rejected push observes
+    // capacity + 1 before it is rolled back, never more.
+    assert!(
+        rt.stats().max_queue_high_water() <= CAPACITY + 1,
+        "queue depth exceeded its bound during the stall"
+    );
+
+    // The blocking path parks through the stall and completes once the
+    // worker resumes draining.
+    rt.append_blocking(0, 2.0).unwrap();
+    accepted += 1;
+    assert!(
+        started.elapsed() >= stall / 2,
+        "append_blocking returned while the queue should still have been full"
+    );
+
+    assert_eq!(plan.fired_count(), 1, "the stall fault should have fired exactly once");
+    let report = rt.shutdown();
+    assert_eq!(report.stats.total_appends(), accepted);
+    assert_eq!(report.stats.total_restarts(), 0, "a stall is not a crash");
+}
+
 #[test]
 fn unknown_stream_is_rejected_without_enqueueing() {
     let rt = ShardedRuntime::launch(&spec(), 1, RuntimeConfig::default()).unwrap();
@@ -120,8 +200,12 @@ fn launch_rejects_bad_configs() {
         Err(RuntimeError::NoQueryClass)
     ));
     // More shards than streams: clamped, not an error.
-    let rt =
-        ShardedRuntime::launch(&spec(), 1, RuntimeConfig { shards: 8, queue_capacity: 4 }).unwrap();
+    let rt = ShardedRuntime::launch(
+        &spec(),
+        1,
+        RuntimeConfig { shards: 8, queue_capacity: 4, ..RuntimeConfig::default() },
+    )
+    .unwrap();
     assert_eq!(rt.n_shards(), 1);
     rt.shutdown();
 }

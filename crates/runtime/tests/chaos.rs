@@ -1,0 +1,253 @@
+//! Crash recovery must not change what the framework detects.
+//!
+//! Each test kills shard workers mid-ingest through a seeded
+//! [`FaultPlan`] and checks that the supervisor-recovered run emits an
+//! event set *bit-identical* to an unfaulted run: nothing lost from the
+//! queues, nothing delivered twice by the replay, every monitor resumed
+//! from its snapshot exactly where it died.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::stream::StreamId;
+use stardust_core::transform::TransformKind;
+use stardust_core::unified::Event;
+use stardust_datagen::random_walk::{observed_r_max, random_walk_streams};
+use stardust_runtime::{
+    sort_events, AggregateSpec, Batch, CorrelationSpec, FaultPlan, MonitorSpec, RecoveryPolicy,
+    RuntimeConfig, ShardedRuntime, ShutdownReport, TrendPattern, TrendSpec,
+};
+
+const BASE_WINDOW: usize = 16;
+const LEVELS: usize = 3;
+const N_STREAMS: usize = 6;
+const N_VALUES: usize = 512;
+
+fn workload(seed: u64, n_streams: usize) -> (Vec<Vec<f64>>, f64) {
+    let streams = random_walk_streams(seed, n_streams, N_VALUES);
+    let r_max = observed_r_max(&streams);
+    (streams, r_max)
+}
+
+/// A SUM threshold low enough that some windows of the data cross it.
+fn crossing_threshold(streams: &[Vec<f64>], window: usize) -> f64 {
+    let max_sum = streams
+        .iter()
+        .flat_map(|s| s.windows(window).map(|w| w.iter().sum::<f64>()))
+        .fold(f64::MIN, f64::max);
+    max_sum * 0.98
+}
+
+/// The aggregate + trend spec the determinism suite proves equivalent
+/// to a single monitor; here it runs under injected crashes.
+fn agg_trend_spec(streams: &[Vec<f64>], r_max: f64) -> MonitorSpec {
+    let threshold = crossing_threshold(streams, 2 * BASE_WINDOW);
+    let pattern: Vec<f64> = streams[2][100..100 + 2 * BASE_WINDOW].to_vec();
+    MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window: 2 * BASE_WINDOW, threshold }],
+            box_capacity: 4,
+        })
+        .with_trends(TrendSpec {
+            coeffs: 4,
+            box_capacity: 4,
+            patterns: vec![TrendPattern { sequence: pattern, radius: 0.05 }],
+        })
+}
+
+/// Replays `streams` through a single-threaded monitor.
+fn single_threaded_events(spec: &MonitorSpec, streams: &[Vec<f64>]) -> Vec<Event> {
+    let mut monitor = spec.build(streams.len()).unwrap().unwrap();
+    let mut events = Vec::new();
+    for t in 0..N_VALUES {
+        for (s, stream) in streams.iter().enumerate() {
+            events.extend(monitor.append(s as StreamId, stream[t]));
+        }
+    }
+    events
+}
+
+/// Replays `streams` through a sharded runtime under `faults` (one
+/// batch per time step), returning the shutdown report.
+fn faulted_run(
+    spec: &MonitorSpec,
+    streams: &[Vec<f64>],
+    shards: usize,
+    faults: Option<Arc<FaultPlan>>,
+    snapshot_every: u64,
+) -> ShutdownReport {
+    let rt = ShardedRuntime::launch(
+        spec,
+        streams.len(),
+        RuntimeConfig {
+            shards,
+            queue_capacity: 32,
+            recovery: Some(RecoveryPolicy { snapshot_every }),
+            fault_plan: faults,
+        },
+    )
+    .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+    }
+    let report = rt.shutdown();
+    assert_eq!(
+        report.stats.total_appends(),
+        (streams.len() * N_VALUES) as u64,
+        "every submitted value must be applied exactly once"
+    );
+    report
+}
+
+/// Tentpole invariant: kill every shard once mid-ingest; the recovered
+/// event set is bit-identical to an unfaulted single-threaded monitor.
+#[test]
+fn killed_shards_recover_to_the_exact_event_set() {
+    let (streams, r_max) = workload(42, N_STREAMS);
+    let spec = agg_trend_spec(&streams, r_max);
+
+    let mut reference = single_threaded_events(&spec, &streams);
+    assert!(reference.iter().any(|e| matches!(e, Event::Aggregate { .. })));
+    assert!(reference.iter().any(|e| matches!(e, Event::Trend(_))));
+    sort_events(&mut reference);
+
+    for shards in [2usize, 4] {
+        // Every shard processes at least 512 appends here; [100, 400)
+        // keeps each kill strictly mid-ingest so crashes land while
+        // queues are hot, past at least one snapshot boundary.
+        let plan = Arc::new(FaultPlan::seeded_kills(0xC0FFEE + shards as u64, shards, 100, 400));
+        let report = faulted_run(&spec, &streams, shards, Some(Arc::clone(&plan)), 64);
+        assert_eq!(plan.fired_count(), shards, "every scheduled kill must fire");
+        assert_eq!(
+            report.stats.total_restarts(),
+            shards as u64,
+            "each killed shard must be restored exactly once"
+        );
+        let mut recovered = report.events;
+        sort_events(&mut recovered);
+        assert_eq!(recovered, reference, "recovered event set diverged at {shards} shards");
+    }
+}
+
+/// With `snapshot_every: 0` no snapshot is ever taken: recovery falls
+/// back to replaying the shard's entire journaled history. Same
+/// invariant, different code path.
+#[test]
+fn full_journal_replay_recovers_without_snapshots() {
+    let (streams, r_max) = workload(42, N_STREAMS);
+    let spec = agg_trend_spec(&streams, r_max);
+    let mut reference = single_threaded_events(&spec, &streams);
+    sort_events(&mut reference);
+
+    let plan = Arc::new(FaultPlan::new().kill(0, 300).kill(1, 700));
+    let report = faulted_run(&spec, &streams, 2, Some(Arc::clone(&plan)), 0);
+    assert_eq!(plan.fired_count(), 2);
+    assert_eq!(report.stats.total_restarts(), 2);
+    let mut recovered = report.events;
+    sort_events(&mut recovered);
+    assert_eq!(recovered, reference);
+}
+
+/// Correlation state (R*-tree + insertion log) must also survive a
+/// crash: a faulted run emits exactly what an unfaulted run with the
+/// same shard count does, and post-crash queries still answer.
+#[test]
+fn correlation_state_survives_worker_crashes() {
+    let (streams, r_max) = workload(42, N_STREAMS);
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 1.0 });
+    let shards = 2;
+
+    let unfaulted = faulted_run(&spec, &streams, shards, None, 64);
+    assert!(
+        unfaulted.events.iter().any(|e| matches!(e, Event::Correlation(_))),
+        "workload should report at least one correlated pair"
+    );
+
+    let plan = Arc::new(FaultPlan::seeded_kills(7, shards, 200, 900));
+    let rt = ShardedRuntime::launch(
+        &spec,
+        N_STREAMS,
+        RuntimeConfig {
+            shards,
+            queue_capacity: 32,
+            recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
+            fault_plan: Some(Arc::clone(&plan)),
+        },
+    )
+    .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+    }
+    // Queries ride the queues that survived the crashes: they must be
+    // answered by the restored workers, not lost.
+    let pairs = rt.correlated_pairs().unwrap();
+    let report = rt.shutdown();
+    assert_eq!(plan.fired_count(), shards);
+
+    let mut expected = unfaulted.events;
+    sort_events(&mut expected);
+    let mut recovered = report.events;
+    sort_events(&mut recovered);
+    assert_eq!(recovered, expected, "correlation events diverged after recovery");
+
+    // The unfaulted run at the same point in time sees the same pairs.
+    let rt2 = ShardedRuntime::launch(
+        &spec,
+        N_STREAMS,
+        RuntimeConfig { shards, queue_capacity: 32, ..RuntimeConfig::default() },
+    )
+    .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt2.submit_blocking(&batch).unwrap();
+    }
+    assert_eq!(pairs, rt2.correlated_pairs().unwrap());
+    rt2.shutdown();
+}
+
+/// A `DelayDrain` fault slows a worker without killing it; nothing may
+/// change in the output and no restart may happen.
+#[test]
+fn delayed_drain_changes_timing_but_not_events() {
+    let (streams, r_max) = workload(42, N_STREAMS);
+    let spec = agg_trend_spec(&streams, r_max);
+    let mut reference = single_threaded_events(&spec, &streams);
+    sort_events(&mut reference);
+
+    let plan = Arc::new(FaultPlan::new().delay_drain(0, 200, Duration::from_millis(30)));
+    let report = faulted_run(&spec, &streams, 2, Some(Arc::clone(&plan)), 64);
+    assert_eq!(plan.fired_count(), 1);
+    assert_eq!(report.stats.total_restarts(), 0);
+    let mut events = report.events;
+    sort_events(&mut events);
+    assert_eq!(events, reference);
+}
+
+/// Stress variant for CI's chaos job: more shards, multiple seeds.
+/// Run with `cargo test --test chaos -- --ignored`.
+#[test]
+#[ignore = "stress: 8 shards x 4 seeds, run explicitly in CI"]
+fn stress_eight_shards_four_seeds() {
+    const STRESS_STREAMS: usize = 8;
+    let (streams, r_max) = workload(7, STRESS_STREAMS);
+    let spec = agg_trend_spec(&streams, r_max);
+    let mut reference = single_threaded_events(&spec, &streams);
+    sort_events(&mut reference);
+
+    for seed in [1u64, 2, 3, 4] {
+        // Each of the 8 shards owns one stream (512 appends); kill all
+        // of them somewhere strictly inside the run.
+        let plan = Arc::new(FaultPlan::seeded_kills(seed, 8, 50, 450));
+        let report = faulted_run(&spec, &streams, 8, Some(Arc::clone(&plan)), 64);
+        assert_eq!(plan.fired_count(), 8, "seed {seed}");
+        assert_eq!(report.stats.total_restarts(), 8, "seed {seed}");
+        let mut recovered = report.events;
+        sort_events(&mut recovered);
+        assert_eq!(recovered, reference, "seed {seed} diverged");
+    }
+}

@@ -54,9 +54,12 @@ fn single_threaded_events(spec: &MonitorSpec, streams: &[Vec<f64>]) -> Vec<Event
 /// Replays `streams` through a sharded runtime (one batch per time
 /// step), returning every event.
 fn sharded_events(spec: &MonitorSpec, streams: &[Vec<f64>], shards: usize) -> Vec<Event> {
-    let rt =
-        ShardedRuntime::launch(spec, streams.len(), RuntimeConfig { shards, queue_capacity: 32 })
-            .unwrap();
+    let rt = ShardedRuntime::launch(
+        spec,
+        streams.len(),
+        RuntimeConfig { shards, queue_capacity: 32, ..RuntimeConfig::default() },
+    )
+    .unwrap();
     for t in 0..N_VALUES {
         let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
         rt.submit_blocking(&batch).unwrap();
@@ -151,9 +154,12 @@ fn queries_match_single_threaded_monitor() {
     });
 
     let mut reference = spec.build(N_STREAMS).unwrap().unwrap();
-    let rt =
-        ShardedRuntime::launch(&spec, N_STREAMS, RuntimeConfig { shards: 3, queue_capacity: 32 })
-            .unwrap();
+    let rt = ShardedRuntime::launch(
+        &spec,
+        N_STREAMS,
+        RuntimeConfig { shards: 3, queue_capacity: 32, ..RuntimeConfig::default() },
+    )
+    .unwrap();
     for t in 0..N_VALUES {
         let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
         rt.submit_blocking(&batch).unwrap();
@@ -188,9 +194,12 @@ fn single_shard_correlated_pairs_match_linear_scan() {
         .with_correlations(CorrelationSpec { coeffs: 4, radius: 1.0 });
 
     let mut reference = spec.build(N_STREAMS).unwrap().unwrap();
-    let rt =
-        ShardedRuntime::launch(&spec, N_STREAMS, RuntimeConfig { shards: 1, queue_capacity: 32 })
-            .unwrap();
+    let rt = ShardedRuntime::launch(
+        &spec,
+        N_STREAMS,
+        RuntimeConfig { shards: 1, queue_capacity: 32, ..RuntimeConfig::default() },
+    )
+    .unwrap();
     for t in 0..N_VALUES {
         for (s, stream) in streams.iter().enumerate() {
             reference.append(s as StreamId, stream[t]);

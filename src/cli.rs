@@ -96,10 +96,20 @@ COMMANDS:
               --streams M (64)  --values N (2048)  --seed (42)
               --base W (16)  --levels L (3)  --min-corr c (0.9)
               --classes agg,corr (which query classes to enable)
+  chaos       crash-recovery drill: kill every shard worker once
+              mid-ingest (seeded, reproducible) and audit that the
+              recovered event set is bit-identical to an unfaulted run;
+              generates random-walk streams when no input is given
+              --shards S (2)  --queue Q (32)  --batch rows (16)
+              --snapshot-every A (64: appends between shard snapshots)
+              --streams M (32)  --values N (2048)  --seed (42)
+              --base W (16)  --levels L (3)  --min-corr c (0.9)
+              --classes agg,corr (which query classes to enable)
 
 EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
   stardust serve-bench --shards 4 --streams 128 --values 4096
+  stardust chaos --shards 4 --snapshot-every 128 --seed 7
 "
     .to_string()
 }
@@ -161,6 +171,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "correlate" => run_correlate(args, input),
         "trend" => run_trend(args, input),
         "serve-bench" => run_serve_bench(args, input),
+        "chaos" => run_chaos(args, input),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -345,14 +356,35 @@ fn run_correlate(args: &Args, input: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
-    use stardust_runtime::{
-        AggregateSpec, Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime,
-    };
+/// Workload for the runtime subcommands: CSV columns when given, the
+/// paper's random-walk model otherwise.
+fn workload_from_args(
+    args: &Args,
+    input: &str,
+    default_streams: usize,
+) -> Result<Vec<Vec<f64>>, String> {
+    if input.trim().is_empty() {
+        let m: usize = args.get_or("streams", default_streams)?;
+        let n: usize = args.get_or("values", 2048)?;
+        let seed: u64 = args.get_or("seed", 42)?;
+        if m == 0 || n == 0 {
+            return Err("--streams and --values must be positive".into());
+        }
+        Ok(stardust_datagen::random_walk_streams(seed, m, n))
+    } else {
+        read_columns(input)
+    }
+}
 
-    let shards: usize = args.get_or("shards", 0)?;
-    let queue: usize = args.get_or("queue", 64)?;
-    let batch_rows: usize = args.get_or("batch", 16)?;
+/// Builds a runtime `MonitorSpec` from the shared
+/// `--base/--levels/--min-corr/--classes` flags over `streams` (used by
+/// `serve-bench` and `chaos`).
+fn monitor_spec_from_args(
+    args: &Args,
+    streams: &[Vec<f64>],
+) -> Result<stardust_runtime::MonitorSpec, String> {
+    use stardust_runtime::{AggregateSpec, CorrelationSpec, MonitorSpec};
+
     let base: usize = args.get_or("base", 16)?;
     let levels: usize = args.get_or("levels", 3)?;
     let min_corr: f64 = args.get_or("min-corr", 0.9)?;
@@ -362,21 +394,6 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     if !(-1.0..=1.0).contains(&min_corr) {
         return Err("--min-corr must be in [-1, 1]".into());
     }
-
-    // Workload: CSV columns when given, the paper's random-walk model
-    // otherwise.
-    let streams = if input.trim().is_empty() {
-        let m: usize = args.get_or("streams", 64)?;
-        let n: usize = args.get_or("values", 2048)?;
-        let seed: u64 = args.get_or("seed", 42)?;
-        if m == 0 || n == 0 {
-            return Err("--streams and --values must be positive".into());
-        }
-        stardust_datagen::random_walk_streams(seed, m, n)
-    } else {
-        read_columns(input)?
-    };
-    let m = streams.len();
     let n = streams[0].len();
     let r_max = streams.iter().flatten().fold(1.0f64, |a, &b| a.max(b.abs()));
 
@@ -403,9 +420,27 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             other => return Err(format!("unknown class '{other}' (agg|corr)")),
         }
     }
+    Ok(spec)
+}
 
-    let mut rt = ShardedRuntime::launch(&spec, m, RuntimeConfig { shards, queue_capacity: queue })
-        .map_err(|e| e.to_string())?;
+fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
+
+    let shards: usize = args.get_or("shards", 0)?;
+    let queue: usize = args.get_or("queue", 64)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+
+    let streams = workload_from_args(args, input, 64)?;
+    let m = streams.len();
+    let n = streams[0].len();
+    let spec = monitor_spec_from_args(args, &streams)?;
+
+    let mut rt = ShardedRuntime::launch(
+        &spec,
+        m,
+        RuntimeConfig { shards, queue_capacity: queue, ..RuntimeConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
     let n_shards = rt.n_shards();
 
     let started = std::time::Instant::now();
@@ -436,6 +471,101 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
         rate,
     ));
     out.push_str(&report.stats.render());
+    Ok(out)
+}
+
+/// Chaos drill: run the same workload twice through the sharded
+/// runtime — once untouched, once with every shard worker killed
+/// mid-ingest by a seeded fault plan — and audit that crash recovery
+/// reproduced the unfaulted event set bit for bit.
+fn run_chaos(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{
+        sort_events, Batch, FaultPlan, RecoveryPolicy, RuntimeConfig, RuntimeStats, ShardedRuntime,
+    };
+    use std::sync::Arc;
+
+    let shards: usize = args.get_or("shards", 2)?;
+    let queue: usize = args.get_or("queue", 32)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+    let snapshot_every: u64 = args.get_or("snapshot-every", 64)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    if shards == 0 {
+        return Err("--shards must be positive for a chaos drill".into());
+    }
+
+    let streams = workload_from_args(args, input, 32)?;
+    let m = streams.len();
+    let n = streams[0].len();
+    if m < shards {
+        return Err(format!("need at least one stream per shard ({m} streams, {shards} shards)"));
+    }
+    let spec = monitor_spec_from_args(args, &streams)?;
+
+    // One kill per shard, each somewhere in [10%, 60%) of the fewest
+    // appends any shard processes — strictly mid-ingest on every shard.
+    let min_local = (0..shards).map(|s| (m - s).div_ceil(shards)).min().unwrap_or(1);
+    let per_shard = (min_local * n) as u64;
+    let lo = (per_shard / 10).max(1);
+    let hi = (per_shard * 6 / 10).max(lo + 1);
+    let plan = Arc::new(FaultPlan::seeded_kills(seed, shards, lo, hi));
+
+    let run = |faults: Option<Arc<FaultPlan>>| -> Result<(Vec<_>, RuntimeStats), String> {
+        let rt = ShardedRuntime::launch(
+            &spec,
+            m,
+            RuntimeConfig {
+                shards,
+                queue_capacity: queue,
+                recovery: Some(RecoveryPolicy { snapshot_every }),
+                fault_plan: faults,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let mut row = 0;
+        while row < n {
+            let rows = batch_rows.min(n - row);
+            let batch: Batch = (row..row + rows)
+                .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+                .collect();
+            rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+            row += rows;
+        }
+        let report = rt.shutdown();
+        Ok((report.events, report.stats))
+    };
+
+    let (mut baseline, _) = run(None)?;
+    let (mut chaotic, stats) = run(Some(Arc::clone(&plan)))?;
+    sort_events(&mut baseline);
+    sort_events(&mut chaotic);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# chaos drill: {m} streams x {n} values, {shards} shard(s), \
+         snapshot every {snapshot_every} append(s)\n"
+    ));
+    for f in plan.faults() {
+        out.push_str(&format!("kill shard {} at its append #{}\n", f.shard, f.at_append));
+    }
+    out.push_str(&format!(
+        "faults fired: {}/{}, worker restarts: {}\n",
+        plan.fired_count(),
+        shards,
+        stats.total_restarts(),
+    ));
+    if chaotic != baseline {
+        return Err(format!(
+            "AUDIT FAILED: recovered run emitted {} event(s), unfaulted run {} — \
+             crash recovery lost or duplicated events",
+            chaotic.len(),
+            baseline.len(),
+        ));
+    }
+    out.push_str(&format!(
+        "AUDIT OK: recovered event set bit-identical to the unfaulted run ({} event(s))\n",
+        baseline.len(),
+    ));
+    out.push_str(&stats.render());
     Ok(out)
 }
 
@@ -631,6 +761,28 @@ mod tests {
         assert!(out.contains("values/s"), "throughput line:\n{out}");
         assert!(out.contains("q_hwm"), "per-shard stats table:\n{out}");
         assert!(out.contains("ingested 2048 values"), "total count:\n{out}");
+    }
+
+    #[test]
+    fn chaos_drill_audits_recovery() {
+        let (cmd, args) = Args::parse(&argv(
+            "chaos --shards 2 --streams 6 --values 512 --snapshot-every 64 --seed 9",
+        ))
+        .unwrap();
+        let out = run(&cmd, &args, "").expect("drill passes its audit");
+        assert!(out.contains("chaos drill: 6 streams x 512 values, 2 shard(s)"), "header:\n{out}");
+        assert!(out.contains("kill shard 0 at"), "kill plan:\n{out}");
+        assert!(out.contains("kill shard 1 at"), "kill plan:\n{out}");
+        assert!(out.contains("faults fired: 2/2, worker restarts: 2"), "fired line:\n{out}");
+        assert!(out.contains("AUDIT OK"), "audit verdict:\n{out}");
+        assert!(out.contains("restarts"), "stats table:\n{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_more_shards_than_streams() {
+        let (cmd, args) = Args::parse(&argv("chaos --shards 8 --streams 4 --values 128")).unwrap();
+        let err = run(&cmd, &args, "").unwrap_err();
+        assert!(err.contains("at least one stream per shard"), "{err}");
     }
 
     #[test]
