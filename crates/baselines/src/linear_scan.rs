@@ -177,6 +177,7 @@ impl ExhaustiveMonitor {
             if t + 1 < spec.window as u64 {
                 continue;
             }
+            self.stats.checks += 1;
             let ok = self.history.copy_window(t, spec.window, &mut self.scratch);
             debug_assert!(ok);
             let agg = self.kind.scalar_aggregate(&self.scratch).expect("scalar kind");

@@ -168,12 +168,14 @@ impl SwtMonitor {
             // available data is still a valid upper bound for any assigned
             // window that *is* full, so the level is checked from the
             // first arrival on.
-            if level.aggregate(kind) < level.tau {
-                continue;
-            }
+            let crossed = level.aggregate(kind) >= level.tau;
             for ai in 0..self.levels[li].assigned.len() {
                 let spec = self.levels[li].assigned[ai];
                 if t + 1 < spec.window as u64 {
+                    continue;
+                }
+                self.stats.checks += 1;
+                if !crossed {
                     continue;
                 }
                 self.stats.candidates += 1;

@@ -1,0 +1,84 @@
+#![allow(missing_docs)]
+//! Telemetry overhead A/B: the same ingest workload with (a) no registry
+//! attached, (b) a disabled registry attached, and (c) a live registry
+//! attached.
+//!
+//! The acceptance bar for the observability layer: variant (b) must be
+//! indistinguishable from (a) — a detached handle is one branch on a
+//! `None` — and variant (c) must stay within a few percent (the issue
+//! budget is ≤5% on ingest).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::stream::StreamId;
+use stardust_core::transform::TransformKind;
+use stardust_datagen::random_walk_streams;
+use stardust_runtime::{AggregateSpec, CorrelationSpec, MonitorSpec};
+use stardust_telemetry::Registry;
+
+const W: usize = 16;
+const LEVELS: usize = 3;
+const M: usize = 16;
+const N: usize = 2048;
+
+fn workload() -> (Vec<Vec<f64>>, MonitorSpec) {
+    let streams = random_walk_streams(41, M, N);
+    let r_max = streams.iter().flatten().fold(1.0f64, |a, &b| a.max(b.abs()));
+    let spec = MonitorSpec::new(W, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window: 2 * W, threshold: r_max * 2.0 * W as f64 }],
+            box_capacity: 4,
+        })
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 0.8 });
+    (streams, spec)
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let (streams, spec) = workload();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements((M * N) as u64));
+
+    let ingest = |mut monitor: stardust_core::unified::UnifiedMonitor| {
+        let mut events = 0usize;
+        for t in 0..N {
+            for (s, x) in streams.iter().enumerate() {
+                events += monitor.append(s as StreamId, x[t]).len();
+            }
+        }
+        events
+    };
+
+    group.bench_function("ingest_no_telemetry", |b| {
+        b.iter_batched(|| spec.build(M).unwrap().unwrap(), ingest, BatchSize::SmallInput)
+    });
+
+    group.bench_function("ingest_disabled_registry", |b| {
+        b.iter_batched(
+            || {
+                let mut monitor = spec.build(M).unwrap().unwrap();
+                monitor.attach_telemetry(&Registry::disabled());
+                monitor
+            },
+            ingest,
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ingest_enabled_registry", |b| {
+        b.iter_batched(
+            || {
+                let mut monitor = spec.build(M).unwrap().unwrap();
+                monitor.attach_telemetry(&Registry::new());
+                monitor
+            },
+            ingest,
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **Benchmark regression gate** — compares a freshly emitted
+//! `stardust-bench/v1` report (`stardust serve-bench --emit-bench ...`)
+//! against a committed baseline and fails the build when a headline
+//! metric regresses beyond the tolerance.
+//!
+//! Two metrics gate the build:
+//!
+//! * `ingest.throughput_values_per_s` — higher is better; a regression
+//!   is a candidate below `baseline × (1 − tolerance)`.
+//! * `query.p50_ns` — lower is better; a regression is a candidate
+//!   above `baseline × (1 + tolerance)`.
+//!
+//! Everything else in the report (the embedded metrics registry, p95,
+//! event counts) is informational: those values shift with machine load
+//! and workload shape, so only the two headline numbers are enforced.
+//!
+//! Run: `cargo run --release -p stardust-bench --bin bench_gate -- \
+//!   results/baseline.json BENCH_3.json [--tolerance 0.20]`
+//!
+//! Exit status: 0 when within tolerance, 1 on regression, 2 on usage or
+//! schema errors. Std-only; parses with the vendored telemetry JSON
+//! reader, so the gate works in the same offline container as the build.
+
+use std::process::ExitCode;
+
+use stardust_telemetry::json::{self, Value};
+
+/// Default allowed fractional slowdown before the gate fails.
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+struct Report {
+    throughput: f64,
+    query_p50_ns: f64,
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("'{path}': {e}"))?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if schema != "stardust-bench/v1" {
+        return Err(format!("'{path}': expected schema stardust-bench/v1, found '{schema}'"));
+    }
+    let num = |section: &str, field: &str| -> Result<f64, String> {
+        doc.get(section)
+            .and_then(|s| s.get(field))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("'{path}': missing number {section}.{field}"))
+    };
+    Ok(Report {
+        throughput: num("ingest", "throughput_values_per_s")?,
+        query_p50_ns: num("query", "p50_ns")?,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--tolerance needs a value")?;
+                tolerance = v.parse().map_err(|_| format!("--tolerance: cannot parse '{v}'"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
+                }
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("usage: bench_gate BASELINE.json CANDIDATE.json [--tolerance 0.20]".into());
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+
+    let mut ok = true;
+    let mut check = |name: &str, base: f64, cand: f64, higher_is_better: bool| {
+        let (limit, regressed) = if higher_is_better {
+            let limit = base * (1.0 - tolerance);
+            (limit, cand < limit)
+        } else {
+            let limit = base * (1.0 + tolerance);
+            (limit, cand > limit)
+        };
+        let change = if base > 0.0 { (cand / base - 1.0) * 100.0 } else { 0.0 };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{verdict:>9}  {name}: baseline {base:.0}, candidate {cand:.0} ({change:+.1}%), \
+             limit {limit:.0}"
+        );
+        ok &= !regressed;
+    };
+    check("ingest throughput (values/s)", baseline.throughput, candidate.throughput, true);
+    check("query p50 (ns)", baseline.query_p50_ns, candidate.query_p50_ns, false);
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench gate passed");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench gate FAILED: a headline metric regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_gate: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

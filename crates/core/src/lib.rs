@@ -62,6 +62,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod stream;
 pub mod summarizer;
+pub mod telemetry;
 pub mod transform;
 pub mod unified;
 

@@ -71,6 +71,10 @@ pub struct Alarm {
 /// Running alarm counters, the §6.1 metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AlarmStats {
+    /// Warm-window evaluations: each time a monitored window's composed
+    /// interval was inspected against its threshold. The denominator of
+    /// the firing-rate that Eq. 4–7 model.
+    pub checks: u64,
     /// Threshold crossings of the upper bound (each costs a verification).
     pub candidates: u64,
     /// Crossings confirmed on the raw data.
@@ -92,6 +96,18 @@ impl AlarmStats {
     pub fn false_alarm_rate(&self) -> f64 {
         1.0 - self.precision()
     }
+
+    /// Fraction of evaluations in which the upper bound crossed the
+    /// threshold — the observable that Eq. 6's
+    /// `Pr(X_{T·w} ≥ τ)` predicts under the §5.1 stream model (0.0 when
+    /// nothing was checked).
+    pub fn candidate_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.checks as f64
+        }
+    }
 }
 
 struct Monitored {
@@ -109,6 +125,8 @@ pub struct AggregateMonitor {
     windows: Vec<Monitored>,
     stats: AlarmStats,
     scratch: Vec<f64>,
+    /// Detached (free) unless attached; never serialized.
+    telemetry: crate::telemetry::ClassTelemetry,
 }
 
 // Compact by hand: the summary carries full per-level box state.
@@ -173,12 +191,22 @@ impl AggregateMonitor {
             windows,
             stats: AlarmStats::default(),
             scratch: Vec::new(),
+            telemetry: crate::telemetry::ClassTelemetry::default(),
         }
     }
 
     /// The underlying stream summary.
     pub fn summary(&self) -> &StreamSummary {
         &self.summary
+    }
+
+    /// Attaches per-class telemetry (and summarizer counters) from
+    /// `registry`. Telemetry is runtime state: it survives neither
+    /// [`Self::snapshot`] nor [`Self::restore`]; re-attach after
+    /// restoring.
+    pub fn attach_telemetry(&mut self, registry: &stardust_telemetry::Registry) {
+        self.telemetry = crate::telemetry::ClassTelemetry::new(registry, "aggregate");
+        self.summary.set_telemetry(crate::telemetry::SummarizerTelemetry::new(registry));
     }
 
     /// Cumulative alarm statistics.
@@ -189,6 +217,7 @@ impl AggregateMonitor {
     /// Appends a value and checks every monitored window; returns the
     /// candidate alarms raised at this time step.
     pub fn push(&mut self, value: f64) -> Vec<Alarm> {
+        let span = self.telemetry.latency_span();
         self.summary.push_quiet(value);
         let t = self.summary.now().expect("just pushed");
         let mut alarms = Vec::new();
@@ -206,11 +235,14 @@ impl AggregateMonitor {
             ) else {
                 continue;
             };
+            self.stats.checks += 1;
+            self.telemetry.checks.inc();
             if hi < threshold {
                 continue;
             }
             // Candidate alarm: retrieve the raw subsequence and verify.
             self.stats.candidates += 1;
+            self.telemetry.candidates.inc();
             let mut buf = std::mem::take(&mut self.scratch);
             let ok = self.summary.history().copy_window(t, window, &mut buf);
             debug_assert!(ok, "window within history");
@@ -220,9 +252,11 @@ impl AggregateMonitor {
             let is_true_alarm = true_value >= threshold;
             if is_true_alarm {
                 self.stats.true_alarms += 1;
+                self.telemetry.confirmed.inc();
             }
             alarms.push(Alarm { window, time: t, upper_bound: hi, true_value, is_true_alarm });
         }
+        drop(span);
         alarms
     }
 
@@ -232,6 +266,7 @@ impl AggregateMonitor {
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.blob(&self.summary.snapshot());
+        w.u64(self.stats.checks);
         w.u64(self.stats.candidates);
         w.u64(self.stats.true_alarms);
         w.usize(self.windows.len());
@@ -250,7 +285,7 @@ impl AggregateMonitor {
     pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let mut r = Reader::new(bytes)?;
         let summary = StreamSummary::restore(r.blob()?)?;
-        let stats = AlarmStats { candidates: r.u64()?, true_alarms: r.u64()? };
+        let stats = AlarmStats { checks: r.u64()?, candidates: r.u64()?, true_alarms: r.u64()? };
         let n = r.count(16)?;
         let mut windows = Vec::with_capacity(n);
         let config = summary.config().clone();
@@ -274,7 +309,13 @@ impl AggregateMonitor {
             windows.push(Monitored { spec, effective, levels });
         }
         r.expect_end()?;
-        Ok(AggregateMonitor { summary, windows, stats, scratch: Vec::new() })
+        Ok(AggregateMonitor {
+            summary,
+            windows,
+            stats,
+            scratch: Vec::new(),
+            telemetry: crate::telemetry::ClassTelemetry::default(),
+        })
     }
 
     /// The current composed interval for the monitored window of size `w`

@@ -117,6 +117,8 @@ pub struct CorrelationMonitor {
     f: usize,
     verify: bool,
     stats: CorrelationStats,
+    telemetry: crate::telemetry::ClassTelemetry,
+    index_telemetry: crate::telemetry::IndexTelemetry,
 }
 
 // Compact by hand: summaries and the feature tree carry full state.
@@ -171,7 +173,26 @@ impl CorrelationMonitor {
             f,
             verify: true,
             stats: CorrelationStats::default(),
+            telemetry: crate::telemetry::ClassTelemetry::default(),
+            index_telemetry: crate::telemetry::IndexTelemetry::default(),
         }
+    }
+
+    /// Attaches metric handles from `registry` (class `correlation`):
+    /// per-append latency, probe/report/confirmation counters, summarizer
+    /// lifecycle counters, and the feature index's structural counters.
+    /// Telemetry is runtime state — snapshots never carry it, so call
+    /// this again after [`Self::restore`].
+    pub fn attach_telemetry(&mut self, registry: &stardust_telemetry::Registry) {
+        self.telemetry = crate::telemetry::ClassTelemetry::new(registry, "correlation");
+        self.index_telemetry = crate::telemetry::IndexTelemetry::new(registry);
+        let summarizer = crate::telemetry::SummarizerTelemetry::new(registry);
+        for summary in &mut self.summaries {
+            summary.set_telemetry(summarizer.clone());
+        }
+        // Absorb any inserts that predate the attachment (e.g. a restore
+        // rebuilding the tree) so the series starts consistent.
+        self.index_telemetry.record(self.tree.reset_counters());
     }
 
     /// Enables or disables inline raw-window verification (disable for
@@ -337,6 +358,8 @@ impl CorrelationMonitor {
             f,
             verify,
             stats,
+            telemetry: crate::telemetry::ClassTelemetry::default(),
+            index_telemetry: crate::telemetry::IndexTelemetry::default(),
         })
     }
 
@@ -346,6 +369,7 @@ impl CorrelationMonitor {
     /// # Panics
     /// Panics if the stream id is out of range.
     pub fn append(&mut self, stream: StreamId, value: f64) -> Vec<CorrelatedPair> {
+        let span = self.telemetry.latency_span();
         let s = stream as usize;
         self.summaries[s].push_quiet(value);
         let t = self.summaries[s].now().expect("just pushed");
@@ -402,6 +426,7 @@ impl CorrelationMonitor {
 
         // Range query before inserting ourselves; partners from other
         // streams within the lag horizon are reports.
+        self.telemetry.checks.inc();
         let horizon = t.saturating_sub(self.lag_periods as u64 * period);
         let mut reported: Vec<(StreamId, Time, f64)> = Vec::new();
         self.tree.search_within(&coords, self.radius, |rect, &(other, ot)| {
@@ -420,6 +445,7 @@ impl CorrelationMonitor {
         let mut pairs = Vec::with_capacity(reported.len());
         for (other, time_other, feature_distance) in reported {
             self.stats.reported += 1;
+            self.telemetry.candidates.inc();
             let correlation = if self.verify {
                 let win_a = self.summaries[s]
                     .history()
@@ -432,6 +458,7 @@ impl CorrelationMonitor {
                 let corr = normalize::correlation(&win_a, &win_b);
                 if corr.is_some_and(|c| normalize::correlation_to_distance(c) <= self.radius) {
                     self.stats.true_pairs += 1;
+                    self.telemetry.confirmed.inc();
                 }
                 corr
             } else {
@@ -446,6 +473,10 @@ impl CorrelationMonitor {
                 correlation,
             });
         }
+        if self.index_telemetry.node_visits.is_enabled() {
+            self.index_telemetry.record(self.tree.reset_counters());
+        }
+        drop(span);
         pairs
     }
 

@@ -110,6 +110,10 @@ pub struct TrendMonitor {
     groups: BTreeMap<usize, LengthGroup>,
     stats: TrendStats,
     scratch: Vec<f64>,
+    /// Detached (free) unless attached; never serialized.
+    telemetry: crate::telemetry::ClassTelemetry,
+    /// R\*-tree counters drained from the per-length trees.
+    index_telemetry: crate::telemetry::IndexTelemetry,
 }
 
 // Compact by hand: summaries and length groups carry full index state.
@@ -143,6 +147,25 @@ impl TrendMonitor {
             groups: BTreeMap::new(),
             stats: TrendStats::default(),
             scratch: Vec::new(),
+            telemetry: crate::telemetry::ClassTelemetry::default(),
+            index_telemetry: crate::telemetry::IndexTelemetry::default(),
+        }
+    }
+
+    /// Attaches per-class, summarizer, and index telemetry from
+    /// `registry`. Runtime state only — re-attach after
+    /// [`Self::restore`].
+    pub fn attach_telemetry(&mut self, registry: &stardust_telemetry::Registry) {
+        self.telemetry = crate::telemetry::ClassTelemetry::new(registry, "trend");
+        self.index_telemetry = crate::telemetry::IndexTelemetry::new(registry);
+        let summarizer = crate::telemetry::SummarizerTelemetry::new(registry);
+        for s in &mut self.summaries {
+            s.set_telemetry(summarizer.clone());
+        }
+        // Fold in whatever the trees accumulated before attachment
+        // (pattern-registration inserts).
+        for group in self.groups.values() {
+            self.index_telemetry.record(group.tree.reset_counters());
         }
     }
 
@@ -265,6 +288,8 @@ impl TrendMonitor {
             groups: BTreeMap::new(),
             stats,
             scratch: Vec::new(),
+            telemetry: crate::telemetry::ClassTelemetry::default(),
+            index_telemetry: crate::telemetry::IndexTelemetry::default(),
         };
         for _ in 0..n_patterns {
             let sequence = r.f64_vec()?;
@@ -283,6 +308,7 @@ impl TrendMonitor {
     /// # Panics
     /// Panics if the stream id is out of range.
     pub fn append(&mut self, stream: StreamId, value: f64) -> Vec<TrendMatch> {
+        let span = self.telemetry.latency_span();
         let s = stream as usize;
         self.summaries[s].push_quiet(value);
         let t = self.summaries[s].now().expect("just pushed");
@@ -296,6 +322,7 @@ impl TrendMonitor {
             // The stream's feature box over its most recent sub-window.
             let first_level = group.levels[0];
             let Some(mbr) = summary.mbr_at(first_level, t) else { continue };
+            self.telemetry.checks.inc();
             // Candidate patterns: those whose first sub-feature is within
             // the group's largest radius of the stream's feature box.
             let mut cands: Vec<usize> = Vec::new();
@@ -343,6 +370,7 @@ impl TrendMonitor {
                 }
                 // Verify on the raw window.
                 self.stats.candidates += 1;
+                self.telemetry.candidates.inc();
                 let mut buf = std::mem::take(&mut self.scratch);
                 let ok = summary.history().copy_window(t, len, &mut buf);
                 debug_assert!(ok, "warm window is in history");
@@ -355,6 +383,7 @@ impl TrendMonitor {
                 self.scratch = buf;
                 if d_raw <= pat.r_abs {
                     self.stats.matches += 1;
+                    self.telemetry.confirmed.inc();
                     out.push(TrendMatch {
                         stream,
                         pattern: pat.id,
@@ -364,6 +393,12 @@ impl TrendMonitor {
                 }
             }
         }
+        if self.index_telemetry.node_visits.is_enabled() {
+            for group in self.groups.values() {
+                self.index_telemetry.record(group.tree.reset_counters());
+            }
+        }
+        drop(span);
         out
     }
 }

@@ -21,6 +21,7 @@ use crate::config::Config;
 use crate::mbr::FeatureMbr;
 use crate::snapshot::{self, SnapshotError};
 use crate::stream::{StreamHistory, Time};
+use crate::telemetry::SummarizerTelemetry;
 use crate::transform::{MergePrecision, TransformKind};
 
 /// Change notification emitted by [`StreamSummary::push`].
@@ -116,6 +117,11 @@ pub struct StreamSummary {
     run_sum: f64,
     run_sumsq: f64,
     scratch: Vec<f64>,
+    /// Lifecycle counters; detached (free) by default. Deliberately not
+    /// serialized: a restored summary comes back detached and the owner
+    /// re-attaches. Clones share the counter cells, so the per-stream
+    /// summaries of one monitor aggregate into one series.
+    telemetry: SummarizerTelemetry,
 }
 
 impl StreamSummary {
@@ -148,7 +154,14 @@ impl StreamSummary {
             run_sum: 0.0,
             run_sumsq: 0.0,
             scratch: Vec::new(),
+            telemetry: SummarizerTelemetry::default(),
         }
+    }
+
+    /// Attaches lifecycle counters; pass
+    /// [`SummarizerTelemetry::default`] to detach.
+    pub fn set_telemetry(&mut self, telemetry: SummarizerTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The configuration this summary was built with.
@@ -324,12 +337,15 @@ impl StreamSummary {
             run_sum,
             run_sumsq,
             scratch: Vec::new(),
+            telemetry: SummarizerTelemetry::default(),
         })
     }
 
     /// Appends one value, updating every due level bottom-up (Algorithm 1).
     /// Sealed/retired MBRs are appended to `events`.
     pub fn push(&mut self, value: f64, events: &mut Vec<SummaryEvent>) {
+        self.telemetry.appends.inc();
+        let first_new = events.len();
         let w0 = self.config.base_window;
         let t = self.history.push(value);
         // Level-0 incremental state.
@@ -376,6 +392,14 @@ impl StreamSummary {
             self.insert_feature(j, bounds, sum, sumsq, t, events);
         }
         self.retire(t, events);
+        if self.telemetry.sealed.is_enabled() {
+            for e in &events[first_new..] {
+                match e {
+                    SummaryEvent::Sealed { .. } => self.telemetry.sealed.inc(),
+                    SummaryEvent::Retired { .. } => self.telemetry.retired.inc(),
+                }
+            }
+        }
     }
 
     /// Convenience wrapper discarding events.

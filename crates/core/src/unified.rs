@@ -154,6 +154,29 @@ impl UnifiedMonitor {
         }
     }
 
+    /// Attaches metric handles from `registry` to every enabled query
+    /// class: per-class latency histograms, check/candidate/confirmation
+    /// counters, summarizer lifecycle counters, and index structural
+    /// counters (see DESIGN.md §Observability for the catalogue).
+    ///
+    /// Telemetry is runtime state — [`Self::snapshot`] never carries it,
+    /// and a monitor rebuilt by [`Self::restore`] is detached until this
+    /// is called again (the sharded runtime re-attaches after every
+    /// crash recovery).
+    pub fn attach_telemetry(&mut self, registry: &stardust_telemetry::Registry) {
+        if let Some((monitors, _)) = &mut self.aggregates {
+            for m in monitors {
+                m.attach_telemetry(registry);
+            }
+        }
+        if let Some(trends) = &mut self.trends {
+            trends.attach_telemetry(registry);
+        }
+        if let Some(corr) = &mut self.correlations {
+            corr.attach_telemetry(registry);
+        }
+    }
+
     /// Registers a trend pattern (requires `trends` to be enabled).
     ///
     /// # Panics

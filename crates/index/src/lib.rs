@@ -22,4 +22,4 @@ pub mod tree;
 pub use bulk::bulk_load;
 pub use geometry::Rect;
 pub use knn::{nearest_k, Neighbor};
-pub use tree::{Params, RStarTree};
+pub use tree::{Params, RStarTree, TreeCounters};

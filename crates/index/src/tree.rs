@@ -19,7 +19,55 @@
 //! * **Deletion** with tree condensation: underfull nodes are dissolved and
 //!   their entries reinserted at their home level.
 
+use std::cell::Cell;
+
 use crate::geometry::Rect;
+
+/// Cumulative structural-operation counters for one [`RStarTree`].
+///
+/// Maintained in `Cell`s so read paths (`search_*`, which take `&self`)
+/// can record node visits without locks or `&mut`; the tree therefore
+/// stays `Send` (one shard owns one tree — exactly the runtime's
+/// threading model) while costing a plain register increment per event.
+/// Read with [`RStarTree::counters`], or [`RStarTree::reset_counters`]
+/// for per-query deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TreeCounters {
+    /// Data items inserted via [`RStarTree::insert`].
+    pub inserts: u64,
+    /// Data items removed via [`RStarTree::remove`] / [`RStarTree::take`].
+    pub removes: u64,
+    /// Node splits (after forced reinsertion declined).
+    pub splits: u64,
+    /// Entries moved by forced reinsertion (the R\*-tree's
+    /// OverflowTreatment) and deletion condensation.
+    pub reinserted_entries: u64,
+    /// Nodes visited by intersection / within-radius searches.
+    pub node_visits: u64,
+}
+
+impl TreeCounters {
+    /// Field-wise sum, for aggregating across the per-level trees of a
+    /// monitor.
+    pub fn merged(self, other: TreeCounters) -> TreeCounters {
+        TreeCounters {
+            inserts: self.inserts + other.inserts,
+            removes: self.removes + other.removes,
+            splits: self.splits + other.splits,
+            reinserted_entries: self.reinserted_entries + other.reinserted_entries,
+            node_visits: self.node_visits + other.node_visits,
+        }
+    }
+}
+
+/// Applies `f` to the counter cell (a copy-update-store on a `Copy`
+/// struct; the optimizer reduces it to one increment).
+#[inline]
+fn bump(cell: &Cell<TreeCounters>, f: impl FnOnce(&mut TreeCounters)) {
+    let mut c = cell.get();
+    f(&mut c);
+    cell.set(c);
+}
 
 /// Tuning parameters for an [`RStarTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +158,7 @@ pub struct RStarTree<T> {
     dims: usize,
     params: Params,
     len: usize,
+    counters: Cell<TreeCounters>,
 }
 
 impl<T> RStarTree<T> {
@@ -137,7 +186,25 @@ impl<T> RStarTree<T> {
             params.reinsert_count >= 1 && params.reinsert_count <= params.max_entries / 2,
             "reinsert count out of range"
         );
-        RStarTree { root: Box::new(Node { level: 0, entries: Vec::new() }), dims, params, len: 0 }
+        RStarTree {
+            root: Box::new(Node { level: 0, entries: Vec::new() }),
+            dims,
+            params,
+            len: 0,
+            counters: Cell::new(TreeCounters::default()),
+        }
+    }
+
+    /// Cumulative structural-operation counters since construction (or
+    /// the last [`RStarTree::reset_counters`]).
+    pub fn counters(&self) -> TreeCounters {
+        self.counters.get()
+    }
+
+    /// Returns the current counters and resets them to zero; callers
+    /// use this to attribute node visits to a single query.
+    pub fn reset_counters(&self) -> TreeCounters {
+        self.counters.replace(TreeCounters::default())
     }
 
     /// Number of data items stored.
@@ -176,6 +243,7 @@ impl<T> RStarTree<T> {
     pub fn insert(&mut self, rect: Rect, value: T) {
         assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
         self.len += 1;
+        bump(&self.counters, |c| c.inserts += 1);
         self.insert_queue(vec![(Entry::Item { rect, value }, 0)]);
     }
 
@@ -196,6 +264,7 @@ impl<T> RStarTree<T> {
                 &mut reinserted,
                 &mut queue,
                 &self.params,
+                &self.counters,
             );
             if let Some(sibling) = split {
                 let new_level = self.root.level + 1;
@@ -237,6 +306,10 @@ impl<T> RStarTree<T> {
             return None;
         }
         self.len -= 1;
+        bump(&self.counters, |c| {
+            c.removes += 1;
+            c.reinserted_entries += orphans.len() as u64;
+        });
         // Shrink the root while it is an internal node with a single child.
         while self.root.level > 0 && self.root.entries.len() == 1 {
             let Some(Entry::Child { node, .. }) = self.root.entries.pop() else {
@@ -285,7 +358,7 @@ impl<T> RStarTree<T> {
         F: FnMut(&'a Rect, &'a T),
     {
         assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
-        search_rec(&self.root, query, &mut visit);
+        search_rec(&self.root, query, &mut visit, &self.counters);
     }
 
     /// Collects every item whose rectangle intersects `query`.
@@ -304,7 +377,7 @@ impl<T> RStarTree<T> {
     {
         assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
         assert!(r >= 0.0, "radius must be nonnegative");
-        within_rec(&self.root, point, r, &mut visit);
+        within_rec(&self.root, point, r, &mut visit, &self.counters);
     }
 
     /// Collects every item within distance `r` of `point`.
@@ -403,10 +476,15 @@ impl<'a, T> Iterator for Iter<'a, T> {
     }
 }
 
-fn search_rec<'a, T, F>(node: &'a Node<T>, query: &Rect, visit: &mut F)
-where
+fn search_rec<'a, T, F>(
+    node: &'a Node<T>,
+    query: &Rect,
+    visit: &mut F,
+    counters: &Cell<TreeCounters>,
+) where
     F: FnMut(&'a Rect, &'a T),
 {
+    bump(counters, |c| c.node_visits += 1);
     for entry in &node.entries {
         match entry {
             Entry::Item { rect, value } => {
@@ -416,17 +494,23 @@ where
             }
             Entry::Child { rect, node } => {
                 if rect.intersects(query) {
-                    search_rec(node, query, visit);
+                    search_rec(node, query, visit, counters);
                 }
             }
         }
     }
 }
 
-fn within_rec<'a, T, F>(node: &'a Node<T>, point: &[f64], r: f64, visit: &mut F)
-where
+fn within_rec<'a, T, F>(
+    node: &'a Node<T>,
+    point: &[f64],
+    r: f64,
+    visit: &mut F,
+    counters: &Cell<TreeCounters>,
+) where
     F: FnMut(&'a Rect, &'a T),
 {
+    bump(counters, |c| c.node_visits += 1);
     for entry in &node.entries {
         match entry {
             Entry::Item { rect, value } => {
@@ -436,7 +520,7 @@ where
             }
             Entry::Child { rect, node } => {
                 if rect.min_dist_point(point) <= r {
-                    within_rec(node, point, r, visit);
+                    within_rec(node, point, r, visit, counters);
                 }
             }
         }
@@ -445,6 +529,7 @@ where
 
 /// Inserts `entry` (whose home level is `target_level`) into the subtree
 /// rooted at `node`. Returns a sibling entry if `node` was split.
+#[allow(clippy::too_many_arguments)]
 fn insert_rec<T>(
     node: &mut Node<T>,
     entry: Entry<T>,
@@ -453,6 +538,7 @@ fn insert_rec<T>(
     reinserted: &mut [bool],
     queue: &mut Vec<(Entry<T>, usize)>,
     params: &Params,
+    counters: &Cell<TreeCounters>,
 ) -> Option<Entry<T>> {
     if node.level == target_level {
         node.entries.push(entry);
@@ -462,7 +548,8 @@ fn insert_rec<T>(
             let Entry::Child { rect, node: child } = &mut node.entries[idx] else {
                 unreachable!("non-leaf nodes hold child entries")
             };
-            let split = insert_rec(child, entry, target_level, false, reinserted, queue, params);
+            let split =
+                insert_rec(child, entry, target_level, false, reinserted, queue, params, counters);
             // The child may have grown (insert) or shrunk (reinsertion
             // removed entries), so recompute its MBR either way.
             *rect = child.mbr();
@@ -473,7 +560,7 @@ fn insert_rec<T>(
         }
     }
     if node.entries.len() > params.max_entries {
-        overflow_treatment(node, is_root, reinserted, queue, params)
+        overflow_treatment(node, is_root, reinserted, queue, params, counters)
     } else {
         None
     }
@@ -487,6 +574,7 @@ fn overflow_treatment<T>(
     reinserted: &mut [bool],
     queue: &mut Vec<(Entry<T>, usize)>,
     params: &Params,
+    counters: &Cell<TreeCounters>,
 ) -> Option<Entry<T>> {
     if !is_root && !reinserted[node.level] {
         reinserted[node.level] = true;
@@ -507,11 +595,13 @@ fn overflow_treatment<T>(
         // Reinsert closest-first: the last popped from the LIFO queue is the
         // closest, matching the paper's "close reinsert" ordering.
         removed.reverse();
+        bump(counters, |c| c.reinserted_entries += removed.len() as u64);
         for e in removed {
             queue.push((e, level));
         }
         None
     } else {
+        bump(counters, |c| c.splits += 1);
         Some(split_node(node, params))
     }
 }
@@ -1135,6 +1225,71 @@ mod tests {
         let p = Params::new(32);
         assert_eq!(p.min_entries, 12); // 40%
         assert_eq!(p.reinsert_count, 9); // 30%
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut tree = RStarTree::with_params(2, Params::new(4));
+        let mut seed = 13;
+        let mut items = Vec::new();
+        for i in 0..200 {
+            let r = random_rect(&mut seed, 2);
+            items.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        let c = tree.counters();
+        assert_eq!(c.inserts, 200);
+        assert_eq!(c.removes, 0);
+        // Capacity 4 with 200 items must have split and reinserted.
+        assert!(c.splits > 0, "expected splits, got {c:?}");
+        assert!(c.reinserted_entries > 0, "expected reinsertions, got {c:?}");
+        assert_eq!(c.node_visits, 0, "no searches yet");
+
+        let before = tree.counters();
+        tree.collect_intersecting(&Rect::new(vec![0.0, 0.0], vec![50.0, 50.0]));
+        let after = tree.counters();
+        assert!(after.node_visits > before.node_visits, "search visits nodes");
+        // Searches never mutate structure.
+        assert_eq!(after.inserts, before.inserts);
+        assert_eq!(after.splits, before.splits);
+
+        for (r, v) in &items {
+            assert!(tree.remove(r, v));
+        }
+        assert_eq!(tree.counters().removes, 200);
+
+        let drained = tree.reset_counters();
+        assert_eq!(drained.removes, 200);
+        assert_eq!(tree.counters(), TreeCounters::default());
+    }
+
+    #[test]
+    fn counters_merge_fieldwise() {
+        let a = TreeCounters {
+            inserts: 1,
+            removes: 2,
+            splits: 3,
+            reinserted_entries: 4,
+            node_visits: 5,
+        };
+        let b = TreeCounters {
+            inserts: 10,
+            removes: 20,
+            splits: 30,
+            reinserted_entries: 40,
+            node_visits: 50,
+        };
+        let m = a.merged(b);
+        assert_eq!(
+            m,
+            TreeCounters {
+                inserts: 11,
+                removes: 22,
+                splits: 33,
+                reinserted_entries: 44,
+                node_visits: 55,
+            }
+        );
     }
 
     #[test]

@@ -75,6 +75,7 @@ mod shard;
 mod snapshot;
 mod spec;
 mod stats;
+mod telemetry;
 
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use runtime::{

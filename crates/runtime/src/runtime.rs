@@ -16,6 +16,7 @@ use crate::shard::{Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, Worke
 use crate::snapshot::ShardRecovery;
 use crate::spec::MonitorSpec;
 use crate::stats::{RuntimeStats, ShardCounters};
+use crate::telemetry::RuntimeTelemetry;
 use crate::{ClassStats, RuntimeError};
 
 /// The bounded per-shard queue rejected a message; retry later or use a
@@ -111,6 +112,13 @@ pub struct RuntimeConfig {
     /// Deterministic fault injection (tests, chaos drills). `None` — the
     /// default — costs one pointer check per append.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Metrics registry. `Some` wires every shard's monitor, the batch
+    /// latency path, and the recovery machinery into the registry (see
+    /// DESIGN.md §Observability for the series catalogue); restored
+    /// workers are re-attached automatically after a crash. `None` — the
+    /// default — leaves every handle detached: one branch per would-be
+    /// sample.
+    pub telemetry: Option<stardust_telemetry::Registry>,
 }
 
 impl Default for RuntimeConfig {
@@ -120,6 +128,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 64,
             recovery: Some(RecoveryPolicy::default()),
             fault_plan: None,
+            telemetry: None,
         }
     }
 }
@@ -144,6 +153,12 @@ struct Shared {
     n_locals: Vec<usize>,
     snapshot_every: u64,
     fault_plan: Option<Arc<FaultPlan>>,
+    /// Registry monitors re-attach to after a crash restore; `None`
+    /// when telemetry is off.
+    telemetry: Option<stardust_telemetry::Registry>,
+    /// Runtime-level handles (batch latency, recovery timings); fully
+    /// detached when telemetry is off.
+    runtime_telemetry: RuntimeTelemetry,
     /// Per-shard queues. They live outside any worker so a worker crash
     /// loses no queued message — the restored worker resumes draining.
     queues: Vec<Arc<BoundedQueue<ShardMsg>>>,
@@ -182,6 +197,7 @@ impl Shared {
             faults: self.fault_plan.clone(),
             processed,
             snapshot_every: self.snapshot_every,
+            telemetry: self.runtime_telemetry.clone(),
         };
         let board = Arc::clone(&self.board);
         // Without a supervisor a death is terminal: the dying worker
@@ -209,7 +225,8 @@ impl Shared {
             .expect("events sender poisoned")
             .clone()
             .expect("restore after shutdown");
-        let (monitor, processed) = rec.rebuild(
+        let restore_span = self.runtime_telemetry.restore.span();
+        let (mut monitor, processed) = rec.rebuild(
             &self.spec,
             self.n_locals[shard],
             shard,
@@ -217,6 +234,12 @@ impl Shared {
             &events,
             &self.counters[shard],
         );
+        drop(restore_span);
+        // The replay above ran detached (a restored monitor never counts
+        // replayed appends twice); re-attach for the shard's second life.
+        if let (Some(registry), Some(m)) = (&self.telemetry, monitor.as_mut()) {
+            m.attach_telemetry(registry);
+        }
         match self.spawn_worker(shard, monitor, processed) {
             Ok(handle) => {
                 self.handles.lock().expect("handles poisoned")[shard] = Some(handle);
@@ -305,8 +328,14 @@ impl ShardedRuntime {
             (0..n_shards).map(|shard| (n_streams - shard).div_ceil(n_shards)).collect();
         let mut monitors = Vec::with_capacity(n_shards);
         for &n_local in &n_locals {
-            monitors.push(spec.build(n_local)?);
+            let mut monitor = spec.build(n_local)?;
+            if let (Some(registry), Some(m)) = (&config.telemetry, monitor.as_mut()) {
+                m.attach_telemetry(registry);
+            }
+            monitors.push(monitor);
         }
+        let runtime_telemetry =
+            config.telemetry.as_ref().map(RuntimeTelemetry::new).unwrap_or_default();
 
         let (events_tx, events_rx) = mpsc::channel();
         let shared = Arc::new(Shared {
@@ -315,6 +344,8 @@ impl ShardedRuntime {
             n_locals,
             snapshot_every: config.recovery.map(|r| r.snapshot_every).unwrap_or(0),
             fault_plan: config.fault_plan,
+            telemetry: config.telemetry,
+            runtime_telemetry,
             queues: (0..n_shards).map(|_| Arc::new(BoundedQueue::new(queue_capacity))).collect(),
             counters: (0..n_shards).map(|_| Arc::new(ShardCounters::new())).collect(),
             recovery: config

@@ -19,6 +19,7 @@ use crate::fault::{FaultKind, FaultPlan};
 use crate::queue::BoundedQueue;
 use crate::snapshot::ShardRecovery;
 use crate::stats::ShardCounters;
+use crate::telemetry::RuntimeTelemetry;
 
 /// Messages a shard's bounded queue carries. Queries ride the same
 /// queue as batches, so a query observes every batch submitted before
@@ -77,6 +78,7 @@ pub struct ClassStats {
 impl ClassStats {
     /// Field-wise accumulation.
     pub fn merge(&mut self, other: &ClassStats) {
+        self.aggregate.checks += other.aggregate.checks;
         self.aggregate.candidates += other.aggregate.candidates;
         self.aggregate.true_alarms += other.aggregate.true_alarms;
         self.trend.candidates += other.trend.candidates;
@@ -248,6 +250,8 @@ pub(crate) struct Worker {
     /// Snapshot cadence in appends; `0` never snapshots (recovery then
     /// replays the shard's full history from the journal).
     pub snapshot_every: u64,
+    /// Runtime-level metric handles; detached when telemetry is off.
+    pub telemetry: RuntimeTelemetry,
 }
 
 impl Worker {
@@ -275,6 +279,7 @@ impl Worker {
                 for local in 0..self.n_local_streams as StreamId {
                     let Some(m) = monitor.aggregate_monitor(local) else { break };
                     let s = m.stats();
+                    stats.aggregate.checks += s.checks;
                     stats.aggregate.candidates += s.candidates;
                     stats.aggregate.true_alarms += s.true_alarms;
                 }
@@ -332,6 +337,7 @@ impl Worker {
                     // it is applied, so a crash at any point inside it
                     // loses nothing.
                     if let Some(rec) = &self.recovery {
+                        let _span = self.telemetry.journal.span();
                         rec.journal_batch(&items);
                     }
                     let mut events = 0u64;
@@ -370,9 +376,11 @@ impl Worker {
                     }
                     let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     self.counters.note_batch(ns);
+                    self.telemetry.batch_latency.observe(ns);
                     if let Some(rec) = &self.recovery {
                         if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every
                         {
+                            let _span = self.telemetry.snapshot.span();
                             rec.record_snapshot(self.monitor.as_ref().map(|m| m.snapshot()));
                         }
                     }

@@ -3,9 +3,17 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use stardust_telemetry::{duration_buckets_ns, Histogram};
+
 /// Lock-free counters one shard's worker and its producers share.
 /// Producers bump the queue depth on enqueue; the worker decrements on
 /// dequeue and owns every other field.
+///
+/// Batch latency is kept in a fixed-bucket histogram (27 buckets
+/// doubling from 250 ns up to ~16.8 s, plus the implicit +Inf bucket)
+/// whose sum accumulates saturating — a shard that runs long enough to
+/// overflow `u64` nanoseconds pins at `u64::MAX` instead of wrapping
+/// into a bogus mean.
 #[derive(Debug)]
 pub(crate) struct ShardCounters {
     pub appends: AtomicU64,
@@ -14,9 +22,7 @@ pub(crate) struct ShardCounters {
     pub restarts: AtomicU64,
     pub queue_depth: AtomicUsize,
     pub queue_high_water: AtomicUsize,
-    pub latency_sum_ns: AtomicU64,
-    pub latency_min_ns: AtomicU64,
-    pub latency_max_ns: AtomicU64,
+    pub latency: Histogram,
 }
 
 impl ShardCounters {
@@ -28,9 +34,7 @@ impl ShardCounters {
             restarts: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_high_water: AtomicUsize::new(0),
-            latency_sum_ns: AtomicU64::new(0),
-            latency_min_ns: AtomicU64::new(u64::MAX),
-            latency_max_ns: AtomicU64::new(0),
+            latency: Histogram::standalone(duration_buckets_ns()),
         }
     }
 
@@ -62,20 +66,19 @@ impl ShardCounters {
     /// was submitted.
     pub fn note_batch(&self, ns: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.latency_min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.latency_max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.latency.observe(ns);
     }
 
     pub fn snapshot(&self) -> ShardStats {
         let batches = self.batches.load(Ordering::Relaxed);
-        let latency = match self.latency_sum_ns.load(Ordering::Relaxed).checked_div(batches) {
-            None => LatencyStats::default(),
-            Some(mean_ns) => LatencyStats {
-                min: Some(Duration::from_nanos(self.latency_min_ns.load(Ordering::Relaxed))),
-                mean: Some(Duration::from_nanos(mean_ns)),
-                max: Some(Duration::from_nanos(self.latency_max_ns.load(Ordering::Relaxed))),
-            },
+        let h = self.latency.snapshot();
+        let nanos = |n: Option<u64>| n.map(Duration::from_nanos);
+        let latency = LatencyStats {
+            min: nanos(h.min),
+            mean: h.mean().map(|ns| Duration::from_nanos(ns as u64)),
+            p50: nanos(h.p50),
+            p95: nanos(h.p95),
+            max: nanos(h.max),
         };
         ShardStats {
             appends: self.appends.load(Ordering::Relaxed),
@@ -89,14 +92,26 @@ impl ShardCounters {
     }
 }
 
-/// Submit-to-drained batch latency extremes and mean; `None` until the
-/// shard has processed at least one batch.
+/// Submit-to-drained batch latency summary; every field is `None`
+/// until the shard has processed at least one batch.
+///
+/// The extremes and mean are exact; `p50`/`p95` are estimated from a
+/// fixed-bucket histogram (bounds doubling from 250 ns — see
+/// [`stardust_telemetry::duration_buckets_ns`]) by linear interpolation
+/// within the covering bucket, clamped to the observed min/max, so the
+/// worst-case quantile error is half a bucket width (< 2× the true
+/// value).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencyStats {
     /// Fastest batch.
     pub min: Option<Duration>,
-    /// Arithmetic mean over all batches.
+    /// Arithmetic mean over all batches (the underlying nanosecond sum
+    /// accumulates saturating, so it pins instead of wrapping).
     pub mean: Option<Duration>,
+    /// Median batch latency (histogram estimate).
+    pub p50: Option<Duration>,
+    /// 95th-percentile batch latency (histogram estimate).
+    pub p95: Option<Duration>,
     /// Slowest batch.
     pub max: Option<Duration>,
 }
@@ -153,8 +168,8 @@ impl RuntimeStats {
     /// A small fixed-width table for CLI / log output.
     ///
     /// ```text
-    /// shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_mean  lat_max
-    ///     0      1024         37        64         1        0      9    1.2µs    3.4µs   0.21ms
+    /// shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max
+    ///     0      1024         37        64         1        0      9    1.2µs    2.8µs     3.4µs   11.0µs   0.21ms
     /// ```
     pub fn render(&self) -> String {
         fn dur(d: Option<Duration>) -> String {
@@ -167,11 +182,11 @@ impl RuntimeStats {
             }
         }
         let mut out = String::from(
-            "shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_mean  lat_max\n",
+            "shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max\n",
         );
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i:>5} {:>9} {:>10} {:>9} {:>9} {:>8} {:>6} {:>8} {:>9} {:>8}\n",
+                "{i:>5} {:>9} {:>10} {:>9} {:>9} {:>8} {:>6} {:>8} {:>8} {:>9} {:>8} {:>8}\n",
                 s.appends,
                 s.events,
                 s.batches,
@@ -179,11 +194,56 @@ impl RuntimeStats {
                 s.queue_depth,
                 s.queue_high_water,
                 dur(s.batch_latency.min),
+                dur(s.batch_latency.p50),
                 dur(s.batch_latency.mean),
+                dur(s.batch_latency.p95),
                 dur(s.batch_latency.max),
             ));
         }
         out
+    }
+
+    /// Publishes the snapshot into `registry` as per-shard gauges
+    /// (`stardust_shard_*{shard="N"}`). Gauges rather than counters
+    /// because a snapshot is a point-in-time level: queue depth moves
+    /// both ways, and repeated exports overwrite rather than accumulate.
+    pub fn export(&self, registry: &stardust_telemetry::Registry) {
+        let gauge = |name: &str, help: &str, shard: usize, v: f64| {
+            registry
+                .gauge(&stardust_telemetry::labeled(name, &[("shard", &shard.to_string())]), help)
+                .set(v);
+        };
+        let ns = |d: Option<Duration>| d.map(|d| d.as_nanos() as f64).unwrap_or(0.0);
+        for (i, s) in self.shards.iter().enumerate() {
+            gauge("stardust_shard_appends", "Values appended into the shard's monitor", i, {
+                s.appends as f64
+            });
+            gauge("stardust_shard_events", "Events the shard pushed to the collector", i, {
+                s.events as f64
+            });
+            gauge("stardust_shard_batches", "Batches the shard drained", i, s.batches as f64);
+            gauge("stardust_shard_restarts", "Worker restarts performed by the supervisor", i, {
+                s.restarts as f64
+            });
+            gauge("stardust_shard_queue_depth", "Messages currently queued (approximate)", i, {
+                s.queue_depth as f64
+            });
+            gauge("stardust_shard_queue_high_water", "Highest queue depth observed", i, {
+                s.queue_high_water as f64
+            });
+            gauge(
+                "stardust_shard_batch_latency_p50_ns",
+                "Median submit-to-drained batch latency, nanoseconds",
+                i,
+                ns(s.batch_latency.p50),
+            );
+            gauge(
+                "stardust_shard_batch_latency_p95_ns",
+                "95th-percentile submit-to-drained batch latency, nanoseconds",
+                i,
+                ns(s.batch_latency.p95),
+            );
+        }
     }
 }
 
@@ -222,6 +282,53 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.queue_high_water, 1, "the attempt still observed depth 1");
+    }
+
+    #[test]
+    fn latency_quantiles_are_ordered_and_bounded() {
+        let c = ShardCounters::new();
+        for ns in [500u64, 700, 900, 1_100, 40_000] {
+            c.note_batch(ns);
+        }
+        let s = c.snapshot();
+        let lat = s.batch_latency;
+        let (min, p50, mean, p95, max) = (
+            lat.min.expect("recorded"),
+            lat.p50.expect("recorded"),
+            lat.mean.expect("recorded"),
+            lat.p95.expect("recorded"),
+            lat.max.expect("recorded"),
+        );
+        assert_eq!(min, Duration::from_nanos(500));
+        assert_eq!(max, Duration::from_nanos(40_000));
+        assert!(min <= p50 && p50 <= p95 && p95 <= max, "{lat:?}");
+        // Exact mean: (500+700+900+1100+40000)/5 = 8640.
+        assert_eq!(mean, Duration::from_nanos(8_640));
+        assert_eq!(s.batches, 5);
+    }
+
+    #[test]
+    fn latency_sum_saturates_instead_of_wrapping() {
+        let c = ShardCounters::new();
+        c.note_batch(u64::MAX);
+        c.note_batch(u64::MAX);
+        let lat = c.snapshot().batch_latency;
+        // A wrapping sum would make the mean collapse toward zero; the
+        // saturating sum pins it at the ceiling instead.
+        assert!(lat.mean.expect("recorded") >= Duration::from_nanos(u64::MAX / 2));
+    }
+
+    #[test]
+    fn export_publishes_per_shard_gauges() {
+        let registry = stardust_telemetry::Registry::new();
+        let c = ShardCounters::new();
+        c.appends.fetch_add(7, Ordering::Relaxed);
+        c.note_batch(1_000);
+        let stats = RuntimeStats { shards: vec![c.snapshot()] };
+        stats.export(&registry);
+        let text = registry.render_prometheus();
+        assert!(text.contains("stardust_shard_appends{shard=\"0\"} 7"), "{text}");
+        assert!(text.contains("stardust_shard_batches{shard=\"0\"} 1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Runtime-level telemetry handles: batch latency and crash-recovery
+//! timings.
+//!
+//! Mirrors `stardust_core::telemetry`: a bundle of pre-registered
+//! handles whose default value is fully detached, so workers hold one
+//! unconditionally and pay a single branch per operation when
+//! telemetry is off.
+
+use stardust_telemetry::{Histogram, Registry};
+
+/// Pre-registered runtime series shared by every shard worker.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RuntimeTelemetry {
+    /// `stardust_runtime_batch_latency_ns` — submit-to-drained latency
+    /// of every batch, across shards.
+    pub batch_latency: Histogram,
+    /// `stardust_recovery_journal_ns` — write-ahead journal appends.
+    pub journal: Histogram,
+    /// `stardust_recovery_snapshot_ns` — monitor snapshot captures.
+    pub snapshot: Histogram,
+    /// `stardust_recovery_restore_ns` — full crash restores (monitor
+    /// rebuild plus journal-suffix replay).
+    pub restore: Histogram,
+}
+
+impl RuntimeTelemetry {
+    /// Registers (or re-resolves) the runtime series in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        RuntimeTelemetry {
+            batch_latency: registry.histogram(
+                "stardust_runtime_batch_latency_ns",
+                "Submit-to-drained batch latency in nanoseconds, all shards",
+            ),
+            journal: registry.histogram(
+                "stardust_recovery_journal_ns",
+                "Write-ahead journal append duration in nanoseconds",
+            ),
+            snapshot: registry.histogram(
+                "stardust_recovery_snapshot_ns",
+                "Monitor snapshot capture duration in nanoseconds",
+            ),
+            restore: registry.histogram(
+                "stardust_recovery_restore_ns",
+                "Crash restore (rebuild + replay) duration in nanoseconds",
+            ),
+        }
+    }
+}

@@ -86,6 +86,7 @@ fn faulted_run(
             queue_capacity: 32,
             recovery: Some(RecoveryPolicy { snapshot_every }),
             fault_plan: faults,
+            telemetry: None,
         },
     )
     .unwrap();
@@ -176,6 +177,7 @@ fn correlation_state_survives_worker_crashes() {
             queue_capacity: 32,
             recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
             fault_plan: Some(Arc::clone(&plan)),
+            telemetry: None,
         },
     )
     .unwrap();

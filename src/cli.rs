@@ -90,12 +90,24 @@ COMMANDS:
               --patterns FILE (required: one comma-separated pattern per
               line)  --radius r (0.05)  --base W (16)  --levels L (4)
   serve-bench replay a workload through the sharded multi-threaded
-              runtime and report ingest throughput + per-shard stats;
-              generates random-walk streams when no input is given
+              runtime and report ingest throughput, query latency, and
+              per-shard stats; generates random-walk streams when no
+              input is given
               --shards S (0: one per CPU)  --queue Q (64)  --batch rows (16)
               --streams M (64)  --values N (2048)  --seed (42)
               --base W (16)  --levels L (3)  --min-corr c (0.9)
-              --classes agg,corr (which query classes to enable)
+              --lambda L (6.0)  --classes agg,corr (query classes)
+              --query-iters K (32: scatter-gather latency samples)
+              --emit-bench FILE (write a schema-stable JSON report for
+              CI regression gating; see crates/bench/src/bin/bench_gate.rs)
+  metrics     run a workload through the instrumented runtime and dump
+              the metrics registry (Prometheus text or JSON), including
+              the observed vs Eq. 4-7 predicted false-alarm rate;
+              generates random-walk streams when no input is given
+              --format prom|json (prom)  --shards S (1)
+              --streams M (16)  --values N (2048)  --seed (42)
+              --base W (16)  --levels L (3)  --min-corr c (0.9)
+              --lambda L (6.0)  --classes agg,corr (query classes)
   chaos       crash-recovery drill: kill every shard worker once
               mid-ingest (seeded, reproducible) and audit that the
               recovered event set is bit-identical to an unfaulted run;
@@ -109,6 +121,8 @@ COMMANDS:
 EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
   stardust serve-bench --shards 4 --streams 128 --values 4096
+  stardust serve-bench --emit-bench BENCH_3.json
+  stardust metrics --format prom --streams 8 --values 1024
   stardust chaos --shards 4 --snapshot-every 128 --seed 7
 "
     .to_string()
@@ -171,6 +185,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "correlate" => run_correlate(args, input),
         "trend" => run_trend(args, input),
         "serve-bench" => run_serve_bench(args, input),
+        "metrics" => run_metrics(args, input),
         "chaos" => run_chaos(args, input),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -376,9 +391,17 @@ fn workload_from_args(
     }
 }
 
+/// The aggregate class of the runtime subcommands monitors one window
+/// of `AGG_WINDOW_FACTOR·W` with box capacity [`AGG_BOX_CAPACITY`];
+/// `metrics` feeds the same constants into the Eq. 7 monitoring-ratio
+/// model, so keep them in one place.
+const AGG_WINDOW_FACTOR: usize = 2;
+/// Box capacity `c` of the runtime subcommands' aggregate class.
+const AGG_BOX_CAPACITY: usize = 4;
+
 /// Builds a runtime `MonitorSpec` from the shared
-/// `--base/--levels/--min-corr/--classes` flags over `streams` (used by
-/// `serve-bench` and `chaos`).
+/// `--base/--levels/--min-corr/--lambda/--classes` flags over `streams`
+/// (used by `serve-bench`, `metrics`, and `chaos`).
 fn monitor_spec_from_args(
     args: &Args,
     streams: &[Vec<f64>],
@@ -388,6 +411,7 @@ fn monitor_spec_from_args(
     let base: usize = args.get_or("base", 16)?;
     let levels: usize = args.get_or("levels", 3)?;
     let min_corr: f64 = args.get_or("min-corr", 0.9)?;
+    let lambda: f64 = args.get_or("lambda", 6.0)?;
     if base == 0 || !base.is_power_of_two() || levels == 0 {
         return Err("--base must be a positive power of two and --levels positive".into());
     }
@@ -402,15 +426,16 @@ fn monitor_spec_from_args(
         match class.trim() {
             "agg" => {
                 // Thresholds trained on each stream's prefix, like `burst`.
-                let window = 2 * base;
+                let window = AGG_WINDOW_FACTOR * base;
                 let train = (n / 4).max(window + 1).min(n);
-                let threshold =
-                    train_threshold(&streams[0][..train], window, 6.0, |w| w.iter().sum::<f64>())
-                        .ok_or("input too short to train an aggregate threshold")?;
+                let threshold = train_threshold(&streams[0][..train], window, lambda, |w| {
+                    w.iter().sum::<f64>()
+                })
+                .ok_or("input too short to train an aggregate threshold")?;
                 spec = spec.with_aggregates(AggregateSpec {
                     transform: TransformKind::Sum,
                     windows: vec![WindowSpec { window, threshold }],
-                    box_capacity: 4,
+                    box_capacity: AGG_BOX_CAPACITY,
                 });
             }
             "corr" => {
@@ -423,22 +448,40 @@ fn monitor_spec_from_args(
     Ok(spec)
 }
 
+/// Formats an `f64` as a JSON number (non-finite values become 0, which
+/// JSON cannot represent).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
 fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
+    use stardust_telemetry::Registry;
 
     let shards: usize = args.get_or("shards", 0)?;
     let queue: usize = args.get_or("queue", 64)?;
     let batch_rows: usize = args.get_or("batch", 16)?;
+    let query_iters: usize = args.get_or("query-iters", 32)?;
 
     let streams = workload_from_args(args, input, 64)?;
     let m = streams.len();
     let n = streams[0].len();
     let spec = monitor_spec_from_args(args, &streams)?;
 
+    let registry = Registry::new();
     let mut rt = ShardedRuntime::launch(
         &spec,
         m,
-        RuntimeConfig { shards, queue_capacity: queue, ..RuntimeConfig::default() },
+        RuntimeConfig {
+            shards,
+            queue_capacity: queue,
+            telemetry: Some(registry.clone()),
+            ..RuntimeConfig::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     let n_shards = rt.n_shards();
@@ -455,9 +498,25 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
         events += rt.drain_events().len() as u64;
         row += rows;
     }
-    let report = rt.shutdown();
+    // Queries ride the shard queues, so this scatter-gather doubles as a
+    // drain barrier: once it answers, every batch above is processed and
+    // the ingest clock stops.
+    rt.class_stats().map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
+
+    // Query-latency phase: repeated scatter-gather over drained queues.
+    let query_hist =
+        stardust_telemetry::Histogram::standalone(stardust_telemetry::duration_buckets_ns());
+    for _ in 0..query_iters {
+        let span = query_hist.span();
+        rt.class_stats().map_err(|e| e.to_string())?;
+        drop(span);
+    }
+    let query = query_hist.snapshot();
+
+    let report = rt.shutdown();
     events += report.events.len() as u64;
+    report.stats.export(&registry);
 
     let total = (m * n) as u64;
     let rate = total as f64 / elapsed.as_secs_f64();
@@ -470,8 +529,126 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
         elapsed.as_secs_f64(),
         rate,
     ));
+    out.push_str(&format!(
+        "query latency over {query_iters} scatter-gather round(s): p50 {}ns, p95 {}ns\n",
+        query.p50.unwrap_or(0),
+        query.p95.unwrap_or(0),
+    ));
     out.push_str(&report.stats.render());
+
+    if let Some(path) = args.get("emit-bench") {
+        let json = format!(
+            concat!(
+                "{{\"schema\":\"stardust-bench/v1\",",
+                "\"config\":{{\"batch_rows\":{},\"queue\":{},\"shards\":{},",
+                "\"streams\":{},\"values\":{}}},",
+                "\"ingest\":{{\"elapsed_s\":{},\"events\":{},",
+                "\"throughput_values_per_s\":{},\"values\":{}}},",
+                "\"query\":{{\"iterations\":{},\"p50_ns\":{},\"p95_ns\":{}}},",
+                "\"metrics\":{}}}\n"
+            ),
+            batch_rows,
+            queue,
+            n_shards,
+            m,
+            n,
+            json_num(elapsed.as_secs_f64()),
+            events,
+            json_num(rate),
+            total,
+            query_iters,
+            query.p50.unwrap_or(0),
+            query.p95.unwrap_or(0),
+            registry.render_json(),
+        );
+        std::fs::write(path, &json)
+            .map_err(|e| format!("cannot write bench report '{path}': {e}"))?;
+        out.push_str(&format!("wrote bench report to {path}\n"));
+    }
     Ok(out)
+}
+
+fn run_metrics(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_core::query::aggregate::analysis;
+    use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
+    use stardust_telemetry::Registry;
+
+    let format = args.get("format").unwrap_or("prom");
+    if format != "prom" && format != "json" {
+        return Err(format!("unknown format '{format}' (prom|json)"));
+    }
+    let shards: usize = args.get_or("shards", 1)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+    let base: usize = args.get_or("base", 16)?;
+    let lambda: f64 = args.get_or("lambda", 6.0)?;
+
+    let streams = workload_from_args(args, input, 16)?;
+    let m = streams.len();
+    let n = streams[0].len();
+    let spec = monitor_spec_from_args(args, &streams)?;
+
+    let registry = Registry::new();
+    let rt = ShardedRuntime::launch(
+        &spec,
+        m,
+        RuntimeConfig { shards, telemetry: Some(registry.clone()), ..RuntimeConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut row = 0;
+    while row < n {
+        let rows = batch_rows.min(n - row);
+        let batch: Batch = (row..row + rows)
+            .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+            .collect();
+        rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+        row += rows;
+    }
+    let class = rt.class_stats().map_err(|e| e.to_string())?;
+    let report = rt.shutdown();
+    report.stats.export(&registry);
+
+    // Eq. 4-7 accounting for the aggregate class: the observed fraction
+    // of checks whose composed upper bound crossed the threshold, next
+    // to the rate the paper's model predicts for this configuration
+    // (monitoring ratio T' of Eq. 7, design tail probability
+    // p = 1 - Phi(lambda) from the trained threshold).
+    if class.aggregate.checks > 0 {
+        let p = 1.0 - stardust_core::stats::phi(lambda);
+        let t_prime = analysis::stardust_t_prime(AGG_WINDOW_FACTOR as u64, AGG_BOX_CAPACITY, base);
+        registry
+            .gauge(
+                "stardust_aggregate_candidate_rate_observed",
+                "Observed fraction of aggregate checks whose upper bound crossed the threshold",
+            )
+            .set(class.aggregate.candidate_rate());
+        registry
+            .gauge(
+                "stardust_aggregate_false_alarm_rate_observed",
+                "Observed fraction of aggregate checks that raised a candidate refuted on raw data",
+            )
+            .set(
+                (class.aggregate.candidates - class.aggregate.true_alarms) as f64
+                    / class.aggregate.checks as f64,
+            );
+        registry
+            .gauge(
+                "stardust_aggregate_false_alarm_rate_predicted",
+                "Eq. 6 false-alarm rate predicted for this monitoring ratio and tail probability",
+            )
+            .set(analysis::false_alarm_rate(t_prime, p));
+        registry
+            .gauge(
+                "stardust_aggregate_monitoring_ratio",
+                "Eq. 7 effective monitoring ratio T' of the aggregate class",
+            )
+            .set(t_prime);
+    }
+
+    match format {
+        "prom" => Ok(registry.render_prometheus()),
+        _ => Ok(registry.render_json()),
+    }
 }
 
 /// Chaos drill: run the same workload twice through the sharded
@@ -518,6 +695,7 @@ fn run_chaos(args: &Args, input: &str) -> Result<String, String> {
                 queue_capacity: queue,
                 recovery: Some(RecoveryPolicy { snapshot_every }),
                 fault_plan: faults,
+                telemetry: None,
             },
         )
         .map_err(|e| e.to_string())?;

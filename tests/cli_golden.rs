@@ -1,0 +1,145 @@
+//! Golden-output integration tests for the operational CLI commands:
+//! `serve-bench`, `chaos`, and `metrics` are run in-process on generated
+//! workloads and their emitted documents are parsed back and checked
+//! for schema stability and cross-field invariants.
+//!
+//! "Golden" here means schema and invariants, not byte-exact output —
+//! every run carries machine-dependent timings. What must never drift
+//! without a deliberate schema bump: the `stardust-bench/v1` document
+//! shape, the metric names exported by the registry, and conservation
+//! laws between counters (values in = values appended, candidates never
+//! exceed checks, confirmed never exceeds candidates).
+
+use stardust::cli::{run, Args};
+use stardust_telemetry::json::{self, Value};
+
+/// Parses CLI argv into (cmd, args), panicking on malformed flags.
+fn argv(parts: &[&str]) -> (String, Args) {
+    let owned: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    Args::parse(&owned).expect("argv parses")
+}
+
+fn counter(doc: &Value, name: &str) -> u64 {
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing counter {name}"))
+}
+
+#[test]
+fn serve_bench_emits_schema_stable_report() {
+    let dir = std::env::temp_dir().join(format!("stardust-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("BENCH_3.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let (cmd, args) = argv(&[
+        "serve-bench",
+        "--streams",
+        "8",
+        "--values",
+        "512",
+        "--shards",
+        "2",
+        "--query-iters",
+        "16",
+        "--emit-bench",
+        path_str,
+    ]);
+    let out = run(&cmd, &args, "").expect("serve-bench runs");
+    assert!(out.contains("values/s"), "throughput line missing:\n{out}");
+    assert!(out.contains("query latency over 16"), "query phase missing:\n{out}");
+
+    let text = std::fs::read_to_string(&path).expect("report written");
+    let doc = json::parse(&text).expect("report is valid JSON");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("stardust-bench/v1"));
+    let config = doc.get("config").expect("config section");
+    assert_eq!(config.get("streams").and_then(Value::as_u64), Some(8));
+    assert_eq!(config.get("values").and_then(Value::as_u64), Some(512));
+    assert_eq!(config.get("shards").and_then(Value::as_u64), Some(2));
+
+    let ingest = doc.get("ingest").expect("ingest section");
+    assert_eq!(ingest.get("values").and_then(Value::as_u64), Some(8 * 512));
+    assert!(ingest.get("elapsed_s").and_then(Value::as_f64).expect("elapsed") > 0.0);
+    assert!(ingest.get("throughput_values_per_s").and_then(Value::as_f64).expect("rate") > 0.0);
+
+    let query = doc.get("query").expect("query section");
+    assert_eq!(query.get("iterations").and_then(Value::as_u64), Some(16));
+    let p50 = query.get("p50_ns").and_then(Value::as_u64).expect("p50");
+    let p95 = query.get("p95_ns").and_then(Value::as_u64).expect("p95");
+    assert!(p50 > 0 && p50 <= p95, "quantiles out of order: p50 {p50}, p95 {p95}");
+
+    // The embedded registry document: every value ingested is an append
+    // seen by the summarizers of the enabled classes (aggregate plus
+    // correlation in the default generated workload), and the class
+    // funnel is monotone.
+    let metrics = doc.get("metrics").expect("metrics section");
+    assert_eq!(metrics.get("schema").and_then(Value::as_str), Some("stardust-metrics/v1"));
+    let appends = counter(metrics, "stardust_summarizer_appends_total");
+    assert_eq!(appends % (8 * 512), 0, "appends {appends} not a multiple of values ingested");
+    assert!(appends >= 8 * 512);
+    for class in ["aggregate", "correlation"] {
+        let checks = counter(metrics, &format!("stardust_{class}_checks_total"));
+        let candidates = counter(metrics, &format!("stardust_{class}_candidates_total"));
+        let confirmed = counter(metrics, &format!("stardust_{class}_confirmed_total"));
+        assert!(candidates <= checks, "{class}: candidates {candidates} > checks {checks}");
+        assert!(
+            confirmed <= candidates,
+            "{class}: confirmed {confirmed} > candidates {candidates}"
+        );
+    }
+
+    // Per-shard gauges exported from runtime stats conserve the ingest
+    // volume.
+    let gauges = metrics.get("gauges").and_then(Value::as_object).expect("gauges");
+    let shard_appends: f64 = gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("stardust_shard_appends{"))
+        .filter_map(|(_, v)| v.as_f64())
+        .sum();
+    assert_eq!(shard_appends as u64, 8 * 512, "shard appends must sum to values ingested");
+}
+
+#[test]
+fn metrics_command_emits_model_gauges() {
+    let (cmd, args) = argv(&["metrics", "--format", "json", "--streams", "4", "--values", "512"]);
+    let out = run(&cmd, &args, "").expect("metrics runs");
+    let doc = json::parse(&out).expect("metrics output is valid JSON");
+    assert_eq!(doc.get("schema").and_then(Value::as_str), Some("stardust-metrics/v1"));
+
+    let gauges = doc.get("gauges").expect("gauges section");
+    let observed = gauges
+        .get("stardust_aggregate_false_alarm_rate_observed")
+        .and_then(Value::as_f64)
+        .expect("observed false-alarm gauge");
+    let predicted = gauges
+        .get("stardust_aggregate_false_alarm_rate_predicted")
+        .and_then(Value::as_f64)
+        .expect("predicted false-alarm gauge");
+    let ratio = gauges
+        .get("stardust_aggregate_monitoring_ratio")
+        .and_then(Value::as_f64)
+        .expect("monitoring-ratio gauge");
+    assert!((0.0..=1.0).contains(&observed), "observed rate out of range: {observed}");
+    assert!((0.0..=1.0).contains(&predicted), "predicted rate out of range: {predicted}");
+    assert!(ratio >= 1.0, "Eq. 7 ratio below 1: {ratio}");
+
+    // Prometheus rendering of the same run: spot-check the format.
+    let (cmd, args) = argv(&["metrics", "--format", "prom", "--streams", "4", "--values", "512"]);
+    let prom = run(&cmd, &args, "").expect("metrics --format prom runs");
+    assert!(prom.contains("# TYPE stardust_summarizer_appends_total counter"));
+    assert!(prom.contains("# TYPE stardust_aggregate_latency_ns histogram"));
+    assert!(prom.contains("stardust_aggregate_latency_ns_bucket{le=\"+Inf\"}"));
+
+    let (cmd, args) = argv(&["metrics", "--format", "bogus"]);
+    assert!(run(&cmd, &args, "").is_err(), "unknown format must be rejected");
+}
+
+#[test]
+fn chaos_drill_still_audits_after_telemetry_wiring() {
+    let (cmd, args) = argv(&["chaos", "--streams", "8", "--values", "256", "--shards", "2"]);
+    let out = run(&cmd, &args, "").expect("chaos runs");
+    assert!(out.contains("AUDIT OK"), "chaos audit failed:\n{out}");
+}

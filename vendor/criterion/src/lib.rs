@@ -102,15 +102,29 @@ impl Criterion {
                 return;
             }
         }
+        // Quick mode for CI smoke runs: `STARDUST_BENCH_QUICK=1` clamps
+        // every budget so a full bench suite finishes in seconds. The
+        // numbers are not for comparison — they only prove the
+        // benchmarks still compile and run.
+        let quick = std::env::var_os("STARDUST_BENCH_QUICK").is_some_and(|v| v != "0");
+        let (warm_up, measure, samples) = if quick {
+            (
+                self.warm_up_time.min(Duration::from_millis(20)),
+                self.measurement_time.min(Duration::from_millis(100)),
+                self.sample_size.min(5),
+            )
+        } else {
+            (self.warm_up_time, self.measurement_time, self.sample_size)
+        };
         let mut b = Bencher {
             mode: Mode::WarmUp,
-            budget: self.warm_up_time,
+            budget: warm_up,
             samples: Vec::new(),
-            target_samples: self.sample_size,
+            target_samples: samples,
         };
         f(&mut b);
         b.mode = Mode::Measure;
-        b.budget = self.measurement_time;
+        b.budget = measure;
         b.samples.clear();
         f(&mut b);
         report(id, &mut b.samples, throughput);
