@@ -3,19 +3,24 @@
 //! against a committed baseline and fails the build when a headline
 //! metric regresses beyond the tolerance.
 //!
-//! Two metrics gate the build:
+//! Gated metrics:
 //!
 //! * `ingest.throughput_values_per_s` — higher is better; a regression
 //!   is a candidate below `baseline × (1 − tolerance)`.
 //! * `query.p50_ns` — lower is better; a regression is a candidate
 //!   above `baseline × (1 + tolerance)`.
+//! * `index.insert_ns`, `index.query_ns`, `maintenance.rebuild_bulk_ns`
+//!   — lower is better, gated with the (wider) `--micro-tolerance`:
+//!   these are single-process median-of-5 wall timings, noisier than the
+//!   drain-barrier ingest clock, so they get their own allowance.
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
-//! event counts) is informational: those values shift with machine load
-//! and workload shape, so only the two headline numbers are enforced.
+//! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`) is
+//! informational: those values shift with machine load and workload
+//! shape, so only the headline numbers are enforced.
 //!
 //! Run: `cargo run --release -p stardust-bench --bin bench_gate -- \
-//!   results/baseline.json BENCH_3.json [--tolerance 0.20]`
+//!   results/baseline.json BENCH_4.json [--tolerance 0.20] [--micro-tolerance 0.35]`
 //!
 //! Exit status: 0 when within tolerance, 1 on regression, 2 on usage or
 //! schema errors. Std-only; parses with the vendored telemetry JSON
@@ -27,10 +32,17 @@ use stardust_telemetry::json::{self, Value};
 
 /// Default allowed fractional slowdown before the gate fails.
 const DEFAULT_TOLERANCE: f64 = 0.20;
+/// Default allowance for the index/maintenance micro-timings (ns-scale
+/// `Instant` medians wobble more than the ingest clock).
+const DEFAULT_MICRO_TOLERANCE: f64 = 0.35;
 
 struct Report {
     throughput: f64,
     query_p50_ns: f64,
+    index_insert_ns: f64,
+    index_query_ns: f64,
+    rebuild_bulk_ns: f64,
+    rebuild_replay_ns: f64,
 }
 
 fn load(path: &str) -> Result<Report, String> {
@@ -49,6 +61,10 @@ fn load(path: &str) -> Result<Report, String> {
     Ok(Report {
         throughput: num("ingest", "throughput_values_per_s")?,
         query_p50_ns: num("query", "p50_ns")?,
+        index_insert_ns: num("index", "insert_ns")?,
+        index_query_ns: num("index", "query_ns")?,
+        rebuild_bulk_ns: num("maintenance", "rebuild_bulk_ns")?,
+        rebuild_replay_ns: num("maintenance", "rebuild_replay_ns")?,
     })
 }
 
@@ -56,6 +72,7 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut micro_tolerance = DEFAULT_MICRO_TOLERANCE;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,23 +84,36 @@ fn run() -> Result<bool, String> {
                     return Err(format!("--tolerance must be in [0, 1), got {tolerance}"));
                 }
             }
+            "--micro-tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--micro-tolerance needs a value")?;
+                micro_tolerance =
+                    v.parse().map_err(|_| format!("--micro-tolerance: cannot parse '{v}'"))?;
+                if !(0.0..1.0).contains(&micro_tolerance) {
+                    return Err(format!(
+                        "--micro-tolerance must be in [0, 1), got {micro_tolerance}"
+                    ));
+                }
+            }
             other => paths.push(other.to_string()),
         }
         i += 1;
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        return Err("usage: bench_gate BASELINE.json CANDIDATE.json [--tolerance 0.20]".into());
+        return Err("usage: bench_gate BASELINE.json CANDIDATE.json \
+                    [--tolerance 0.20] [--micro-tolerance 0.35]"
+            .into());
     };
     let baseline = load(baseline_path)?;
     let candidate = load(candidate_path)?;
 
     let mut ok = true;
-    let mut check = |name: &str, base: f64, cand: f64, higher_is_better: bool| {
+    let mut check = |name: &str, base: f64, cand: f64, higher_is_better: bool, tol: f64| {
         let (limit, regressed) = if higher_is_better {
-            let limit = base * (1.0 - tolerance);
+            let limit = base * (1.0 - tol);
             (limit, cand < limit)
         } else {
-            let limit = base * (1.0 + tolerance);
+            let limit = base * (1.0 + tol);
             (limit, cand > limit)
         };
         let change = if base > 0.0 { (cand / base - 1.0) * 100.0 } else { 0.0 };
@@ -94,8 +124,47 @@ fn run() -> Result<bool, String> {
         );
         ok &= !regressed;
     };
-    check("ingest throughput (values/s)", baseline.throughput, candidate.throughput, true);
-    check("query p50 (ns)", baseline.query_p50_ns, candidate.query_p50_ns, false);
+    check(
+        "ingest throughput (values/s)",
+        baseline.throughput,
+        candidate.throughput,
+        true,
+        tolerance,
+    );
+    check("query p50 (ns)", baseline.query_p50_ns, candidate.query_p50_ns, false, tolerance);
+    check(
+        "index insert (ns)",
+        baseline.index_insert_ns,
+        candidate.index_insert_ns,
+        false,
+        micro_tolerance,
+    );
+    check(
+        "index query (ns)",
+        baseline.index_query_ns,
+        candidate.index_query_ns,
+        false,
+        micro_tolerance,
+    );
+    check(
+        "rebuild via STR bulk (ns)",
+        baseline.rebuild_bulk_ns,
+        candidate.rebuild_bulk_ns,
+        false,
+        micro_tolerance,
+    );
+    let speedup = |r: &Report| {
+        if r.rebuild_bulk_ns > 0.0 {
+            r.rebuild_replay_ns / r.rebuild_bulk_ns
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "     info  rebuild speedup (replay/bulk): baseline {:.2}x, candidate {:.2}x",
+        speedup(&baseline),
+        speedup(&candidate)
+    );
     Ok(ok)
 }
 

@@ -17,7 +17,7 @@
 //! radius `r·√|Q|·R_max` once, which lets a single tree serve queries of
 //! any length.
 
-use stardust_index::{Params, RStarTree, Rect};
+use stardust_index::{bulk_load, Params, RStarTree, Rect};
 
 use crate::config::Config;
 use crate::mbr::FeatureMbr;
@@ -209,18 +209,23 @@ impl Stardust {
         if streams.iter().any(|s| s.config() != &config) {
             return Err(SnapshotError::Corrupt("stream configurations disagree"));
         }
-        // Rebuild the per-level indexes from the retained sealed MBRs.
+        // Rebuild the per-level indexes from the retained sealed MBRs with
+        // one STR bulk build per level instead of N incremental inserts.
         let dims = config.transform.dims(config.dwt_coeffs);
-        let mut trees: Vec<RStarTree<IndexEntry>> =
-            (0..config.levels).map(|_| RStarTree::with_params(dims, Params::default())).collect();
-        for (sid, summary) in streams.iter().enumerate() {
-            for level in 0..config.levels {
-                for mbr in summary.sealed_mbrs(level) {
-                    let (rect, entry) = index_record(sid as StreamId, mbr);
-                    trees[level].insert(rect, entry);
-                }
-            }
-        }
+        let trees: Vec<RStarTree<IndexEntry>> = (0..config.levels)
+            .map(|level| {
+                let items: Vec<(Rect, IndexEntry)> = streams
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(sid, summary)| {
+                        summary
+                            .sealed_mbrs(level)
+                            .map(move |mbr| index_record(sid as StreamId, mbr))
+                    })
+                    .collect();
+                bulk_load(dims, Params::default(), items)
+            })
+            .collect();
         Ok(Stardust { config, streams, trees, events: Vec::new() })
     }
 }

@@ -21,7 +21,7 @@
 //! `1/√(Σx² − w·μ²)`.
 
 use stardust_dsp::haar;
-use stardust_index::{Params, RStarTree, Rect};
+use stardust_index::{bulk_load, Params, RStarTree, Rect};
 
 use crate::config::Config;
 use crate::normalize;
@@ -245,12 +245,13 @@ impl CorrelationMonitor {
 
     /// Serializes the monitor: stream summaries, parameters, counters,
     /// and the live feature-index entries in insertion order. The
-    /// R\*-tree itself is derived state; [`Self::restore`] re-inserts
-    /// the logged entries in the original order, which reproduces the
-    /// identical tree in the synchronized (insert-only) mode. In lagged
-    /// mode the rebuilt tree holds the same entries but may differ
-    /// structurally (removals are not replayed), so reported pairs are
-    /// set-identical while the order *within* one arrival may permute.
+    /// R\*-tree itself is derived state; [`Self::restore`] rebuilds it
+    /// from the logged entries with one STR bulk load. The rebuilt tree
+    /// may differ structurally from the live one, but reported pairs are
+    /// bit-identical in both modes: a range query returns the same entry
+    /// set from any valid tree over the same entries, and reports are
+    /// canonically ordered by (partner stream, partner time) before
+    /// verification.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.usize(self.summaries.len());
@@ -322,7 +323,6 @@ impl CorrelationMonitor {
         let stats = CorrelationStats { reported: r.u64()?, true_pairs: r.u64()? };
         let n_entries = r.count(24)?;
         let mut log = Vec::with_capacity(n_entries);
-        let mut tree = RStarTree::with_params(f, Params::new(8));
         let mut entries: Vec<std::collections::VecDeque<(Vec<f64>, Time)>> =
             (0..n_streams).map(|_| std::collections::VecDeque::new()).collect();
         for _ in 0..n_entries {
@@ -336,13 +336,19 @@ impl CorrelationMonitor {
                 return Err(SnapshotError::Corrupt("entry stream out of range"));
             }
             let t = r.u64()?;
-            tree.insert(Rect::point(&coords), (stream, t));
             if lag_periods > 1 {
                 entries[stream as usize].push_back((coords.clone(), t));
             }
             log.push((coords, stream, t));
         }
         r.expect_end()?;
+        // One bottom-up STR build instead of N incremental inserts; query
+        // results over the same entry set are tree-shape independent.
+        let tree = bulk_load(
+            f,
+            Params::new(8),
+            log.iter().map(|(coords, stream, t)| (Rect::point(coords), (*stream, *t))).collect(),
+        );
         let level = config.levels - 1;
         let window = config.window_at(level);
         Ok(CorrelationMonitor {
@@ -436,6 +442,10 @@ impl CorrelationMonitor {
                 reported.push((other, ot, rect.min_dist_point(&coords)));
             }
         });
+        // Canonical report order: tree traversal order depends on tree
+        // shape (incremental vs bulk-loaded), so sort by the integer keys
+        // to keep emitted pairs bit-identical across rebuild paths.
+        reported.sort_by_key(|&(other, ot, _)| (other, ot));
         self.tree.insert(Rect::point(&coords), (stream, t));
         self.log.push((coords.clone(), stream, t));
         if self.lag_periods > 1 {

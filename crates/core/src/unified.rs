@@ -196,16 +196,41 @@ impl UnifiedMonitor {
     /// Panics if the stream id is out of range.
     pub fn append(&mut self, stream: StreamId, value: f64) -> Vec<Event> {
         let mut events = Vec::new();
+        self.append_into(stream, value, &mut events);
+        events
+    }
+
+    /// Appends one value to one stream, pushing the produced events onto
+    /// `out` (which is **not** cleared). The allocation-free form of
+    /// [`Self::append`]: batch drains reuse one buffer across a whole
+    /// batch instead of allocating a `Vec` per value.
+    ///
+    /// # Panics
+    /// Panics if the stream id is out of range.
+    pub fn append_into(&mut self, stream: StreamId, value: f64, out: &mut Vec<Event>) {
         if let Some((monitors, _)) = &mut self.aggregates {
             for alarm in monitors[stream as usize].push(value) {
-                events.push(Event::Aggregate { stream, alarm });
+                out.push(Event::Aggregate { stream, alarm });
             }
         }
         if let Some(trends) = &mut self.trends {
-            events.extend(trends.append(stream, value).into_iter().map(Event::Trend));
+            out.extend(trends.append(stream, value).into_iter().map(Event::Trend));
         }
         if let Some(corr) = &mut self.correlations {
-            events.extend(corr.append(stream, value).into_iter().map(Event::Correlation));
+            out.extend(corr.append(stream, value).into_iter().map(Event::Correlation));
+        }
+    }
+
+    /// Appends a batch of (stream, value) pairs in order; the returned
+    /// events are exactly the concatenation of the per-item
+    /// [`Self::append`] results.
+    ///
+    /// # Panics
+    /// Panics if any stream id is out of range.
+    pub fn append_batch(&mut self, items: &[(StreamId, f64)]) -> Vec<Event> {
+        let mut events = Vec::new();
+        for &(stream, value) in items {
+            self.append_into(stream, value, &mut events);
         }
         events
     }
@@ -213,9 +238,9 @@ impl UnifiedMonitor {
     /// Serializes the whole monitor — every enabled class, every
     /// stream — into one self-describing byte buffer. Restoring with
     /// [`Self::restore`] and continuing to append yields output
-    /// bit-identical to the uninterrupted original for aggregates and
-    /// trends, and report-set-identical for correlations (see
-    /// [`CorrelationMonitor::snapshot`]); the sharded runtime builds its
+    /// bit-identical to the uninterrupted original for every enabled
+    /// class (see [`CorrelationMonitor::snapshot`] for why correlation
+    /// reports are rebuild-invariant); the sharded runtime builds its
     /// crash-recovery checkpoints out of exactly this buffer.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();

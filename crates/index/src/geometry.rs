@@ -5,6 +5,109 @@
 //! *overlap*; this module implements those primitives plus the point/rect
 //! distance functions used by range queries and by the hierarchical radius
 //! refinement of the pattern-query algorithms.
+//!
+//! The primitives exist in two forms sharing one implementation: methods on
+//! [`Rect`], and the `coords_*` functions over raw `(lo, hi)` coordinate
+//! slices. The slice form is what the arena tree's flat SoA scans call —
+//! `tree.rs` and `bulk.rs` never reimplement a metric, so every scan loop
+//! computes bit-identical values to the `Rect` API.
+
+/// Volume (product of extents) of the box `[lo, hi]`. Zero for degenerate
+/// boxes.
+#[inline]
+pub fn coords_area(lo: &[f64], hi: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), hi.len());
+    let mut acc = 1.0;
+    for i in 0..lo.len() {
+        acc *= hi[i] - lo[i];
+    }
+    acc
+}
+
+/// Margin (sum of extents; half-perimeter generalized to d dimensions) of
+/// the box `[lo, hi]`. The R\*-tree split axis minimizes this.
+#[inline]
+pub fn coords_margin(lo: &[f64], hi: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), hi.len());
+    let mut acc = 0.0;
+    for i in 0..lo.len() {
+        acc += hi[i] - lo[i];
+    }
+    acc
+}
+
+/// `true` if the boxes `[alo, ahi]` and `[blo, bhi]` share at least a
+/// boundary point.
+#[inline]
+pub fn coords_intersect(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+    debug_assert_eq!(alo.len(), blo.len());
+    for i in 0..alo.len() {
+        if alo[i] > bhi[i] || blo[i] > ahi[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` if the box `[blo, bhi]` lies fully inside `[alo, ahi]`.
+#[inline]
+pub fn coords_contain(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+    debug_assert_eq!(alo.len(), blo.len());
+    for i in 0..alo.len() {
+        if alo[i] > blo[i] || bhi[i] > ahi[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Volume of the intersection of two boxes, zero if disjoint.
+#[inline]
+pub fn coords_overlap_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+    debug_assert_eq!(alo.len(), blo.len());
+    let mut acc = 1.0;
+    for i in 0..alo.len() {
+        let lo = alo[i].max(blo[i]);
+        let hi = ahi[i].min(bhi[i]);
+        if hi <= lo {
+            return 0.0;
+        }
+        acc *= hi - lo;
+    }
+    acc
+}
+
+/// Area of the union of two boxes without materializing it.
+#[inline]
+pub fn coords_union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+    debug_assert_eq!(alo.len(), blo.len());
+    let mut acc = 1.0;
+    for i in 0..alo.len() {
+        acc *= ahi[i].max(bhi[i]) - alo[i].min(blo[i]);
+    }
+    acc
+}
+
+/// Squared minimum Euclidean distance from point `p` to the box
+/// `[lo, hi]` — the square of `d_min(p, B)` of Roussopoulos et al. Zero if
+/// `p` is inside. Callers needing the distance itself take `.sqrt()`.
+#[inline]
+pub fn coords_min_dist_point_sqr(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
+    debug_assert_eq!(lo.len(), p.len());
+    let mut acc = 0.0;
+    for i in 0..lo.len() {
+        let x = p[i];
+        let d = if x < lo[i] {
+            lo[i] - x
+        } else if x > hi[i] {
+            x - hi[i]
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
 
 /// An axis-aligned hyper-rectangle with `f64` coordinates.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,14 +160,16 @@ impl Rect {
     }
 
     /// Volume (product of extents). Zero for degenerate rectangles.
+    #[inline]
     pub fn area(&self) -> f64 {
-        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).product()
+        coords_area(&self.lo, &self.hi)
     }
 
     /// Margin: the sum of extents (half-perimeter generalized to d
     /// dimensions). The R\*-tree split axis minimizes this.
+    #[inline]
     pub fn margin(&self) -> f64 {
-        self.lo.iter().zip(self.hi.iter()).map(|(l, h)| h - l).sum()
+        coords_margin(&self.lo, &self.hi)
     }
 
     /// The smallest rectangle containing both `self` and `other`.
@@ -89,57 +194,38 @@ impl Rect {
     }
 
     /// Area of `self ∪ other` without materializing the union.
+    #[inline]
     pub fn union_area(&self, other: &Rect) -> f64 {
-        debug_assert_eq!(self.dims(), other.dims());
-        let mut acc = 1.0;
-        for i in 0..self.lo.len() {
-            acc *= self.hi[i].max(other.hi[i]) - self.lo[i].min(other.lo[i]);
-        }
-        acc
+        coords_union_area(&self.lo, &self.hi, &other.lo, &other.hi)
     }
 
     /// Extra area `area(self ∪ other) − area(self)` needed to include
     /// `other`; the ChooseSubtree criterion for internal levels.
+    #[inline]
     pub fn enlargement(&self, other: &Rect) -> f64 {
         self.union_area(other) - self.area()
     }
 
     /// Volume of the intersection, zero if disjoint.
+    #[inline]
     pub fn overlap_area(&self, other: &Rect) -> f64 {
-        debug_assert_eq!(self.dims(), other.dims());
-        let mut acc = 1.0;
-        for i in 0..self.lo.len() {
-            let lo = self.lo[i].max(other.lo[i]);
-            let hi = self.hi[i].min(other.hi[i]);
-            if hi <= lo {
-                return 0.0;
-            }
-            acc *= hi - lo;
-        }
-        acc
+        coords_overlap_area(&self.lo, &self.hi, &other.lo, &other.hi)
     }
 
     /// `true` if the rectangles share at least a boundary point.
+    #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
-        debug_assert_eq!(self.dims(), other.dims());
-        self.lo
-            .iter()
-            .zip(self.hi.iter())
-            .zip(other.lo.iter().zip(other.hi.iter()))
-            .all(|((sl, sh), (ol, oh))| sl <= oh && ol <= sh)
+        coords_intersect(&self.lo, &self.hi, &other.lo, &other.hi)
     }
 
     /// `true` if `other` lies fully inside `self`.
+    #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        debug_assert_eq!(self.dims(), other.dims());
-        self.lo
-            .iter()
-            .zip(self.hi.iter())
-            .zip(other.lo.iter().zip(other.hi.iter()))
-            .all(|((sl, sh), (ol, oh))| sl <= ol && oh <= sh)
+        coords_contain(&self.lo, &self.hi, &other.lo, &other.hi)
     }
 
     /// `true` if point `p` lies inside `self`.
+    #[inline]
     pub fn contains_point(&self, p: &[f64]) -> bool {
         debug_assert_eq!(self.dims(), p.len());
         self.lo.iter().zip(self.hi.iter()).zip(p).all(|((l, h), x)| l <= x && x <= h)
@@ -147,20 +233,9 @@ impl Rect {
 
     /// Minimum Euclidean distance from `p` to the rectangle — `d_min(p, B)`
     /// of Roussopoulos et al. Zero if `p` is inside.
+    #[inline]
     pub fn min_dist_point(&self, p: &[f64]) -> f64 {
-        debug_assert_eq!(self.dims(), p.len());
-        let mut acc = 0.0;
-        for ((l, h), x) in self.lo.iter().zip(self.hi.iter()).zip(p) {
-            let d = if x < l {
-                l - x
-            } else if x > h {
-                x - h
-            } else {
-                0.0
-            };
-            acc += d * d;
-        }
-        acc.sqrt()
+        coords_min_dist_point_sqr(&self.lo, &self.hi, p).sqrt()
     }
 
     /// Minimum Euclidean distance between two rectangles; zero if they
@@ -298,5 +373,40 @@ mod tests {
     #[should_panic(expected = "inverted rectangle")]
     fn inverted_rejected() {
         let _ = r(&[1.0], &[0.0]);
+    }
+
+    /// The slice primitives and the `Rect` methods are one implementation;
+    /// pin the delegation with value checks on both forms.
+    #[test]
+    fn coords_helpers_match_rect_methods() {
+        let a = r(&[0.0, 1.0], &[3.0, 4.0]);
+        let b = r(&[2.0, 0.0], &[5.0, 2.0]);
+        assert_eq!(coords_area(a.lo(), a.hi()), a.area());
+        assert_eq!(coords_margin(a.lo(), a.hi()), a.margin());
+        assert_eq!(coords_overlap_area(a.lo(), a.hi(), b.lo(), b.hi()), a.overlap_area(&b));
+        assert_eq!(coords_union_area(a.lo(), a.hi(), b.lo(), b.hi()), a.union_area(&b));
+        assert_eq!(coords_intersect(a.lo(), a.hi(), b.lo(), b.hi()), a.intersects(&b));
+        assert_eq!(coords_contain(a.lo(), a.hi(), b.lo(), b.hi()), a.contains_rect(&b));
+        let p = [6.0, 3.0];
+        assert_eq!(coords_min_dist_point_sqr(a.lo(), a.hi(), &p).sqrt(), a.min_dist_point(&p));
+    }
+
+    #[test]
+    fn coords_overlap_handles_touching_and_disjoint() {
+        // Touching along one axis: overlap is zero (hi == lo short-circuit).
+        assert_eq!(coords_overlap_area(&[0.0, 0.0], &[1.0, 1.0], &[1.0, 0.0], &[2.0, 1.0]), 0.0);
+        // Fully disjoint.
+        assert_eq!(coords_overlap_area(&[0.0], &[1.0], &[5.0], &[6.0]), 0.0);
+        // Proper overlap: 1×1 square.
+        let got = coords_overlap_area(&[0.0, 0.0], &[2.0, 2.0], &[1.0, 1.0], &[3.0, 3.0]);
+        assert!((got - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn coords_min_dist_point_sqr_cases() {
+        let (lo, hi) = ([0.0, 0.0], [2.0, 2.0]);
+        assert_eq!(coords_min_dist_point_sqr(&lo, &hi, &[1.0, 1.0]), 0.0);
+        assert!((coords_min_dist_point_sqr(&lo, &hi, &[3.0, 3.0]) - 2.0).abs() < EPS);
+        assert!((coords_min_dist_point_sqr(&lo, &hi, &[-1.0, 1.0]) - 1.0).abs() < EPS);
     }
 }

@@ -73,6 +73,7 @@ pub fn nearest_k<'a, T>(tree: &'a RStarTree<T>, point: &[f64], k: usize) -> Vec<
                 }
             }
             Frontier::Node(node) => {
+                tree.note_node_visit();
                 for child in node.children() {
                     match child {
                         crate::tree::ChildRef::Item(rect, value) => {
@@ -146,6 +147,27 @@ mod tests {
         let tree = grid_tree(3);
         let got = nearest_k(&tree, &[0.0, 0.0], 10);
         assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn nearest_k_bumps_node_visit_counter() {
+        let tree = grid_tree(400);
+        tree.reset_counters();
+        let got = nearest_k(&tree, &[7.2, 3.4], 5);
+        assert_eq!(got.len(), 5);
+        let delta = tree.counters();
+        // Best-first search expands at least a root-to-leaf path.
+        assert!(
+            delta.node_visits >= tree.height() as u64,
+            "k-NN visited {} nodes, height {}",
+            delta.node_visits,
+            tree.height()
+        );
+        // Searches never mutate structure.
+        assert_eq!(delta.inserts, 0);
+        assert_eq!(delta.removes, 0);
+        assert_eq!(delta.splits, 0);
+        assert_eq!(delta.reinserted_entries, 0);
     }
 
     #[test]

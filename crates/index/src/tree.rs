@@ -1,4 +1,5 @@
-//! The R\*-tree of Beckmann, Kriegel, Schneider and Seeger (SIGMOD 1990).
+//! The R\*-tree of Beckmann, Kriegel, Schneider and Seeger (SIGMOD 1990),
+//! on an index-based node arena.
 //!
 //! Stardust maintains one R\*-tree per resolution level; every MBR produced
 //! by the summarizer is inserted here and retired (deleted) once it falls
@@ -18,10 +19,29 @@
 //!   comes from.
 //! * **Deletion** with tree condensation: underfull nodes are dissolved and
 //!   their entries reinserted at their home level.
+//!
+//! # Arena layout
+//!
+//! Nodes live in one `Vec`-backed pool addressed by `u32` ids; deleted
+//! nodes go on a free-list and are recycled with their `Vec` capacities
+//! intact, so steady-state insert/delete churn performs no node
+//! allocation. Edges are ids, not `Box` pointers — a descent follows
+//! indexes into one contiguous allocation instead of chasing heap
+//! pointers. Each node additionally mirrors its children's bounds in a
+//! flat SoA-style `f64` array (entry `i` occupies `[2·d·i, 2·d·(i+1))` as
+//! `lo` then `hi`), which turns the hot ChooseSubtree / `search_*` /
+//! radius scans into tight branch-light loops over `f64` slices (the
+//! `coords_*` primitives of [`crate::geometry`]). The materialized
+//! [`Rect`]s are kept alongside — they back the reference-returning
+//! public API (`search_*` visitors, [`NodeRef`], [`Iter`]) and exact
+//! `PartialEq` matching in `remove`/`update`.
 
 use std::cell::Cell;
 
-use crate::geometry::Rect;
+use crate::geometry::{
+    coords_area, coords_intersect, coords_margin, coords_min_dist_point_sqr, coords_overlap_area,
+    coords_union_area, Rect,
+};
 
 /// Cumulative structural-operation counters for one [`RStarTree`].
 ///
@@ -33,7 +53,8 @@ use crate::geometry::Rect;
 /// for per-query deltas.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TreeCounters {
-    /// Data items inserted via [`RStarTree::insert`].
+    /// Data items inserted via [`RStarTree::insert`] (bulk-loaded items
+    /// count here too).
     pub inserts: u64,
     /// Data items removed via [`RStarTree::remove`] / [`RStarTree::take`].
     pub removes: u64,
@@ -42,7 +63,8 @@ pub struct TreeCounters {
     /// Entries moved by forced reinsertion (the R\*-tree's
     /// OverflowTreatment) and deletion condensation.
     pub reinserted_entries: u64,
-    /// Nodes visited by intersection / within-radius searches.
+    /// Nodes visited by intersection / within-radius / nearest-neighbour
+    /// searches.
     pub node_visits: u64,
 }
 
@@ -103,35 +125,140 @@ impl Default for Params {
     }
 }
 
+/// An entry moved between nodes by the insertion/deletion machinery: a
+/// data item, or an edge to an arena node.
 enum Entry<T> {
     /// A data item; only at level 0.
-    Item { rect: Rect, value: T },
+    Item(Rect, T),
     /// A subtree; the rect is the MBR of the child node.
-    Child { rect: Rect, node: Box<Node<T>> },
+    Child(Rect, u32),
 }
 
 impl<T> Entry<T> {
     fn rect(&self) -> &Rect {
         match self {
-            Entry::Item { rect, .. } | Entry::Child { rect, .. } => rect,
+            Entry::Item(rect, _) | Entry::Child(rect, _) => rect,
         }
     }
 }
 
+/// One arena node. Parallel arrays: entry `i` is described by `rects[i]`,
+/// its bounds mirrored flat in `coords`, and its payload in `values[i]`
+/// (leaves) or `children[i]` (internal nodes).
 struct Node<T> {
     /// 0 for leaves, increasing towards the root.
     level: usize,
-    entries: Vec<Entry<T>>,
+    /// Flat SoA mirror of the entry bounds, `2·dims` values per entry
+    /// (`lo` then `hi`); the hot scan loops read only this.
+    coords: Vec<f64>,
+    /// Materialized per-entry rectangles (same bounds as `coords`); the
+    /// reference-returning public API borrows these.
+    rects: Vec<Rect>,
+    /// Leaf payloads; empty on internal nodes.
+    values: Vec<T>,
+    /// Child node ids; empty on leaves.
+    children: Vec<u32>,
 }
 
 impl<T> Node<T> {
-    fn mbr(&self) -> Rect {
-        let mut it = self.entries.iter();
-        let first = it.next().expect("mbr of empty node").rect().clone();
-        it.fold(first, |mut acc, e| {
-            acc.union_in_place(e.rect());
-            acc
-        })
+    fn new(level: usize) -> Self {
+        Node {
+            level,
+            coords: Vec::new(),
+            rects: Vec::new(),
+            values: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `(lo, hi)` bound slices of entry `i` from the flat mirror.
+    #[inline]
+    fn bounds(&self, dims: usize, i: usize) -> (&[f64], &[f64]) {
+        let w = 2 * dims;
+        self.coords[i * w..(i + 1) * w].split_at(dims)
+    }
+
+    fn push_entry(&mut self, entry: Entry<T>) {
+        let rect = match entry {
+            Entry::Item(rect, value) => {
+                debug_assert_eq!(self.level, 0, "item entry above leaf level");
+                self.values.push(value);
+                rect
+            }
+            Entry::Child(rect, id) => {
+                debug_assert!(self.level > 0, "child entry at leaf level");
+                self.children.push(id);
+                rect
+            }
+        };
+        self.coords.extend_from_slice(rect.lo());
+        self.coords.extend_from_slice(rect.hi());
+        self.rects.push(rect);
+    }
+
+    fn swap_remove_entry(&mut self, dims: usize, i: usize) -> Entry<T> {
+        let w = 2 * dims;
+        let last = self.count() - 1;
+        if i != last {
+            self.coords.copy_within(last * w..(last + 1) * w, i * w);
+        }
+        self.coords.truncate(last * w);
+        let rect = self.rects.swap_remove(i);
+        if self.level == 0 {
+            Entry::Item(rect, self.values.swap_remove(i))
+        } else {
+            Entry::Child(rect, self.children.swap_remove(i))
+        }
+    }
+
+    /// Replaces the bounds of entry `i` in both the mirror and the
+    /// materialized rectangle.
+    fn set_rect(&mut self, dims: usize, i: usize, rect: Rect) {
+        let w = 2 * dims;
+        self.coords[i * w..i * w + dims].copy_from_slice(rect.lo());
+        self.coords[i * w + dims..(i + 1) * w].copy_from_slice(rect.hi());
+        self.rects[i] = rect;
+    }
+
+    /// Drains every entry, leaving the node empty (capacities retained).
+    fn take_entries(&mut self) -> Vec<Entry<T>> {
+        self.coords.clear();
+        let n = self.rects.len();
+        let mut out = Vec::with_capacity(n);
+        if self.level == 0 {
+            for (rect, value) in self.rects.drain(..).zip(self.values.drain(..)) {
+                out.push(Entry::Item(rect, value));
+            }
+        } else {
+            for (rect, id) in self.rects.drain(..).zip(self.children.drain(..)) {
+                out.push(Entry::Child(rect, id));
+            }
+        }
+        out
+    }
+
+    /// MBR of all entries, computed from the flat mirror.
+    fn mbr(&self, dims: usize) -> Rect {
+        debug_assert!(self.count() > 0, "mbr of empty node");
+        let w = 2 * dims;
+        let mut lo = self.coords[..dims].to_vec();
+        let mut hi = self.coords[dims..w].to_vec();
+        for chunk in self.coords.chunks_exact(w).skip(1) {
+            for d in 0..dims {
+                if chunk[d] < lo[d] {
+                    lo[d] = chunk[d];
+                }
+                if chunk[dims + d] > hi[d] {
+                    hi[d] = chunk[dims + d];
+                }
+            }
+        }
+        Rect::new(lo, hi)
     }
 }
 
@@ -154,7 +281,11 @@ impl<T> Node<T> {
 /// assert_eq!(hits, vec![0, 1, 10, 11]);
 /// ```
 pub struct RStarTree<T> {
-    root: Box<Node<T>>,
+    /// Node pool; ids index into this. Slots on the free-list are vacant.
+    nodes: Vec<Node<T>>,
+    /// Recycled node ids (emptied, capacities retained).
+    free: Vec<u32>,
+    root: u32,
     dims: usize,
     params: Params,
     len: usize,
@@ -187,12 +318,50 @@ impl<T> RStarTree<T> {
             "reinsert count out of range"
         );
         RStarTree {
-            root: Box::new(Node { level: 0, entries: Vec::new() }),
+            nodes: vec![Node::new(0)],
+            free: Vec::new(),
+            root: 0,
             dims,
             params,
             len: 0,
             counters: Cell::new(TreeCounters::default()),
         }
+    }
+
+    #[inline]
+    fn node(&self, id: u32) -> &Node<T> {
+        &self.nodes[id as usize]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, id: u32) -> &mut Node<T> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Allocates a node at `level`, recycling from the free-list when
+    /// possible (the recycled node keeps its `Vec` capacities, so churn
+    /// settles into zero-allocation steady state).
+    fn alloc(&mut self, level: usize) -> u32 {
+        if let Some(id) = self.free.pop() {
+            let node = &mut self.nodes[id as usize];
+            debug_assert!(node.rects.is_empty(), "free-listed node not empty");
+            node.level = level;
+            id
+        } else {
+            assert!(self.nodes.len() < u32::MAX as usize, "node arena exhausted");
+            self.nodes.push(Node::new(level));
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Empties a node and returns its slot to the free-list.
+    fn release(&mut self, id: u32) {
+        let node = &mut self.nodes[id as usize];
+        node.coords.clear();
+        node.rects.clear();
+        node.values.clear();
+        node.children.clear();
+        self.free.push(id);
     }
 
     /// Cumulative structural-operation counters since construction (or
@@ -205,6 +374,12 @@ impl<T> RStarTree<T> {
     /// use this to attribute node visits to a single query.
     pub fn reset_counters(&self) -> TreeCounters {
         self.counters.replace(TreeCounters::default())
+    }
+
+    /// Records one node visit; crate-internal hook for traversals that
+    /// walk the tree through [`NodeRef`] (best-first k-NN).
+    pub(crate) fn note_node_visit(&self) {
+        bump(&self.counters, |c| c.node_visits += 1);
     }
 
     /// Number of data items stored.
@@ -224,15 +399,16 @@ impl<T> RStarTree<T> {
 
     /// Tree height (1 for a single leaf root).
     pub fn height(&self) -> usize {
-        self.root.level + 1
+        self.node(self.root).level + 1
     }
 
     /// MBR of the whole tree, `None` when empty.
     pub fn bounding_rect(&self) -> Option<Rect> {
-        if self.root.entries.is_empty() {
+        let root = self.node(self.root);
+        if root.count() == 0 {
             None
         } else {
-            Some(self.root.mbr())
+            Some(root.mbr(self.dims))
         }
     }
 
@@ -244,39 +420,253 @@ impl<T> RStarTree<T> {
         assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
         self.len += 1;
         bump(&self.counters, |c| c.inserts += 1);
-        self.insert_queue(vec![(Entry::Item { rect, value }, 0)]);
+        self.insert_queue(vec![(Entry::Item(rect, value), 0)]);
     }
 
     /// Runs the insertion machinery over a queue of (entry, home level)
     /// pairs; shared by public insert, forced reinsertion and deletion
     /// condensation.
     fn insert_queue(&mut self, mut queue: Vec<(Entry<T>, usize)>) {
-        let mut reinserted = vec![false; self.root.level + 1];
+        let mut reinserted = vec![false; self.node(self.root).level + 1];
         while let Some((entry, level)) = queue.pop() {
-            if reinserted.len() <= self.root.level {
-                reinserted.resize(self.root.level + 1, false);
+            let root_level = self.node(self.root).level;
+            if reinserted.len() <= root_level {
+                reinserted.resize(root_level + 1, false);
             }
-            let split = insert_rec(
-                &mut self.root,
-                entry,
-                level,
-                true,
-                &mut reinserted,
-                &mut queue,
-                &self.params,
-                &self.counters,
-            );
+            let split = self.insert_rec(self.root, entry, level, true, &mut reinserted, &mut queue);
             if let Some(sibling) = split {
-                let new_level = self.root.level + 1;
-                let old_root = std::mem::replace(
-                    &mut self.root,
-                    Box::new(Node { level: new_level, entries: Vec::new() }),
-                );
-                let old_rect = old_root.mbr();
-                self.root.entries.push(Entry::Child { rect: old_rect, node: old_root });
-                self.root.entries.push(sibling);
+                let old_root = self.root;
+                let old_rect = self.node(old_root).mbr(self.dims);
+                let new_root = self.alloc(root_level + 1);
+                self.node_mut(new_root).push_entry(Entry::Child(old_rect, old_root));
+                self.node_mut(new_root).push_entry(sibling);
+                self.root = new_root;
             }
         }
+    }
+
+    /// Inserts `entry` (whose home level is `target_level`) into the
+    /// subtree rooted at `id`. Returns a sibling entry if the node split.
+    fn insert_rec(
+        &mut self,
+        id: u32,
+        entry: Entry<T>,
+        target_level: usize,
+        is_root: bool,
+        reinserted: &mut [bool],
+        queue: &mut Vec<(Entry<T>, usize)>,
+    ) -> Option<Entry<T>> {
+        if self.node(id).level == target_level {
+            self.node_mut(id).push_entry(entry);
+        } else {
+            let idx = self.choose_subtree(id, entry.rect());
+            let child = self.node(id).children[idx];
+            let split = self.insert_rec(child, entry, target_level, false, reinserted, queue);
+            // The child may have grown (insert) or shrunk (reinsertion
+            // removed entries), so recompute its MBR either way.
+            let dims = self.dims;
+            let crect = self.node(child).mbr(dims);
+            self.node_mut(id).set_rect(dims, idx, crect);
+            if let Some(sibling) = split {
+                self.node_mut(id).push_entry(sibling);
+            }
+        }
+        if self.node(id).count() > self.params.max_entries {
+            self.overflow_treatment(id, is_root, reinserted, queue)
+        } else {
+            None
+        }
+    }
+
+    /// R\*-tree OverflowTreatment: forced reinsertion on the first overflow
+    /// per level per insertion, split otherwise.
+    fn overflow_treatment(
+        &mut self,
+        id: u32,
+        is_root: bool,
+        reinserted: &mut [bool],
+        queue: &mut Vec<(Entry<T>, usize)>,
+    ) -> Option<Entry<T>> {
+        let level = self.node(id).level;
+        if !is_root && !reinserted[level] {
+            reinserted[level] = true;
+            let center = self.node(id).mbr(self.dims);
+            // Sort by distance of entry center to node center, take the p
+            // farthest for reinsertion ("far reinsert"); keeping the
+            // closest entries compacts the node.
+            let node = self.node(id);
+            let mut order: Vec<usize> = (0..node.count()).collect();
+            order.sort_by(|&a, &b| {
+                let da = node.rects[a].center_dist_sqr(&center);
+                let db = node.rects[b].center_dist_sqr(&center);
+                da.partial_cmp(&db).expect("finite distances")
+            });
+            let cut = node.count() - self.params.reinsert_count;
+            let far: Vec<usize> = order[cut..].to_vec();
+            let mut removed = self.extract_indices(id, &far);
+            // Reinsert closest-first: the last popped from the LIFO queue
+            // is the closest, matching the paper's "close reinsert"
+            // ordering.
+            removed.reverse();
+            bump(&self.counters, |c| c.reinserted_entries += removed.len() as u64);
+            for e in removed {
+                queue.push((e, level));
+            }
+            None
+        } else {
+            bump(&self.counters, |c| c.splits += 1);
+            Some(self.split_node(id))
+        }
+    }
+
+    /// Removes the entries at `indices` (any order) and returns them in
+    /// ascending index order.
+    fn extract_indices(&mut self, id: u32, indices: &[usize]) -> Vec<Entry<T>> {
+        let dims = self.dims;
+        let mut sorted = indices.to_vec();
+        sorted.sort_unstable();
+        let node = self.node_mut(id);
+        let mut out = Vec::with_capacity(sorted.len());
+        for &i in sorted.iter().rev() {
+            out.push(node.swap_remove_entry(dims, i));
+        }
+        out.reverse();
+        out
+    }
+
+    /// R\*-tree ChooseSubtree, scanning the flat bound mirror.
+    fn choose_subtree(&self, id: u32, rect: &Rect) -> usize {
+        let dims = self.dims;
+        let node = self.node(id);
+        debug_assert!(node.level > 0);
+        let n = node.count();
+        let (qlo, qhi) = (rect.lo(), rect.hi());
+        let mut best = 0usize;
+        if node.level == 1 {
+            // Children are leaves: minimize overlap enlargement. The grown
+            // bounds are materialized once per candidate; overlap deltas
+            // prune early against the running best.
+            let mut best_overlap = f64::INFINITY;
+            let mut best_enlarge = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            let mut glo = vec![0.0; dims];
+            let mut ghi = vec![0.0; dims];
+            for i in 0..n {
+                let (ilo, ihi) = node.bounds(dims, i);
+                for d in 0..dims {
+                    glo[d] = ilo[d].min(qlo[d]);
+                    ghi[d] = ihi[d].max(qhi[d]);
+                }
+                let mut overlap_delta = 0.0;
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let (jlo, jhi) = node.bounds(dims, j);
+                    overlap_delta += coords_overlap_area(&glo, &ghi, jlo, jhi)
+                        - coords_overlap_area(ilo, ihi, jlo, jhi);
+                    if overlap_delta > best_overlap {
+                        break;
+                    }
+                }
+                let area = coords_area(ilo, ihi);
+                let enlarge = coords_area(&glo, &ghi) - area;
+                if overlap_delta < best_overlap
+                    || (overlap_delta == best_overlap && enlarge < best_enlarge)
+                    || (overlap_delta == best_overlap
+                        && enlarge == best_enlarge
+                        && area < best_area)
+                {
+                    best = i;
+                    best_overlap = overlap_delta;
+                    best_enlarge = enlarge;
+                    best_area = area;
+                }
+            }
+        } else {
+            // Minimize area enlargement, ties by smallest area.
+            let mut best_enlarge = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for i in 0..n {
+                let (ilo, ihi) = node.bounds(dims, i);
+                let area = coords_area(ilo, ihi);
+                let enlarge = coords_union_area(ilo, ihi, qlo, qhi) - area;
+                if enlarge < best_enlarge || (enlarge == best_enlarge && area < best_area) {
+                    best = i;
+                    best_enlarge = enlarge;
+                    best_area = area;
+                }
+            }
+        }
+        best
+    }
+
+    /// R\*-tree Split: returns the new sibling as a child entry; the node
+    /// keeps the first group.
+    fn split_node(&mut self, id: u32) -> Entry<T> {
+        let dims = self.dims;
+        let min = self.params.min_entries;
+        let level = self.node(id).level;
+        let entries = self.node_mut(id).take_entries();
+        let total = entries.len();
+        debug_assert!(total > self.params.max_entries);
+        let w = 2 * dims;
+
+        // ChooseSplitAxis: minimize the sum of margins over all
+        // distributions of both sort orders.
+        let mut best_axis = 0usize;
+        let mut best_margin = f64::INFINITY;
+        for axis in 0..dims {
+            let mut margin_sum = 0.0;
+            for sort_by_hi in [false, true] {
+                let order = sorted_order(&entries, axis, sort_by_hi);
+                let (prefix, suffix) = prefix_suffix_bounds(&entries, &order, dims);
+                for k in min..=total - min {
+                    let p = &prefix[(k - 1) * w..k * w];
+                    let s = &suffix[k * w..(k + 1) * w];
+                    margin_sum += coords_margin(&p[..dims], &p[dims..])
+                        + coords_margin(&s[..dims], &s[dims..]);
+                }
+            }
+            if margin_sum < best_margin {
+                best_margin = margin_sum;
+                best_axis = axis;
+            }
+        }
+
+        // ChooseSplitIndex on the best axis: minimize overlap, ties by area.
+        let mut best: Option<(Vec<usize>, usize)> = None;
+        let mut best_overlap = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for sort_by_hi in [false, true] {
+            let order = sorted_order(&entries, best_axis, sort_by_hi);
+            let (prefix, suffix) = prefix_suffix_bounds(&entries, &order, dims);
+            for k in min..=total - min {
+                let p = &prefix[(k - 1) * w..k * w];
+                let s = &suffix[k * w..(k + 1) * w];
+                let overlap = coords_overlap_area(&p[..dims], &p[dims..], &s[..dims], &s[dims..]);
+                let area =
+                    coords_area(&p[..dims], &p[dims..]) + coords_area(&s[..dims], &s[dims..]);
+                if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                    best_overlap = overlap;
+                    best_area = area;
+                    best = Some((order.clone(), k));
+                }
+            }
+        }
+        let (order, k) = best.expect("at least one distribution");
+
+        // Partition the entries according to the chosen distribution: the
+        // first group refills this node, the second a recycled sibling.
+        let sibling = self.alloc(level);
+        let mut slots: Vec<Option<Entry<T>>> = entries.into_iter().map(Some).collect();
+        for (pos, &idx) in order.iter().enumerate() {
+            let e = slots[idx].take().expect("each entry used once");
+            let target = if pos < k { id } else { sibling };
+            self.node_mut(target).push_entry(e);
+        }
+        let rect = self.node(sibling).mbr(dims);
+        Entry::Child(rect, sibling)
     }
 
     /// Removes one item equal to `(rect, value)`. Returns `true` if found.
@@ -300,7 +690,7 @@ impl<T> RStarTree<T> {
     {
         assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
         let mut orphans = Vec::new();
-        let removed = remove_rec(&mut self.root, rect, value, &mut orphans, &self.params);
+        let removed = self.remove_rec(self.root, rect, value, &mut orphans);
         if removed.is_none() {
             debug_assert!(orphans.is_empty());
             return None;
@@ -311,16 +701,69 @@ impl<T> RStarTree<T> {
             c.reinserted_entries += orphans.len() as u64;
         });
         // Shrink the root while it is an internal node with a single child.
-        while self.root.level > 0 && self.root.entries.len() == 1 {
-            let Some(Entry::Child { node, .. }) = self.root.entries.pop() else {
-                unreachable!("internal node holds child entries")
-            };
-            self.root = node;
+        while self.node(self.root).level > 0 && self.node(self.root).count() == 1 {
+            let old = self.root;
+            self.root = self.node(old).children[0];
+            self.release(old);
         }
         if !orphans.is_empty() {
             self.insert_queue(orphans);
         }
         removed
+    }
+
+    /// Removes one matching item, returning its value; collects orphaned
+    /// entries from dissolved underfull nodes into `orphans` as (entry,
+    /// home level) pairs.
+    fn remove_rec(
+        &mut self,
+        id: u32,
+        rect: &Rect,
+        value: &T,
+        orphans: &mut Vec<(Entry<T>, usize)>,
+    ) -> Option<T>
+    where
+        T: PartialEq,
+    {
+        let dims = self.dims;
+        if self.node(id).level == 0 {
+            let node = self.node(id);
+            let pos =
+                (0..node.count()).find(|&i| &node.rects[i] == rect && &node.values[i] == value);
+            pos.map(|i| match self.node_mut(id).swap_remove_entry(dims, i) {
+                Entry::Item(_, v) => v,
+                Entry::Child(..) => unreachable!("leaf holds items"),
+            })
+        } else {
+            let mut found = None;
+            for i in 0..self.node(id).count() {
+                if !self.node(id).rects[i].contains_rect(rect) {
+                    continue;
+                }
+                let child = self.node(id).children[i];
+                if let Some(v) = self.remove_rec(child, rect, value, orphans) {
+                    found = Some((i, v));
+                    break;
+                }
+            }
+            let (i, taken) = found?;
+            let child = self.node(id).children[i];
+            if self.node(child).count() < self.params.min_entries {
+                // Condensation: dissolve the underfull child, re-queue its
+                // entries at their home level, and recycle the node.
+                self.node_mut(id).swap_remove_entry(dims, i);
+                let level = self.node(child).level;
+                let entries = self.node_mut(child).take_entries();
+                self.release(child);
+                for e in entries {
+                    orphans.push((e, level));
+                }
+            } else {
+                let crect = self.node(child).mbr(dims);
+                self.node_mut(id).set_rect(dims, i, crect);
+            }
+            Some(taken)
+        }
     }
 
     /// Replaces the rectangle of the item `(old_rect, value)` with
@@ -341,7 +784,7 @@ impl<T> RStarTree<T> {
     {
         assert_eq!(old_rect.dims(), self.dims, "rectangle dimensionality mismatch");
         assert_eq!(new_rect.dims(), self.dims, "rectangle dimensionality mismatch");
-        match update_rec(&mut self.root, old_rect, value, &new_rect) {
+        match self.update_rec(self.root, old_rect, value, &new_rect) {
             UpdateOutcome::NotFound => false,
             UpdateOutcome::Patched => true,
             UpdateOutcome::NeedsReinsert => {
@@ -352,13 +795,75 @@ impl<T> RStarTree<T> {
         }
     }
 
+    /// Descends guided by `old_rect`; patches the entry in place if
+    /// `new_rect` stays within the hosting leaf's MBR.
+    fn update_rec(&mut self, id: u32, old_rect: &Rect, value: &T, new_rect: &Rect) -> UpdateOutcome
+    where
+        T: PartialEq,
+    {
+        let dims = self.dims;
+        if self.node(id).level == 0 {
+            let node = self.node(id);
+            let pos =
+                (0..node.count()).find(|&i| &node.rects[i] == old_rect && &node.values[i] == value);
+            let Some(i) = pos else { return UpdateOutcome::NotFound };
+            if !node.mbr(dims).contains_rect(new_rect) {
+                return UpdateOutcome::NeedsReinsert;
+            }
+            self.node_mut(id).set_rect(dims, i, new_rect.clone());
+            UpdateOutcome::Patched
+        } else {
+            for i in 0..self.node(id).count() {
+                if !self.node(id).rects[i].contains_rect(old_rect) {
+                    continue;
+                }
+                let child = self.node(id).children[i];
+                match self.update_rec(child, old_rect, value, new_rect) {
+                    UpdateOutcome::NotFound => continue,
+                    UpdateOutcome::Patched => {
+                        // The leaf may have shrunk if the old rectangle was
+                        // on its boundary; tighten MBRs on the way up.
+                        let crect = self.node(child).mbr(dims);
+                        self.node_mut(id).set_rect(dims, i, crect);
+                        return UpdateOutcome::Patched;
+                    }
+                    UpdateOutcome::NeedsReinsert => return UpdateOutcome::NeedsReinsert,
+                }
+            }
+            UpdateOutcome::NotFound
+        }
+    }
+
     /// Visits every item whose rectangle intersects `query`.
     pub fn search_intersecting<'a, F>(&'a self, query: &Rect, mut visit: F)
     where
         F: FnMut(&'a Rect, &'a T),
     {
         assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
-        search_rec(&self.root, query, &mut visit, &self.counters);
+        self.search_rec(self.root, query.lo(), query.hi(), &mut visit);
+    }
+
+    fn search_rec<'a, F>(&'a self, id: u32, qlo: &[f64], qhi: &[f64], visit: &mut F)
+    where
+        F: FnMut(&'a Rect, &'a T),
+    {
+        bump(&self.counters, |c| c.node_visits += 1);
+        let node = &self.nodes[id as usize];
+        let dims = self.dims;
+        let w = 2 * dims;
+        if node.level == 0 {
+            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
+                if coords_intersect(&chunk[..dims], &chunk[dims..], qlo, qhi) {
+                    visit(&node.rects[i], &node.values[i]);
+                }
+            }
+        } else {
+            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
+                if coords_intersect(&chunk[..dims], &chunk[dims..], qlo, qhi) {
+                    self.search_rec(node.children[i], qlo, qhi, visit);
+                }
+            }
+        }
     }
 
     /// Collects every item whose rectangle intersects `query`.
@@ -377,7 +882,30 @@ impl<T> RStarTree<T> {
     {
         assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
         assert!(r >= 0.0, "radius must be nonnegative");
-        within_rec(&self.root, point, r, &mut visit, &self.counters);
+        self.within_rec(self.root, point, r, &mut visit);
+    }
+
+    fn within_rec<'a, F>(&'a self, id: u32, point: &[f64], r: f64, visit: &mut F)
+    where
+        F: FnMut(&'a Rect, &'a T),
+    {
+        bump(&self.counters, |c| c.node_visits += 1);
+        let node = &self.nodes[id as usize];
+        let dims = self.dims;
+        let w = 2 * dims;
+        if node.level == 0 {
+            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
+                if coords_min_dist_point_sqr(&chunk[..dims], &chunk[dims..], point).sqrt() <= r {
+                    visit(&node.rects[i], &node.values[i]);
+                }
+            }
+        } else {
+            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
+                if coords_min_dist_point_sqr(&chunk[..dims], &chunk[dims..], point).sqrt() <= r {
+                    self.within_rec(node.children[i], point, r, visit);
+                }
+            }
+        }
     }
 
     /// Collects every item within distance `r` of `point`.
@@ -389,21 +917,145 @@ impl<T> RStarTree<T> {
 
     /// Iterates over all items in unspecified order.
     pub fn iter(&self) -> Iter<'_, T> {
-        Iter { stack: vec![self.root.entries.iter()] }
+        Iter { tree: self, stack: vec![(self.root, 0)] }
     }
 
     /// Verifies the structural invariants of the tree; used by tests and
     /// property checks. Returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
-        if self.root.level > 0 && self.root.entries.len() < 2 {
+        let root = self.node(self.root);
+        if root.level > 0 && root.count() < 2 {
             return Err("internal root with fewer than 2 entries".into());
         }
         let mut count = 0;
-        validate_rec(&self.root, true, &self.params, self.dims, &mut count)?;
+        let mut visited = 0;
+        self.validate_rec(self.root, true, &mut count, &mut visited)?;
         if count != self.len {
             return Err(format!("len {} but {} items reachable", self.len, count));
         }
+        if visited + self.free.len() != self.nodes.len() {
+            return Err(format!(
+                "arena accounting broken: {} slots, {} reachable + {} free",
+                self.nodes.len(),
+                visited,
+                self.free.len()
+            ));
+        }
         Ok(())
+    }
+
+    fn validate_rec(
+        &self,
+        id: u32,
+        is_root: bool,
+        count: &mut usize,
+        visited: &mut usize,
+    ) -> Result<(), String> {
+        *visited += 1;
+        let node = self.node(id);
+        let dims = self.dims;
+        if !is_root
+            && (node.count() < self.params.min_entries || node.count() > self.params.max_entries)
+        {
+            return Err(format!(
+                "node at level {} has {} entries (bounds {}..={})",
+                node.level,
+                node.count(),
+                self.params.min_entries,
+                self.params.max_entries
+            ));
+        }
+        if node.count() > self.params.max_entries {
+            return Err("root exceeds capacity".into());
+        }
+        if node.coords.len() != node.count() * 2 * dims {
+            return Err(format!("flat mirror length mismatch at level {}", node.level));
+        }
+        let payloads = if node.level == 0 { node.values.len() } else { node.children.len() };
+        if payloads != node.count() {
+            return Err(format!("payload arity mismatch at level {}", node.level));
+        }
+        if node.level == 0 && !node.children.is_empty() {
+            return Err("child entry at leaf level".into());
+        }
+        if node.level > 0 && !node.values.is_empty() {
+            return Err("item entry above leaf level".into());
+        }
+        for i in 0..node.count() {
+            let rect = &node.rects[i];
+            if rect.dims() != dims {
+                return Err("entry with wrong dimensionality".into());
+            }
+            let (lo, hi) = node.bounds(dims, i);
+            if lo != rect.lo() || hi != rect.hi() {
+                return Err(format!("flat mirror out of sync at level {}", node.level));
+            }
+            if node.level == 0 {
+                *count += 1;
+            } else {
+                let child_id = node.children[i];
+                let child = self.node(child_id);
+                if child.level + 1 != node.level {
+                    return Err(format!(
+                        "child level {} under node level {}",
+                        child.level, node.level
+                    ));
+                }
+                if child.count() == 0 {
+                    return Err("empty child node".into());
+                }
+                let actual = child.mbr(dims);
+                if &actual != rect {
+                    return Err(format!(
+                        "stale child MBR at level {}: stored {:?}, actual {:?}",
+                        node.level, rect, actual
+                    ));
+                }
+                self.validate_rec(child_id, false, count, visited)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Crate-internal construction surface for the STR bulk loader
+/// ([`crate::bulk`]): packs nodes directly into the arena, bottom-up.
+impl<T> RStarTree<T> {
+    /// A full leaf node from pre-grouped items; returns its id.
+    pub(crate) fn bulk_new_leaf(&mut self, items: impl IntoIterator<Item = (Rect, T)>) -> u32 {
+        let id = self.alloc(0);
+        for (rect, value) in items {
+            self.node_mut(id).push_entry(Entry::Item(rect, value));
+        }
+        id
+    }
+
+    /// An internal node at `level` over already-built children.
+    pub(crate) fn bulk_new_inner(&mut self, level: usize, children: &[u32]) -> u32 {
+        let id = self.alloc(level);
+        for &child in children {
+            debug_assert_eq!(self.node(child).level + 1, level);
+            let rect = self.node(child).mbr(self.dims);
+            self.node_mut(id).push_entry(Entry::Child(rect, child));
+        }
+        id
+    }
+
+    /// MBR of an arena node (for STR ordering of upper levels).
+    pub(crate) fn bulk_node_mbr(&self, id: u32) -> Rect {
+        self.node(id).mbr(self.dims)
+    }
+
+    /// Installs the packed root, recycling the placeholder root the tree
+    /// was constructed with, and accounts the loaded items.
+    pub(crate) fn bulk_finish(&mut self, root: u32, n_items: usize) {
+        if root != self.root {
+            let old = self.root;
+            self.root = root;
+            self.release(old);
+        }
+        self.len = n_items;
+        bump(&self.counters, |c| c.inserts += n_items as u64);
     }
 }
 
@@ -417,328 +1069,15 @@ impl<T> std::fmt::Debug for RStarTree<T> {
     }
 }
 
-/// Read-only handle to a tree node, used by traversal-based algorithms
-/// (best-first k-NN in [`crate::knn`]).
-pub struct NodeRef<'a, T> {
-    node: &'a Node<T>,
-}
-
-/// One child of a [`NodeRef`]: either a stored item or a subtree with its
-/// bounding rectangle.
-pub enum ChildRef<'a, T> {
-    /// A data item at the leaf level.
-    Item(&'a Rect, &'a T),
-    /// An internal child with its MBR.
-    Node(&'a Rect, NodeRef<'a, T>),
-}
-
-impl<'a, T> NodeRef<'a, T> {
-    /// Iterates the node's children.
-    pub fn children(&self) -> impl Iterator<Item = ChildRef<'a, T>> + 'a {
-        self.node.entries.iter().map(|e| match e {
-            Entry::Item { rect, value } => ChildRef::Item(rect, value),
-            Entry::Child { rect, node } => ChildRef::Node(rect, NodeRef { node }),
-        })
-    }
-
-    /// Level of this node (0 = leaf).
-    pub fn level(&self) -> usize {
-        self.node.level
-    }
-}
-
-impl<T> RStarTree<T> {
-    /// Read-only handle to the root node.
-    pub fn root_ref(&self) -> NodeRef<'_, T> {
-        NodeRef { node: &self.root }
-    }
-}
-
-/// Depth-first iterator over the items of an [`RStarTree`].
-pub struct Iter<'a, T> {
-    stack: Vec<std::slice::Iter<'a, Entry<T>>>,
-}
-
-impl<'a, T> Iterator for Iter<'a, T> {
-    type Item = (&'a Rect, &'a T);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let top = self.stack.last_mut()?;
-            match top.next() {
-                None => {
-                    self.stack.pop();
-                }
-                Some(Entry::Item { rect, value }) => return Some((rect, value)),
-                Some(Entry::Child { node, .. }) => self.stack.push(node.entries.iter()),
-            }
-        }
-    }
-}
-
-fn search_rec<'a, T, F>(
-    node: &'a Node<T>,
-    query: &Rect,
-    visit: &mut F,
-    counters: &Cell<TreeCounters>,
-) where
-    F: FnMut(&'a Rect, &'a T),
-{
-    bump(counters, |c| c.node_visits += 1);
-    for entry in &node.entries {
-        match entry {
-            Entry::Item { rect, value } => {
-                if rect.intersects(query) {
-                    visit(rect, value);
-                }
-            }
-            Entry::Child { rect, node } => {
-                if rect.intersects(query) {
-                    search_rec(node, query, visit, counters);
-                }
-            }
-        }
-    }
-}
-
-fn within_rec<'a, T, F>(
-    node: &'a Node<T>,
-    point: &[f64],
-    r: f64,
-    visit: &mut F,
-    counters: &Cell<TreeCounters>,
-) where
-    F: FnMut(&'a Rect, &'a T),
-{
-    bump(counters, |c| c.node_visits += 1);
-    for entry in &node.entries {
-        match entry {
-            Entry::Item { rect, value } => {
-                if rect.min_dist_point(point) <= r {
-                    visit(rect, value);
-                }
-            }
-            Entry::Child { rect, node } => {
-                if rect.min_dist_point(point) <= r {
-                    within_rec(node, point, r, visit, counters);
-                }
-            }
-        }
-    }
-}
-
-/// Inserts `entry` (whose home level is `target_level`) into the subtree
-/// rooted at `node`. Returns a sibling entry if `node` was split.
-#[allow(clippy::too_many_arguments)]
-fn insert_rec<T>(
-    node: &mut Node<T>,
-    entry: Entry<T>,
-    target_level: usize,
-    is_root: bool,
-    reinserted: &mut [bool],
-    queue: &mut Vec<(Entry<T>, usize)>,
-    params: &Params,
-    counters: &Cell<TreeCounters>,
-) -> Option<Entry<T>> {
-    if node.level == target_level {
-        node.entries.push(entry);
-    } else {
-        let idx = choose_subtree(node, entry.rect());
-        let split = {
-            let Entry::Child { rect, node: child } = &mut node.entries[idx] else {
-                unreachable!("non-leaf nodes hold child entries")
-            };
-            let split =
-                insert_rec(child, entry, target_level, false, reinserted, queue, params, counters);
-            // The child may have grown (insert) or shrunk (reinsertion
-            // removed entries), so recompute its MBR either way.
-            *rect = child.mbr();
-            split
-        };
-        if let Some(sibling) = split {
-            node.entries.push(sibling);
-        }
-    }
-    if node.entries.len() > params.max_entries {
-        overflow_treatment(node, is_root, reinserted, queue, params, counters)
-    } else {
-        None
-    }
-}
-
-/// R\*-tree OverflowTreatment: forced reinsertion on the first overflow per
-/// level per insertion, split otherwise.
-fn overflow_treatment<T>(
-    node: &mut Node<T>,
-    is_root: bool,
-    reinserted: &mut [bool],
-    queue: &mut Vec<(Entry<T>, usize)>,
-    params: &Params,
-    counters: &Cell<TreeCounters>,
-) -> Option<Entry<T>> {
-    if !is_root && !reinserted[node.level] {
-        reinserted[node.level] = true;
-        let center = node.mbr();
-        // Sort by distance of entry center to node center, take the p
-        // farthest for reinsertion ("far reinsert"); keeping the closest
-        // entries compacts the node.
-        let mut order: Vec<usize> = (0..node.entries.len()).collect();
-        order.sort_by(|&a, &b| {
-            let da = node.entries[a].rect().center_dist_sqr(&center);
-            let db = node.entries[b].rect().center_dist_sqr(&center);
-            da.partial_cmp(&db).expect("finite distances")
-        });
-        let cut = node.entries.len() - params.reinsert_count;
-        let far: Vec<usize> = order[cut..].to_vec();
-        let mut removed = extract_indices(&mut node.entries, &far);
-        let level = node.level;
-        // Reinsert closest-first: the last popped from the LIFO queue is the
-        // closest, matching the paper's "close reinsert" ordering.
-        removed.reverse();
-        bump(counters, |c| c.reinserted_entries += removed.len() as u64);
-        for e in removed {
-            queue.push((e, level));
-        }
-        None
-    } else {
-        bump(counters, |c| c.splits += 1);
-        Some(split_node(node, params))
-    }
-}
-
-/// Removes the entries at `indices` (any order) and returns them in
-/// ascending index order.
-fn extract_indices<T>(entries: &mut Vec<Entry<T>>, indices: &[usize]) -> Vec<Entry<T>> {
-    let mut sorted = indices.to_vec();
-    sorted.sort_unstable();
-    let mut out = Vec::with_capacity(sorted.len());
-    for &i in sorted.iter().rev() {
-        out.push(entries.swap_remove(i));
-    }
-    out.reverse();
-    out
-}
-
-/// R\*-tree ChooseSubtree.
-fn choose_subtree<T>(node: &Node<T>, rect: &Rect) -> usize {
-    debug_assert!(node.level > 0);
-    if node.level == 1 {
-        // Children are leaves: minimize overlap enlargement. The grown
-        // rectangle is materialized once per candidate; overlap deltas
-        // prune early against the running best.
-        let mut best = 0usize;
-        let mut best_overlap = f64::INFINITY;
-        let mut best_enlarge = f64::INFINITY;
-        let mut best_area = f64::INFINITY;
-        let mut grown = rect.clone();
-        for (i, e) in node.entries.iter().enumerate() {
-            grown.clone_from(e.rect());
-            grown.union_in_place(rect);
-            let mut overlap_delta = 0.0;
-            for (j, other) in node.entries.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                overlap_delta +=
-                    grown.overlap_area(other.rect()) - e.rect().overlap_area(other.rect());
-                if overlap_delta > best_overlap {
-                    break;
-                }
-            }
-            let enlarge = grown.area() - e.rect().area();
-            let area = e.rect().area();
-            if overlap_delta < best_overlap
-                || (overlap_delta == best_overlap && enlarge < best_enlarge)
-                || (overlap_delta == best_overlap && enlarge == best_enlarge && area < best_area)
-            {
-                best = i;
-                best_overlap = overlap_delta;
-                best_enlarge = enlarge;
-                best_area = area;
-            }
-        }
-        best
-    } else {
-        // Minimize area enlargement, ties by smallest area.
-        let mut best = 0usize;
-        let mut best_enlarge = f64::INFINITY;
-        let mut best_area = f64::INFINITY;
-        for (i, e) in node.entries.iter().enumerate() {
-            let enlarge = e.rect().enlargement(rect);
-            let area = e.rect().area();
-            if enlarge < best_enlarge || (enlarge == best_enlarge && area < best_area) {
-                best = i;
-                best_enlarge = enlarge;
-                best_area = area;
-            }
-        }
-        best
-    }
-}
-
-/// R\*-tree Split: returns the new sibling as a child entry; `node` keeps
-/// the first group.
-fn split_node<T>(node: &mut Node<T>, params: &Params) -> Entry<T> {
-    let entries = std::mem::take(&mut node.entries);
-    let total = entries.len();
-    let min = params.min_entries;
-    debug_assert!(total > params.max_entries);
-    let dims = entries[0].rect().dims();
-
-    // ChooseSplitAxis: minimize the sum of margins over all distributions
-    // of both sort orders.
-    let mut best_axis = 0usize;
-    let mut best_margin = f64::INFINITY;
-    for axis in 0..dims {
-        let mut margin_sum = 0.0;
-        for sort_by_hi in [false, true] {
-            let order = sorted_order(&entries, axis, sort_by_hi);
-            let (prefix, suffix) = prefix_suffix_rects(&entries, &order);
-            for k in min..=total - min {
-                margin_sum += prefix[k - 1].margin() + suffix[k].margin();
-            }
-        }
-        if margin_sum < best_margin {
-            best_margin = margin_sum;
-            best_axis = axis;
-        }
-    }
-
-    // ChooseSplitIndex on the best axis: minimize overlap, ties by area.
-    let mut best: Option<(Vec<usize>, usize)> = None;
-    let mut best_overlap = f64::INFINITY;
-    let mut best_area = f64::INFINITY;
-    for sort_by_hi in [false, true] {
-        let order = sorted_order(&entries, best_axis, sort_by_hi);
-        let (prefix, suffix) = prefix_suffix_rects(&entries, &order);
-        for k in min..=total - min {
-            let overlap = prefix[k - 1].overlap_area(&suffix[k]);
-            let area = prefix[k - 1].area() + suffix[k].area();
-            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
-                best_overlap = overlap;
-                best_area = area;
-                best = Some((order.clone(), k));
-            }
-        }
-    }
-    let (order, k) = best.expect("at least one distribution");
-
-    // Partition the entries according to the chosen distribution.
-    let mut slots: Vec<Option<Entry<T>>> = entries.into_iter().map(Some).collect();
-    let mut group1 = Vec::with_capacity(k);
-    let mut group2 = Vec::with_capacity(total - k);
-    for (pos, &idx) in order.iter().enumerate() {
-        let e = slots[idx].take().expect("each entry used once");
-        if pos < k {
-            group1.push(e);
-        } else {
-            group2.push(e);
-        }
-    }
-    node.entries = group1;
-    let sibling = Node { level: node.level, entries: group2 };
-    let rect = sibling.mbr();
-    Entry::Child { rect, node: Box::new(sibling) }
+/// Outcome of the in-place update descent.
+enum UpdateOutcome {
+    /// No matching item in this subtree.
+    NotFound,
+    /// The entry was patched in place; ancestor MBRs were refreshed.
+    Patched,
+    /// The entry exists, but the new rectangle escapes its leaf's MBR —
+    /// delete + reinsert is required for tree quality (Lee et al.).
+    NeedsReinsert,
 }
 
 fn sorted_order<T>(entries: &[Entry<T>], axis: usize, by_hi: bool) -> Vec<usize> {
@@ -754,192 +1093,125 @@ fn sorted_order<T>(entries: &[Entry<T>], axis: usize, by_hi: bool) -> Vec<usize>
     order
 }
 
-/// `prefix[i]` = MBR of `order[0..=i]`, `suffix[i]` = MBR of `order[i..]`.
-fn prefix_suffix_rects<T>(entries: &[Entry<T>], order: &[usize]) -> (Vec<Rect>, Vec<Rect>) {
+/// Flat running unions over a candidate split order: chunk `i` of the
+/// prefix buffer (width `2·dims`, `lo` then `hi`) bounds `order[0..=i]`,
+/// chunk `i` of the suffix buffer bounds `order[i..]`.
+fn prefix_suffix_bounds<T>(
+    entries: &[Entry<T>],
+    order: &[usize],
+    dims: usize,
+) -> (Vec<f64>, Vec<f64>) {
     let n = order.len();
-    let mut prefix = Vec::with_capacity(n);
-    let mut acc = entries[order[0]].rect().clone();
-    prefix.push(acc.clone());
-    for &i in &order[1..] {
-        acc.union_in_place(entries[i].rect());
-        prefix.push(acc.clone());
+    let w = 2 * dims;
+    let mut prefix = vec![0.0; n * w];
+    let mut acc_lo = entries[order[0]].rect().lo().to_vec();
+    let mut acc_hi = entries[order[0]].rect().hi().to_vec();
+    prefix[..dims].copy_from_slice(&acc_lo);
+    prefix[dims..w].copy_from_slice(&acc_hi);
+    for (pos, &i) in order.iter().enumerate().skip(1) {
+        let r = entries[i].rect();
+        for d in 0..dims {
+            if r.lo()[d] < acc_lo[d] {
+                acc_lo[d] = r.lo()[d];
+            }
+            if r.hi()[d] > acc_hi[d] {
+                acc_hi[d] = r.hi()[d];
+            }
+        }
+        prefix[pos * w..pos * w + dims].copy_from_slice(&acc_lo);
+        prefix[pos * w + dims..(pos + 1) * w].copy_from_slice(&acc_hi);
     }
-    let mut suffix = vec![entries[order[n - 1]].rect().clone(); n];
+    let mut suffix = vec![0.0; n * w];
+    acc_lo.copy_from_slice(entries[order[n - 1]].rect().lo());
+    acc_hi.copy_from_slice(entries[order[n - 1]].rect().hi());
+    suffix[(n - 1) * w..(n - 1) * w + dims].copy_from_slice(&acc_lo);
+    suffix[(n - 1) * w + dims..n * w].copy_from_slice(&acc_hi);
     for pos in (0..n - 1).rev() {
-        let mut r = entries[order[pos]].rect().clone();
-        r.union_in_place(&suffix[pos + 1]);
-        suffix[pos] = r;
+        let r = entries[order[pos]].rect();
+        for d in 0..dims {
+            if r.lo()[d] < acc_lo[d] {
+                acc_lo[d] = r.lo()[d];
+            }
+            if r.hi()[d] > acc_hi[d] {
+                acc_hi[d] = r.hi()[d];
+            }
+        }
+        suffix[pos * w..pos * w + dims].copy_from_slice(&acc_lo);
+        suffix[pos * w + dims..(pos + 1) * w].copy_from_slice(&acc_hi);
     }
     (prefix, suffix)
 }
 
-/// Removes one matching item, returning its value; collects orphaned
-/// entries from dissolved underfull nodes into `orphans` as (entry, home
-/// level) pairs.
-fn remove_rec<T: PartialEq>(
-    node: &mut Node<T>,
-    rect: &Rect,
-    value: &T,
-    orphans: &mut Vec<(Entry<T>, usize)>,
-    params: &Params,
-) -> Option<T> {
-    if node.level == 0 {
-        let pos = node.entries.iter().position(|e| match e {
-            Entry::Item { rect: r, value: v } => r == rect && v == value,
-            Entry::Child { .. } => unreachable!("leaf holds items"),
-        });
-        pos.map(|i| match node.entries.swap_remove(i) {
-            Entry::Item { value, .. } => value,
-            Entry::Child { .. } => unreachable!("leaf holds items"),
+/// Read-only handle to a tree node, used by traversal-based algorithms
+/// (best-first k-NN in [`crate::knn`]).
+pub struct NodeRef<'a, T> {
+    tree: &'a RStarTree<T>,
+    id: u32,
+}
+
+/// One child of a [`NodeRef`]: either a stored item or a subtree with its
+/// bounding rectangle.
+pub enum ChildRef<'a, T> {
+    /// A data item at the leaf level.
+    Item(&'a Rect, &'a T),
+    /// An internal child with its MBR.
+    Node(&'a Rect, NodeRef<'a, T>),
+}
+
+impl<'a, T> NodeRef<'a, T> {
+    /// Iterates the node's children.
+    pub fn children(&self) -> impl Iterator<Item = ChildRef<'a, T>> + 'a {
+        let tree = self.tree;
+        let node = &tree.nodes[self.id as usize];
+        node.rects.iter().enumerate().map(move |(i, rect)| {
+            if node.level == 0 {
+                ChildRef::Item(rect, &node.values[i])
+            } else {
+                ChildRef::Node(rect, NodeRef { tree, id: node.children[i] })
+            }
         })
-    } else {
-        let mut found = None;
-        for (i, entry) in node.entries.iter_mut().enumerate() {
-            let Entry::Child { rect: crect, node: child } = entry else {
-                unreachable!("internal node holds child entries")
-            };
-            if !crect.contains_rect(rect) {
+    }
+
+    /// Level of this node (0 = leaf).
+    pub fn level(&self) -> usize {
+        self.tree.nodes[self.id as usize].level
+    }
+}
+
+impl<T> RStarTree<T> {
+    /// Read-only handle to the root node.
+    pub fn root_ref(&self) -> NodeRef<'_, T> {
+        NodeRef { tree: self, id: self.root }
+    }
+}
+
+/// Depth-first iterator over the items of an [`RStarTree`].
+pub struct Iter<'a, T> {
+    tree: &'a RStarTree<T>,
+    /// (node id, next entry index) frames.
+    stack: Vec<(u32, usize)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (&'a Rect, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let tree = self.tree;
+        loop {
+            let (id, idx) = self.stack.last_mut()?;
+            let node = &tree.nodes[*id as usize];
+            if *idx >= node.count() {
+                self.stack.pop();
                 continue;
             }
-            if let Some(v) = remove_rec(child, rect, value, orphans, params) {
-                found = Some((i, v));
-                break;
+            let i = *idx;
+            *idx += 1;
+            if node.level == 0 {
+                return Some((&node.rects[i], &node.values[i]));
             }
-        }
-        let (i, taken) = found?;
-        let underfull = {
-            let Entry::Child { node: child, .. } = &node.entries[i] else { unreachable!() };
-            child.entries.len() < params.min_entries
-        };
-        if underfull {
-            let Entry::Child { node: child, .. } = node.entries.swap_remove(i) else {
-                unreachable!()
-            };
-            let level = child.level;
-            for e in child.entries {
-                orphans.push((e, level));
-            }
-        } else {
-            let Entry::Child { rect: crect, node: child } = &mut node.entries[i] else {
-                unreachable!()
-            };
-            *crect = child.mbr();
-        }
-        Some(taken)
-    }
-}
-
-/// Outcome of the in-place update descent.
-enum UpdateOutcome {
-    /// No matching item in this subtree.
-    NotFound,
-    /// The entry was patched in place; ancestor MBRs were refreshed.
-    Patched,
-    /// The entry exists, but the new rectangle escapes its leaf's MBR —
-    /// delete + reinsert is required for tree quality (Lee et al.).
-    NeedsReinsert,
-}
-
-/// Descends guided by `old_rect`; patches the entry in place if `new_rect`
-/// stays within the hosting leaf's MBR.
-fn update_rec<T: PartialEq>(
-    node: &mut Node<T>,
-    old_rect: &Rect,
-    value: &T,
-    new_rect: &Rect,
-) -> UpdateOutcome {
-    if node.level == 0 {
-        let pos = node.entries.iter().position(|e| match e {
-            Entry::Item { rect: r, value: v } => r == old_rect && v == value,
-            Entry::Child { .. } => unreachable!("leaf holds items"),
-        });
-        let Some(i) = pos else { return UpdateOutcome::NotFound };
-        if !node.mbr().contains_rect(new_rect) {
-            return UpdateOutcome::NeedsReinsert;
-        }
-        let Entry::Item { rect, .. } = &mut node.entries[i] else { unreachable!() };
-        *rect = new_rect.clone();
-        UpdateOutcome::Patched
-    } else {
-        for entry in node.entries.iter_mut() {
-            let Entry::Child { rect: crect, node: child } = entry else {
-                unreachable!("internal node holds child entries")
-            };
-            if !crect.contains_rect(old_rect) {
-                continue;
-            }
-            match update_rec(child, old_rect, value, new_rect) {
-                UpdateOutcome::NotFound => continue,
-                UpdateOutcome::Patched => {
-                    // The leaf may have shrunk if the old rectangle was on
-                    // its boundary; tighten MBRs on the way up.
-                    *crect = child.mbr();
-                    return UpdateOutcome::Patched;
-                }
-                UpdateOutcome::NeedsReinsert => return UpdateOutcome::NeedsReinsert,
-            }
-        }
-        UpdateOutcome::NotFound
-    }
-}
-
-fn validate_rec<T>(
-    node: &Node<T>,
-    is_root: bool,
-    params: &Params,
-    dims: usize,
-    count: &mut usize,
-) -> Result<(), String> {
-    if !is_root
-        && (node.entries.len() < params.min_entries || node.entries.len() > params.max_entries)
-    {
-        return Err(format!(
-            "node at level {} has {} entries (bounds {}..={})",
-            node.level,
-            node.entries.len(),
-            params.min_entries,
-            params.max_entries
-        ));
-    }
-    if node.entries.len() > params.max_entries {
-        return Err("root exceeds capacity".into());
-    }
-    for entry in &node.entries {
-        if entry.rect().dims() != dims {
-            return Err("entry with wrong dimensionality".into());
-        }
-        match entry {
-            Entry::Item { .. } => {
-                if node.level != 0 {
-                    return Err("item entry above leaf level".into());
-                }
-                *count += 1;
-            }
-            Entry::Child { rect, node: child } => {
-                if node.level == 0 {
-                    return Err("child entry at leaf level".into());
-                }
-                if child.level + 1 != node.level {
-                    return Err(format!(
-                        "child level {} under node level {}",
-                        child.level, node.level
-                    ));
-                }
-                if child.entries.is_empty() {
-                    return Err("empty child node".into());
-                }
-                let actual = child.mbr();
-                if &actual != rect {
-                    return Err(format!(
-                        "stale child MBR at level {}: stored {:?}, actual {:?}",
-                        node.level, rect, actual
-                    ));
-                }
-                validate_rec(child, false, params, dims, count)?;
-            }
+            self.stack.push((node.children[i], 0));
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -1139,6 +1411,39 @@ mod tests {
             tree.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
         assert_eq!(tree.len(), live.len());
+    }
+
+    /// Steady-state churn recycles node slots through the free-list
+    /// instead of growing the arena without bound.
+    #[test]
+    fn arena_reuses_released_nodes() {
+        let mut tree = RStarTree::with_params(2, Params::new(4));
+        let mut seed = 57;
+        let mut live: Vec<(Rect, i32)> = Vec::new();
+        // Warm up to a steady population.
+        for i in 0..200 {
+            let r = random_rect(&mut seed, 2);
+            live.push((r.clone(), i));
+            tree.insert(r, i);
+        }
+        let warm_slots = tree.nodes.len();
+        // Churn many times the warm population through the tree.
+        for i in 200..2200 {
+            let r = random_rect(&mut seed, 2);
+            live.push((r.clone(), i));
+            tree.insert(r, i);
+            let (old_r, old_v) = live.remove(0);
+            assert!(tree.remove(&old_r, &old_v));
+        }
+        tree.validate().expect("valid after churn");
+        assert_eq!(tree.len(), 200);
+        // The arena may grow a little past the warm size (population shape
+        // shifts), but nothing like the thousands of nodes churned through.
+        assert!(
+            tree.nodes.len() < warm_slots * 3,
+            "arena grew from {warm_slots} to {} slots over churn",
+            tree.nodes.len()
+        );
     }
 
     #[test]

@@ -319,6 +319,9 @@ impl Worker {
     /// exit (or a panic's unwind) to the board.
     pub fn run(mut self, notice: &mut DeathNotice) {
         let mut pending_delay: Option<Duration> = None;
+        // Event buffer reused across batches: the monitor's batched-append
+        // API pushes into it without per-value allocation.
+        let mut event_buf = Vec::new();
         loop {
             if let Some(pause) = pending_delay.take() {
                 std::thread::sleep(pause);
@@ -342,6 +345,7 @@ impl Worker {
                     }
                     let mut events = 0u64;
                     if let Some(monitor) = &mut self.monitor {
+                        event_buf.clear();
                         for &(local, value) in &items {
                             self.processed += 1;
                             if let Some(plan) = &self.faults {
@@ -357,16 +361,21 @@ impl Worker {
                                     None => {}
                                 }
                             }
-                            for ev in monitor.append(local, value) {
-                                // A send error means the runtime dropped its
-                                // receiver (shutdown already under way);
-                                // keep draining so producers unblock.
-                                events += 1;
-                                let global = remap_event(self.shard, self.n_shards, ev);
-                                let _ = self.events.send(global);
-                                if let Some(rec) = &self.recovery {
-                                    rec.note_emitted();
-                                }
+                            monitor.append_into(local, value, &mut event_buf);
+                        }
+                        // One send pass after the whole batch applied. A
+                        // mid-batch crash sends nothing from this batch, and
+                        // replay regenerates the unsent events — exactly-once
+                        // either way (see ShardRecovery::rebuild).
+                        for ev in event_buf.drain(..) {
+                            // A send error means the runtime dropped its
+                            // receiver (shutdown already under way); keep
+                            // draining so producers unblock.
+                            events += 1;
+                            let global = remap_event(self.shard, self.n_shards, ev);
+                            let _ = self.events.send(global);
+                            if let Some(rec) = &self.recovery {
+                                rec.note_emitted();
                             }
                         }
                     }

@@ -122,8 +122,11 @@ impl ShardRecovery {
         let already = self.emitted.load(Ordering::Relaxed) - journal.emitted_at_snapshot;
         let mut regenerated = 0u64;
         if let Some(monitor) = monitor.as_mut() {
+            let mut buf = Vec::new();
             for &(local, value) in &journal.suffix {
-                for ev in monitor.append(local, value) {
+                buf.clear();
+                monitor.append_into(local, value, &mut buf);
+                for ev in buf.drain(..) {
                     regenerated += 1;
                     if regenerated > already {
                         let _ = events.send(remap_event(shard, n_shards, ev));

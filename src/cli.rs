@@ -458,6 +458,86 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Median wall time of `reps` runs of `f`, in nanoseconds (std-only
+/// micro-measurement for the machine-readable bench report; criterion's
+/// stdout is not machine-parseable).
+fn micro_median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    samples.sort_unstable();
+    samples[reps / 2]
+}
+
+/// Index and rebuild micro-benchmarks for the `stardust-bench/v1` report:
+/// total ns to insert `n_items` random 8-d rects one at a time, ns for 100
+/// range queries, and the tree-rebuild cost via STR bulk load vs
+/// incremental replay (the crash-recovery comparison the CI gate watches).
+fn index_micro_bench(n_items: usize) -> (u64, u64, u64, u64) {
+    use stardust_index::{bulk_load, Params, RStarTree, Rect};
+
+    const DIMS: usize = 8;
+    const REPS: usize = 5;
+    // splitmix64, matching the criterion index bench's data shape.
+    let mut state = 99u64;
+    let mut rng = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let items: Vec<(Rect, u64)> = (0..n_items)
+        .map(|i| {
+            let lo: Vec<f64> = (0..DIMS).map(|_| rng() * 100.0).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng() * 2.0).collect();
+            (Rect::new(lo, hi), i as u64)
+        })
+        .collect();
+    let queries: Vec<Rect> = (0..100)
+        .map(|_| {
+            let lo: Vec<f64> = (0..DIMS).map(|_| rng() * 90.0).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + 10.0).collect();
+            Rect::new(lo, hi)
+        })
+        .collect();
+
+    let insert_ns = micro_median_ns(REPS, || {
+        let mut tree = RStarTree::with_params(DIMS, Params::default());
+        for (r, v) in &items {
+            tree.insert(r.clone(), *v);
+        }
+        std::hint::black_box(tree.len());
+    });
+    let mut tree = RStarTree::with_params(DIMS, Params::default());
+    for (r, v) in &items {
+        tree.insert(r.clone(), *v);
+    }
+    let query_ns = micro_median_ns(REPS, || {
+        let mut hits = 0usize;
+        for q in &queries {
+            tree.search_intersecting(q, |_, _| hits += 1);
+        }
+        std::hint::black_box(hits);
+    });
+    let rebuild_bulk_ns = micro_median_ns(REPS, || {
+        let t = bulk_load(DIMS, Params::default(), items.clone());
+        std::hint::black_box(t.len());
+    });
+    let rebuild_replay_ns = micro_median_ns(REPS, || {
+        let mut t = RStarTree::with_params(DIMS, Params::default());
+        for (r, v) in &items {
+            t.insert(r.clone(), *v);
+        }
+        std::hint::black_box(t.len());
+    });
+    (insert_ns, query_ns, rebuild_bulk_ns, rebuild_replay_ns)
+}
+
 fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
     use stardust_telemetry::Registry;
@@ -537,6 +617,21 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     out.push_str(&report.stats.render());
 
     if let Some(path) = args.get("emit-bench") {
+        // Standalone index/rebuild micro-benchmarks: criterion output is
+        // stdout-only, so the machine-readable report carries its own
+        // timings for the CI gate's index and maintenance checks.
+        let micro_items: usize = args.get_or("micro-items", 2000)?;
+        let (insert_ns, query_ns, rebuild_bulk_ns, rebuild_replay_ns) =
+            index_micro_bench(micro_items);
+        let rebuild_speedup = if rebuild_bulk_ns > 0 {
+            rebuild_replay_ns as f64 / rebuild_bulk_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "index micro ({micro_items} items): insert {insert_ns}ns, 100 queries {query_ns}ns, \
+             rebuild bulk {rebuild_bulk_ns}ns vs replay {rebuild_replay_ns}ns ({rebuild_speedup:.2}x)\n"
+        ));
         let json = format!(
             concat!(
                 "{{\"schema\":\"stardust-bench/v1\",",
@@ -545,6 +640,9 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "\"ingest\":{{\"elapsed_s\":{},\"events\":{},",
                 "\"throughput_values_per_s\":{},\"values\":{}}},",
                 "\"query\":{{\"iterations\":{},\"p50_ns\":{},\"p95_ns\":{}}},",
+                "\"index\":{{\"insert_ns\":{},\"items\":{},\"query_ns\":{}}},",
+                "\"maintenance\":{{\"rebuild_bulk_ns\":{},\"rebuild_replay_ns\":{},",
+                "\"rebuild_speedup\":{}}},",
                 "\"metrics\":{}}}\n"
             ),
             batch_rows,
@@ -559,6 +657,12 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             query_iters,
             query.p50.unwrap_or(0),
             query.p95.unwrap_or(0),
+            insert_ns,
+            micro_items,
+            query_ns,
+            rebuild_bulk_ns,
+            rebuild_replay_ns,
+            json_num(rebuild_speedup),
             registry.render_json(),
         );
         std::fs::write(path, &json)

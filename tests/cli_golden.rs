@@ -43,6 +43,8 @@ fn serve_bench_emits_schema_stable_report() {
         "2",
         "--query-iters",
         "16",
+        "--micro-items",
+        "400",
         "--emit-bench",
         path_str,
     ]);
@@ -70,6 +72,20 @@ fn serve_bench_emits_schema_stable_report() {
     let p50 = query.get("p50_ns").and_then(Value::as_u64).expect("p50");
     let p95 = query.get("p95_ns").and_then(Value::as_u64).expect("p95");
     assert!(p50 > 0 && p50 <= p95, "quantiles out of order: p50 {p50}, p95 {p95}");
+
+    // Index / maintenance micro-timings consumed by bench_gate: present,
+    // positive, and the STR bulk rebuild must not be slower than the
+    // incremental replay it replaced on the recovery path.
+    let index = doc.get("index").expect("index section");
+    assert_eq!(index.get("items").and_then(Value::as_u64), Some(400));
+    assert!(index.get("insert_ns").and_then(Value::as_u64).expect("insert_ns") > 0);
+    assert!(index.get("query_ns").and_then(Value::as_u64).expect("query_ns") > 0);
+    let maint = doc.get("maintenance").expect("maintenance section");
+    let bulk = maint.get("rebuild_bulk_ns").and_then(Value::as_u64).expect("bulk ns");
+    let replay = maint.get("rebuild_replay_ns").and_then(Value::as_u64).expect("replay ns");
+    let speedup = maint.get("rebuild_speedup").and_then(Value::as_f64).expect("speedup");
+    assert!(bulk > 0 && bulk <= replay, "bulk rebuild slower than replay: {bulk} vs {replay}");
+    assert!(speedup >= 1.0, "rebuild speedup below 1: {speedup}");
 
     // The embedded registry document: every value ingested is an append
     // seen by the summarizers of the enabled classes (aggregate plus

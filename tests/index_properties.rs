@@ -1,5 +1,5 @@
 //! Property tests of the R\*-tree against a naive shadow structure under
-//! interleaved inserts, deletes, and queries.
+//! interleaved inserts, deletes, bulk rebuilds, and queries.
 
 use proptest::prelude::*;
 use stardust::index::{bulk_load, Params, RStarTree, Rect};
@@ -16,6 +16,9 @@ enum Op {
     UpdateOldest {
         shift: f64,
     },
+    /// Replace the tree with an STR bulk build over the live items (the
+    /// crash-recovery path), then keep mutating it.
+    BulkRebuild,
     Query {
         lo: Vec<f64>,
         extent: Vec<f64>,
@@ -39,6 +42,7 @@ fn op_strategy(dims: usize) -> impl Strategy<Value = Op> {
             .prop_map(|(lo, extent)| Op::Insert { lo, extent }),
         1 => Just(Op::RemoveOldest),
         2 => (-60.0f64..60.0).prop_map(|shift| Op::UpdateOldest { shift }),
+        1 => Just(Op::BulkRebuild),
         2 => (
             proptest::collection::vec(coord(), dims),
             proptest::collection::vec(0.0f64..30.0, dims)
@@ -53,6 +57,74 @@ fn rect(lo: &[f64], extent: &[f64]) -> Rect {
     Rect::new(lo.to_vec(), lo.iter().zip(extent).map(|(l, e)| l + e).collect())
 }
 
+/// Applies `ops` to the tree and the linear-scan shadow in lockstep,
+/// checking search-result equivalence on every query and the full set of
+/// structural invariants ([`RStarTree::validate`]: fill factors, MBR
+/// containment, level uniformity, flat-mirror sync, arena accounting)
+/// after every op.
+fn apply_ops(
+    tree: &mut RStarTree<u32>,
+    shadow: &mut Vec<(Rect, u32)>,
+    next_id: &mut u32,
+    cap: usize,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    for op in ops {
+        match op {
+            Op::Insert { lo, extent } => {
+                let r = rect(lo, extent);
+                tree.insert(r.clone(), *next_id);
+                shadow.push((r, *next_id));
+                *next_id += 1;
+            }
+            Op::RemoveOldest => {
+                if let Some((r, v)) = shadow.first().cloned() {
+                    prop_assert!(tree.remove(&r, &v));
+                    shadow.remove(0);
+                }
+            }
+            Op::UpdateOldest { shift } => {
+                if let Some((r, v)) = shadow.first().cloned() {
+                    let moved = Rect::new(
+                        r.lo().iter().map(|x| x + shift).collect(),
+                        r.hi().iter().map(|x| x + shift).collect(),
+                    );
+                    prop_assert!(tree.update(&r, &v, moved.clone()));
+                    shadow[0] = (moved, v);
+                }
+            }
+            Op::BulkRebuild => {
+                *tree = bulk_load(tree.dims(), Params::new(cap), shadow.clone());
+            }
+            Op::Query { lo, extent } => {
+                let q = rect(lo, extent);
+                let mut got: Vec<u32> =
+                    tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
+                got.sort_unstable();
+                let mut want: Vec<u32> =
+                    shadow.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, v)| v).collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+            Op::Within { point, radius } => {
+                let mut got: Vec<u32> =
+                    tree.collect_within(point, *radius).iter().map(|&(_, v)| *v).collect();
+                got.sort_unstable();
+                let mut want: Vec<u32> = shadow
+                    .iter()
+                    .filter(|(r, _)| r.min_dist_point(point) <= *radius)
+                    .map(|&(_, v)| v)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+        tree.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), shadow.len());
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -64,59 +136,30 @@ proptest! {
         let mut tree = RStarTree::with_params(3, Params::new(cap));
         let mut shadow: Vec<(Rect, u32)> = Vec::new();
         let mut next_id = 0u32;
-        for op in &ops {
-            match op {
-                Op::Insert { lo, extent } => {
-                    let r = rect(lo, extent);
-                    tree.insert(r.clone(), next_id);
-                    shadow.push((r, next_id));
-                    next_id += 1;
-                }
-                Op::RemoveOldest => {
-                    if let Some((r, v)) = shadow.first().cloned() {
-                        prop_assert!(tree.remove(&r, &v));
-                        shadow.remove(0);
-                    }
-                }
-                Op::UpdateOldest { shift } => {
-                    if let Some((r, v)) = shadow.first().cloned() {
-                        let moved = Rect::new(
-                            r.lo().iter().map(|x| x + shift).collect(),
-                            r.hi().iter().map(|x| x + shift).collect(),
-                        );
-                        prop_assert!(tree.update(&r, &v, moved.clone()));
-                        shadow[0] = (moved, v);
-                    }
-                }
-                Op::Query { lo, extent } => {
-                    let q = rect(lo, extent);
-                    let mut got: Vec<u32> =
-                        tree.collect_intersecting(&q).iter().map(|&(_, v)| *v).collect();
-                    got.sort_unstable();
-                    let mut want: Vec<u32> = shadow
-                        .iter()
-                        .filter(|(r, _)| r.intersects(&q))
-                        .map(|&(_, v)| v)
-                        .collect();
-                    want.sort_unstable();
-                    prop_assert_eq!(got, want);
-                }
-                Op::Within { point, radius } => {
-                    let mut got: Vec<u32> =
-                        tree.collect_within(point, *radius).iter().map(|&(_, v)| *v).collect();
-                    got.sort_unstable();
-                    let mut want: Vec<u32> = shadow
-                        .iter()
-                        .filter(|(r, _)| r.min_dist_point(point) <= *radius)
-                        .map(|&(_, v)| v)
-                        .collect();
-                    want.sort_unstable();
-                    prop_assert_eq!(got, want);
-                }
-            }
-            tree.validate().map_err(TestCaseError::fail)?;
-            prop_assert_eq!(tree.len(), shadow.len());
-        }
+        apply_ops(&mut tree, &mut shadow, &mut next_id, cap, &ops)?;
+    }
+
+    /// The recovery shape: start from an STR bulk build over a seed
+    /// population, then keep mutating and querying it.
+    #[test]
+    fn bulk_seeded_tree_agrees_with_shadow(
+        seeds in proptest::collection::vec(
+            (proptest::collection::vec(coord(), 3), proptest::collection::vec(0.0f64..8.0, 3)),
+            0..400
+        ),
+        ops in proptest::collection::vec(op_strategy(3), 1..120),
+        cap in 4usize..12,
+    ) {
+        let mut shadow: Vec<(Rect, u32)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, extent))| (rect(lo, extent), i as u32))
+            .collect();
+        let mut next_id = shadow.len() as u32;
+        let mut tree = bulk_load(3, Params::new(cap), shadow.clone());
+        tree.validate().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(tree.len(), shadow.len());
+        apply_ops(&mut tree, &mut shadow, &mut next_id, cap, &ops)?;
     }
 
     #[test]
