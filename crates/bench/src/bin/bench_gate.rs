@@ -13,6 +13,10 @@
 //!   — lower is better, gated with the (wider) `--micro-tolerance`:
 //!   these are single-process median-of-5 wall timings, noisier than the
 //!   drain-barrier ingest clock, so they get their own allowance.
+//! * `persistence.wal_append_ns`, `persistence.recovery_ns` — lower is
+//!   better, gated with `--micro-tolerance`: the per-append cost of the
+//!   durable WAL path (`SyncPolicy::EveryN(64)`) and the wall time to
+//!   reopen and replay the directory after a crash.
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
 //! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`) is
@@ -20,7 +24,7 @@
 //! shape, so only the headline numbers are enforced.
 //!
 //! Run: `cargo run --release -p stardust-bench --bin bench_gate -- \
-//!   results/baseline.json BENCH_4.json [--tolerance 0.20] [--micro-tolerance 0.35]`
+//!   results/baseline.json BENCH_5.json [--tolerance 0.20] [--micro-tolerance 0.35]`
 //!
 //! Exit status: 0 when within tolerance, 1 on regression, 2 on usage or
 //! schema errors. Std-only; parses with the vendored telemetry JSON
@@ -43,6 +47,8 @@ struct Report {
     index_query_ns: f64,
     rebuild_bulk_ns: f64,
     rebuild_replay_ns: f64,
+    wal_append_ns: f64,
+    recovery_ns: f64,
 }
 
 fn load(path: &str) -> Result<Report, String> {
@@ -65,6 +71,8 @@ fn load(path: &str) -> Result<Report, String> {
         index_query_ns: num("index", "query_ns")?,
         rebuild_bulk_ns: num("maintenance", "rebuild_bulk_ns")?,
         rebuild_replay_ns: num("maintenance", "rebuild_replay_ns")?,
+        wal_append_ns: num("persistence", "wal_append_ns")?,
+        recovery_ns: num("persistence", "recovery_ns")?,
     })
 }
 
@@ -150,6 +158,20 @@ fn run() -> Result<bool, String> {
         "rebuild via STR bulk (ns)",
         baseline.rebuild_bulk_ns,
         candidate.rebuild_bulk_ns,
+        false,
+        micro_tolerance,
+    );
+    check(
+        "WAL append (ns/append)",
+        baseline.wal_append_ns,
+        candidate.wal_append_ns,
+        false,
+        micro_tolerance,
+    );
+    check(
+        "disk recovery (ns)",
+        baseline.recovery_ns,
+        candidate.recovery_ns,
         false,
         micro_tolerance,
     );

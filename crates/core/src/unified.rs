@@ -190,7 +190,8 @@ impl UnifiedMonitor {
     }
 
     /// Appends one value to one stream; returns every event the arrival
-    /// produced, across all enabled query classes.
+    /// produced, across all enabled query classes. Non-finite values
+    /// are rejected as a no-op (see [`Self::append_into`]).
     ///
     /// # Panics
     /// Panics if the stream id is out of range.
@@ -205,9 +206,19 @@ impl UnifiedMonitor {
     /// [`Self::append`]: batch drains reuse one buffer across a whole
     /// batch instead of allocating a `Vec` per value.
     ///
+    /// Non-finite values (NaN, ±∞) are rejected as a no-op: a NaN would
+    /// poison window sums and distance computations irreversibly, and a
+    /// silent ±∞ turns every downstream interval into `[-∞, ∞]`. The
+    /// guard lives here — not only at the ingestion boundary — so a
+    /// journaled non-finite sample replays as the same no-op and crash
+    /// recovery stays deterministic.
+    ///
     /// # Panics
     /// Panics if the stream id is out of range.
     pub fn append_into(&mut self, stream: StreamId, value: f64, out: &mut Vec<Event>) {
+        if !value.is_finite() {
+            return;
+        }
         if let Some((monitors, _)) = &mut self.aggregates {
             for alarm in monitors[stream as usize].push(value) {
                 out.push(Event::Aggregate { stream, alarm });
@@ -396,6 +407,32 @@ mod tests {
         assert!(saw_trend, "trend event missing");
         assert!(saw_correlation, "correlation event missing");
         assert!(saw_aggregate, "aggregate event missing");
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected_as_no_ops() {
+        let specs = vec![WindowSpec { window: 4, threshold: 5.0 }];
+        let build = || {
+            UnifiedMonitor::builder(8, 2, 2, 100.0)
+                .aggregates(TransformKind::Sum, specs.clone(), 2)
+                .trends(4, 4)
+                .correlations(4, 0.3)
+                .build()
+        };
+        let mut poisoned = build();
+        let mut clean = build();
+        for i in 0..64u32 {
+            let v = (i as f64 * 0.4).sin() + 2.0;
+            // The poisoned feed interleaves every non-finite flavour.
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert!(poisoned.append(i % 2, bad).is_empty(), "non-finite produced events");
+            }
+            let a = poisoned.append(i % 2, v);
+            let b = clean.append(i % 2, v);
+            assert_eq!(a.len(), b.len(), "divergence at sample {i}");
+        }
+        // Rejected samples leave no trace in the serialized state either.
+        assert_eq!(poisoned.snapshot(), clean.snapshot());
     }
 
     #[test]

@@ -12,6 +12,67 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+/// Which on-disk file a disk fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFile {
+    /// The shard's live write-ahead log (`shard-N.wal`).
+    Wal,
+    /// The shard's current snapshot file (`shard-N.snap`).
+    Snapshot,
+}
+
+/// Disk-level failure modes, injected into the persistence layer.
+///
+/// `TornWrite` and `FailFsync` fire on the *live* write path;
+/// `BitFlip` and `TruncateWal` model at-rest damage and are applied to
+/// the files the next time [`crate::ShardedRuntime::open`] scans the
+/// directory. Byte offsets are clamped into the file, so `u64::MAX`
+/// reliably targets the tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// Stop the WAL write that crosses byte `at_byte` mid-frame — the
+    /// partial record a power cut leaves behind. The shard's journal is
+    /// wedged afterwards and the shard fails stop (a durable log that
+    /// can no longer be appended to must not accept writes it cannot
+    /// journal). Injected on batch records, the write-ahead path.
+    TornWrite {
+        /// Absolute WAL file offset at which the write is cut.
+        at_byte: u64,
+    },
+    /// Flip one bit of the chosen file at `at_byte` (clamped) before
+    /// the next `open()` scan — silent at-rest corruption.
+    BitFlip {
+        /// File to damage.
+        file: DiskFile,
+        /// Byte offset of the flipped bit (clamped to the last byte).
+        at_byte: u64,
+    },
+    /// Truncate the WAL to `at_byte` (clamped) before the next
+    /// `open()` scan — a lost tail.
+    TruncateWal {
+        /// Length to truncate to (clamped to the file length).
+        at_byte: u64,
+    },
+    /// The shard's `nth` fsync (1-based, counted across WAL and
+    /// snapshot syncs) reports failure. Data stays in the page cache —
+    /// harmless unless the machine loses power — but a snapshot whose
+    /// fsync fails is aborted, keeping the previous generation.
+    FailFsync {
+        /// Which fsync fails.
+        nth: u64,
+    },
+}
+
+/// One scheduled disk fault.
+#[derive(Debug)]
+pub struct DiskFault {
+    /// The shard whose files the fault targets.
+    pub shard: usize,
+    /// The failure mode.
+    pub kind: DiskFaultKind,
+    fired: AtomicBool,
+}
+
 /// What happens when a fault triggers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -47,6 +108,7 @@ pub struct Fault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+    disk: Vec<DiskFault>,
 }
 
 impl FaultPlan {
@@ -111,14 +173,26 @@ impl FaultPlan {
         plan
     }
 
+    /// Adds a disk fault on `shard`'s persistence files.
+    pub fn disk_fault(mut self, shard: usize, kind: DiskFaultKind) -> Self {
+        self.disk.push(DiskFault { shard, kind, fired: AtomicBool::new(false) });
+        self
+    }
+
     /// The scheduled faults.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
     }
 
-    /// How many faults have triggered so far.
+    /// The scheduled disk faults.
+    pub fn disk_faults(&self) -> &[DiskFault] {
+        &self.disk
+    }
+
+    /// How many faults (worker and disk) have triggered so far.
     pub fn fired_count(&self) -> usize {
         self.faults.iter().filter(|f| f.fired.load(Ordering::Relaxed)).count()
+            + self.disk.iter().filter(|f| f.fired.load(Ordering::Relaxed)).count()
     }
 
     /// Checks whether a fault triggers for `shard` at the (1-based)
@@ -136,6 +210,52 @@ impl FaultPlan {
         }
         None
     }
+
+    /// Should the WAL write spanning `[start, end)` on `shard` be torn?
+    /// Returns the absolute offset to cut at (clamped into the span so
+    /// an `at_byte` the file already passed still fires on the next
+    /// write, like [`Self::fire`]'s `>=`). One-shot.
+    pub(crate) fn tear_wal(&self, shard: usize, start: u64, end: u64) -> Option<u64> {
+        for f in &self.disk {
+            if f.shard != shard {
+                continue;
+            }
+            if let DiskFaultKind::TornWrite { at_byte } = f.kind {
+                if at_byte < end && !f.fired.swap(true, Ordering::Relaxed) {
+                    return Some(at_byte.clamp(start, end));
+                }
+            }
+        }
+        None
+    }
+
+    /// Does `shard`'s `ordinal`-th fsync (1-based) fail? One-shot per
+    /// scheduled fault; `>=` so a small `nth` fires on the next sync.
+    pub(crate) fn fsync_fails(&self, shard: usize, ordinal: u64) -> bool {
+        self.disk.iter().any(|f| {
+            f.shard == shard
+                && matches!(f.kind, DiskFaultKind::FailFsync { nth } if ordinal >= nth)
+                && !f.fired.swap(true, Ordering::Relaxed)
+        })
+    }
+
+    /// Drains the at-rest faults (`BitFlip` / `TruncateWal`) pending
+    /// for `shard`, marking them fired. Called by `open()` before it
+    /// scans the shard's files.
+    pub(crate) fn take_open_faults(&self, shard: usize) -> Vec<DiskFaultKind> {
+        self.disk
+            .iter()
+            .filter(|f| {
+                f.shard == shard
+                    && matches!(
+                        f.kind,
+                        DiskFaultKind::BitFlip { .. } | DiskFaultKind::TruncateWal { .. }
+                    )
+                    && !f.fired.swap(true, Ordering::Relaxed)
+            })
+            .map(|f| f.kind)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +272,30 @@ mod tests {
         assert_eq!(plan.fire(1, 6), None, "already fired");
         assert_eq!(plan.fire(1, 9), Some(FaultKind::Stall(Duration::from_millis(1))));
         assert_eq!(plan.fired_count(), 2);
+    }
+
+    #[test]
+    fn disk_faults_fire_once_and_clamp() {
+        let plan = FaultPlan::new()
+            .disk_fault(0, DiskFaultKind::TornWrite { at_byte: 100 })
+            .disk_fault(1, DiskFaultKind::FailFsync { nth: 3 })
+            .disk_fault(0, DiskFaultKind::TruncateWal { at_byte: 7 });
+        assert_eq!(plan.tear_wal(0, 120, 180), Some(120), "already-passed offset clamps to start");
+        assert_eq!(plan.tear_wal(0, 120, 180), None, "one-shot");
+        assert!(!plan.fsync_fails(1, 2), "too early");
+        assert!(plan.fsync_fails(1, 3));
+        assert!(!plan.fsync_fails(1, 4), "one-shot");
+        let pending = plan.take_open_faults(0);
+        assert_eq!(pending, vec![DiskFaultKind::TruncateWal { at_byte: 7 }]);
+        assert!(plan.take_open_faults(0).is_empty(), "drained");
+        assert_eq!(plan.fired_count(), 3);
+    }
+
+    #[test]
+    fn tear_inside_span_cuts_at_the_offset() {
+        let plan = FaultPlan::new().disk_fault(2, DiskFaultKind::TornWrite { at_byte: 150 });
+        assert_eq!(plan.tear_wal(2, 100, 140), None, "write ends before the offset");
+        assert_eq!(plan.tear_wal(2, 140, 180), Some(150));
     }
 
     #[test]

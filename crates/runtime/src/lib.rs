@@ -69,6 +69,7 @@ use stardust_core::error::QueryError;
 use stardust_core::stream::StreamId;
 
 mod fault;
+mod persist;
 mod queue;
 mod runtime;
 mod shard;
@@ -77,7 +78,8 @@ mod spec;
 mod stats;
 mod telemetry;
 
-pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fault::{DiskFault, DiskFaultKind, DiskFile, Fault, FaultKind, FaultPlan};
+pub use persist::{PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport, SyncPolicy};
 pub use runtime::{
     sort_events, Batch, PartialSubmit, QueueFull, RecoveryPolicy, RuntimeConfig, ShardedRuntime,
     ShutdownReport,
@@ -109,6 +111,8 @@ pub enum RuntimeError {
     Disconnected,
     /// The OS refused to spawn a worker thread.
     Spawn(std::io::Error),
+    /// `open()` could not recover the persistence directory.
+    Recovery(RecoveryError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -123,6 +127,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Backpressure(_) => f.write_str("shard queue full (backpressure)"),
             RuntimeError::Disconnected => f.write_str("a worker thread is gone"),
             RuntimeError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+            RuntimeError::Recovery(e) => write!(f, "persistence recovery failed: {e}"),
         }
     }
 }
@@ -133,6 +138,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Pattern(e) => Some(e),
             RuntimeError::Backpressure(e) => Some(e),
             RuntimeError::Spawn(e) => Some(e),
+            RuntimeError::Recovery(e) => Some(e),
             _ => None,
         }
     }

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) over byte
+//! slices, table-driven and built at compile time — the WAL and
+//! snapshot files checksum every record with it. Implemented in-tree:
+//! the deployment environment is offline and the algorithm is ~20
+//! lines, so a dependency would buy nothing.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// One 256-entry table, one byte per step.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (initial value `!0`, final xor `!0` — the common
+/// "crc32" as produced by zlib, PNG, and gzip).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the ASCII digits.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_every_bit() {
+        let base = crc32(b"stardust");
+        let mut bytes = *b"stardust";
+        for i in 0..bytes.len() * 8 {
+            bytes[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&bytes), base, "bit {i} flip went undetected");
+            bytes[i / 8] ^= 1 << (i % 8);
+        }
+        assert_eq!(crc32(&bytes), base);
+    }
+}

@@ -1,0 +1,165 @@
+//! Atomic per-shard snapshot files (`shard-N.snap`).
+//!
+//! ```text
+//! header   "SDSNP001"                                  (8 bytes)
+//! record   len u32 | crc32(payload) u32 | payload
+//! payload  gen u64 | appends u64 | emitted u64 | tag u8 | monitor bytes
+//! ```
+//!
+//! The generation counter lives *inside* the checksummed payload, so a
+//! bit flip anywhere past the magic fails verification. `tag` is `1`
+//! when monitor bytes (a [`stardust_core`] monitor snapshot) follow,
+//! `0` for shards whose spec builds no monitor. A snapshot is always
+//! written to `shard-N.snap.tmp`, fsynced, and renamed into place, with
+//! the previous generation kept as `shard-N.snap.prev` until the new
+//! one is durable — so there is no moment at which a crash leaves fewer
+//! than one intact generation on disk, and any partial write fails the
+//! checksum and falls back.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use super::crc32::crc32;
+use super::RecoveryError;
+
+/// Magic bytes opening every snapshot file.
+pub(crate) const SNAP_MAGIC: &[u8; 8] = b"SDSNP001";
+
+/// A decoded snapshot file.
+#[derive(Debug)]
+pub(crate) struct SnapFile {
+    /// Generation counter (equals the matching WAL segment's).
+    pub gen: u64,
+    /// Appends the snapshot state covers.
+    pub appends: u64,
+    /// Events delivered to the collector when the snapshot was taken.
+    pub emitted: u64,
+    /// Serialized monitor, absent for monitor-less shards.
+    pub monitor: Option<Vec<u8>>,
+}
+
+/// Writes a complete snapshot file at `path` (truncating) and returns
+/// the open handle so the caller can fsync it through the fault plan.
+/// The caller is also responsible for the tmp-then-rename dance.
+pub(crate) fn write_snapshot(
+    path: &Path,
+    gen: u64,
+    appends: u64,
+    emitted: u64,
+    monitor: Option<&[u8]>,
+) -> io::Result<File> {
+    let body = monitor.unwrap_or(&[]);
+    let mut payload = Vec::with_capacity(25 + body.len());
+    payload.extend_from_slice(&gen.to_le_bytes());
+    payload.extend_from_slice(&appends.to_le_bytes());
+    payload.extend_from_slice(&emitted.to_le_bytes());
+    payload.push(monitor.is_some() as u8);
+    payload.extend_from_slice(body);
+
+    let mut buf = Vec::with_capacity(16 + payload.len());
+    buf.extend_from_slice(SNAP_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+
+    let mut file = File::create(path)?;
+    file.write_all(&buf)?;
+    Ok(file)
+}
+
+/// Reads a snapshot file. `Ok(None)` when absent; any damage — short
+/// file, bad magic, failed checksum, trailing garbage — is
+/// [`RecoveryError::CorruptSnapshot`], which the caller answers by
+/// falling back to the previous generation.
+pub(crate) fn read_snapshot(path: &Path) -> Result<Option<SnapFile>, RecoveryError> {
+    let mut buf = Vec::new();
+    match File::open(path) {
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(RecoveryError::io(path, e)),
+        Ok(mut f) => {
+            f.read_to_end(&mut buf).map_err(|e| RecoveryError::io(path, e))?;
+        }
+    }
+    let corrupt =
+        |detail: &'static str| RecoveryError::CorruptSnapshot { path: path.to_path_buf(), detail };
+    if buf.len() < 16 {
+        return Err(corrupt("shorter than header"));
+    }
+    if &buf[..8] != SNAP_MAGIC {
+        return Err(corrupt("magic mismatch"));
+    }
+    let len = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+    let Some(payload) = buf.get(16..16usize.saturating_add(len)) else {
+        return Err(corrupt("record extends past end of file"));
+    };
+    if 16 + len != buf.len() {
+        return Err(corrupt("trailing bytes after record"));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    if payload.len() < 25 {
+        return Err(corrupt("payload shorter than fixed fields"));
+    }
+    let gen = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    let appends = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+    let emitted = u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes"));
+    let monitor = match payload[24] {
+        0 if payload.len() == 25 => None,
+        1 => Some(payload[25..].to_vec()),
+        _ => return Err(corrupt("unknown monitor tag")),
+    };
+    Ok(Some(SnapFile { gen, appends, emitted, monitor }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_and_without_monitor() {
+        let dir = std::env::temp_dir().join(format!("sdsnap-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0.snap");
+        write_snapshot(&path, 7, 4096, 12, Some(b"monitor-bytes")).unwrap();
+        let s = read_snapshot(&path).unwrap().expect("present");
+        assert_eq!((s.gen, s.appends, s.emitted), (7, 4096, 12));
+        assert_eq!(s.monitor.as_deref(), Some(b"monitor-bytes".as_slice()));
+
+        write_snapshot(&path, 8, 64, 0, None).unwrap();
+        let s = read_snapshot(&path).unwrap().expect("present");
+        assert_eq!((s.gen, s.monitor.is_none()), (8, true));
+
+        assert!(read_snapshot(&dir.join("absent.snap")).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let dir = std::env::temp_dir().join(format!("sdsnap-bit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0.snap");
+        write_snapshot(&path, 3, 100, 5, Some(b"abcdef")).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(read_snapshot(&path), Err(RecoveryError::CorruptSnapshot { .. })),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // Truncation at every length is detected too.
+        for keep in 0..clean.len() {
+            std::fs::write(&path, &clean[..keep]).unwrap();
+            assert!(
+                matches!(read_snapshot(&path), Err(RecoveryError::CorruptSnapshot { .. })),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

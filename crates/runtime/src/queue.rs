@@ -6,10 +6,13 @@
 //! must outlive any one worker so a restored worker can resume draining
 //! exactly where its predecessor died. This queue lives in an [`Arc`]
 //! shared by producers, the worker, and the supervisor; a panicking
-//! worker merely stops popping.
+//! worker merely stops popping. For the same reason lock poisoning is
+//! recovered, not propagated: every mutation below keeps the guarded
+//! state consistent, so a panic while holding the lock (the fault
+//! injector kills workers on purpose) leaves nothing to unwind.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// Why a non-blocking push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -47,7 +50,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues without blocking; a full or closed queue returns the
     /// message for the caller to retry or report.
     pub(crate) fn try_push(&self, msg: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Err(PushError::Closed(msg));
         }
@@ -63,7 +66,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues, parking the producer while the queue is at capacity.
     /// Returns the message back if the queue was closed.
     pub(crate) fn push(&self, msg: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if inner.closed {
                 return Err(msg);
@@ -74,7 +77,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue poisoned");
+            inner = self.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -82,7 +85,7 @@ impl<T> BoundedQueue<T> {
     /// `None` once the queue is closed *and* drained — queued messages
     /// are always delivered, even after close.
     pub(crate) fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(msg) = inner.items.pop_front() {
                 drop(inner);
@@ -92,14 +95,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner = self.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: pushes fail from now on, pops drain the
     /// remainder and then report exhaustion. Idempotent.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         drop(inner);
         self.not_full.notify_all();
@@ -110,7 +113,7 @@ impl<T> BoundedQueue<T> {
     /// through `ShardCounters` instead).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).items.len()
     }
 }
 

@@ -2,6 +2,7 @@
 //! with backpressure, scatter-gather queries, supervised crash
 //! recovery, and drain-then-join shutdown.
 
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -11,13 +12,23 @@ use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
 use crate::fault::FaultPlan;
+use crate::persist::{self, PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport};
 use crate::queue::{BoundedQueue, PushError};
-use crate::shard::{Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, Worker};
+use crate::shard::{remap_event, Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, Worker};
 use crate::snapshot::ShardRecovery;
 use crate::spec::MonitorSpec;
 use crate::stats::{RuntimeStats, ShardCounters};
 use crate::telemetry::RuntimeTelemetry;
 use crate::{ClassStats, RuntimeError};
+
+/// Shard count and per-shard stream counts for `n_streams` streams.
+/// Streams with `g mod n_shards == shard` live on `shard`.
+fn sizing(n_streams: usize, shards: usize) -> (usize, Vec<usize>) {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n_shards = if shards == 0 { hw } else { shards }.min(n_streams).max(1);
+    let n_locals = (0..n_shards).map(|shard| (n_streams - shard).div_ceil(n_shards)).collect();
+    (n_shards, n_locals)
+}
 
 /// The bounded per-shard queue rejected a message; retry later or use a
 /// blocking variant.
@@ -226,7 +237,7 @@ impl Shared {
             .clone()
             .expect("restore after shutdown");
         let restore_span = self.runtime_telemetry.restore.span();
-        let (mut monitor, processed) = rec.rebuild(
+        let rebuilt = rec.rebuild(
             &self.spec,
             self.n_locals[shard],
             shard,
@@ -235,6 +246,14 @@ impl Shared {
             &self.counters[shard],
         );
         drop(restore_span);
+        let Some((mut monitor, processed)) = rebuilt else {
+            // The shard's durable WAL is wedged (torn write or failed
+            // rotation): an in-memory rebuild would accept appends the
+            // disk can no longer journal, so the shard fails stop.
+            self.queues[shard].close();
+            self.board.mark_failed(shard);
+            return;
+        };
         // The replay above ran detached (a restored monitor never counts
         // replayed appends twice); re-attach for the shard's second life.
         if let (Some(registry), Some(m)) = (&self.telemetry, monitor.as_mut()) {
@@ -319,13 +338,7 @@ impl ShardedRuntime {
         if n_streams == 0 {
             return Err(RuntimeError::NoStreams);
         }
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let n_shards = if config.shards == 0 { hw } else { config.shards }.min(n_streams).max(1);
-        let queue_capacity = config.queue_capacity.max(1);
-
-        // Streams with `g mod n_shards == shard` live on `shard`.
-        let n_locals: Vec<usize> =
-            (0..n_shards).map(|shard| (n_streams - shard).div_ceil(n_shards)).collect();
+        let (n_shards, n_locals) = sizing(n_streams, config.shards);
         let mut monitors = Vec::with_capacity(n_shards);
         for &n_local in &n_locals {
             let mut monitor = spec.build(n_local)?;
@@ -338,7 +351,186 @@ impl ShardedRuntime {
             config.telemetry.as_ref().map(RuntimeTelemetry::new).unwrap_or_default();
 
         let (events_tx, events_rx) = mpsc::channel();
-        let shared = Arc::new(Shared {
+        let with_recovery = config.recovery.is_some();
+        let shared = Self::assemble(
+            spec,
+            n_locals,
+            config,
+            events_tx,
+            runtime_telemetry,
+            (0..n_shards).map(|_| Arc::new(ShardCounters::new())).collect(),
+            with_recovery
+                .then(|| (0..n_shards).map(|_| Arc::new(ShardRecovery::new(None))).collect()),
+        );
+        Self::start_workers(&shared, monitors.into_iter().map(|m| (m, 0)).collect())?;
+        let supervisor = if with_recovery { Some(Self::start_supervisor(&shared)?) } else { None };
+        Ok(ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false })
+    }
+
+    /// Opens (or creates) a durable runtime backed by `persist.dir`.
+    ///
+    /// The directory is scanned shard by shard: snapshot and WAL
+    /// checksums are validated, torn WAL tails are truncated, a corrupt
+    /// current snapshot falls back to the previous generation, and the
+    /// WAL suffix past the recovered snapshot is replayed through the
+    /// restored monitors. Events the previous process had not yet
+    /// delivered (per the WAL's ack records) are re-emitted and show up
+    /// in the next [`Self::drain_events`]; delivered ones are
+    /// suppressed. Each shard then rotates to a fresh snapshot
+    /// generation and resumes journaling every batch to its
+    /// `shard-N.wal`.
+    ///
+    /// Crash recovery is forced on (a durable runtime without a
+    /// supervisor would lose the WAL's exactly-once arithmetic). The
+    /// caller must open with the same spec and stream count the
+    /// directory was written under — the shard-file layout is checked,
+    /// the spec is not.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Recovery`] when the directory cannot be
+    /// recovered exactly (see [`RecoveryError`] for the taxonomy), plus
+    /// every error [`Self::launch`] can return.
+    pub fn open(
+        spec: &MonitorSpec,
+        n_streams: usize,
+        mut config: RuntimeConfig,
+        persist: PersistConfig,
+    ) -> Result<(Self, RecoveryReport), RuntimeError> {
+        if n_streams == 0 {
+            return Err(RuntimeError::NoStreams);
+        }
+        if config.recovery.is_none() {
+            config.recovery = Some(RecoveryPolicy::default());
+        }
+        let (n_shards, n_locals) = sizing(n_streams, config.shards);
+        let recovery_err = |e: RecoveryError| RuntimeError::Recovery(e);
+        std::fs::create_dir_all(&persist.dir)
+            .map_err(|e| recovery_err(RecoveryError::io(&persist.dir, e)))?;
+        persist::check_shard_layout(&persist.dir, n_shards).map_err(recovery_err)?;
+        let runtime_telemetry =
+            config.telemetry.as_ref().map(RuntimeTelemetry::new).unwrap_or_default();
+        let (events_tx, events_rx) = mpsc::channel();
+
+        let mut seeds = Vec::with_capacity(n_shards);
+        let mut recoveries = Vec::with_capacity(n_shards);
+        let mut counters = Vec::with_capacity(n_shards);
+        let mut report = RecoveryReport { shards: Vec::with_capacity(n_shards) };
+        for shard in 0..n_shards {
+            let span = runtime_telemetry.disk_recovery.span();
+            persist::apply_open_faults(&persist.dir, shard, &config.fault_plan)
+                .map_err(recovery_err)?;
+            let rec = persist::recover_shard(&persist.dir, shard).map_err(recovery_err)?;
+            // Build from the spec first — this validates the spec for
+            // every shard even when a snapshot overrides the state.
+            let mut monitor = spec.build(n_locals[shard])?;
+            if let Some(bytes) = &rec.snapshot {
+                let restored = UnifiedMonitor::restore(bytes).map_err(|_| {
+                    recovery_err(RecoveryError::CorruptSnapshot {
+                        path: persist::ShardPaths::new(&persist.dir, shard).snap,
+                        detail: "checksummed monitor payload failed to decode \
+                                 (spec or version mismatch?)",
+                    })
+                })?;
+                monitor = Some(restored);
+            }
+            // Replay the WAL suffix. The first `already` regenerated
+            // events were delivered (and acked) by the previous process;
+            // the rest go to the collector now.
+            let already = rec.last_ack - rec.emitted_at_snapshot;
+            let mut regenerated = 0u64;
+            let mut re_emitted = 0u64;
+            if let Some(monitor) = monitor.as_mut() {
+                let mut buf = Vec::new();
+                for &(local, value) in &rec.suffix {
+                    buf.clear();
+                    monitor.append_into(local, value, &mut buf);
+                    for ev in buf.drain(..) {
+                        regenerated += 1;
+                        if regenerated > already {
+                            let _ = events_tx.send(remap_event(shard, n_shards, ev));
+                            re_emitted += 1;
+                        }
+                    }
+                }
+            }
+            runtime_telemetry.replayed.add(rec.suffix.len() as u64);
+            if rec.truncated_bytes > 0 {
+                runtime_telemetry.torn_truncations.inc();
+            }
+            if rec.used_fallback {
+                runtime_telemetry.snapshot_fallbacks.inc();
+            }
+            // The replay ran detached; attach for the live phase.
+            if let (Some(registry), Some(m)) = (&config.telemetry, monitor.as_mut()) {
+                m.attach_telemetry(registry);
+            }
+            let durable_appends = rec.snapshot_appends + rec.suffix.len() as u64;
+            let emitted = rec.emitted_at_snapshot + regenerated.max(already);
+            let snap_bytes = monitor.as_ref().map(|m| m.snapshot());
+            let disk = persist::ShardDisk::create(
+                &persist.dir,
+                shard,
+                persist.sync,
+                config.fault_plan.clone(),
+                runtime_telemetry.clone(),
+                rec.max_gen,
+                durable_appends,
+                emitted,
+                snap_bytes.as_deref(),
+            )
+            .map_err(|e| recovery_err(RecoveryError::io(&persist.dir, e)))?;
+            drop(span);
+            report.shards.push(ShardRecoveryReport {
+                shard,
+                durable_appends,
+                replayed: rec.suffix.len() as u64,
+                re_emitted,
+                suppressed: already.min(regenerated),
+                truncated_bytes: rec.truncated_bytes,
+                used_fallback: rec.used_fallback,
+                generation: disk.generation(),
+            });
+            let shard_counters = Arc::new(ShardCounters::new());
+            shard_counters.appends.store(durable_appends, Ordering::Relaxed);
+            shard_counters.events.store(emitted, Ordering::Relaxed);
+            counters.push(shard_counters);
+            recoveries.push(Arc::new(ShardRecovery::resumed(
+                snap_bytes,
+                durable_appends,
+                emitted,
+                Some(disk),
+            )));
+            seeds.push((monitor, durable_appends));
+        }
+
+        let shared = Self::assemble(
+            spec,
+            n_locals,
+            config,
+            events_tx,
+            runtime_telemetry,
+            counters,
+            Some(recoveries),
+        );
+        Self::start_workers(&shared, seeds)?;
+        let supervisor = Some(Self::start_supervisor(&shared)?);
+        Ok((ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false }, report))
+    }
+
+    /// Builds the shared state common to [`Self::launch`] and
+    /// [`Self::open`].
+    fn assemble(
+        spec: &MonitorSpec,
+        n_locals: Vec<usize>,
+        config: RuntimeConfig,
+        events_tx: Sender<Event>,
+        runtime_telemetry: RuntimeTelemetry,
+        counters: Vec<Arc<ShardCounters>>,
+        recovery: Option<Vec<Arc<ShardRecovery>>>,
+    ) -> Arc<Shared> {
+        let n_shards = n_locals.len();
+        let queue_capacity = config.queue_capacity.max(1);
+        Arc::new(Shared {
             spec: spec.clone(),
             n_shards,
             n_locals,
@@ -347,17 +539,20 @@ impl ShardedRuntime {
             telemetry: config.telemetry,
             runtime_telemetry,
             queues: (0..n_shards).map(|_| Arc::new(BoundedQueue::new(queue_capacity))).collect(),
-            counters: (0..n_shards).map(|_| Arc::new(ShardCounters::new())).collect(),
-            recovery: config
-                .recovery
-                .map(|_| (0..n_shards).map(|_| Arc::new(ShardRecovery::new())).collect()),
+            counters,
+            recovery,
             board: Arc::new(Board::new(n_shards)),
             handles: Mutex::new((0..n_shards).map(|_| None).collect()),
             events_tx: Mutex::new(Some(events_tx)),
-        });
+        })
+    }
 
-        for (shard, monitor) in monitors.into_iter().enumerate() {
-            match shared.spawn_worker(shard, monitor, 0) {
+    fn start_workers(
+        shared: &Arc<Shared>,
+        seeds: Vec<(Option<UnifiedMonitor>, u64)>,
+    ) -> Result<(), RuntimeError> {
+        for (shard, (monitor, processed)) in seeds.into_iter().enumerate() {
+            match shared.spawn_worker(shard, monitor, processed) {
                 Ok(handle) => {
                     shared.handles.lock().expect("handles poisoned")[shard] = Some(handle)
                 }
@@ -371,31 +566,25 @@ impl ShardedRuntime {
                 }
             }
         }
+        Ok(())
+    }
 
-        let supervisor = if shared.recovery.is_some() {
-            let sup = Arc::clone(&shared);
-            let handle = std::thread::Builder::new().name("stardust-supervisor".to_string()).spawn(
-                move || {
-                    while let Some(shard) = sup.board.next_dead() {
-                        sup.restore_shard(shard);
-                    }
-                },
-            );
-            match handle {
-                Ok(h) => Some(h),
-                Err(e) => {
-                    for queue in &shared.queues {
-                        queue.close();
-                    }
-                    shared.board.begin_shutdown();
-                    return Err(RuntimeError::Spawn(e));
+    fn start_supervisor(shared: &Arc<Shared>) -> Result<JoinHandle<()>, RuntimeError> {
+        let sup = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("stardust-supervisor".to_string())
+            .spawn(move || {
+                while let Some(shard) = sup.board.next_dead() {
+                    sup.restore_shard(shard);
                 }
-            }
-        } else {
-            None
-        };
-
-        Ok(ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false })
+            })
+            .map_err(|e| {
+                for queue in &shared.queues {
+                    queue.close();
+                }
+                shared.board.begin_shutdown();
+                RuntimeError::Spawn(e)
+            })
     }
 
     /// Number of worker shards.
@@ -630,6 +819,20 @@ impl ShardedRuntime {
     /// undrained events are returned.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.finish(true);
+        let events: Vec<Event> = self.events_rx.try_iter().collect();
+        ShutdownReport { stats: self.stats(), events }
+    }
+
+    /// Abrupt teardown for crash drills: queues are closed instead of
+    /// receiving `Shutdown` markers, so producers racing this call see
+    /// [`RuntimeError::Disconnected`] rather than parking. Already
+    /// queued batches still drain (they were accepted), wedged shards
+    /// stay down, and whatever events were collected are returned. With
+    /// persistence this exercises exactly the state a process kill
+    /// leaves behind — the WAL's durable watermark, not the producers'
+    /// view — which [`Self::open`] must then recover.
+    pub fn crash(mut self) -> ShutdownReport {
+        self.finish(false);
         let events: Vec<Event> = self.events_rx.try_iter().collect();
         ShutdownReport { stats: self.stats(), events }
     }

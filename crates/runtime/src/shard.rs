@@ -344,6 +344,7 @@ impl Worker {
                         rec.journal_batch(&items);
                     }
                     let mut events = 0u64;
+                    let mut rejected = 0u64;
                     if let Some(monitor) = &mut self.monitor {
                         event_buf.clear();
                         for &(local, value) in &items {
@@ -360,6 +361,14 @@ impl Worker {
                                     }
                                     None => {}
                                 }
+                            }
+                            // Non-finite samples are rejected at the append
+                            // boundary (the monitor guards identically, so a
+                            // journaled NaN replays as the same no-op). The
+                            // fault clock above still ticks for them.
+                            if !value.is_finite() {
+                                rejected += 1;
+                                continue;
                             }
                             monitor.append_into(local, value, &mut event_buf);
                         }
@@ -380,8 +389,18 @@ impl Worker {
                         }
                     }
                     self.counters.appends.fetch_add(items.len() as u64, Ordering::Relaxed);
+                    if rejected > 0 {
+                        self.counters.rejected.fetch_add(rejected, Ordering::Relaxed);
+                        self.telemetry.rejected.add(rejected);
+                    }
                     if events > 0 {
                         self.counters.events.fetch_add(events, Ordering::Relaxed);
+                        if let Some(rec) = &self.recovery {
+                            // The events are out; ack the cumulative count to
+                            // the durable WAL so a process-level recovery
+                            // suppresses exactly these.
+                            rec.ack_emitted();
+                        }
                     }
                     let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     self.counters.note_batch(ns);

@@ -13,14 +13,30 @@
 //! delivered. The combination yields exactly-once event delivery across
 //! worker crashes: nothing lost (the journal is written ahead of
 //! processing), nothing duplicated (the suppression count is exact).
+//!
+//! With [`crate::PersistConfig`] the journal additionally owns a
+//! [`ShardDisk`]: every batch is appended to the on-disk WAL *before*
+//! the in-memory suffix accepts it, snapshots rotate the on-disk
+//! generation, and delivered-event counts are acked to the WAL so a
+//! process-level crash recovers with the same suppression arithmetic.
+//! A disk that can no longer be appended to (torn write, failed rename)
+//! wedges the shard: accepting appends the log cannot journal would
+//! break the durability contract, so the shard fails stop instead.
+//!
+//! Lock poisoning is survived, not propagated: a worker that panics
+//! mid-batch (the fault injector does this on purpose) may poison the
+//! journal mutex, but every structure it guards is kept consistent at
+//! each write, so the supervisor recovers the inner value with
+//! [`PoisonError::into_inner`] rather than cascading the panic.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
+use crate::persist::ShardDisk;
 use crate::shard::remap_event;
 use crate::spec::MonitorSpec;
 use crate::stats::ShardCounters;
@@ -37,6 +53,8 @@ struct Journal {
     /// Appends journaled after `snapshot`, in processing order
     /// (local stream ids). Written ahead of processing.
     suffix: Vec<(StreamId, f64)>,
+    /// Durable mirror of this journal (absent without persistence).
+    disk: Option<ShardDisk>,
 }
 
 /// One shard's recovery state, shared by the worker (journaling) and
@@ -53,22 +71,60 @@ pub(crate) struct ShardRecovery {
 }
 
 impl ShardRecovery {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(disk: Option<ShardDisk>) -> Self {
         ShardRecovery {
             journal: Mutex::new(Journal {
                 snapshot: None,
                 snapshot_appends: 0,
                 emitted_at_snapshot: 0,
                 suffix: Vec::new(),
+                disk,
             }),
             emitted: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
         }
     }
 
-    /// Write-ahead step: records a batch before the worker applies it.
+    /// Warm constructor for `open()`: the journal starts at the state
+    /// the open-time rotation just made durable — `snapshot` covering
+    /// `snapshot_appends` appends with `emitted` events delivered, and
+    /// an empty suffix.
+    pub(crate) fn resumed(
+        snapshot: Option<Vec<u8>>,
+        snapshot_appends: u64,
+        emitted: u64,
+        disk: Option<ShardDisk>,
+    ) -> Self {
+        ShardRecovery {
+            journal: Mutex::new(Journal {
+                snapshot,
+                snapshot_appends,
+                emitted_at_snapshot: emitted,
+                suffix: Vec::new(),
+                disk,
+            }),
+            emitted: AtomicU64::new(emitted),
+            restarts: AtomicU64::new(0),
+        }
+    }
+
+    /// Write-ahead step: records a batch before the worker applies it —
+    /// on disk first (when persistence is on), then in memory.
+    ///
+    /// # Panics
+    /// Panics when the durable WAL cannot accept the record (torn write
+    /// or wedged handle). The worker thread dies mid-batch *before*
+    /// applying anything, the supervisor sees the wedge and closes the
+    /// shard, and producers observe `Disconnected` — fail-stop rather
+    /// than divergence between the monitor and its log.
     pub(crate) fn journal_batch(&self, items: &[(StreamId, f64)]) {
-        self.journal.lock().expect("journal poisoned").suffix.extend_from_slice(items);
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(disk) = journal.disk.as_mut() {
+            if let Err(e) = disk.append_batch(items) {
+                panic!("shard WAL append failed; failing stop: {e}");
+            }
+        }
+        journal.suffix.extend_from_slice(items);
     }
 
     /// One event delivered to the collector.
@@ -76,19 +132,43 @@ impl ShardRecovery {
         self.emitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Acks the cumulative delivered-event count to the durable WAL
+    /// (no-op without persistence). Called after a batch's events were
+    /// handed to the collector, so a process-level recovery can
+    /// suppress exactly the events that were already out.
+    pub(crate) fn ack_emitted(&self) {
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(disk) = journal.disk.as_mut() {
+            disk.append_ack(self.emitted.load(Ordering::Relaxed));
+        }
+    }
+
     /// Appends journaled since the last snapshot.
     pub(crate) fn suffix_len(&self) -> usize {
-        self.journal.lock().expect("journal poisoned").suffix.len()
+        self.journal.lock().unwrap_or_else(PoisonError::into_inner).suffix.len()
     }
 
     /// Stores a snapshot (taken *after* the worker fully applied every
-    /// journaled append) and truncates the journal to it.
+    /// journaled append) and truncates the in-memory journal to it.
+    /// With persistence, also rotates the on-disk generation; an
+    /// aborted rotation (injected fsync failure) keeps the on-disk
+    /// chain at the previous generation, which stays self-consistent
+    /// because the WAL segment keeps growing.
     pub(crate) fn record_snapshot(&self, snapshot: Option<Vec<u8>>) {
-        let mut journal = self.journal.lock().expect("journal poisoned");
+        let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
         journal.snapshot_appends += journal.suffix.len() as u64;
         journal.suffix.clear();
         journal.emitted_at_snapshot = self.emitted.load(Ordering::Relaxed);
         journal.snapshot = snapshot;
+        let appends = journal.snapshot_appends;
+        let emitted = journal.emitted_at_snapshot;
+        let journal = &mut *journal;
+        if let Some(disk) = journal.disk.as_mut() {
+            // Rename/create failures wedge the handle; the next
+            // journal_batch fails stop. The snapshot itself stays
+            // consistent in memory either way.
+            let _ = disk.rotate(appends, emitted, journal.snapshot.as_deref());
+        }
     }
 
     /// Times this shard was restored.
@@ -100,7 +180,9 @@ impl ShardRecovery {
     /// replays the journaled suffix, delivering only the events the
     /// dead worker had not yet sent. Returns the warm monitor and the
     /// number of appends it has processed (the restored worker's fault
-    /// clock).
+    /// clock) — or `None` when the shard's durable WAL is wedged, in
+    /// which case the shard must stay down: an in-memory rebuild would
+    /// accept appends the disk can no longer journal.
     pub(crate) fn rebuild(
         &self,
         spec: &MonitorSpec,
@@ -109,8 +191,11 @@ impl ShardRecovery {
         n_shards: usize,
         events: &Sender<Event>,
         counters: &ShardCounters,
-    ) -> (Option<UnifiedMonitor>, u64) {
-        let journal = self.journal.lock().expect("journal poisoned");
+    ) -> Option<(Option<UnifiedMonitor>, u64)> {
+        let journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if journal.disk.as_ref().is_some_and(|d| d.wedged) {
+            return None;
+        }
         let mut monitor = match &journal.snapshot {
             Some(bytes) => {
                 Some(UnifiedMonitor::restore(bytes).expect("self-written snapshot decodes"))
@@ -145,6 +230,9 @@ impl ShardRecovery {
         counters.events.store(self.emitted.load(Ordering::Relaxed), Ordering::Relaxed);
         counters.restarts.fetch_add(1, Ordering::Relaxed);
         self.restarts.fetch_add(1, Ordering::Relaxed);
-        (monitor, processed)
+        drop(journal);
+        // The replay delivered events the dead worker had not acked.
+        self.ack_emitted();
+        Some((monitor, processed))
     }
 }

@@ -18,6 +18,7 @@ use stardust_telemetry::{duration_buckets_ns, Histogram};
 pub(crate) struct ShardCounters {
     pub appends: AtomicU64,
     pub events: AtomicU64,
+    pub rejected: AtomicU64,
     pub batches: AtomicU64,
     pub restarts: AtomicU64,
     pub queue_depth: AtomicUsize,
@@ -30,6 +31,7 @@ impl ShardCounters {
         ShardCounters {
             appends: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
@@ -83,6 +85,7 @@ impl ShardCounters {
         ShardStats {
             appends: self.appends.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             batches,
             restarts: self.restarts.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -123,6 +126,9 @@ pub struct ShardStats {
     pub appends: u64,
     /// Events this shard pushed to the collector.
     pub events: u64,
+    /// Non-finite (NaN/Inf) samples rejected at the append boundary.
+    /// Rejected samples still count toward `appends`.
+    pub rejected: u64,
     /// Batches drained.
     pub batches: u64,
     /// Times this shard's worker died and was restored by the
@@ -155,6 +161,11 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.events).sum()
     }
 
+    /// Total non-finite samples rejected across shards.
+    pub fn total_rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
     /// Highest queue high-water mark across shards.
     pub fn max_queue_high_water(&self) -> usize {
         self.shards.iter().map(|s| s.queue_high_water).max().unwrap_or(0)
@@ -168,8 +179,8 @@ impl RuntimeStats {
     /// A small fixed-width table for CLI / log output.
     ///
     /// ```text
-    /// shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max
-    ///     0      1024         37        64         1        0      9    1.2µs    2.8µs     3.4µs   11.0µs   0.21ms
+    /// shard   appends     events  rejected   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max
+    ///     0      1024         37         0        64         1        0      9    1.2µs    2.8µs     3.4µs   11.0µs   0.21ms
     /// ```
     pub fn render(&self) -> String {
         fn dur(d: Option<Duration>) -> String {
@@ -182,13 +193,14 @@ impl RuntimeStats {
             }
         }
         let mut out = String::from(
-            "shard   appends     events   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max\n",
+            "shard   appends     events  rejected   batches  restarts  q_depth  q_hwm  lat_min  lat_p50  lat_mean  lat_p95  lat_max\n",
         );
         for (i, s) in self.shards.iter().enumerate() {
             out.push_str(&format!(
-                "{i:>5} {:>9} {:>10} {:>9} {:>9} {:>8} {:>6} {:>8} {:>8} {:>9} {:>8} {:>8}\n",
+                "{i:>5} {:>9} {:>10} {:>9} {:>9} {:>9} {:>8} {:>6} {:>8} {:>8} {:>9} {:>8} {:>8}\n",
                 s.appends,
                 s.events,
+                s.rejected,
                 s.batches,
                 s.restarts,
                 s.queue_depth,
@@ -221,6 +233,12 @@ impl RuntimeStats {
             gauge("stardust_shard_events", "Events the shard pushed to the collector", i, {
                 s.events as f64
             });
+            gauge(
+                "stardust_shard_rejected",
+                "Non-finite samples rejected at the append boundary",
+                i,
+                s.rejected as f64,
+            );
             gauge("stardust_shard_batches", "Batches the shard drained", i, s.batches as f64);
             gauge("stardust_shard_restarts", "Worker restarts performed by the supervisor", i, {
                 s.restarts as f64

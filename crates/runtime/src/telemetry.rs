@@ -1,12 +1,12 @@
-//! Runtime-level telemetry handles: batch latency and crash-recovery
-//! timings.
+//! Runtime-level telemetry handles: batch latency, crash-recovery
+//! timings, and durable-persistence counters.
 //!
 //! Mirrors `stardust_core::telemetry`: a bundle of pre-registered
 //! handles whose default value is fully detached, so workers hold one
 //! unconditionally and pay a single branch per operation when
 //! telemetry is off.
 
-use stardust_telemetry::{Histogram, Registry};
+use stardust_telemetry::{Counter, Histogram, Registry};
 
 /// Pre-registered runtime series shared by every shard worker.
 #[derive(Clone, Debug, Default)]
@@ -21,6 +21,33 @@ pub(crate) struct RuntimeTelemetry {
     /// `stardust_recovery_restore_ns` — full crash restores (monitor
     /// rebuild plus journal-suffix replay).
     pub restore: Histogram,
+    /// `stardust_persist_wal_append_ns` — on-disk WAL record appends.
+    pub wal_append: Histogram,
+    /// `stardust_persist_recovery_ns` — per-shard disk recovery (scan,
+    /// validate, restore, replay) at `open()`.
+    pub disk_recovery: Histogram,
+    /// `stardust_persist_fsyncs_total` — successful fsyncs (WAL and
+    /// snapshot).
+    pub fsyncs: Counter,
+    /// `stardust_persist_fsync_failures_total` — failed or injected-
+    /// failure fsyncs.
+    pub fsync_failures: Counter,
+    /// `stardust_persist_wal_records_total` — records appended to WALs.
+    pub wal_records: Counter,
+    /// `stardust_persist_wal_bytes_total` — bytes appended to WALs.
+    pub wal_bytes: Counter,
+    /// `stardust_persist_torn_truncations_total` — torn WAL tails
+    /// truncated during recovery.
+    pub torn_truncations: Counter,
+    /// `stardust_persist_snapshot_fallbacks_total` — recoveries that
+    /// fell back to the previous snapshot generation.
+    pub snapshot_fallbacks: Counter,
+    /// `stardust_persist_replayed_total` — WAL appends replayed through
+    /// restored monitors at `open()`.
+    pub replayed: Counter,
+    /// `stardust_runtime_rejected_samples_total` — non-finite samples
+    /// rejected at the append boundary.
+    pub rejected: Counter,
 }
 
 impl RuntimeTelemetry {
@@ -42,6 +69,42 @@ impl RuntimeTelemetry {
             restore: registry.histogram(
                 "stardust_recovery_restore_ns",
                 "Crash restore (rebuild + replay) duration in nanoseconds",
+            ),
+            wal_append: registry.histogram(
+                "stardust_persist_wal_append_ns",
+                "On-disk WAL record append duration in nanoseconds",
+            ),
+            disk_recovery: registry.histogram(
+                "stardust_persist_recovery_ns",
+                "Per-shard disk recovery duration at open() in nanoseconds",
+            ),
+            fsyncs: registry.counter(
+                "stardust_persist_fsyncs_total",
+                "Successful fsyncs of WAL and snapshot files",
+            ),
+            fsync_failures: registry.counter(
+                "stardust_persist_fsync_failures_total",
+                "Failed (or fault-injected) fsyncs of WAL and snapshot files",
+            ),
+            wal_records: registry
+                .counter("stardust_persist_wal_records_total", "Records appended to on-disk WALs"),
+            wal_bytes: registry
+                .counter("stardust_persist_wal_bytes_total", "Bytes appended to on-disk WALs"),
+            torn_truncations: registry.counter(
+                "stardust_persist_torn_truncations_total",
+                "Torn WAL tails truncated during recovery",
+            ),
+            snapshot_fallbacks: registry.counter(
+                "stardust_persist_snapshot_fallbacks_total",
+                "Recoveries that fell back to the previous snapshot generation",
+            ),
+            replayed: registry.counter(
+                "stardust_persist_replayed_total",
+                "WAL appends replayed through restored monitors at open()",
+            ),
+            rejected: registry.counter(
+                "stardust_runtime_rejected_samples_total",
+                "Non-finite samples rejected at the append boundary",
             ),
         }
     }

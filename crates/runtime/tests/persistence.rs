@@ -1,0 +1,602 @@
+//! Durable persistence must survive process death and disk damage
+//! without changing what the framework detects.
+//!
+//! The tests here kill the whole runtime (`crash()`), damage its files
+//! (torn writes, bit flips, truncations, failed fsyncs), reopen the
+//! directory, re-submit everything past the durable watermark, and
+//! require the union of all delivered events to be *bit-identical* to
+//! an unfaulted single-threaded run. The proptest at the bottom attacks
+//! the WAL at arbitrary byte offsets: `open()` must either recover
+//! exactly or return a typed [`RecoveryError`] — never panic, never
+//! silently drop a checksummed-complete record. The `--ignored` tests
+//! make that sweep exhaustive (every offset, both damage modes) and add
+//! a multi-seed crash-storm stress.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::stream::StreamId;
+use stardust_core::transform::TransformKind;
+use stardust_core::unified::Event;
+use stardust_datagen::random_walk::{observed_r_max, random_walk_streams};
+use stardust_runtime::{
+    sort_events, AggregateSpec, Batch, DiskFaultKind, DiskFile, FaultPlan, MonitorSpec,
+    PersistConfig, RecoveryPolicy, RuntimeConfig, ShardedRuntime, SyncPolicy, TrendPattern,
+    TrendSpec,
+};
+
+const BASE_WINDOW: usize = 16;
+const LEVELS: usize = 3;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sd-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn workload(seed: u64, n_streams: usize, n_values: usize) -> (Vec<Vec<f64>>, f64) {
+    let streams = random_walk_streams(seed, n_streams, n_values);
+    let r_max = observed_r_max(&streams);
+    (streams, r_max)
+}
+
+/// Aggregate + trend spec whose thresholds the workload actually
+/// crosses, so the event-set equality below is not vacuous.
+fn spec_for(streams: &[Vec<f64>], r_max: f64) -> MonitorSpec {
+    let window = 2 * BASE_WINDOW;
+    let max_sum = streams
+        .iter()
+        .flat_map(|s| s.windows(window).map(|w| w.iter().sum::<f64>()))
+        .fold(f64::MIN, f64::max);
+    let pattern: Vec<f64> = streams[0][8..8 + window].to_vec();
+    MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window, threshold: max_sum * 0.98 }],
+            box_capacity: 4,
+        })
+        .with_trends(TrendSpec {
+            coeffs: 4,
+            box_capacity: 4,
+            patterns: vec![TrendPattern { sequence: pattern, radius: 0.05 }],
+        })
+}
+
+/// Every event an unfaulted single-threaded monitor emits for the
+/// feed, in emission order (the order a single-shard worker delivers
+/// and acks them in).
+fn emission_ordered_events(
+    spec: &MonitorSpec,
+    streams: &[Vec<f64>],
+    n_values: usize,
+) -> Vec<Event> {
+    let mut monitor = spec.build(streams.len()).unwrap().unwrap();
+    let mut events = Vec::new();
+    for t in 0..n_values {
+        for (s, stream) in streams.iter().enumerate() {
+            events.extend(monitor.append(s as StreamId, stream[t]));
+        }
+    }
+    events
+}
+
+/// Same, sorted for set comparison.
+fn reference_events(spec: &MonitorSpec, streams: &[Vec<f64>], n_values: usize) -> Vec<Event> {
+    let mut events = emission_ordered_events(spec, streams, n_values);
+    sort_events(&mut events);
+    events
+}
+
+fn config(shards: usize, faults: Option<Arc<FaultPlan>>, snapshot_every: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        shards,
+        queue_capacity: 32,
+        recovery: Some(RecoveryPolicy { snapshot_every }),
+        fault_plan: faults,
+        telemetry: None,
+    }
+}
+
+/// The exact sequence of appends shard `shard` journals for a full
+/// row-major feed (global ids kept — re-submission uses the public API).
+fn shard_feed(
+    streams: &[Vec<f64>],
+    n_values: usize,
+    shard: usize,
+    n_shards: usize,
+) -> Vec<(StreamId, f64)> {
+    let mut feed = Vec::new();
+    for t in 0..n_values {
+        for (s, stream) in streams.iter().enumerate() {
+            if s % n_shards == shard {
+                feed.push((s as StreamId, stream[t]));
+            }
+        }
+    }
+    feed
+}
+
+/// The full drill: feed through a persisted runtime under `faults`,
+/// kill the process (`crash()`), reopen the directory unfaulted,
+/// re-submit everything past each shard's durable watermark, and
+/// return the union of every event delivered along the way (sorted).
+#[allow(clippy::too_many_arguments)]
+fn crash_reopen_resubmit(
+    dir: &Path,
+    spec: &MonitorSpec,
+    streams: &[Vec<f64>],
+    n_values: usize,
+    shards: usize,
+    sync: SyncPolicy,
+    faults: Option<Arc<FaultPlan>>,
+    snapshot_every: u64,
+) -> Vec<Event> {
+    let persist = PersistConfig::new(dir).sync(sync);
+    let (rt, _) =
+        ShardedRuntime::open(spec, streams.len(), config(shards, faults, snapshot_every), {
+            persist.clone()
+        })
+        .unwrap();
+    for t in 0..n_values {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        if rt.submit_blocking(&batch).is_err() {
+            // A wedged shard failed stop; the rest of this feed is
+            // re-submitted from the durable watermark after reopen.
+            break;
+        }
+    }
+    let mut all_events = rt.crash().events;
+
+    let (mut rt, report) =
+        ShardedRuntime::open(spec, streams.len(), config(shards, None, snapshot_every), persist)
+            .unwrap();
+    all_events.extend(rt.drain_events());
+    let n_shards = rt.n_shards();
+    for shard_report in &report.shards {
+        let feed = shard_feed(streams, n_values, shard_report.shard, n_shards);
+        assert!(
+            shard_report.durable_appends as usize <= feed.len(),
+            "durable watermark beyond the submitted feed"
+        );
+        for &(stream, value) in &feed[shard_report.durable_appends as usize..] {
+            rt.append_blocking(stream, value).unwrap();
+        }
+    }
+    let report = rt.shutdown();
+    all_events.extend(report.events);
+    assert_eq!(
+        report.stats.total_appends(),
+        (streams.len() * n_values) as u64,
+        "the resubmitted run must cover the entire feed exactly once"
+    );
+    sort_events(&mut all_events);
+    all_events
+}
+
+/// Baseline: no faults at all. Kill the process mid-stream, reopen,
+/// keep feeding — the event set matches the unfaulted single monitor.
+#[test]
+fn crash_and_reopen_recover_the_exact_event_set() {
+    let n_values = 384;
+    let (streams, r_max) = workload(11, 4, n_values);
+    let spec = spec_for(&streams, r_max);
+    let reference = reference_events(&spec, &streams, n_values);
+    assert!(!reference.is_empty(), "workload must produce events");
+
+    for shards in [1usize, 3] {
+        let dir = tempdir(&format!("reopen-{shards}"));
+        let persist = PersistConfig::new(&dir).sync(SyncPolicy::EveryN(64));
+        let (rt, report) =
+            ShardedRuntime::open(&spec, streams.len(), config(shards, None, 64), persist.clone())
+                .unwrap();
+        assert_eq!(report.total_durable_appends(), 0, "fresh directory");
+        let half = n_values / 2;
+        for t in 0..half {
+            let batch: Batch =
+                streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        let mut all_events = rt.crash().events;
+
+        let (mut rt, report) =
+            ShardedRuntime::open(&spec, streams.len(), config(shards, None, 64), persist).unwrap();
+        assert_eq!(
+            report.total_durable_appends(),
+            (streams.len() * half) as u64,
+            "crash() drains accepted batches, so everything submitted is durable"
+        );
+        all_events.extend(rt.drain_events());
+        for t in half..n_values {
+            let batch: Batch =
+                streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        all_events.extend(rt.shutdown().events);
+        sort_events(&mut all_events);
+        assert_eq!(all_events, reference, "event set diverged at {shards} shards");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Every sync policy recovers the same state — the policy paces
+/// fsyncs, not what is written (process death keeps unsynced bytes).
+#[test]
+fn all_sync_policies_recover_identically() {
+    let n_values = 192;
+    let (streams, r_max) = workload(12, 3, n_values);
+    let spec = spec_for(&streams, r_max);
+    let reference = reference_events(&spec, &streams, n_values);
+
+    for (tag, sync) in [
+        ("always", SyncPolicy::Always),
+        ("every", SyncPolicy::EveryN(8)),
+        ("onsnap", SyncPolicy::OnSnapshot),
+    ] {
+        let dir = tempdir(&format!("sync-{tag}"));
+        let events = crash_reopen_resubmit(&dir, &spec, &streams, n_values, 2, sync, None, 48);
+        assert_eq!(events, reference, "policy {tag} diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A torn WAL write wedges its shard (fail stop), the torn tail is
+/// truncated at reopen, and re-submission from the durable watermark
+/// restores the exact event set.
+#[test]
+fn torn_write_fails_stop_and_recovers_the_prefix() {
+    let n_values = 256;
+    let (streams, r_max) = workload(13, 4, n_values);
+    let spec = spec_for(&streams, r_max);
+    let reference = reference_events(&spec, &streams, n_values);
+
+    // Tear the write that crosses byte 900 of shard 0's WAL — far
+    // enough in that complete records precede it.
+    let plan = Arc::new(FaultPlan::new().disk_fault(0, DiskFaultKind::TornWrite { at_byte: 900 }));
+    let dir = tempdir("torn");
+    let events = crash_reopen_resubmit(
+        &dir,
+        &spec,
+        &streams,
+        n_values,
+        2,
+        SyncPolicy::EveryN(16),
+        Some(Arc::clone(&plan)),
+        64,
+    );
+    assert_eq!(plan.fired_count(), 1, "the torn write must fire");
+    assert_eq!(events, reference, "torn write changed the detected event set");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected fsync failure aborts a snapshot rotation; the chain
+/// stays on the previous generation and nothing is lost.
+#[test]
+fn failed_fsync_aborts_rotation_but_loses_nothing() {
+    let n_values = 256;
+    let (streams, r_max) = workload(14, 4, n_values);
+    let spec = spec_for(&streams, r_max);
+    let reference = reference_events(&spec, &streams, n_values);
+
+    let plan = Arc::new(
+        FaultPlan::new()
+            .disk_fault(0, DiskFaultKind::FailFsync { nth: 2 })
+            .disk_fault(1, DiskFaultKind::FailFsync { nth: 0 }),
+    );
+    let dir = tempdir("fsync");
+    let events = crash_reopen_resubmit(
+        &dir,
+        &spec,
+        &streams,
+        n_values,
+        2,
+        SyncPolicy::EveryN(8),
+        Some(Arc::clone(&plan)),
+        32,
+    );
+    assert_eq!(plan.fired_count(), 2);
+    assert_eq!(events, reference, "aborted rotation changed the detected event set");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bit flip in the current snapshot file makes `open()` fall back to
+/// the previous generation and rebuild the same state from its WALs.
+#[test]
+fn corrupt_snapshot_falls_back_one_generation() {
+    let n_values = 320;
+    let (streams, r_max) = workload(15, 3, n_values);
+    let spec = spec_for(&streams, r_max);
+    let reference = reference_events(&spec, &streams, n_values);
+
+    let dir = tempdir("snapflip");
+    let persist = PersistConfig::new(&dir).sync(SyncPolicy::EveryN(16));
+    // Small cadence => several rotations, so a `.prev` generation exists.
+    let (rt, _) =
+        ShardedRuntime::open(&spec, streams.len(), config(1, None, 48), persist.clone()).unwrap();
+    for t in 0..n_values {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+    }
+    let mut all_events = rt.crash().events;
+    assert!(dir.join("shard-0.snap.prev").exists(), "cadence must have rotated at least twice");
+
+    let plan = Arc::new(
+        FaultPlan::new()
+            .disk_fault(0, DiskFaultKind::BitFlip { file: DiskFile::Snapshot, at_byte: 40 }),
+    );
+    let (mut rt, report) =
+        ShardedRuntime::open(&spec, streams.len(), config(1, Some(plan), 48), persist).unwrap();
+    assert!(report.any_fallback(), "damaged snapshot must trigger the fallback");
+    assert_eq!(
+        report.total_durable_appends(),
+        (streams.len() * n_values) as u64,
+        "the previous generation plus its WALs reproduce the full state"
+    );
+    all_events.extend(rt.drain_events());
+    let report = rt.shutdown();
+    all_events.extend(report.events);
+    sort_events(&mut all_events);
+    assert_eq!(all_events, reference, "fallback produced a different event set");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// WAL damage sweep: recover exactly or fail with a typed error.
+// ---------------------------------------------------------------------
+
+/// One frame of a clean WAL: where it ends, how many batch items it
+/// carries (0 for ack records), and the cumulative delivered-event
+/// count it acks (None for batch records).
+struct Frame {
+    end: usize,
+    items: u64,
+    ack: Option<u64>,
+}
+
+const WAL_HEADER_LEN: usize = 28;
+
+/// Parses the frame layout of a clean WAL so damage outcomes can be
+/// predicted exactly.
+fn wal_frames(bytes: &[u8]) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    let mut pos = WAL_HEADER_LEN;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let (items, ack) = match payload[0] {
+            0x00 => (u32::from_le_bytes(payload[1..5].try_into().unwrap()) as u64, None),
+            _ => (0, Some(u64::from_le_bytes(payload[1..9].try_into().unwrap()))),
+        };
+        pos += 8 + len;
+        frames.push(Frame { end: pos, items, ack });
+    }
+    assert_eq!(pos, bytes.len(), "clean WAL must parse to its exact length");
+    frames
+}
+
+/// A clean single-shard persisted run whose WAL carries every record
+/// (cadence 0 => no rotation), ready for the damage sweep.
+struct WalFixture {
+    dir: PathBuf,
+    spec: MonitorSpec,
+    streams: Vec<Vec<f64>>,
+    n_values: usize,
+    clean_wal: Vec<u8>,
+    frames: Vec<Frame>,
+    /// The full event sequence in emission order — the clean run
+    /// delivered (and acked) a prefix of exactly this sequence.
+    ordered: Vec<Event>,
+}
+
+impl WalFixture {
+    fn build(tag: &str, seed: u64, n_values: usize) -> Self {
+        let (streams, r_max) = workload(seed, 2, n_values);
+        let spec = spec_for(&streams, r_max);
+        let ordered = emission_ordered_events(&spec, &streams, n_values);
+        let dir = tempdir(tag);
+        let persist = PersistConfig::new(&dir).sync(SyncPolicy::EveryN(16));
+        let (rt, _) =
+            ShardedRuntime::open(&spec, streams.len(), config(1, None, 0), persist).unwrap();
+        for t in 0..n_values {
+            let batch: Batch =
+                streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        drop(rt.crash());
+        let clean_wal = std::fs::read(dir.join("shard-0.wal")).unwrap();
+        let frames = wal_frames(&clean_wal);
+        let total: u64 = frames.iter().map(|f| f.items).sum();
+        assert_eq!(total, (streams.len() * n_values) as u64, "every append must be in the WAL");
+        WalFixture { dir, spec, streams, n_values, clean_wal, frames, ordered }
+    }
+
+    /// The frames that survive damage at `offset`: every frame that
+    /// ends at or before it. (A frame containing the offset is the
+    /// damaged one; for truncation nothing after the cut survives, and
+    /// an offset inside the header keeps no frame at all.)
+    fn frames_before(&self, offset: usize) -> &[Frame] {
+        let n = self.frames.iter().take_while(|f| f.end <= offset).count();
+        &self.frames[..n]
+    }
+
+    /// Whether `offset` falls inside the last frame.
+    fn in_last_frame(&self, offset: usize) -> bool {
+        let start = self.frames.len().checked_sub(2).map(|i| self.frames[i].end);
+        offset >= start.unwrap_or(WAL_HEADER_LEN)
+    }
+
+    /// Applies `damage` to a scratch copy of the directory and opens
+    /// it. On success: asserts the durable watermark is exactly the
+    /// predicted complete-record prefix (nothing silently dropped, no
+    /// damaged record resurrected), then re-submits the remainder and
+    /// checks full event-set equality when `check_equality`. On error:
+    /// the error is typed by construction — reaching a `Result` at all
+    /// is the no-panic guarantee.
+    fn check(&self, case: &str, damage: Damage, check_equality: bool) {
+        let scratch = self
+            .dir
+            .with_file_name(format!("{}-case", self.dir.file_name().unwrap().to_string_lossy()));
+        copy_dir(&self.dir, &scratch);
+        let wal_path = scratch.join("shard-0.wal");
+        let mut bytes = self.clean_wal.clone();
+        let (expect_ok, survivors) = match damage {
+            Damage::Truncate(at) => {
+                bytes.truncate(at);
+                // Truncation is always tail damage: recovery keeps the
+                // complete-record prefix (a destroyed header keeps
+                // nothing — no complete record survives it).
+                (true, self.frames_before(at))
+            }
+            Damage::Flip(at) => {
+                bytes[at] ^= 0x01;
+                if at < WAL_HEADER_LEN {
+                    // Header damage is typed, never guessed around.
+                    (false, &[][..])
+                } else if self.in_last_frame(at) {
+                    // Damage to the final record is a torn tail.
+                    (true, self.frames_before(at))
+                } else {
+                    // Mid-log damage followed by complete records is
+                    // data loss — must be a typed error, not a
+                    // truncation that buries the survivors.
+                    (false, &[][..])
+                }
+            }
+        };
+        let expected_durable: u64 = survivors.iter().map(|f| f.items).sum();
+        // The last surviving ack is cumulative: that many events were
+        // delivered in the previous life, so recovery must suppress
+        // exactly that prefix of the emission order.
+        let suppressed = survivors.iter().filter_map(|f| f.ack).next_back().unwrap_or(0);
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let persist = PersistConfig::new(&scratch).sync(SyncPolicy::EveryN(16));
+        let opened =
+            ShardedRuntime::open(&self.spec, self.streams.len(), config(1, None, 0), persist);
+        match opened {
+            Ok((mut rt, report)) => {
+                assert!(expect_ok, "{case}: expected a typed error, recovered instead");
+                assert_eq!(
+                    report.shards[0].durable_appends, expected_durable,
+                    "{case}: watermark must equal the checksummed-complete prefix"
+                );
+                if check_equality {
+                    let mut all_events = rt.drain_events();
+                    let feed = shard_feed(&self.streams, self.n_values, 0, 1);
+                    for &(stream, value) in &feed[expected_durable as usize..] {
+                        rt.append_blocking(stream, value).unwrap();
+                    }
+                    all_events.extend(rt.shutdown().events);
+                    sort_events(&mut all_events);
+                    let mut expected = self.ordered[suppressed as usize..].to_vec();
+                    sort_events(&mut expected);
+                    assert_eq!(
+                        all_events, expected,
+                        "{case}: recovered + resubmitted events diverged \
+                         (suppressed={suppressed})"
+                    );
+                } else {
+                    drop(rt.crash());
+                }
+            }
+            Err(e) => {
+                assert!(!expect_ok, "{case}: expected recovery, got {e}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Damage {
+    Truncate(usize),
+    Flip(usize),
+}
+
+mod wal_damage {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fixture() -> &'static WalFixture {
+        use std::sync::OnceLock;
+        static FIXTURE: OnceLock<WalFixture> = OnceLock::new();
+        FIXTURE.get_or_init(|| WalFixture::build("prop", 21, 96))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        /// Sampled sweep: damage the WAL anywhere; `open()` recovers
+        /// the exact complete-record prefix or fails typed. Event-set
+        /// equality is re-proven on every recovered case.
+        #[test]
+        fn open_recovers_exactly_or_fails_typed(
+            offset in 0usize..4096,
+            flip in any::<bool>(),
+        ) {
+            let fx = fixture();
+            let offset = offset % fx.clean_wal.len();
+            let damage = if flip { Damage::Flip(offset) } else { Damage::Truncate(offset) };
+            fx.check(&format!("{damage:?}"), damage, true);
+        }
+    }
+}
+
+/// Exhaustive sweep: every byte offset, both damage modes. Run with
+/// `cargo test -- --ignored` (the CI persistence job does).
+#[test]
+#[ignore = "exhaustive; minutes of runtime"]
+fn exhaustive_wal_damage_sweep() {
+    let fx = WalFixture::build("sweep", 22, 64);
+    for offset in 0..fx.clean_wal.len() {
+        fx.check(&format!("truncate@{offset}"), Damage::Truncate(offset), false);
+        fx.check(&format!("flip@{offset}"), Damage::Flip(offset), false);
+    }
+    let _ = std::fs::remove_dir_all(&fx.dir);
+}
+
+/// Multi-seed stress: random workloads under every disk-fault kind,
+/// crash/reopen/re-submit, full event-set equality each time. Run with
+/// `cargo test -- --ignored`.
+#[test]
+#[ignore = "multi-seed stress; minutes of runtime"]
+fn multi_seed_disk_fault_storm() {
+    for seed in 0..8u64 {
+        let n_values = 192 + 16 * seed as usize;
+        let (streams, r_max) = workload(100 + seed, 4, n_values);
+        let spec = spec_for(&streams, r_max);
+        let reference = reference_events(&spec, &streams, n_values);
+        let kinds: Vec<FaultPlan> = vec![
+            FaultPlan::new().disk_fault(0, DiskFaultKind::TornWrite { at_byte: 400 + 64 * seed }),
+            FaultPlan::new().disk_fault(1, DiskFaultKind::FailFsync { nth: seed % 3 }),
+            FaultPlan::new()
+                .disk_fault(0, DiskFaultKind::TornWrite { at_byte: 700 })
+                .disk_fault(1, DiskFaultKind::FailFsync { nth: 1 }),
+        ];
+        for (k, plan) in kinds.into_iter().enumerate() {
+            let dir = tempdir(&format!("storm-{seed}-{k}"));
+            let events = crash_reopen_resubmit(
+                &dir,
+                &spec,
+                &streams,
+                n_values,
+                2,
+                SyncPolicy::EveryN(8),
+                Some(Arc::new(plan)),
+                48,
+            );
+            assert_eq!(events, reference, "seed {seed} fault {k} diverged");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -96,10 +96,13 @@ COMMANDS:
               --shards S (0: one per CPU)  --queue Q (64)  --batch rows (16)
               --streams M (64)  --values N (2048)  --seed (42)
               --base W (16)  --levels L (3)  --min-corr c (0.9)
-              --lambda L (6.0)  --classes agg,corr (query classes)
+              --lambda L (6.0)  --radius r (0.05)
+              --classes agg,corr (of agg|corr|trend)
               --query-iters K (32: scatter-gather latency samples)
               --emit-bench FILE (write a schema-stable JSON report for
-              CI regression gating; see crates/bench/src/bin/bench_gate.rs)
+              CI regression gating, including WAL-append and
+              disk-recovery micro-timings; see
+              crates/bench/src/bin/bench_gate.rs)
   metrics     run a workload through the instrumented runtime and dump
               the metrics registry (Prometheus text or JSON), including
               the observed vs Eq. 4-7 predicted false-alarm rate;
@@ -117,6 +120,20 @@ COMMANDS:
               --streams M (32)  --values N (2048)  --seed (42)
               --base W (16)  --levels L (3)  --min-corr c (0.9)
               --classes agg,corr (which query classes to enable)
+  chaos-disk  disk-fault drill: run the persisted runtime through every
+              disk-fault kind (torn WAL write, failed fsync, bit-flipped
+              snapshot, truncated WAL), kill the process mid-ingest,
+              reopen the directory, re-submit past the durable
+              watermark, and audit the recovered event set against an
+              unfaulted run; generates random-walk streams when no
+              input is given
+              --dir PATH (temp dir)  --shards S (2)  --queue Q (32)
+              --batch rows (16)  --snapshot-every A (64)
+              --sync-every E (8: WAL fsync cadence)
+              --torn-at B (600: WAL byte offset of the torn write)
+              --streams M (16)  --values N (2048)  --seed (42)
+              --base W (16)  --levels L (3)  --min-corr c (0.9)
+              --classes agg,corr (of agg|corr|trend)
 
 EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
@@ -124,6 +141,7 @@ EXAMPLE:
   stardust serve-bench --emit-bench BENCH_3.json
   stardust metrics --format prom --streams 8 --values 1024
   stardust chaos --shards 4 --snapshot-every 128 --seed 7
+  stardust chaos-disk --shards 2 --streams 8 --values 1024
 "
     .to_string()
 }
@@ -187,6 +205,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "serve-bench" => run_serve_bench(args, input),
         "metrics" => run_metrics(args, input),
         "chaos" => run_chaos(args, input),
+        "chaos-disk" => run_chaos_disk(args, input),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -406,12 +425,13 @@ fn monitor_spec_from_args(
     args: &Args,
     streams: &[Vec<f64>],
 ) -> Result<stardust_runtime::MonitorSpec, String> {
-    use stardust_runtime::{AggregateSpec, CorrelationSpec, MonitorSpec};
+    use stardust_runtime::{AggregateSpec, CorrelationSpec, MonitorSpec, TrendPattern, TrendSpec};
 
     let base: usize = args.get_or("base", 16)?;
     let levels: usize = args.get_or("levels", 3)?;
     let min_corr: f64 = args.get_or("min-corr", 0.9)?;
     let lambda: f64 = args.get_or("lambda", 6.0)?;
+    let radius: f64 = args.get_or("radius", 0.05)?;
     if base == 0 || !base.is_power_of_two() || levels == 0 {
         return Err("--base must be a positive power of two and --levels positive".into());
     }
@@ -439,10 +459,30 @@ fn monitor_spec_from_args(
                 });
             }
             "corr" => {
-                let radius = stardust_core::normalize::correlation_to_distance(min_corr);
-                spec = spec.with_correlations(CorrelationSpec { coeffs: 4, radius });
+                let corr_radius = stardust_core::normalize::correlation_to_distance(min_corr);
+                spec = spec.with_correlations(CorrelationSpec { coeffs: 4, radius: corr_radius });
             }
-            other => return Err(format!("unknown class '{other}' (agg|corr)")),
+            "trend" => {
+                // The registered pattern is a window cut from the first
+                // stream, like the `trend` subcommand run against its
+                // own input — guaranteed to have at least one match.
+                let window = AGG_WINDOW_FACTOR * base;
+                if n < 8 + window {
+                    return Err(format!(
+                        "input too short to cut a trend pattern ({n} values, need {})",
+                        8 + window
+                    ));
+                }
+                spec = spec.with_trends(TrendSpec {
+                    coeffs: 4,
+                    box_capacity: AGG_BOX_CAPACITY,
+                    patterns: vec![TrendPattern {
+                        sequence: streams[0][8..8 + window].to_vec(),
+                        radius,
+                    }],
+                });
+            }
+            other => return Err(format!("unknown class '{other}' (agg|corr|trend)")),
         }
     }
     Ok(spec)
@@ -536,6 +576,56 @@ fn index_micro_bench(n_items: usize) -> (u64, u64, u64, u64) {
         std::hint::black_box(t.len());
     });
     (insert_ns, query_ns, rebuild_bulk_ns, rebuild_replay_ns)
+}
+
+/// Persistence micro-timings for the `stardust-bench/v1` report: the
+/// per-append cost of ingesting the workload through a durably
+/// persisted runtime (`SyncPolicy::EveryN(64)`), and the wall time to
+/// reopen the directory after a `crash()` — WAL scan, checksum
+/// validation, and replay included. Returns
+/// `(wal_append_ns, recovery_ns, recovered_appends)`.
+fn persistence_micro_bench(
+    spec: &stardust_runtime::MonitorSpec,
+    streams: &[Vec<f64>],
+    shards: usize,
+    queue: usize,
+    batch_rows: usize,
+) -> Result<(u64, u64, u64), String> {
+    use stardust_runtime::{Batch, PersistConfig, RuntimeConfig, ShardedRuntime, SyncPolicy};
+
+    let m = streams.len();
+    let n = streams[0].len();
+    let dir = std::env::temp_dir().join(format!("stardust-bench-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || RuntimeConfig { shards, queue_capacity: queue, ..RuntimeConfig::default() };
+    let persist = || PersistConfig::new(&dir).sync(SyncPolicy::EveryN(64));
+
+    let (rt, _) = ShardedRuntime::open(spec, m, config(), persist()).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let mut row = 0;
+    while row < n {
+        let rows = batch_rows.min(n - row);
+        let batch: Batch = (row..row + rows)
+            .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+            .collect();
+        rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+        row += rows;
+    }
+    // Scatter-gather barrier: every batch above is journaled and
+    // applied before the clock stops.
+    rt.class_stats().map_err(|e| e.to_string())?;
+    let total = (m * n) as u64;
+    let wal_append_ns = (started.elapsed().as_nanos() / total.max(1) as u128) as u64;
+    drop(rt.crash());
+
+    let started = std::time::Instant::now();
+    let (rt, report) =
+        ShardedRuntime::open(spec, m, config(), persist()).map_err(|e| e.to_string())?;
+    let recovery_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let recovered_appends = report.total_durable_appends();
+    drop(rt.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((wal_append_ns, recovery_ns, recovered_appends))
 }
 
 fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
@@ -632,6 +722,12 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             "index micro ({micro_items} items): insert {insert_ns}ns, 100 queries {query_ns}ns, \
              rebuild bulk {rebuild_bulk_ns}ns vs replay {rebuild_replay_ns}ns ({rebuild_speedup:.2}x)\n"
         ));
+        let (wal_append_ns, recovery_ns, recovered_appends) =
+            persistence_micro_bench(&spec, &streams, shards, queue, batch_rows)?;
+        out.push_str(&format!(
+            "persistence micro: WAL append {wal_append_ns}ns/append (EveryN(64)), \
+             recovery of {recovered_appends} append(s) in {recovery_ns}ns\n"
+        ));
         let json = format!(
             concat!(
                 "{{\"schema\":\"stardust-bench/v1\",",
@@ -643,6 +739,8 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "\"index\":{{\"insert_ns\":{},\"items\":{},\"query_ns\":{}}},",
                 "\"maintenance\":{{\"rebuild_bulk_ns\":{},\"rebuild_replay_ns\":{},",
                 "\"rebuild_speedup\":{}}},",
+                "\"persistence\":{{\"recovered_appends\":{},\"recovery_ns\":{},",
+                "\"wal_append_ns\":{}}},",
                 "\"metrics\":{}}}\n"
             ),
             batch_rows,
@@ -663,6 +761,9 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             rebuild_bulk_ns,
             rebuild_replay_ns,
             json_num(rebuild_speedup),
+            recovered_appends,
+            recovery_ns,
+            wal_append_ns,
             registry.render_json(),
         );
         std::fs::write(path, &json)
@@ -848,6 +949,196 @@ fn run_chaos(args: &Args, input: &str) -> Result<String, String> {
         baseline.len(),
     ));
     out.push_str(&stats.render());
+    Ok(out)
+}
+
+/// Disk-fault drill: for each disk-fault kind, run the persisted
+/// runtime with that fault injected, kill the whole process
+/// (`crash()`), reopen the directory, re-submit everything past each
+/// shard's durable watermark, and audit the union of delivered events
+/// against an unfaulted in-memory run.
+///
+/// Two of the four kinds can legally re-deliver a suffix of events:
+/// a torn write or an at-rest WAL truncation may destroy the ack
+/// records of events that already left the process, so exactly-once
+/// degrades to at-least-once for that tail (see DESIGN.md
+/// §Durability). Those drills audit the *deduplicated* union; the
+/// failed-fsync and bit-flipped-snapshot drills lose no acks and are
+/// audited bit-exact.
+fn run_chaos_disk(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{
+        sort_events, Batch, DiskFaultKind, DiskFile, FaultPlan, PersistConfig, RecoveryPolicy,
+        RuntimeConfig, RuntimeError, ShardedRuntime, SyncPolicy,
+    };
+    use std::sync::Arc;
+
+    let shards: usize = args.get_or("shards", 2)?;
+    let queue: usize = args.get_or("queue", 32)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+    let snapshot_every: u64 = args.get_or("snapshot-every", 64)?;
+    let sync_every: u64 = args.get_or("sync-every", 8)?;
+    let torn_at: u64 = args.get_or("torn-at", 600)?;
+    if shards == 0 || snapshot_every == 0 || sync_every == 0 {
+        return Err("--shards, --snapshot-every, and --sync-every must be positive".into());
+    }
+
+    let streams = workload_from_args(args, input, 16)?;
+    let m = streams.len();
+    let n = streams[0].len();
+    if m < shards {
+        return Err(format!("need at least one stream per shard ({m} streams, {shards} shards)"));
+    }
+    let spec = monitor_spec_from_args(args, &streams)?;
+
+    let base_dir = match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("stardust-chaos-disk-{}", std::process::id())),
+    };
+
+    // Unfaulted reference: the same workload through the in-memory
+    // runtime. PR-tier determinism tests prove this equals a
+    // single-threaded feed, so it is the drill's ground truth.
+    let reference_rt = ShardedRuntime::launch(
+        &spec,
+        m,
+        RuntimeConfig { shards, queue_capacity: queue, ..RuntimeConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut row = 0;
+    while row < n {
+        let rows = batch_rows.min(n - row);
+        let batch: Batch = (row..row + rows)
+            .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+            .collect();
+        reference_rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+        row += rows;
+    }
+    let mut reference = reference_rt.shutdown().events;
+    sort_events(&mut reference);
+
+    // The append order each shard journals, so the post-recovery
+    // re-submission can start exactly at the durable watermark.
+    let shard_feeds: Vec<Vec<(u32, f64)>> = (0..shards)
+        .map(|shard| {
+            let mut feed = Vec::new();
+            for t in 0..n {
+                for (s, x) in streams.iter().enumerate() {
+                    if s % shards == shard {
+                        feed.push((s as u32, x[t]));
+                    }
+                }
+            }
+            feed
+        })
+        .collect();
+
+    // (name, fault kind, fires at open time, audit modulo duplicates)
+    let drills: [(&str, DiskFaultKind, bool, bool); 4] = [
+        ("torn-write", DiskFaultKind::TornWrite { at_byte: torn_at }, false, true),
+        ("failed-fsync", DiskFaultKind::FailFsync { nth: 1 }, false, false),
+        (
+            "bit-flip-snap",
+            DiskFaultKind::BitFlip { file: DiskFile::Snapshot, at_byte: 40 },
+            true,
+            false,
+        ),
+        // Cut just past the 28-byte segment header: whatever records
+        // the live segment holds at the kill are destroyed, however
+        // short the segment is (offsets clamp into the file).
+        ("truncate-wal", DiskFaultKind::TruncateWal { at_byte: 30 }, true, true),
+    ];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# chaos-disk drill: {m} streams x {n} values, {shards} shard(s), \
+         snapshot every {snapshot_every} append(s), fsync every {sync_every} record(s)\n"
+    ));
+    for &(name, kind, at_open, dedup) in &drills {
+        let dir = base_dir.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = Arc::new(FaultPlan::new().disk_fault(0, kind));
+        let config = |faults: Option<Arc<FaultPlan>>| RuntimeConfig {
+            shards,
+            queue_capacity: queue,
+            recovery: Some(RecoveryPolicy { snapshot_every }),
+            fault_plan: faults,
+            telemetry: None,
+        };
+        let persist = || PersistConfig::new(&dir).sync(SyncPolicy::EveryN(sync_every));
+
+        // Phase 1: ingest under the fault (write-path faults fire here;
+        // at-rest faults wait for the reopen), then kill the process.
+        let live = if at_open { None } else { Some(Arc::clone(&plan)) };
+        let (mut rt, _) = ShardedRuntime::open(&spec, m, config(live), persist())
+            .map_err(|e| format!("{name}: open failed: {e}"))?;
+        let mut events = Vec::new();
+        let mut row = 0;
+        while row < n {
+            let rows = batch_rows.min(n - row);
+            let batch: Batch = (row..row + rows)
+                .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+                .collect();
+            match rt.submit_blocking(&batch) {
+                Ok(()) => {}
+                // A wedged shard closes its queue mid-ingest; the rest
+                // of the feed is re-submitted after recovery.
+                Err(RuntimeError::Disconnected) => break,
+                Err(e) => return Err(format!("{name}: ingest failed: {e}")),
+            }
+            events.extend(rt.drain_events());
+            row += rows;
+        }
+        events.extend(rt.crash().events);
+
+        // Phase 2: reopen (at-rest faults damage the files now), let
+        // the replay re-deliver the unacked tail, then re-submit
+        // everything past each shard's durable watermark.
+        let open_faults = if at_open { Some(Arc::clone(&plan)) } else { None };
+        let (mut rt, report) = ShardedRuntime::open(&spec, m, config(open_faults), persist())
+            .map_err(|e| format!("{name}: recovery failed: {e}"))?;
+        events.extend(rt.drain_events());
+        for (shard, shard_report) in report.shards.iter().enumerate() {
+            for &(stream, value) in &shard_feeds[shard][shard_report.durable_appends as usize..] {
+                rt.append_blocking(stream, value)
+                    .map_err(|e| format!("{name}: re-submission failed: {e}"))?;
+            }
+        }
+        events.extend(rt.shutdown().events);
+        sort_events(&mut events);
+        if dedup {
+            events.dedup();
+        }
+
+        let verdict = if events == reference { "AUDIT OK" } else { "AUDIT FAILED" };
+        out.push_str(&format!(
+            "{name:<14} fired {}/1, durable {}/{} append(s), replayed {}, \
+             truncated {} byte(s), fallback {} — {verdict}{}\n",
+            plan.fired_count(),
+            report.total_durable_appends(),
+            m * n,
+            report.total_replayed(),
+            report.total_truncated_bytes(),
+            report.any_fallback(),
+            if dedup { " (modulo re-delivered tail)" } else { "" },
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        if events != reference {
+            return Err(format!(
+                "{out}AUDIT FAILED: {name}: recovered {} event(s), unfaulted run {} — \
+                 disk recovery lost or corrupted events",
+                events.len(),
+                reference.len(),
+            ));
+        }
+    }
+    if args.get("dir").is_none() {
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+    out.push_str(&format!(
+        "AUDIT OK: all {} disk-fault drills recovered the unfaulted event set ({} event(s))\n",
+        drills.len(),
+        reference.len(),
+    ));
     Ok(out)
 }
 

@@ -87,6 +87,17 @@ fn serve_bench_emits_schema_stable_report() {
     assert!(bulk > 0 && bulk <= replay, "bulk rebuild slower than replay: {bulk} vs {replay}");
     assert!(speedup >= 1.0, "rebuild speedup below 1: {speedup}");
 
+    // Persistence micro-timings consumed by bench_gate: the durable
+    // WAL path must have recovered the full workload it journaled.
+    let persist = doc.get("persistence").expect("persistence section");
+    assert_eq!(
+        persist.get("recovered_appends").and_then(Value::as_u64),
+        Some(8 * 512),
+        "disk recovery must surface every journaled append"
+    );
+    assert!(persist.get("wal_append_ns").and_then(Value::as_u64).expect("wal ns") > 0);
+    assert!(persist.get("recovery_ns").and_then(Value::as_u64).expect("recovery ns") > 0);
+
     // The embedded registry document: every value ingested is an append
     // seen by the summarizers of the enabled classes (aggregate plus
     // correlation in the default generated workload), and the class
@@ -158,4 +169,28 @@ fn chaos_drill_still_audits_after_telemetry_wiring() {
     let (cmd, args) = argv(&["chaos", "--streams", "8", "--values", "256", "--shards", "2"]);
     let out = run(&cmd, &args, "").expect("chaos runs");
     assert!(out.contains("AUDIT OK"), "chaos audit failed:\n{out}");
+}
+
+#[test]
+fn chaos_disk_drill_audits_every_fault_kind() {
+    let dir = std::env::temp_dir().join(format!("stardust-golden-disk-{}", std::process::id()));
+    let (cmd, args) = argv(&[
+        "chaos-disk",
+        "--streams",
+        "8",
+        "--values",
+        "1000",
+        "--shards",
+        "2",
+        "--dir",
+        dir.to_str().expect("utf-8 temp path"),
+    ]);
+    let out = run(&cmd, &args, "").expect("chaos-disk runs");
+    std::fs::remove_dir_all(&dir).ok();
+    for kind in ["torn-write", "failed-fsync", "bit-flip-snap", "truncate-wal"] {
+        assert!(out.contains(kind), "drill for {kind} missing:\n{out}");
+    }
+    assert_eq!(out.matches("fired 1/1").count(), 4, "every fault must fire exactly once:\n{out}");
+    assert!(out.contains("fallback true"), "snapshot fallback must engage:\n{out}");
+    assert!(out.contains("AUDIT OK: all 4 disk-fault drills"), "chaos-disk audit failed:\n{out}");
 }
