@@ -17,6 +17,13 @@
 //!   better, gated with `--micro-tolerance`: the per-append cost of the
 //!   durable WAL path (`SyncPolicy::EveryN(64)`) and the wall time to
 //!   reopen and replay the directory after a crash.
+//! * `server.throughput_values_per_s` — higher is better, gated with
+//!   `--tolerance`: sustained socket-level append throughput across the
+//!   self-hosted client fleet.
+//! * `server.append_p50_ns` — lower is better, gated with
+//!   `--micro-tolerance`: the median append round trip over loopback
+//!   TCP (scheduler- and loopback-noise makes it wobble like the other
+//!   micro-timings).
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
 //! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`) is
@@ -49,6 +56,8 @@ struct Report {
     rebuild_replay_ns: f64,
     wal_append_ns: f64,
     recovery_ns: f64,
+    server_throughput: f64,
+    server_p50_ns: f64,
 }
 
 fn load(path: &str) -> Result<Report, String> {
@@ -73,6 +82,8 @@ fn load(path: &str) -> Result<Report, String> {
         rebuild_replay_ns: num("maintenance", "rebuild_replay_ns")?,
         wal_append_ns: num("persistence", "wal_append_ns")?,
         recovery_ns: num("persistence", "recovery_ns")?,
+        server_throughput: num("server", "throughput_values_per_s")?,
+        server_p50_ns: num("server", "append_p50_ns")?,
     })
 }
 
@@ -172,6 +183,20 @@ fn run() -> Result<bool, String> {
         "disk recovery (ns)",
         baseline.recovery_ns,
         candidate.recovery_ns,
+        false,
+        micro_tolerance,
+    );
+    check(
+        "server throughput (values/s)",
+        baseline.server_throughput,
+        candidate.server_throughput,
+        true,
+        tolerance,
+    );
+    check(
+        "server append p50 (ns)",
+        baseline.server_p50_ns,
+        candidate.server_p50_ns,
         false,
         micro_tolerance,
     );

@@ -1,0 +1,84 @@
+//! Load driver for `stardust serve`: sustained concurrent clients ×
+//! append throughput × tail latency, with a zero-loss/zero-duplication
+//! event audit in self-hosted mode.
+//!
+//! ```text
+//! load_driver [--quick] [--clients N] [--values N] [--batch N]
+//!             [--shards N] [--queue N] [--seed N]
+//!             [--addr HOST:PORT --token TOK]   # target a live server
+//! ```
+//!
+//! Default is self-hosted: an in-process server on `127.0.0.1:0`, then
+//! a bit-identical event-set audit against a direct runtime run.
+//! Exits non-zero if the audit fails. `--quick` is the CI profile.
+
+use stardust_bench::server_load::{run_remote, run_self_hosted, LoadConfig};
+use stardust_bench::Table;
+
+fn arg_val(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    arg_val(args, key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut cfg = LoadConfig::default();
+    if quick {
+        cfg.values_per_client = 1_024;
+    }
+    cfg.clients = parse(&args, "--clients", cfg.clients);
+    cfg.values_per_client = parse(&args, "--values", cfg.values_per_client);
+    cfg.batch = parse(&args, "--batch", cfg.batch);
+    cfg.shards = parse(&args, "--shards", cfg.shards);
+    cfg.queue_capacity = parse(&args, "--queue", cfg.queue_capacity);
+    cfg.seed = parse(&args, "--seed", cfg.seed);
+
+    let result = match arg_val(&args, "--addr") {
+        Some(addr) => {
+            let token = arg_val(&args, "--token").unwrap_or_else(|| "bench-token".into());
+            eprintln!("driving live server at {addr} ({} clients)…", cfg.clients);
+            run_remote(&addr, &token, &cfg)
+        }
+        None => {
+            eprintln!("self-hosted run ({} clients, audited)…", cfg.clients);
+            run_self_hosted(&cfg)
+        }
+    };
+
+    let mut table = Table::new(&[
+        "clients",
+        "values",
+        "elapsed_s",
+        "values/s",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "busy",
+        "audit",
+    ]);
+    table.row(&[
+        result.clients.to_string(),
+        result.values.to_string(),
+        format!("{:.2}", result.elapsed_s),
+        format!("{:.0}", result.throughput_values_per_s),
+        format!("{:.1}", result.append_p50_ns as f64 / 1e3),
+        format!("{:.1}", result.append_p95_ns as f64 / 1e3),
+        format!("{:.1}", result.append_p99_ns as f64 / 1e3),
+        result.busy_replies.to_string(),
+        match result.audit_ok {
+            Some(true) => format!("ok ({} events)", result.audit_events),
+            Some(false) => "FAILED".into(),
+            None => "n/a (remote)".into(),
+        },
+    ]);
+    table.print();
+
+    if result.audit_ok == Some(false) {
+        eprintln!("event-set audit FAILED: socket ingest lost or duplicated events");
+        std::process::exit(1);
+    }
+}

@@ -79,6 +79,7 @@ mod stats;
 mod telemetry;
 
 pub use fault::{DiskFault, DiskFaultKind, DiskFile, Fault, FaultKind, FaultPlan};
+pub use persist::crc32::crc32;
 pub use persist::{PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport, SyncPolicy};
 pub use runtime::{
     sort_events, Batch, PartialSubmit, QueueFull, RecoveryPolicy, RuntimeConfig, ShardedRuntime,

@@ -33,7 +33,7 @@
 //! records. Every single-fault state either recovers exactly or fails
 //! with a typed [`RecoveryError`].
 
-mod crc32;
+pub(crate) mod crc32;
 mod snapfile;
 mod wal;
 

@@ -66,6 +66,11 @@ impl Batch {
         self.items.len()
     }
 
+    /// The batched `(stream, value)` pairs, in push order.
+    pub fn items(&self) -> &[(StreamId, f64)] {
+        &self.items
+    }
+
     /// Whether the batch holds no values.
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
@@ -309,7 +314,11 @@ impl Shared {
 pub struct ShardedRuntime {
     n_streams: usize,
     shared: Arc<Shared>,
-    events_rx: Receiver<Event>,
+    /// The collector receiver. `mpsc::Receiver` is `!Sync`, so it lives
+    /// behind a mutex: the runtime itself is then `Sync` and a network
+    /// front end can share one instance across handler threads while a
+    /// single collector thread drains events.
+    events_rx: Mutex<Receiver<Event>>,
     supervisor: Option<JoinHandle<()>>,
     finished: bool,
 }
@@ -364,7 +373,13 @@ impl ShardedRuntime {
         );
         Self::start_workers(&shared, monitors.into_iter().map(|m| (m, 0)).collect())?;
         let supervisor = if with_recovery { Some(Self::start_supervisor(&shared)?) } else { None };
-        Ok(ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false })
+        Ok(ShardedRuntime {
+            n_streams,
+            shared,
+            events_rx: Mutex::new(events_rx),
+            supervisor,
+            finished: false,
+        })
     }
 
     /// Opens (or creates) a durable runtime backed by `persist.dir`.
@@ -514,7 +529,14 @@ impl ShardedRuntime {
         );
         Self::start_workers(&shared, seeds)?;
         let supervisor = Some(Self::start_supervisor(&shared)?);
-        Ok((ShardedRuntime { n_streams, shared, events_rx, supervisor, finished: false }, report))
+        let rt = ShardedRuntime {
+            n_streams,
+            shared,
+            events_rx: Mutex::new(events_rx),
+            supervisor,
+            finished: false,
+        };
+        Ok((rt, report))
     }
 
     /// Builds the shared state common to [`Self::launch`] and
@@ -731,8 +753,14 @@ impl ShardedRuntime {
 
     /// Every event collected so far, in collector arrival order
     /// (interleaved across shards; per-stream order is preserved).
-    pub fn drain_events(&mut self) -> Vec<Event> {
-        self.events_rx.try_iter().collect()
+    /// Concurrent callers serialize on the collector receiver; each
+    /// event is delivered to exactly one of them.
+    pub fn drain_events(&self) -> Vec<Event> {
+        self.events_rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .try_iter()
+            .collect()
     }
 
     /// A live counter snapshot (racy by one message against in-flight
@@ -819,7 +847,7 @@ impl ShardedRuntime {
     /// undrained events are returned.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.finish(true);
-        let events: Vec<Event> = self.events_rx.try_iter().collect();
+        let events: Vec<Event> = self.drain_events();
         ShutdownReport { stats: self.stats(), events }
     }
 
@@ -833,7 +861,7 @@ impl ShardedRuntime {
     /// view — which [`Self::open`] must then recover.
     pub fn crash(mut self) -> ShutdownReport {
         self.finish(false);
-        let events: Vec<Event> = self.events_rx.try_iter().collect();
+        let events: Vec<Event> = self.drain_events();
         ShutdownReport { stats: self.stats(), events }
     }
 
@@ -882,6 +910,13 @@ impl Drop for ShardedRuntime {
         self.finish(false);
     }
 }
+
+// A network front end shares one runtime across connection-handler
+// threads: `&ShardedRuntime` must be sendable to all of them.
+const _: fn() = || {
+    fn _assert_sync<T: Send + Sync>() {}
+    _assert_sync::<ShardedRuntime>();
+};
 
 /// Sorts events into a canonical total order: by query class, then
 /// stream(s), then time, then the class-specific payload. Two event

@@ -27,7 +27,7 @@ fn heavy_batch() -> Batch {
 
 #[test]
 fn try_append_reports_queue_full_then_recovers() {
-    let mut rt = ShardedRuntime::launch(
+    let rt = ShardedRuntime::launch(
         &spec(),
         1,
         RuntimeConfig { shards: 1, queue_capacity: 2, ..RuntimeConfig::default() },

@@ -158,7 +158,7 @@ fn crash_reopen_resubmit(
     }
     let mut all_events = rt.crash().events;
 
-    let (mut rt, report) =
+    let (rt, report) =
         ShardedRuntime::open(spec, streams.len(), config(shards, None, snapshot_every), persist)
             .unwrap();
     all_events.extend(rt.drain_events());
@@ -209,7 +209,7 @@ fn crash_and_reopen_recover_the_exact_event_set() {
         }
         let mut all_events = rt.crash().events;
 
-        let (mut rt, report) =
+        let (rt, report) =
             ShardedRuntime::open(&spec, streams.len(), config(shards, None, 64), persist).unwrap();
         assert_eq!(
             report.total_durable_appends(),
@@ -334,7 +334,7 @@ fn corrupt_snapshot_falls_back_one_generation() {
         FaultPlan::new()
             .disk_fault(0, DiskFaultKind::BitFlip { file: DiskFile::Snapshot, at_byte: 40 }),
     );
-    let (mut rt, report) =
+    let (rt, report) =
         ShardedRuntime::open(&spec, streams.len(), config(1, Some(plan), 48), persist).unwrap();
     assert!(report.any_fallback(), "damaged snapshot must trigger the fallback");
     assert_eq!(
@@ -484,7 +484,7 @@ impl WalFixture {
         let opened =
             ShardedRuntime::open(&self.spec, self.streams.len(), config(1, None, 0), persist);
         match opened {
-            Ok((mut rt, report)) => {
+            Ok((rt, report)) => {
                 assert!(expect_ok, "{case}: expected a typed error, recovered instead");
                 assert_eq!(
                     report.shards[0].durable_appends, expected_durable,

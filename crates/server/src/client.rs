@@ -1,0 +1,312 @@
+//! A blocking `SDNET001` client, used by the CLI load driver, the
+//! integration tests, and as the reference implementation for anyone
+//! speaking the protocol from another language.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use stardust_runtime::ClassStats;
+
+use crate::protocol::{
+    encode_frame, parse_frame, ErrorCode, FrameParse, MetricsFormat, QuotaKind, Reply, Request,
+    WireError, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN, NET_MAGIC,
+};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket error (including read timeout).
+    Io(std::io::Error),
+    /// The server's bytes did not decode.
+    Wire(WireError),
+    /// The server answered with a typed [`Reply::Error`].
+    Server {
+        /// The error class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The server said `Bye` (graceful drain) where a reply was
+    /// expected.
+    ServerClosed,
+    /// The server answered with a reply of the wrong type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "undecodable server bytes: {e}"),
+            ClientError::Server { code, detail } => {
+                write!(f, "server error {code:?}: {detail}")
+            }
+            ClientError::ServerClosed => f.write_str("server is draining (Bye)"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The server's `HelloOk` answer.
+#[derive(Debug, Clone)]
+pub struct HelloInfo {
+    /// Tenant name.
+    pub tenant: String,
+    /// Namespace size: valid stream ids are `0..streams`.
+    pub streams: u32,
+    /// Append-rate quota in values/second (`0` = unlimited).
+    pub append_rate: u64,
+}
+
+/// Outcome of a single [`Client::append`] round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppendOutcome {
+    /// Every value was admitted.
+    Appended(u32),
+    /// Backpressure: the listed indices were not admitted.
+    Busy {
+        /// Suggested backoff.
+        retry_after_ms: u32,
+        /// Rejected indices into the sent batch.
+        rejected: Vec<u32>,
+    },
+    /// A tenant quota rejected the whole batch.
+    Quota {
+        /// Which quota.
+        kind: QuotaKind,
+        /// Suggested backoff (0 for non-time-based quotas).
+        retry_after_ms: u32,
+        /// Server-provided detail.
+        detail: String,
+    },
+}
+
+/// Retry accounting from [`Client::append_all`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppendAllStats {
+    /// `Busy` replies absorbed (partial resends performed).
+    pub busy_replies: u64,
+    /// `QuotaExceeded(AppendRate)` waits absorbed.
+    pub rate_waits: u64,
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects, handshakes, and authenticates in one call.
+    ///
+    /// # Errors
+    /// Any socket failure; [`ClientError::Server`] with
+    /// [`ErrorCode::Unauthenticated`] on a bad token.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        token: &str,
+    ) -> Result<(Client, HelloInfo), ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.write_all(NET_MAGIC)?;
+        let mut magic = [0u8; NET_MAGIC.len()];
+        stream.read_exact(&mut magic)?;
+        if &magic != NET_MAGIC {
+            return Err(ClientError::Protocol("server did not echo the protocol magic".into()));
+        }
+        let mut client =
+            Client { stream, buf: Vec::with_capacity(4096), max_frame: DEFAULT_MAX_FRAME };
+        let info = match client.request(&Request::Hello { token: token.into() })? {
+            Reply::HelloOk { tenant, streams, append_rate } => {
+                HelloInfo { tenant, streams, append_rate }
+            }
+            other => return Err(unexpected("HelloOk", &other)),
+        };
+        Ok((client, info))
+    }
+
+    /// Sends one request and reads exactly one reply. `Error` replies
+    /// become [`ClientError::Server`]; an unsolicited `Bye` becomes
+    /// [`ClientError::ServerClosed`].
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        self.stream.write_all(&encode_frame(&req.encode()))?;
+        match self.read_reply()? {
+            Reply::Error { code, detail } => Err(ClientError::Server { code, detail }),
+            Reply::Bye => Err(ClientError::ServerClosed),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Reads one framed reply off the socket (blocking, ≤ 30 s).
+    pub fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            match parse_frame(&self.buf, self.max_frame) {
+                FrameParse::Frame { consumed } => {
+                    let reply = Reply::decode(&self.buf[FRAME_HEADER_LEN..consumed])
+                        .map_err(ClientError::Wire)?;
+                    self.buf.drain(..consumed);
+                    return Ok(reply);
+                }
+                FrameParse::NeedMore(_) => {
+                    let mut chunk = [0u8; 8192];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed the connection",
+                        )));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                FrameParse::TooLarge(len) => {
+                    return Err(ClientError::Wire(WireError::FrameTooLarge {
+                        len,
+                        max: self.max_frame,
+                    }))
+                }
+                FrameParse::BadCrc => return Err(ClientError::Wire(WireError::BadCrc)),
+            }
+        }
+    }
+
+    /// One append round; quota and backpressure rejections come back as
+    /// data, not errors.
+    pub fn append(&mut self, items: &[(u32, f64)]) -> Result<AppendOutcome, ClientError> {
+        match self.request(&Request::Append { items: items.to_vec() })? {
+            Reply::AppendOk { appended } => Ok(AppendOutcome::Appended(appended)),
+            Reply::Busy { retry_after_ms, rejected } => {
+                Ok(AppendOutcome::Busy { retry_after_ms, rejected })
+            }
+            Reply::QuotaExceeded { kind, retry_after_ms, detail } => {
+                Ok(AppendOutcome::Quota { kind, retry_after_ms, detail })
+            }
+            other => Err(unexpected("AppendOk/Busy/QuotaExceeded", &other)),
+        }
+    }
+
+    /// Appends every value, absorbing `Busy` partial rejections (resend
+    /// only the rejected indices, after the quoted backoff) and
+    /// append-rate waits. Returns the retry accounting. Exactly-once:
+    /// each value is admitted by the server exactly one time.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] on a `StreamCount` quota rejection
+    /// (retrying cannot fix an out-of-range id), otherwise any
+    /// transport/server error.
+    pub fn append_all(&mut self, items: &[(u32, f64)]) -> Result<AppendAllStats, ClientError> {
+        let mut stats = AppendAllStats::default();
+        let mut pending: Vec<(u32, f64)> = items.to_vec();
+        while !pending.is_empty() {
+            match self.append(&pending)? {
+                AppendOutcome::Appended(_) => break,
+                AppendOutcome::Busy { retry_after_ms, rejected } => {
+                    stats.busy_replies += 1;
+                    pending =
+                        rejected.iter().filter_map(|&i| pending.get(i as usize).copied()).collect();
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                }
+                AppendOutcome::Quota { kind: QuotaKind::AppendRate, retry_after_ms, .. } => {
+                    stats.rate_waits += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                }
+                AppendOutcome::Quota { kind: QuotaKind::StreamCount, detail, .. } => {
+                    return Err(ClientError::Protocol(format!(
+                        "stream-count quota cannot be retried: {detail}"
+                    )));
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Current composed interval of one monitored aggregate window.
+    pub fn aggregate_interval(
+        &mut self,
+        stream: u32,
+        window: u32,
+    ) -> Result<Option<(f64, f64)>, ClientError> {
+        match self.request(&Request::AggregateInterval { stream, window })? {
+            Reply::AggregateInterval(ans) => Ok(ans),
+            other => Err(unexpected("AggregateInterval", &other)),
+        }
+    }
+
+    /// Cumulative per-class counters, merged across shards.
+    pub fn class_stats(&mut self) -> Result<ClassStats, ClientError> {
+        match self.request(&Request::ClassStats)? {
+            Reply::ClassStats(s) => Ok(s),
+            other => Err(unexpected("ClassStats", &other)),
+        }
+    }
+
+    /// Currently correlated pairs inside this tenant's namespace, in
+    /// tenant-local ids.
+    pub fn correlated_pairs(&mut self) -> Result<Vec<(u32, u32, f64)>, ClientError> {
+        match self.request(&Request::CorrelatedPairs)? {
+            Reply::CorrelatedPairs(pairs) => Ok(pairs),
+            other => Err(unexpected("CorrelatedPairs", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics registry in the requested format.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics { format })? {
+            Reply::Metrics { payload, .. } => Ok(payload),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Clean close: sends `Goodbye`, waits for `Bye`, drops the socket.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        self.stream.write_all(&encode_frame(&Request::Goodbye.encode()))?;
+        match self.read_reply()? {
+            Reply::Bye => Ok(()),
+            other => Err(unexpected("Bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Reply) -> ClientError {
+    let tag = match got {
+        Reply::HelloOk { .. } => "HelloOk",
+        Reply::AppendOk { .. } => "AppendOk",
+        Reply::Busy { .. } => "Busy",
+        Reply::QuotaExceeded { .. } => "QuotaExceeded",
+        Reply::AggregateInterval(_) => "AggregateInterval",
+        Reply::ClassStats(_) => "ClassStats",
+        Reply::CorrelatedPairs(_) => "CorrelatedPairs",
+        Reply::Metrics { .. } => "Metrics",
+        Reply::Pong => "Pong",
+        Reply::Error { .. } => "Error",
+        Reply::Bye => "Bye",
+    };
+    ClientError::Protocol(format!("expected {wanted}, got {tag}"))
+}

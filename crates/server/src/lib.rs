@@ -1,0 +1,79 @@
+//! stardust-server — a multi-client TCP ingest/query front end over
+//! [`stardust_runtime::ShardedRuntime`].
+//!
+//! The paper's monitor — and the sharded runtime scaling it out — live
+//! in-process. This crate puts a socket in front: many clients append
+//! to and query one runtime over a versioned, length-prefixed binary
+//! protocol (`SDNET001`, CRC-32 per frame), with
+//!
+//! * **tenant namespaces** — each authenticated token maps to a
+//!   contiguous, private slice of the stream space, addressed with
+//!   tenant-local ids ([`TenantConfig`]);
+//! * **quotas** — per-tenant stream counts and token-bucket append
+//!   rates, rejected with typed `QuotaExceeded` replies;
+//! * **admission control** — full shard queues surface as typed
+//!   `Busy{retry_after_ms, rejected}` replies carrying exactly the
+//!   batch indices to resend; the server never buffers unboundedly on
+//!   behalf of a slow shard;
+//! * **graceful drain** — [`Server::shutdown`] stops accepting, says
+//!   `Bye`, drains every queued batch through the runtime, and flushes
+//!   the WAL.
+//!
+//! Everything is `std` — `TcpListener`, a thread per connection, no
+//! external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use stardust_core::transform::TransformKind;
+//! use stardust_core::query::aggregate::WindowSpec;
+//! use stardust_runtime::{AggregateSpec, MonitorSpec, RuntimeConfig, ShardedRuntime};
+//! use stardust_server::{Client, Server, ServerConfig, TenantConfig};
+//!
+//! let spec = MonitorSpec::new(8, 2, 10.0).with_aggregates(AggregateSpec {
+//!     transform: TransformKind::Sum,
+//!     windows: vec![WindowSpec { window: 16, threshold: 1.0e9 }],
+//!     box_capacity: 4,
+//! });
+//! let rt = ShardedRuntime::launch(
+//!     &spec,
+//!     4,
+//!     RuntimeConfig { shards: 2, queue_capacity: 64, ..RuntimeConfig::default() },
+//! )
+//! .unwrap();
+//! let tenants = vec![TenantConfig {
+//!     name: "acme".into(),
+//!     token: "acme-token".into(),
+//!     streams: 4,
+//!     append_rate: 0,
+//! }];
+//! let server = Server::start(
+//!     "127.0.0.1:0",
+//!     rt,
+//!     tenants,
+//!     ServerConfig::default(),
+//!     stardust_telemetry::Registry::new(),
+//! )
+//! .unwrap();
+//!
+//! let (mut client, hello) = Client::connect(server.local_addr(), "acme-token").unwrap();
+//! assert_eq!(hello.streams, 4);
+//! client.append_all(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]).unwrap();
+//! client.ping().unwrap();
+//! client.goodbye().unwrap();
+//!
+//! let report = server.shutdown();
+//! assert_eq!(report.stats.total_appends(), 4);
+//! ```
+
+pub mod protocol;
+
+mod client;
+mod server;
+mod telemetry;
+mod tenant;
+
+pub use client::{AppendAllStats, AppendOutcome, Client, ClientError, HelloInfo};
+pub use protocol::{ErrorCode, MetricsFormat, QuotaKind, Reply, Request, WireError, NET_MAGIC};
+pub use server::{Server, ServerConfig, ServerError, ServerReport};
+pub use tenant::TenantConfig;

@@ -1,0 +1,679 @@
+//! The `SDNET001` wire protocol: a versioned, length-prefixed binary
+//! framing with a CRC-32 per frame, reusing the checksum conventions of
+//! the on-disk WAL (`crates/runtime/src/persist/`).
+//!
+//! ```text
+//! handshake  client → server: "SDNET001"      (8 bytes, once)
+//!            server → client: "SDNET001"      (8 bytes, once)
+//! frame      len u32 | crc32(payload) u32 | payload     (repeated)
+//! payload    tag u8 | tag-specific fields
+//! ```
+//!
+//! All integers little-endian; `f64`s travel as their IEEE-754 bit
+//! patterns (`to_bits`), so values round-trip exactly — the end-to-end
+//! equivalence audit compares event sets *bit for bit*. Strings are
+//! UTF-8 with a `u16` length prefix, except the metrics payload, which
+//! carries a `u32` prefix (a Prometheus dump can exceed 64 KiB).
+//!
+//! Decoding never panics on any byte sequence: a frame that is too
+//! large, fails its checksum, or does not parse produces a typed
+//! [`WireError`], which the server answers with a typed
+//! [`Reply::Error`] or a clean disconnect. The corruption sweep in
+//! `tests/protocol.rs` proves this byte by byte, in the style of the
+//! WAL damage sweep.
+
+use stardust_runtime::{crc32, ClassStats};
+
+/// Magic bytes both ends exchange before the first frame (protocol
+/// version in the trailing digits).
+pub const NET_MAGIC: &[u8; 8] = b"SDNET001";
+
+/// Frame header length: `len u32 | crc u32`.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Default cap on a frame payload (1 MiB ≈ 87k appends per batch).
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+// Request tags.
+const TAG_HELLO: u8 = 0x01;
+const TAG_APPEND: u8 = 0x02;
+const TAG_AGGREGATE: u8 = 0x03;
+const TAG_CLASS_STATS: u8 = 0x04;
+const TAG_CORRELATED: u8 = 0x05;
+const TAG_METRICS: u8 = 0x06;
+const TAG_PING: u8 = 0x07;
+const TAG_GOODBYE: u8 = 0x08;
+
+// Reply tags (high bit set).
+const TAG_HELLO_OK: u8 = 0x81;
+const TAG_APPEND_OK: u8 = 0x82;
+const TAG_BUSY: u8 = 0x83;
+const TAG_QUOTA: u8 = 0x84;
+const TAG_AGGREGATE_R: u8 = 0x85;
+const TAG_CLASS_STATS_R: u8 = 0x86;
+const TAG_CORRELATED_R: u8 = 0x87;
+const TAG_METRICS_R: u8 = 0x88;
+const TAG_PONG: u8 = 0x89;
+const TAG_ERROR: u8 = 0x8A;
+const TAG_BYE: u8 = 0x8B;
+
+/// A malformed frame or payload. Every variant is a protocol fact the
+/// peer can be told about; none is a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Declared payload length exceeds the negotiated cap.
+    FrameTooLarge {
+        /// Declared length.
+        len: u32,
+        /// Enforced cap.
+        max: u32,
+    },
+    /// The payload does not match its frame checksum.
+    BadCrc,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// The payload ended before the fields it declares.
+    Truncated(&'static str),
+    /// A length-prefixed string is not valid UTF-8.
+    BadString,
+    /// Trailing bytes after a complete message.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::BadCrc => f.write_str("frame payload failed its CRC-32 check"),
+            WireError::BadTag(t) => write!(f, "unknown message tag 0x{t:02X}"),
+            WireError::Truncated(what) => write!(f, "payload truncated inside {what}"),
+            WireError::BadString => f.write_str("length-prefixed string is not UTF-8"),
+            WireError::TrailingBytes => f.write_str("trailing bytes after a complete message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Metrics export format carried by [`Request::Metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition.
+    Prometheus,
+    /// The `stardust-metrics/v1` JSON document.
+    Json,
+}
+
+/// Which quota a rejected request ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaKind {
+    /// A stream id at or beyond the tenant's namespace size.
+    StreamCount,
+    /// The tenant's append-rate token bucket is empty.
+    AppendRate,
+}
+
+/// Typed error codes carried by [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The connection has not completed a successful `Hello`, or the
+    /// offered token is unknown.
+    Unauthenticated = 1,
+    /// A frame decoded but its payload did not parse.
+    BadMessage = 2,
+    /// Declared frame length exceeds the server's cap.
+    FrameTooLarge = 3,
+    /// Frame checksum mismatch (the byte stream can no longer be
+    /// trusted; the server disconnects after this reply).
+    BadCrc = 4,
+    /// A stream id outside the tenant's namespace on a query.
+    UnknownStream = 5,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining = 6,
+    /// The connection cap was reached; retry against a quieter server.
+    TooManyConnections = 7,
+    /// An internal runtime failure; the connection is closed.
+    Internal = 8,
+    /// The connection sat idle past the server's idle timeout.
+    IdleTimeout = 9,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Unauthenticated,
+            2 => ErrorCode::BadMessage,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::BadCrc,
+            5 => ErrorCode::UnknownStream,
+            6 => ErrorCode::Draining,
+            7 => ErrorCode::TooManyConnections,
+            8 => ErrorCode::Internal,
+            9 => ErrorCode::IdleTimeout,
+            _ => return None,
+        })
+    }
+}
+
+/// A client → server message. Stream ids are tenant-local (the server
+/// offsets them into the tenant's global namespace slice).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Authenticate with a per-client token; must be the first request.
+    Hello {
+        /// The tenant token.
+        token: String,
+    },
+    /// Batch-append values to named streams.
+    Append {
+        /// `(tenant-local stream, value)` pairs, applied in order.
+        items: Vec<(u32, f64)>,
+    },
+    /// Current composed interval of one monitored aggregate window.
+    AggregateInterval {
+        /// Tenant-local stream id.
+        stream: u32,
+        /// Monitored window size.
+        window: u32,
+    },
+    /// Cumulative per-class counters, merged across shards.
+    ClassStats,
+    /// Currently correlated pairs among the tenant's streams.
+    CorrelatedPairs,
+    /// Fetch the server's metrics registry.
+    Metrics {
+        /// Export format.
+        format: MetricsFormat,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Clean close; the server answers [`Reply::Bye`] and disconnects.
+    Goodbye,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `Hello` accepted.
+    HelloOk {
+        /// Tenant name.
+        tenant: String,
+        /// Namespace size (valid stream ids are `0..streams`).
+        streams: u32,
+        /// Append-rate quota in values/second (`0` = unlimited).
+        append_rate: u64,
+    },
+    /// Every value of the batch was admitted.
+    AppendOk {
+        /// Values enqueued.
+        appended: u32,
+    },
+    /// Backpressure: one or more shard queues were full. The listed
+    /// indices (into the just-sent batch) were *not* admitted; resend
+    /// exactly those after `retry_after_ms`. Everything else was
+    /// admitted exactly once.
+    Busy {
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+        /// Indices of the rejected batch entries, ascending.
+        rejected: Vec<u32>,
+    },
+    /// A tenant quota rejected the whole request; nothing was admitted.
+    QuotaExceeded {
+        /// Which quota.
+        kind: QuotaKind,
+        /// Suggested client backoff (0 = the quota is not time-based).
+        retry_after_ms: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `AggregateInterval` answer.
+    AggregateInterval(
+        /// Composed `(lower, upper)` interval, if the window is warm.
+        Option<(f64, f64)>,
+    ),
+    /// `ClassStats` answer.
+    ClassStats(ClassStats),
+    /// `CorrelatedPairs` answer, in tenant-local ids, sorted by
+    /// `(a, b)`.
+    CorrelatedPairs(Vec<(u32, u32, f64)>),
+    /// `Metrics` answer.
+    Metrics {
+        /// Format of `payload`.
+        format: MetricsFormat,
+        /// The rendered registry.
+        payload: String,
+    },
+    /// `Ping` answer.
+    Pong,
+    /// A typed error. The connection stays open unless the code is
+    /// documented as closing (`BadCrc`, `Draining`, `Internal`,
+    /// `IdleTimeout`, `TooManyConnections`, failed `Hello`).
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Goodbye acknowledged (also sent on graceful server drain).
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_str16(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    buf.extend_from_slice(&(len as u16).to_le_bytes());
+    buf.extend_from_slice(&bytes[..len]);
+}
+
+fn put_str32(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        match self {
+            Request::Hello { token } => {
+                buf.push(TAG_HELLO);
+                put_str16(&mut buf, token);
+            }
+            Request::Append { items } => {
+                buf.reserve(5 + items.len() * 12);
+                buf.push(TAG_APPEND);
+                buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for &(stream, value) in items {
+                    buf.extend_from_slice(&stream.to_le_bytes());
+                    buf.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+            }
+            Request::AggregateInterval { stream, window } => {
+                buf.push(TAG_AGGREGATE);
+                buf.extend_from_slice(&stream.to_le_bytes());
+                buf.extend_from_slice(&window.to_le_bytes());
+            }
+            Request::ClassStats => buf.push(TAG_CLASS_STATS),
+            Request::CorrelatedPairs => buf.push(TAG_CORRELATED),
+            Request::Metrics { format } => {
+                buf.push(TAG_METRICS);
+                buf.push(match format {
+                    MetricsFormat::Prometheus => 0,
+                    MetricsFormat::Json => 1,
+                });
+            }
+            Request::Ping => buf.push(TAG_PING),
+            Request::Goodbye => buf.push(TAG_GOODBYE),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload. Never panics; unknown tags, short
+    /// payloads, and trailing garbage are typed errors.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8("tag")? {
+            TAG_HELLO => Request::Hello { token: r.str16("token")? },
+            TAG_APPEND => {
+                let count = r.u32("append count")?;
+                // Cap the preallocation by what the payload can hold.
+                let mut items = Vec::with_capacity((count as usize).min(payload.len() / 12 + 1));
+                for _ in 0..count {
+                    let stream = r.u32("append stream")?;
+                    let value = f64::from_bits(r.u64("append value")?);
+                    items.push((stream, value));
+                }
+                Request::Append { items }
+            }
+            TAG_AGGREGATE => {
+                Request::AggregateInterval { stream: r.u32("stream")?, window: r.u32("window")? }
+            }
+            TAG_CLASS_STATS => Request::ClassStats,
+            TAG_CORRELATED => Request::CorrelatedPairs,
+            TAG_METRICS => Request::Metrics { format: r.metrics_format()? },
+            TAG_PING => Request::Ping,
+            TAG_GOODBYE => Request::Goodbye,
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Encodes the reply as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        match self {
+            Reply::HelloOk { tenant, streams, append_rate } => {
+                buf.push(TAG_HELLO_OK);
+                put_str16(&mut buf, tenant);
+                buf.extend_from_slice(&streams.to_le_bytes());
+                buf.extend_from_slice(&append_rate.to_le_bytes());
+            }
+            Reply::AppendOk { appended } => {
+                buf.push(TAG_APPEND_OK);
+                buf.extend_from_slice(&appended.to_le_bytes());
+            }
+            Reply::Busy { retry_after_ms, rejected } => {
+                buf.reserve(9 + rejected.len() * 4);
+                buf.push(TAG_BUSY);
+                buf.extend_from_slice(&retry_after_ms.to_le_bytes());
+                buf.extend_from_slice(&(rejected.len() as u32).to_le_bytes());
+                for idx in rejected {
+                    buf.extend_from_slice(&idx.to_le_bytes());
+                }
+            }
+            Reply::QuotaExceeded { kind, retry_after_ms, detail } => {
+                buf.push(TAG_QUOTA);
+                buf.push(match kind {
+                    QuotaKind::StreamCount => 0,
+                    QuotaKind::AppendRate => 1,
+                });
+                buf.extend_from_slice(&retry_after_ms.to_le_bytes());
+                put_str16(&mut buf, detail);
+            }
+            Reply::AggregateInterval(interval) => {
+                buf.push(TAG_AGGREGATE_R);
+                match interval {
+                    None => buf.push(0),
+                    Some((lo, hi)) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&lo.to_bits().to_le_bytes());
+                        buf.extend_from_slice(&hi.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            Reply::ClassStats(s) => {
+                buf.push(TAG_CLASS_STATS_R);
+                for v in [
+                    s.aggregate.checks,
+                    s.aggregate.candidates,
+                    s.aggregate.true_alarms,
+                    s.trend.candidates,
+                    s.trend.matches,
+                    s.correlation.reported,
+                    s.correlation.true_pairs,
+                ] {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Reply::CorrelatedPairs(pairs) => {
+                buf.reserve(5 + pairs.len() * 16);
+                buf.push(TAG_CORRELATED_R);
+                buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for &(a, b, dist) in pairs {
+                    buf.extend_from_slice(&a.to_le_bytes());
+                    buf.extend_from_slice(&b.to_le_bytes());
+                    buf.extend_from_slice(&dist.to_bits().to_le_bytes());
+                }
+            }
+            Reply::Metrics { format, payload } => {
+                buf.push(TAG_METRICS_R);
+                buf.push(match format {
+                    MetricsFormat::Prometheus => 0,
+                    MetricsFormat::Json => 1,
+                });
+                put_str32(&mut buf, payload);
+            }
+            Reply::Pong => buf.push(TAG_PONG),
+            Reply::Error { code, detail } => {
+                buf.push(TAG_ERROR);
+                buf.push(*code as u8);
+                put_str16(&mut buf, detail);
+            }
+            Reply::Bye => buf.push(TAG_BYE),
+        }
+        buf
+    }
+
+    /// Decodes a frame payload. Never panics.
+    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
+        let mut r = Reader::new(payload);
+        let reply = match r.u8("tag")? {
+            TAG_HELLO_OK => Reply::HelloOk {
+                tenant: r.str16("tenant")?,
+                streams: r.u32("streams")?,
+                append_rate: r.u64("append_rate")?,
+            },
+            TAG_APPEND_OK => Reply::AppendOk { appended: r.u32("appended")? },
+            TAG_BUSY => {
+                let retry_after_ms = r.u32("retry_after_ms")?;
+                let count = r.u32("rejected count")?;
+                let mut rejected = Vec::with_capacity((count as usize).min(payload.len() / 4 + 1));
+                for _ in 0..count {
+                    rejected.push(r.u32("rejected index")?);
+                }
+                Reply::Busy { retry_after_ms, rejected }
+            }
+            TAG_QUOTA => {
+                let kind = match r.u8("quota kind")? {
+                    0 => QuotaKind::StreamCount,
+                    1 => QuotaKind::AppendRate,
+                    other => return Err(WireError::BadTag(other)),
+                };
+                Reply::QuotaExceeded {
+                    kind,
+                    retry_after_ms: r.u32("retry_after_ms")?,
+                    detail: r.str16("detail")?,
+                }
+            }
+            TAG_AGGREGATE_R => match r.u8("interval flag")? {
+                0 => Reply::AggregateInterval(None),
+                1 => {
+                    let lo = f64::from_bits(r.u64("interval lo")?);
+                    let hi = f64::from_bits(r.u64("interval hi")?);
+                    Reply::AggregateInterval(Some((lo, hi)))
+                }
+                other => return Err(WireError::BadTag(other)),
+            },
+            TAG_CLASS_STATS_R => {
+                let mut s = ClassStats::default();
+                s.aggregate.checks = r.u64("agg checks")?;
+                s.aggregate.candidates = r.u64("agg candidates")?;
+                s.aggregate.true_alarms = r.u64("agg true alarms")?;
+                s.trend.candidates = r.u64("trend candidates")?;
+                s.trend.matches = r.u64("trend matches")?;
+                s.correlation.reported = r.u64("corr reported")?;
+                s.correlation.true_pairs = r.u64("corr true pairs")?;
+                Reply::ClassStats(s)
+            }
+            TAG_CORRELATED_R => {
+                let count = r.u32("pair count")?;
+                let mut pairs = Vec::with_capacity((count as usize).min(payload.len() / 16 + 1));
+                for _ in 0..count {
+                    let a = r.u32("pair a")?;
+                    let b = r.u32("pair b")?;
+                    let dist = f64::from_bits(r.u64("pair distance")?);
+                    pairs.push((a, b, dist));
+                }
+                Reply::CorrelatedPairs(pairs)
+            }
+            TAG_METRICS_R => {
+                Reply::Metrics { format: r.metrics_format()?, payload: r.str32("metrics payload")? }
+            }
+            TAG_PONG => Reply::Pong,
+            TAG_ERROR => {
+                let code = r.u8("error code")?;
+                let code = ErrorCode::from_u8(code).ok_or(WireError::BadTag(code))?;
+                Reply::Error { code, detail: r.str16("error detail")? }
+            }
+            TAG_BYE => Reply::Bye,
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated(what))?;
+        let slice = self.buf.get(self.pos..end).ok_or(WireError::Truncated(what))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn str16(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")) as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    fn str32(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    fn metrics_format(&mut self) -> Result<MetricsFormat, WireError> {
+        match self.u8("metrics format")? {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Json),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Frames a payload as `len | crc | payload` ready for the socket.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Incremental frame parse over a receive buffer.
+#[derive(Debug, PartialEq)]
+pub enum FrameParse {
+    /// The buffer holds no complete frame yet; at least this many more
+    /// bytes are needed.
+    NeedMore(usize),
+    /// One complete, checksummed frame: payload is `buf[8..8 + len]`
+    /// and the frame occupies `consumed` bytes of the buffer.
+    Frame {
+        /// Total bytes of the frame (header + payload).
+        consumed: usize,
+    },
+    /// The declared length exceeds `max_frame` — the peer is speaking a
+    /// different protocol or attacking the allocator. Unrecoverable.
+    TooLarge(u32),
+    /// The checksum failed — the stream lost sync. Unrecoverable.
+    BadCrc,
+}
+
+/// Parses the start of `buf` as a frame without copying.
+///
+/// A declared length above `max_frame` is rejected *before* any
+/// allocation, so a hostile 4 GiB header costs nothing.
+pub fn parse_frame(buf: &[u8], max_frame: u32) -> FrameParse {
+    if buf.len() < FRAME_HEADER_LEN {
+        return FrameParse::NeedMore(FRAME_HEADER_LEN - buf.len());
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len > max_frame {
+        return FrameParse::TooLarge(len);
+    }
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let total = FRAME_HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return FrameParse::NeedMore(total - buf.len());
+    }
+    if crc32(&buf[FRAME_HEADER_LEN..total]) != crc {
+        return FrameParse::BadCrc;
+    }
+    FrameParse::Frame { consumed: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let payload = Request::Append { items: vec![(0, 1.5), (3, -0.25)] }.encode();
+        let framed = encode_frame(&payload);
+        match parse_frame(&framed, DEFAULT_MAX_FRAME) {
+            FrameParse::Frame { consumed } => {
+                assert_eq!(consumed, framed.len());
+                let decoded = Request::decode(&framed[FRAME_HEADER_LEN..consumed]).unwrap();
+                assert_eq!(decoded, Request::Append { items: vec![(0, 1.5), (3, -0.25)] });
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let framed = encode_frame(&Request::Ping.encode());
+        for cut in 0..framed.len() {
+            match parse_frame(&framed[..cut], DEFAULT_MAX_FRAME) {
+                FrameParse::NeedMore(n) => assert!(n > 0 && cut + n <= framed.len()),
+                other => panic!("cut at {cut}: expected NeedMore, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_corrupt_frames_are_typed() {
+        let mut framed = encode_frame(&Request::Ping.encode());
+        framed[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(parse_frame(&framed, DEFAULT_MAX_FRAME), FrameParse::TooLarge(u32::MAX));
+
+        let mut framed = encode_frame(&Request::Ping.encode());
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        assert_eq!(parse_frame(&framed, DEFAULT_MAX_FRAME), FrameParse::BadCrc);
+    }
+
+    #[test]
+    fn hostile_append_count_does_not_allocate() {
+        // A 5-byte payload declaring 2^32-1 items must fail cleanly.
+        let mut payload = vec![TAG_APPEND];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(Request::decode(&payload), Err(WireError::Truncated(_))));
+    }
+}

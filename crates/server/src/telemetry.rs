@@ -1,0 +1,104 @@
+//! Server-side metrics, registered against a shared
+//! [`stardust_telemetry::Registry`] so one `Metrics` request (or the
+//! `stardust metrics` CLI) exports runtime and server series together.
+
+use stardust_telemetry::{duration_buckets_ns, labeled, Counter, Gauge, Histogram, Registry};
+
+use crate::tenant::TenantConfig;
+
+/// Instruments shared by every connection handler.
+#[derive(Debug)]
+pub(crate) struct ServerTelemetry {
+    /// Currently open client connections.
+    pub(crate) connections_active: Gauge,
+    /// Connections accepted over the server's lifetime.
+    pub(crate) connections_total: Counter,
+    /// Connections refused at the cap.
+    pub(crate) connections_rejected: Counter,
+    /// Connections reaped for idling past the timeout.
+    pub(crate) idle_disconnects: Counter,
+    /// Frames dropped for framing/CRC/parse errors.
+    pub(crate) frame_errors: Counter,
+    /// `Hello` attempts with an unknown token.
+    pub(crate) auth_failures: Counter,
+    /// `Busy` replies sent (shard-queue backpressure surfaced).
+    pub(crate) busy_replies: Counter,
+    /// Requests served (any type, any outcome).
+    pub(crate) requests: Counter,
+    /// End-to-end request service time (decode → reply written).
+    pub(crate) request_latency: Histogram,
+    /// Per-tenant counters, indexed like the tenant table.
+    pub(crate) tenants: Vec<TenantTelemetry>,
+}
+
+/// Per-tenant accepted/rejected append accounting.
+#[derive(Debug)]
+pub(crate) struct TenantTelemetry {
+    /// Values admitted to the runtime.
+    pub(crate) accepted_values: Counter,
+    /// Values rejected by shard-queue backpressure (`Busy`).
+    pub(crate) rejected_busy: Counter,
+    /// Values rejected by the append-rate quota.
+    pub(crate) rejected_rate: Counter,
+    /// Requests rejected for out-of-range stream ids.
+    pub(crate) rejected_streams: Counter,
+}
+
+impl ServerTelemetry {
+    pub(crate) fn new(reg: &Registry, tenants: &[TenantConfig]) -> ServerTelemetry {
+        ServerTelemetry {
+            connections_active: reg
+                .gauge("stardust_server_connections_active", "Open client connections"),
+            connections_total: reg
+                .counter("stardust_server_connections_total", "Connections accepted"),
+            connections_rejected: reg.counter(
+                "stardust_server_connections_rejected_total",
+                "Connections refused at the connection cap",
+            ),
+            idle_disconnects: reg.counter(
+                "stardust_server_idle_disconnects_total",
+                "Connections reaped after the idle timeout",
+            ),
+            frame_errors: reg.counter(
+                "stardust_server_frame_errors_total",
+                "Frames rejected for length/CRC/parse errors",
+            ),
+            auth_failures: reg
+                .counter("stardust_server_auth_failures_total", "Hello attempts with bad tokens"),
+            busy_replies: reg.counter(
+                "stardust_server_busy_replies_total",
+                "Busy replies sent under shard-queue backpressure",
+            ),
+            requests: reg.counter("stardust_server_requests_total", "Requests served"),
+            request_latency: reg.histogram_with(
+                "stardust_server_request_latency_ns",
+                "Request service time, decode to reply written",
+                duration_buckets_ns(),
+            ),
+            tenants: tenants
+                .iter()
+                .map(|t| {
+                    let l = |name: &str| labeled(name, &[("tenant", &t.name)]);
+                    TenantTelemetry {
+                        accepted_values: reg.counter(
+                            &l("stardust_server_tenant_accepted_values_total"),
+                            "Values admitted to the runtime",
+                        ),
+                        rejected_busy: reg.counter(
+                            &l("stardust_server_tenant_rejected_busy_values_total"),
+                            "Values rejected by shard-queue backpressure",
+                        ),
+                        rejected_rate: reg.counter(
+                            &l("stardust_server_tenant_rejected_rate_values_total"),
+                            "Values rejected by the append-rate quota",
+                        ),
+                        rejected_streams: reg.counter(
+                            &l("stardust_server_tenant_rejected_stream_requests_total"),
+                            "Requests rejected for out-of-range stream ids",
+                        ),
+                    }
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Tenant namespaces and quotas.
+//!
+//! Each tenant owns a **contiguous slice of the runtime's global stream
+//! space**: tenant `i` with `streams_i` streams gets global ids
+//! `[base_i, base_i + streams_i)` where `base_i = Σ_{j<i} streams_j`.
+//! Clients always speak tenant-local ids `0..streams_i`; the server
+//! adds/subtracts the base at the wire boundary, so one tenant can
+//! never read or write another's streams.
+//!
+//! Append-rate quotas are enforced by a classic token bucket: capacity
+//! equals the per-second rate (one second of burst), refilled
+//! continuously. A rejected admission (`Busy` from the shard queues)
+//! refunds its tokens — the client pays for admitted values only.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Static configuration of one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name (shows up in metrics labels and `HelloOk`).
+    pub name: String,
+    /// The shared secret clients present in `Hello`.
+    pub token: String,
+    /// Number of streams in the tenant's namespace.
+    pub streams: u32,
+    /// Append-rate quota in values/second; `0` disables rate limiting.
+    pub append_rate: u64,
+}
+
+/// A continuously-refilled token bucket guarding one tenant's append
+/// rate. `rate == 0` means unlimited (every take succeeds).
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    rate: u64,
+    state: Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    /// Available tokens, at most `rate` (one second of burst).
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(rate: u64) -> TokenBucket {
+        TokenBucket {
+            rate,
+            state: Mutex::new(BucketState { tokens: rate as f64, last_refill: Instant::now() }),
+        }
+    }
+
+    /// Takes `n` tokens, or reports how many milliseconds until they
+    /// could be available. `n` larger than a full bucket is granted
+    /// whenever the bucket is full (the bucket cannot otherwise ever
+    /// satisfy it).
+    pub(crate) fn try_take(&self, n: u64) -> Result<(), u32> {
+        if self.rate == 0 {
+            return Ok(());
+        }
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = Instant::now();
+        let cap = self.rate as f64;
+        s.tokens = (s.tokens + now.duration_since(s.last_refill).as_secs_f64() * cap).min(cap);
+        s.last_refill = now;
+        let need = (n as f64).min(cap);
+        if s.tokens >= need {
+            s.tokens -= n as f64;
+            Ok(())
+        } else {
+            let wait_s = (need - s.tokens) / cap;
+            Err((wait_s * 1000.0).ceil().max(1.0) as u32)
+        }
+    }
+
+    /// Returns `n` tokens (admission failed downstream; the client will
+    /// retry and should not pay twice).
+    pub(crate) fn refund(&self, n: u64) {
+        if self.rate == 0 {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.tokens = (s.tokens + n as f64).min(self.rate as f64);
+    }
+}
+
+/// Runtime state of one tenant: its config, namespace base offset, and
+/// rate limiter.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub(crate) cfg: TenantConfig,
+    /// First global stream id of this tenant's slice.
+    pub(crate) base: u32,
+    pub(crate) bucket: TokenBucket,
+}
+
+impl TenantState {
+    /// Tenant-local id → global id, if in range.
+    pub(crate) fn to_global(&self, local: u32) -> Option<u32> {
+        (local < self.cfg.streams).then(|| self.base + local)
+    }
+
+    /// Global id → tenant-local id, if inside this tenant's slice.
+    pub(crate) fn to_local(&self, global: u32) -> Option<u32> {
+        global.checked_sub(self.base).filter(|&l| l < self.cfg.streams)
+    }
+}
+
+/// Lays out tenants over the global stream space and validates the
+/// total matches the runtime. Returns the states or an error message.
+pub(crate) fn layout(
+    tenants: &[TenantConfig],
+    n_streams: usize,
+) -> Result<Vec<TenantState>, String> {
+    if tenants.is_empty() {
+        return Err("at least one tenant is required".into());
+    }
+    let mut states = Vec::with_capacity(tenants.len());
+    let mut base = 0u32;
+    for t in tenants {
+        if t.streams == 0 {
+            return Err(format!("tenant '{}' has zero streams", t.name));
+        }
+        if states.iter().any(|s: &TenantState| s.cfg.token == t.token || s.cfg.name == t.name) {
+            return Err(format!("tenant '{}' duplicates a name or token", t.name));
+        }
+        states.push(TenantState { cfg: t.clone(), base, bucket: TokenBucket::new(t.append_rate) });
+        base = base
+            .checked_add(t.streams)
+            .ok_or_else(|| "tenant stream counts overflow u32".to_string())?;
+    }
+    if base as usize != n_streams {
+        return Err(format!("tenant streams sum to {base} but the runtime monitors {n_streams}"));
+    }
+    Ok(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(name: &str, token: &str, streams: u32, rate: u64) -> TenantConfig {
+        TenantConfig { name: name.into(), token: token.into(), streams, append_rate: rate }
+    }
+
+    #[test]
+    fn layout_assigns_disjoint_bases() {
+        let states = layout(&[tenant("a", "ta", 3, 0), tenant("b", "tb", 5, 0)], 8).unwrap();
+        assert_eq!(states[0].base, 0);
+        assert_eq!(states[1].base, 3);
+        assert_eq!(states[0].to_global(2), Some(2));
+        assert_eq!(states[0].to_global(3), None);
+        assert_eq!(states[1].to_global(0), Some(3));
+        assert_eq!(states[1].to_local(7), Some(4));
+        assert_eq!(states[1].to_local(2), None);
+    }
+
+    #[test]
+    fn layout_rejects_mismatch_and_duplicates() {
+        assert!(layout(&[tenant("a", "ta", 3, 0)], 8).is_err());
+        assert!(layout(&[tenant("a", "t", 4, 0), tenant("b", "t", 4, 0)], 8).is_err());
+        assert!(layout(&[], 0).is_err());
+    }
+
+    #[test]
+    fn bucket_enforces_rate_and_refunds() {
+        let b = TokenBucket::new(100);
+        assert!(b.try_take(100).is_ok());
+        let wait = b.try_take(50).unwrap_err();
+        assert!(wait >= 1, "empty bucket must quote a wait, got {wait}ms");
+        b.refund(50);
+        assert!(b.try_take(50).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let b = TokenBucket::new(0);
+        assert!(b.try_take(u64::MAX).is_ok());
+        b.refund(10);
+        assert!(b.try_take(u64::MAX).is_ok());
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared fixtures for the server integration tests.
+
+// Each test binary compiles this module separately and uses a subset.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use stardust_core::query::aggregate::WindowSpec;
+use stardust_core::transform::TransformKind;
+use stardust_datagen::random_walk::{observed_r_max, random_walk_streams};
+use stardust_runtime::{AggregateSpec, MonitorSpec, TrendPattern, TrendSpec};
+use stardust_server::{ServerConfig, TenantConfig};
+
+pub const BASE_WINDOW: usize = 16;
+pub const LEVELS: usize = 3;
+
+/// A fresh temp directory namespaced to this test binary + pid.
+pub fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sd-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Seeded random-walk workload plus its observed r_max.
+pub fn workload(seed: u64, n_streams: usize, n_values: usize) -> (Vec<Vec<f64>>, f64) {
+    let streams = random_walk_streams(seed, n_streams, n_values);
+    let r_max = observed_r_max(&streams);
+    (streams, r_max)
+}
+
+/// Aggregate + trend spec whose thresholds the workload actually
+/// crosses, so event-set equality tests are not vacuous. Both classes
+/// are per-stream (interleaving-invariant), which is what makes the
+/// multi-client equivalence audits exact.
+pub fn spec_for(streams: &[Vec<f64>], r_max: f64) -> MonitorSpec {
+    let window = 2 * BASE_WINDOW;
+    let max_sum = streams
+        .iter()
+        .flat_map(|s| s.windows(window).map(|w| w.iter().sum::<f64>()))
+        .fold(f64::MIN, f64::max);
+    let pattern: Vec<f64> = streams[0][8..8 + window].to_vec();
+    MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_aggregates(AggregateSpec {
+            transform: TransformKind::Sum,
+            windows: vec![WindowSpec { window, threshold: max_sum * 0.98 }],
+            box_capacity: 4,
+        })
+        .with_trends(TrendSpec {
+            coeffs: 4,
+            box_capacity: 4,
+            patterns: vec![TrendPattern { sequence: pattern, radius: 0.05 }],
+        })
+}
+
+/// One unlimited tenant owning the whole stream space.
+pub fn single_tenant(streams: u32) -> Vec<TenantConfig> {
+    vec![TenantConfig { name: "t0".into(), token: "t0-token".into(), streams, append_rate: 0 }]
+}
+
+/// Server config with short, test-friendly timeouts.
+pub fn fast_config() -> ServerConfig {
+    ServerConfig {
+        idle_timeout: Duration::from_millis(400),
+        read_timeout: Duration::from_millis(250),
+        write_timeout: Duration::from_secs(2),
+        tick: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}

@@ -1,0 +1,239 @@
+//! Connection-lifetime behavior: per-connection read timeouts, the
+//! idle-connection reaper, and wire-level abuse over a real socket —
+//! every case must end in a typed error reply or a clean disconnect,
+//! never a hang and never a panic.
+
+mod common;
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use stardust_runtime::{RuntimeConfig, ShardedRuntime};
+use stardust_server::protocol::{
+    encode_frame, parse_frame, FrameParse, FRAME_HEADER_LEN, NET_MAGIC,
+};
+use stardust_server::{Client, ErrorCode, Reply, Request, Server};
+
+use common::{fast_config, single_tenant, spec_for, workload};
+
+const TOKEN: &str = "t0-token";
+
+fn start_server() -> Server {
+    let (streams, r_max) = workload(11, 4, 96);
+    let spec = spec_for(&streams, r_max);
+    let rt = ShardedRuntime::launch(
+        &spec,
+        4,
+        RuntimeConfig { shards: 2, queue_capacity: 64, ..RuntimeConfig::default() },
+    )
+    .unwrap();
+    Server::start(
+        "127.0.0.1:0",
+        rt,
+        single_tenant(4),
+        fast_config(),
+        stardust_telemetry::Registry::new(),
+    )
+    .unwrap()
+}
+
+/// Reads frames off a raw socket until one decodes, the peer closes, or
+/// the deadline passes.
+fn read_one_reply(stream: &mut TcpStream, deadline: Duration) -> Option<Reply> {
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let start = Instant::now();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while start.elapsed() < deadline {
+        if let FrameParse::Frame { consumed } = parse_frame(&buf, 1 << 20) {
+            return Reply::decode(&buf[FRAME_HEADER_LEN..consumed]).ok();
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+/// Waits until reading hits EOF (server closed) or the deadline passes;
+/// returns true on EOF.
+fn wait_for_eof(stream: &mut TcpStream, deadline: Duration) -> bool {
+    stream.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    let start = Instant::now();
+    let mut chunk = [0u8; 4096];
+    while start.elapsed() < deadline {
+        match stream.read(&mut chunk) {
+            Ok(0) => return true,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return true, // reset counts as closed
+        }
+    }
+    false
+}
+
+/// Deterministic idle-reap: an authenticated client that goes silent is
+/// told `Error(IdleTimeout)` and disconnected once the idle window
+/// (400 ms in the test config) elapses.
+#[test]
+fn silent_client_is_reaped() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(NET_MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+    assert_eq!(&magic, NET_MAGIC);
+    stream.write_all(&encode_frame(&Request::Hello { token: TOKEN.into() }.encode())).unwrap();
+    match read_one_reply(&mut stream, Duration::from_secs(2)) {
+        Some(Reply::HelloOk { .. }) => {}
+        other => panic!("expected HelloOk, got {other:?}"),
+    }
+
+    // Go silent. Within the idle window (+ slack) the server must send
+    // the typed idle error and close the connection.
+    let started = Instant::now();
+    match read_one_reply(&mut stream, Duration::from_secs(5)) {
+        Some(Reply::Error { code: ErrorCode::IdleTimeout, .. }) => {}
+        other => panic!("expected Error(IdleTimeout), got {other:?}"),
+    }
+    assert!(
+        started.elapsed() >= Duration::from_millis(300),
+        "idle reap fired before the idle window"
+    );
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(2)), "server left the socket open");
+    server.shutdown();
+}
+
+/// A client that never even sends the magic is cut off at the idle
+/// window too — the handshake read has the same deadline.
+#[test]
+fn silent_pre_handshake_client_is_reaped() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(5)), "handshake never timed out");
+    server.shutdown();
+}
+
+/// A frame that starts but never finishes trips the read timeout with a
+/// typed `BadMessage` error.
+#[test]
+fn half_frame_times_out() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(NET_MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+
+    let frame = encode_frame(&Request::Hello { token: TOKEN.into() }.encode());
+    stream.write_all(&frame[..frame.len() - 3]).unwrap(); // stall mid-frame
+    match read_one_reply(&mut stream, Duration::from_secs(5)) {
+        Some(Reply::Error { code: ErrorCode::BadMessage, .. }) => {}
+        other => panic!("expected Error(BadMessage), got {other:?}"),
+    }
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(2)));
+    server.shutdown();
+}
+
+/// Wrong protocol magic: clean disconnect, no reply, no panic.
+#[test]
+fn bad_magic_disconnects() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(b"GARBAGE!").unwrap();
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(2)));
+    server.shutdown();
+}
+
+/// A corrupted frame checksum gets the typed `BadCrc` error and a
+/// disconnect (the byte stream cannot be resynchronized).
+#[test]
+fn bad_crc_is_typed_then_disconnected() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(NET_MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+
+    let mut frame = encode_frame(&Request::Ping.encode());
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    stream.write_all(&frame).unwrap();
+    match read_one_reply(&mut stream, Duration::from_secs(2)) {
+        Some(Reply::Error { code: ErrorCode::BadCrc, .. }) => {}
+        other => panic!("expected Error(BadCrc), got {other:?}"),
+    }
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(2)));
+    server.shutdown();
+}
+
+/// An oversized frame header is rejected before any allocation with the
+/// typed `FrameTooLarge` error.
+#[test]
+fn oversized_frame_is_typed() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(NET_MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+
+    let mut header = Vec::new();
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    stream.write_all(&header).unwrap();
+    match read_one_reply(&mut stream, Duration::from_secs(2)) {
+        Some(Reply::Error { code: ErrorCode::FrameTooLarge, .. }) => {}
+        other => panic!("expected Error(FrameTooLarge), got {other:?}"),
+    }
+    assert!(wait_for_eof(&mut stream, Duration::from_secs(2)));
+    server.shutdown();
+}
+
+/// A payload that frames correctly but does not decode gets a typed
+/// `BadMessage` reply and the connection *stays usable*.
+#[test]
+fn undecodable_payload_keeps_connection() {
+    let server = start_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(NET_MAGIC).unwrap();
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).unwrap();
+
+    stream.write_all(&encode_frame(&[0x7F, 1, 2, 3])).unwrap(); // unknown tag
+    match read_one_reply(&mut stream, Duration::from_secs(2)) {
+        Some(Reply::Error { code: ErrorCode::BadMessage, .. }) => {}
+        other => panic!("expected Error(BadMessage), got {other:?}"),
+    }
+    stream.write_all(&encode_frame(&Request::Ping.encode())).unwrap();
+    match read_one_reply(&mut stream, Duration::from_secs(2)) {
+        Some(Reply::Pong) => {}
+        other => panic!("expected Pong after the bad payload, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Graceful drain says `Bye` to connected-but-quiet clients.
+#[test]
+fn drain_says_bye() {
+    let server = start_server();
+    let (mut client, _) = Client::connect(server.local_addr(), TOKEN).unwrap();
+    client.ping().unwrap();
+    let handle = std::thread::spawn(move || server.shutdown());
+    // Once the drain flag lands, requests fail (Bye or a closed
+    // socket); until then pings may still succeed.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match client.ping() {
+            Err(_) => break,
+            Ok(()) => {
+                assert!(Instant::now() < deadline, "server never started draining");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    let report = handle.join().unwrap();
+    assert_eq!(report.stats.total_appends(), 0);
+}

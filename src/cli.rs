@@ -101,8 +101,28 @@ COMMANDS:
               --query-iters K (32: scatter-gather latency samples)
               --emit-bench FILE (write a schema-stable JSON report for
               CI regression gating, including WAL-append and
-              disk-recovery micro-timings; see
-              crates/bench/src/bin/bench_gate.rs)
+              disk-recovery micro-timings plus a socket-level server
+              load section; see crates/bench/src/bin/bench_gate.rs)
+              --server-clients C (32)  --server-values V (1024)
+              (fleet size for the emitted server load section)
+  serve       listen for ingest/query clients over TCP (SDNET001
+              length+CRC framed protocol); clients authenticate with
+              per-tenant tokens and get disjoint stream namespaces
+              with stream-count and append-rate quotas; full shard
+              queues answer typed Busy (admission control), not
+              unbounded buffering
+              --addr HOST:PORT (127.0.0.1:7171)  --shards S (0)
+              --queue Q (64)  --tenants name:token:streams:rate,...
+              (default: one tenant 'default' with --token TOK
+              ('stardust-dev'), --streams M (16) streams, --rate R
+              (0: unlimited) appends/s)  --dir PATH (persist to disk
+              and recover on restart)  --max-seconds T (0: serve
+              until killed)  --idle-seconds T (60)  --max-conns N
+              (256)  --addr-file PATH (write the bound address, for
+              scripts using --addr with port 0)
+              --values N (2048)  --seed (42) and the serve-bench spec
+              flags (the threshold-training workload when no CSV is
+              given)
   metrics     run a workload through the instrumented runtime and dump
               the metrics registry (Prometheus text or JSON), including
               the observed vs Eq. 4-7 predicted false-alarm rate;
@@ -139,6 +159,7 @@ EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
   stardust serve-bench --shards 4 --streams 128 --values 4096
   stardust serve-bench --emit-bench BENCH_3.json
+  stardust serve --addr 127.0.0.1:7171 --tenants a:tok-a:8:0,b:tok-b:8:512
   stardust metrics --format prom --streams 8 --values 1024
   stardust chaos --shards 4 --snapshot-every 128 --seed 7
   stardust chaos-disk --shards 2 --streams 8 --values 1024
@@ -203,6 +224,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "correlate" => run_correlate(args, input),
         "trend" => run_trend(args, input),
         "serve-bench" => run_serve_bench(args, input),
+        "serve" => run_serve(args, input),
         "metrics" => run_metrics(args, input),
         "chaos" => run_chaos(args, input),
         "chaos-disk" => run_chaos_disk(args, input),
@@ -643,7 +665,7 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     let spec = monitor_spec_from_args(args, &streams)?;
 
     let registry = Registry::new();
-    let mut rt = ShardedRuntime::launch(
+    let rt = ShardedRuntime::launch(
         &spec,
         m,
         RuntimeConfig {
@@ -728,6 +750,34 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             "persistence micro: WAL append {wal_append_ns}ns/append (EveryN(64)), \
              recovery of {recovered_appends} append(s) in {recovery_ns}ns\n"
         ));
+        // Socket-level load: the same self-hosted fleet CI's serve job
+        // drives, with the zero-loss/zero-duplication event audit. An
+        // audit failure is a correctness bug, not a slow run, so it
+        // fails the command rather than just skewing a number.
+        let server_clients: usize = args.get_or("server-clients", 32)?;
+        let server_values: usize = args.get_or("server-values", 1024)?;
+        let load = stardust_bench::server_load::run_self_hosted(
+            &stardust_bench::server_load::LoadConfig {
+                clients: server_clients,
+                values_per_client: server_values,
+                shards,
+                ..Default::default()
+            },
+        );
+        if load.audit_ok != Some(true) {
+            return Err("server load audit FAILED: socket ingest lost or duplicated events".into());
+        }
+        out.push_str(&format!(
+            "server load: {} client(s) x {} value(s): {:.0} values/s, \
+             append p50 {}ns p99 {}ns, {} busy repl(ies), audit ok ({} events)\n",
+            load.clients,
+            server_values,
+            load.throughput_values_per_s,
+            load.append_p50_ns,
+            load.append_p99_ns,
+            load.busy_replies,
+            load.audit_events,
+        ));
         let json = format!(
             concat!(
                 "{{\"schema\":\"stardust-bench/v1\",",
@@ -741,6 +791,10 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "\"rebuild_speedup\":{}}},",
                 "\"persistence\":{{\"recovered_appends\":{},\"recovery_ns\":{},",
                 "\"wal_append_ns\":{}}},",
+                "\"server\":{{\"append_p50_ns\":{},\"append_p95_ns\":{},",
+                "\"append_p99_ns\":{},\"audit_events\":{},\"busy_replies\":{},",
+                "\"clients\":{},\"elapsed_s\":{},",
+                "\"throughput_values_per_s\":{},\"values\":{}}},",
                 "\"metrics\":{}}}\n"
             ),
             batch_rows,
@@ -764,6 +818,15 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             recovered_appends,
             recovery_ns,
             wal_append_ns,
+            load.append_p50_ns,
+            load.append_p95_ns,
+            load.append_p99_ns,
+            load.audit_events,
+            load.busy_replies,
+            load.clients,
+            json_num(load.elapsed_s),
+            json_num(load.throughput_values_per_s),
+            load.values,
             registry.render_json(),
         );
         std::fs::write(path, &json)
@@ -771,6 +834,148 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
         out.push_str(&format!("wrote bench report to {path}\n"));
     }
     Ok(out)
+}
+
+/// Parses `--tenants name:token:streams:rate,...` into tenant configs
+/// (`rate` 0 means unlimited appends/s).
+fn parse_tenants(s: &str) -> Result<Vec<stardust_server::TenantConfig>, String> {
+    s.split(',')
+        .map(|part| {
+            let fields: Vec<&str> = part.trim().split(':').collect();
+            let [name, token, streams, rate] = fields.as_slice() else {
+                return Err(format!("bad tenant '{part}': expected name:token:streams:rate"));
+            };
+            Ok(stardust_server::TenantConfig {
+                name: name.to_string(),
+                token: token.to_string(),
+                streams: streams
+                    .parse()
+                    .map_err(|_| format!("tenant '{name}': bad stream count '{streams}'"))?,
+                append_rate: rate
+                    .parse()
+                    .map_err(|_| format!("tenant '{name}': bad append rate '{rate}'"))?,
+            })
+        })
+        .collect()
+}
+
+/// The `stardust serve` subcommand: a long-running multi-client TCP
+/// server over the sharded runtime. Thresholds are trained on the
+/// given CSV (or a seeded random-walk workload), then the server
+/// accepts tenant-authenticated clients until `--max-seconds` elapses
+/// or the process is killed. Admission control maps full shard queues
+/// to typed `Busy` replies; `--dir` makes ingest durable and recovers
+/// it on restart.
+fn run_serve(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{PersistConfig, RuntimeConfig, ShardedRuntime};
+    use stardust_server::{Server, ServerConfig, TenantConfig};
+    use stardust_telemetry::Registry;
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7171");
+    let shards: usize = args.get_or("shards", 0)?;
+    let queue: usize = args.get_or("queue", 64)?;
+    let max_seconds: f64 = args.get_or("max-seconds", 0.0)?;
+    let idle_seconds: u64 = args.get_or("idle-seconds", 60)?;
+    let max_conns: usize = args.get_or("max-conns", 256)?;
+    let token = args.get("token").unwrap_or("stardust-dev").to_string();
+    let rate: u64 = args.get_or("rate", 0)?;
+    let tenants = args.get("tenants").map(parse_tenants).transpose()?;
+
+    // Threshold-training workload: the spec the live server monitors is
+    // calibrated on this data, exactly like `serve-bench`. With
+    // `--tenants` and no explicit `--streams`, the tenant layout
+    // defines the stream count.
+    let streams = if input.trim().is_empty() {
+        let m: usize = match (&tenants, args.get("streams")) {
+            (Some(t), None) => t.iter().map(|t| t.streams as usize).sum(),
+            _ => args.get_or("streams", 16)?,
+        };
+        let n: usize = args.get_or("values", 2048)?;
+        let seed: u64 = args.get_or("seed", 42)?;
+        if m == 0 || n == 0 {
+            return Err("--streams and --values must be positive".into());
+        }
+        stardust_datagen::random_walk_streams(seed, m, n)
+    } else {
+        read_columns(input)?
+    };
+    let m = streams.len();
+    let spec = monitor_spec_from_args(args, &streams)?;
+    let tenants = tenants.unwrap_or_else(|| {
+        vec![TenantConfig { name: "default".into(), token, streams: m as u32, append_rate: rate }]
+    });
+    let declared: usize = tenants.iter().map(|t| t.streams as usize).sum();
+    if declared != m {
+        return Err(format!(
+            "tenant stream counts sum to {declared}, but the training workload \
+             defines {m} stream(s)"
+        ));
+    }
+
+    let registry = Registry::new();
+    let config = RuntimeConfig {
+        shards,
+        queue_capacity: queue,
+        telemetry: Some(registry.clone()),
+        ..RuntimeConfig::default()
+    };
+    let (rt, recovered) = match args.get("dir") {
+        Some(dir) => {
+            let (rt, report) = ShardedRuntime::open(&spec, m, config, PersistConfig::new(dir))
+                .map_err(|e| e.to_string())?;
+            (rt, Some(report.total_durable_appends()))
+        }
+        None => (ShardedRuntime::launch(&spec, m, config).map_err(|e| e.to_string())?, None),
+    };
+
+    let server = Server::start(
+        addr,
+        rt,
+        tenants.clone(),
+        ServerConfig {
+            max_connections: max_conns,
+            idle_timeout: std::time::Duration::from_secs(idle_seconds.max(1)),
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    let bound = server.local_addr();
+
+    // The listening line goes straight to stdout, flushed, so scripts
+    // can scrape the bound port before the first client connects.
+    println!("stardust serve listening on {bound} ({m} stream(s), {} tenant(s))", tenants.len());
+    for t in &tenants {
+        let rate = if t.append_rate == 0 {
+            "unlimited rate".to_string()
+        } else {
+            format!("{} appends/s", t.append_rate)
+        };
+        println!("  tenant {}: {} stream(s), {rate}", t.name, t.streams);
+    }
+    if let Some(n) = recovered {
+        println!("  recovered {n} durable append(s) from {}", args.get("dir").unwrap_or("?"));
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, bound.to_string())
+            .map_err(|e| format!("cannot write --addr-file '{path}': {e}"))?;
+    }
+
+    if max_seconds > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(max_seconds));
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let report = server.shutdown();
+    Ok(format!(
+        "drained: {} append(s) admitted, {} event(s) delivered\n",
+        report.stats.total_appends(),
+        report.events.len(),
+    ))
 }
 
 fn run_metrics(args: &Args, input: &str) -> Result<String, String> {
@@ -1069,7 +1274,7 @@ fn run_chaos_disk(args: &Args, input: &str) -> Result<String, String> {
         // Phase 1: ingest under the fault (write-path faults fire here;
         // at-rest faults wait for the reopen), then kill the process.
         let live = if at_open { None } else { Some(Arc::clone(&plan)) };
-        let (mut rt, _) = ShardedRuntime::open(&spec, m, config(live), persist())
+        let (rt, _) = ShardedRuntime::open(&spec, m, config(live), persist())
             .map_err(|e| format!("{name}: open failed: {e}"))?;
         let mut events = Vec::new();
         let mut row = 0;
@@ -1094,7 +1299,7 @@ fn run_chaos_disk(args: &Args, input: &str) -> Result<String, String> {
         // the replay re-deliver the unacked tail, then re-submit
         // everything past each shard's durable watermark.
         let open_faults = if at_open { Some(Arc::clone(&plan)) } else { None };
-        let (mut rt, report) = ShardedRuntime::open(&spec, m, config(open_faults), persist())
+        let (rt, report) = ShardedRuntime::open(&spec, m, config(open_faults), persist())
             .map_err(|e| format!("{name}: recovery failed: {e}"))?;
         events.extend(rt.drain_events());
         for (shard, shard_report) in report.shards.iter().enumerate() {
@@ -1370,6 +1575,19 @@ mod tests {
             Args::parse(&argv("serve-bench --shards 3 --batch 4 --classes corr")).unwrap();
         let out = run(&cmd, &args, &csv).expect("runs");
         assert!(out.contains("3 streams x 400 values, 3 shard(s)"), "header:\n{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_tenant_layouts() {
+        // Malformed tenant spec: caught before any socket is bound.
+        let (cmd, args) = Args::parse(&argv("serve --tenants nonsense")).unwrap();
+        let err = run(&cmd, &args, "").unwrap_err();
+        assert!(err.contains("name:token:streams:rate"), "{err}");
+        // Tenant layout that disagrees with the training workload.
+        let (cmd, args) =
+            Args::parse(&argv("serve --tenants a:tok-a:3:0 --streams 4 --values 256")).unwrap();
+        let err = run(&cmd, &args, "").unwrap_err();
+        assert!(err.contains("sum to 3"), "{err}");
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | [`baselines`] | `stardust-baselines` | SWT, StatStream, GeneralMatch, MR-Index, linear scan |
 //! | [`datagen`] | `stardust-datagen` | seeded workload generators for every §6 experiment |
 //! | [`runtime`] | `stardust-runtime` | sharded, multi-threaded ingestion & query runtime |
+//! | [`server`] | `stardust-server` | multi-client TCP ingest/query service + wire client |
+//! | [`bench`](mod@bench) | `stardust-bench` | benchmark harness, load driver, CI regression gate |
 //!
 //! ## Quickstart
 //!
@@ -46,8 +48,10 @@
 pub mod cli;
 
 pub use stardust_baselines as baselines;
+pub use stardust_bench as bench;
 pub use stardust_core as core;
 pub use stardust_datagen as datagen;
 pub use stardust_dsp as dsp;
 pub use stardust_index as index;
 pub use stardust_runtime as runtime;
+pub use stardust_server as server;

@@ -45,6 +45,10 @@ fn serve_bench_emits_schema_stable_report() {
         "16",
         "--micro-items",
         "400",
+        "--server-clients",
+        "8",
+        "--server-values",
+        "256",
         "--emit-bench",
         path_str,
     ]);
@@ -97,6 +101,18 @@ fn serve_bench_emits_schema_stable_report() {
     );
     assert!(persist.get("wal_append_ns").and_then(Value::as_u64).expect("wal ns") > 0);
     assert!(persist.get("recovery_ns").and_then(Value::as_u64).expect("recovery ns") > 0);
+
+    // Server-load section consumed by bench_gate: the fleet ran, the
+    // event-set audit passed (an audit failure errors the whole
+    // command), and the tail quantiles are ordered.
+    let server = doc.get("server").expect("server section");
+    assert_eq!(server.get("clients").and_then(Value::as_u64), Some(8));
+    assert_eq!(server.get("values").and_then(Value::as_u64), Some(8 * 256));
+    assert!(server.get("throughput_values_per_s").and_then(Value::as_f64).expect("rate") > 0.0);
+    assert!(server.get("audit_events").and_then(Value::as_u64).expect("events") > 0);
+    let sp50 = server.get("append_p50_ns").and_then(Value::as_u64).expect("p50");
+    let sp99 = server.get("append_p99_ns").and_then(Value::as_u64).expect("p99");
+    assert!(sp50 > 0 && sp50 <= sp99, "append quantiles out of order: {sp50} vs {sp99}");
 
     // The embedded registry document: every value ingested is an append
     // seen by the summarizers of the enabled classes (aggregate plus
@@ -162,6 +178,65 @@ fn metrics_command_emits_model_gauges() {
 
     let (cmd, args) = argv(&["metrics", "--format", "bogus"]);
     assert!(run(&cmd, &args, "").is_err(), "unknown format must be rejected");
+}
+
+/// End-to-end `stardust serve`: bind an ephemeral port, scrape it via
+/// `--addr-file`, speak the wire protocol with the real client, and
+/// check the drain summary accounts for exactly the appends sent.
+#[test]
+fn serve_subcommand_accepts_clients_end_to_end() {
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("stardust-golden-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let addr_file = dir.join("addr.txt");
+    let addr_file_str = addr_file.to_str().expect("utf-8 temp path").to_string();
+
+    let handle = std::thread::spawn(move || {
+        let (cmd, args) = argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            &addr_file_str,
+            "--max-seconds",
+            "2.5",
+            "--streams",
+            "4",
+            "--values",
+            "512",
+            "--shards",
+            "2",
+        ]);
+        run(&cmd, &args, "")
+    });
+
+    // The bound address appears in the file once the listener is up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let addr: std::net::SocketAddr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(a) = text.trim().parse() {
+                break a;
+            }
+        }
+        assert!(Instant::now() < deadline, "serve never wrote --addr-file");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let (mut client, hello) =
+        stardust_server::Client::connect(addr, "stardust-dev").expect("connect");
+    assert_eq!(hello.streams, 4, "default tenant must own all serve streams");
+    let items: Vec<(u32, f64)> = (0..8).map(|i| (i % 4, 0.25 * i as f64)).collect();
+    client.append_all(&items).expect("append over the wire");
+    client.ping().expect("ping");
+    client.goodbye().expect("goodbye");
+
+    let out = handle.join().expect("serve thread").expect("serve runs");
+    assert!(
+        out.contains("drained: 8 append(s) admitted"),
+        "drain summary must account for the 8 appends:\n{out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
