@@ -24,11 +24,21 @@
 //!   `--micro-tolerance`: the median append round trip over loopback
 //!   TCP (scheduler- and loopback-noise makes it wobble like the other
 //!   micro-timings).
+//! * `cross_corr.prune_precision` — higher is better, gated with
+//!   `--micro-tolerance`: how selective the cross-shard sketch prune is
+//!   (confirmed / verified candidates) on the deterministic audit
+//!   workload.
+//! * `cross_corr.prune_recall` and `cross_corr.false_dismissals` —
+//!   correctness, not performance: recall must be exactly 1 and
+//!   dismissals exactly 0 in the *candidate*, no tolerance. A sketch
+//!   bound that dismisses a true pair is a bug, never a regression to
+//!   wave through.
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
-//! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`) is
-//! informational: those values shift with machine load and workload
-//! shape, so only the headline numbers are enforced.
+//! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`,
+//! `cross_corr.query_p50_ns`) is informational: those values shift with
+//! machine load and workload shape, so only the headline numbers are
+//! enforced.
 //!
 //! Run: `cargo run --release -p stardust-bench --bin bench_gate -- \
 //!   results/baseline.json BENCH_5.json [--tolerance 0.20] [--micro-tolerance 0.35]`
@@ -58,6 +68,9 @@ struct Report {
     recovery_ns: f64,
     server_throughput: f64,
     server_p50_ns: f64,
+    cross_precision: f64,
+    cross_recall: f64,
+    cross_false_dismissals: f64,
 }
 
 fn load(path: &str) -> Result<Report, String> {
@@ -84,6 +97,9 @@ fn load(path: &str) -> Result<Report, String> {
         recovery_ns: num("persistence", "recovery_ns")?,
         server_throughput: num("server", "throughput_values_per_s")?,
         server_p50_ns: num("server", "append_p50_ns")?,
+        cross_precision: num("cross_corr", "prune_precision")?,
+        cross_recall: num("cross_corr", "prune_recall")?,
+        cross_false_dismissals: num("cross_corr", "false_dismissals")?,
     })
 }
 
@@ -200,6 +216,22 @@ fn run() -> Result<bool, String> {
         false,
         micro_tolerance,
     );
+    check(
+        "cross-corr prune precision",
+        baseline.cross_precision,
+        candidate.cross_precision,
+        true,
+        micro_tolerance,
+    );
+    // Correctness, not performance: no tolerance, candidate only.
+    let recall_ok = candidate.cross_recall == 1.0 && candidate.cross_false_dismissals == 0.0;
+    println!(
+        "{:>9}  cross-corr recall: candidate {} ({} false dismissal(s)), required exactly 1 (0)",
+        if recall_ok { "ok" } else { "REGRESSED" },
+        candidate.cross_recall,
+        candidate.cross_false_dismissals,
+    );
+    ok &= recall_ok;
     let speedup = |r: &Report| {
         if r.rebuild_bulk_ns > 0.0 {
             r.rebuild_replay_ns / r.rebuild_bulk_ns

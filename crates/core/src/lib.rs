@@ -58,6 +58,7 @@ pub mod mbr;
 pub mod normalize;
 pub mod query;
 pub mod regression;
+pub mod sketch;
 pub mod snapshot;
 pub mod stats;
 pub mod stream;
@@ -70,6 +71,7 @@ pub use config::{ComputeMode, Config, UpdatePolicy};
 pub use engine::{IndexEntry, Stardust};
 pub use error::QueryError;
 pub use mbr::FeatureMbr;
+pub use sketch::{BlockSketch, SketchDelta, PRUNE_SLACK};
 pub use stream::{StreamHistory, StreamId, Time};
 pub use summarizer::{StreamSummary, SummaryEvent};
 pub use transform::{MergePrecision, TransformKind};

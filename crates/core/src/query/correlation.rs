@@ -25,6 +25,7 @@ use stardust_index::{bulk_load, Params, RStarTree, Rect};
 
 use crate::config::Config;
 use crate::normalize;
+use crate::sketch::BlockSketch;
 use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::stream::{StreamId, Time};
 use crate::summarizer::StreamSummary;
@@ -111,6 +112,13 @@ pub struct CorrelationMonitor {
     /// How many feature periods back a lagged partner may be (1 =
     /// synchronized only).
     lag_periods: usize,
+    /// Per-stream sliding-window block sketches, maintained on every
+    /// append. A sharded deployment ships these to its collector so
+    /// cross-shard pairs can be pruned by the sketch distance bound
+    /// (see [`crate::sketch`]); single-process use pays only the two
+    /// accumulator adds per value.
+    sketches: Vec<BlockSketch>,
+    sketch_block: usize,
     radius: f64,
     level: usize,
     window: usize,
@@ -147,7 +155,11 @@ impl CorrelationMonitor {
     /// non-finite/negative radius.
     pub fn new(base_window: usize, levels: usize, f: usize, radius: f64, n_streams: usize) -> Self {
         assert!(radius.is_finite() && radius >= 0.0, "radius must be finite and nonnegative");
-        assert!(n_streams >= 2, "correlation needs at least two streams");
+        // A single-stream monitor reports no pairs locally but still
+        // maintains its summary and sketch — a sharded deployment needs
+        // exactly that from one-stream shards to serve cross-shard
+        // verification.
+        assert!(n_streams >= 1, "correlation needs at least one stream");
         // The maintained approximation vector must be long enough to carry
         // the leading coefficient plus f details.
         let pyramid = (f + 1).next_power_of_two();
@@ -167,6 +179,8 @@ impl CorrelationMonitor {
             log: Vec::new(),
             entries: (0..n_streams).map(|_| std::collections::VecDeque::new()).collect(),
             lag_periods: 1,
+            sketches: (0..n_streams).map(|_| BlockSketch::new(window, base_window)).collect(),
+            sketch_block: base_window,
             radius,
             level,
             window,
@@ -223,9 +237,40 @@ impl CorrelationMonitor {
         self
     }
 
+    /// Overrides the block granularity of the per-stream sliding-window
+    /// sketches (default: the base window `W`, giving `2^(levels−1)`
+    /// blocks per sketch). A finer block tightens the cross-shard prune
+    /// bound at the cost of proportionally more exchange traffic.
+    ///
+    /// # Panics
+    /// Panics unless `block` divides the correlation window `N`, or if
+    /// the monitor has already consumed values.
+    pub fn with_sketch_block(mut self, block: usize) -> Self {
+        assert!(self.summaries[0].now().is_none(), "configure the sketch before feeding values");
+        assert!(
+            block >= 1 && self.window.is_multiple_of(block),
+            "sketch block must divide the correlation window N = {}",
+            self.window
+        );
+        self.sketch_block = block;
+        self.sketches =
+            (0..self.summaries.len()).map(|_| BlockSketch::new(self.window, block)).collect();
+        self
+    }
+
     /// Number of monitored streams.
     pub fn n_streams(&self) -> usize {
         self.summaries.len()
+    }
+
+    /// The sliding-window sketch of one stream.
+    pub fn sketch(&self, stream: StreamId) -> &BlockSketch {
+        &self.sketches[stream as usize]
+    }
+
+    /// Block granularity of the per-stream sketches.
+    pub fn sketch_block(&self) -> usize {
+        self.sketch_block
     }
 
     /// The correlation window size `N`.
@@ -277,6 +322,10 @@ impl CorrelationMonitor {
             w.u64(*stream as u64);
             w.u64(*t);
         }
+        w.usize(self.sketch_block);
+        for sketch in &self.sketches {
+            sketch.write_into(&mut w);
+        }
         w.finish()
     }
 
@@ -287,8 +336,8 @@ impl CorrelationMonitor {
     pub fn restore(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let mut r = Reader::new(bytes)?;
         let n_streams = r.count(16)?;
-        if n_streams < 2 {
-            return Err(SnapshotError::Corrupt("correlation needs at least two streams"));
+        if n_streams == 0 {
+            return Err(SnapshotError::Corrupt("correlation needs at least one stream"));
         }
         let mut summaries = Vec::with_capacity(n_streams);
         for _ in 0..n_streams {
@@ -341,6 +390,20 @@ impl CorrelationMonitor {
             }
             log.push((coords, stream, t));
         }
+        let level = config.levels - 1;
+        let window = config.window_at(level);
+        let sketch_block = r.usize()?;
+        if sketch_block == 0 || !window.is_multiple_of(sketch_block) {
+            return Err(SnapshotError::Corrupt("sketch block disagrees with window"));
+        }
+        let mut sketches = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            let sketch = BlockSketch::read_from(&mut r)?;
+            if sketch.window() != window || sketch.block() != sketch_block {
+                return Err(SnapshotError::Corrupt("sketch geometry disagrees with monitor"));
+            }
+            sketches.push(sketch);
+        }
         r.expect_end()?;
         // One bottom-up STR build instead of N incremental inserts; query
         // results over the same entry set are tree-shape independent.
@@ -349,8 +412,6 @@ impl CorrelationMonitor {
             Params::new(8),
             log.iter().map(|(coords, stream, t)| (Rect::point(coords), (*stream, *t))).collect(),
         );
-        let level = config.levels - 1;
-        let window = config.window_at(level);
         Ok(CorrelationMonitor {
             summaries,
             tree,
@@ -358,6 +419,8 @@ impl CorrelationMonitor {
             log,
             entries,
             lag_periods,
+            sketches,
+            sketch_block,
             radius,
             level,
             window,
@@ -378,6 +441,9 @@ impl CorrelationMonitor {
         let span = self.telemetry.latency_span();
         let s = stream as usize;
         self.summaries[s].push_quiet(value);
+        // The sketch sees every value, before any early return — its
+        // clock must stay in lockstep with the summary's.
+        self.sketches[s].push(value);
         let t = self.summaries[s].now().expect("just pushed");
         // Fast path: no level-J feature due at this time step.
         if !(t + 1).is_multiple_of(self.summaries[s].config().base_window as u64)
@@ -637,9 +703,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two streams")]
-    fn needs_two_streams() {
-        let _ = CorrelationMonitor::new(8, 2, 2, 0.1, 1);
+    #[should_panic(expected = "at least one stream")]
+    fn needs_one_stream() {
+        let _ = CorrelationMonitor::new(8, 2, 2, 0.1, 0);
+    }
+
+    /// A single-stream monitor reports no pairs but keeps its summary
+    /// and sketch live — what one-stream shards contribute to the
+    /// cross-shard path.
+    #[test]
+    fn single_stream_monitor_serves_sketch_and_windows() {
+        let mut mon = CorrelationMonitor::new(4, 2, 2, 0.5, 1);
+        for i in 0..16u64 {
+            assert!(mon.append(0, (i as f64 * 0.7).sin()).is_empty());
+        }
+        assert_eq!(mon.stats().reported, 0);
+        assert!(mon.sketch(0).is_complete());
+        assert_eq!(mon.sketch(0).end_time(), Some(15));
+        assert!(mon.summary(0).history().window(15, mon.window()).is_some());
+    }
+
+    /// The sketch clock tracks the stream clock exactly, and a finer
+    /// block still aligns with feature times.
+    #[test]
+    fn sketches_stay_synchronized_with_summaries() {
+        let mut mon = CorrelationMonitor::new(8, 2, 2, 0.5, 2).with_sketch_block(4);
+        let mut seed = 5u64;
+        for _ in 0..100 {
+            for s in 0..2 {
+                let _ = mon.append(s, rng(&mut seed) * 9.0);
+            }
+        }
+        for s in 0..2u32 {
+            let now = mon.summary(s).now().expect("fed");
+            assert_eq!(mon.sketch(s).end_time(), Some(now - (now + 1) % 4));
+        }
+        let lb = mon.sketch(0).distance_lower_bound(mon.sketch(1));
+        assert!(lb.is_some(), "aligned complete sketches must produce a bound");
     }
 
     /// Stream 1 replays stream 0 with a delay of exactly 2 update periods;

@@ -54,6 +54,7 @@ pub struct Builder {
     aggregate: Option<(TransformKind, Vec<WindowSpec>, usize)>,
     trend: Option<(usize, usize)>,
     correlation: Option<(usize, f64)>,
+    correlation_sketch_block: Option<usize>,
 }
 
 impl Builder {
@@ -76,6 +77,14 @@ impl Builder {
     /// `W·2^(levels−1)`.
     pub fn correlations(mut self, f: usize, radius: f64) -> Self {
         self.correlation = Some((f, radius));
+        self
+    }
+
+    /// Overrides the correlation sketch's block granularity (see
+    /// [`CorrelationMonitor::with_sketch_block`]). Only meaningful with
+    /// [`Self::correlations`] enabled.
+    pub fn correlation_sketch_block(mut self, block: usize) -> Self {
+        self.correlation_sketch_block = Some(block);
         self
     }
 
@@ -111,7 +120,12 @@ impl Builder {
             TrendMonitor::new(cfg, self.n_streams)
         });
         let correlations = self.correlation.map(|(f, radius)| {
-            CorrelationMonitor::new(self.base_window, self.levels, f, radius, self.n_streams)
+            let monitor =
+                CorrelationMonitor::new(self.base_window, self.levels, f, radius, self.n_streams);
+            match self.correlation_sketch_block {
+                Some(block) => monitor.with_sketch_block(block),
+                None => monitor,
+            }
         });
         UnifiedMonitor { aggregates, trends, correlations }
     }
@@ -151,6 +165,7 @@ impl UnifiedMonitor {
             aggregate: None,
             trend: None,
             correlation: None,
+            correlation_sketch_block: None,
         }
     }
 

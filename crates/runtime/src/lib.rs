@@ -5,7 +5,11 @@
 //! crate scales it out by **partitioning streams across worker shards**.
 //! Stream `g` (of `M`) lives on shard `g mod S` and is monitored there
 //! as local stream `g div S`; each shard owns a private monitor, so no
-//! locks guard monitor state and no summaries are shared.
+//! locks guard monitor state and no summaries are shared. Cross-shard
+//! correlated pairs are still covered: shards ship compact
+//! sliding-window sketches to the collector, which prunes distant pairs
+//! (provably no false dismissals) and verifies the rest exactly — see
+//! [`ShardedRuntime::correlated_pairs`].
 //!
 //! ```text
 //!            Batch { (stream, value)… }
@@ -87,7 +91,7 @@ pub use runtime::{
 };
 pub use shard::ClassStats;
 pub use spec::{AggregateSpec, CorrelationSpec, MonitorSpec, TrendPattern, TrendSpec};
-pub use stats::{LatencyStats, RuntimeStats, ShardStats};
+pub use stats::{CrossCorrStats, LatencyStats, RuntimeStats, ShardStats};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]

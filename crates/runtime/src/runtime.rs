@@ -8,16 +8,20 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use stardust_core::normalize;
+use stardust_core::sketch::PRUNE_SLACK;
 use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
 use crate::fault::FaultPlan;
 use crate::persist::{self, PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport};
 use crate::queue::{BoundedQueue, PushError};
-use crate::shard::{remap_event, Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, Worker};
+use crate::shard::{
+    remap_event, Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, SketchBoard, Worker,
+};
 use crate::snapshot::ShardRecovery;
 use crate::spec::MonitorSpec;
-use crate::stats::{RuntimeStats, ShardCounters};
+use crate::stats::{CrossCorrStats, RuntimeStats, ShardCounters};
 use crate::telemetry::RuntimeTelemetry;
 use crate::{ClassStats, RuntimeError};
 
@@ -135,6 +139,13 @@ pub struct RuntimeConfig {
     /// default — leaves every handle detached: one branch per would-be
     /// sample.
     pub telemetry: Option<stardust_telemetry::Registry>,
+    /// Sketch-exchange cadence for the cross-shard correlation path, in
+    /// sealed sketch blocks: each shard re-publishes its streams'
+    /// sliding-window sketches to the collector board once its slowest
+    /// local stream has sealed this many new blocks. `0` disables the
+    /// exchange — [`ShardedRuntime::correlated_pairs`] stays exact but
+    /// verifies every cross-shard pair without sketch pruning.
+    pub sketch_cadence: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -145,6 +156,7 @@ impl Default for RuntimeConfig {
             recovery: Some(RecoveryPolicy::default()),
             fault_plan: None,
             telemetry: None,
+            sketch_cadence: 1,
         }
     }
 }
@@ -179,6 +191,11 @@ struct Shared {
     /// loses no queued message — the restored worker resumes draining.
     queues: Vec<Arc<BoundedQueue<ShardMsg>>>,
     counters: Vec<Arc<ShardCounters>>,
+    /// Collector-side sketch mirrors for the cross-shard correlation
+    /// path, keyed by global stream id.
+    sketches: Arc<SketchBoard>,
+    /// Sketch-exchange cadence in sealed blocks (`0` = disabled).
+    sketch_cadence: u64,
     /// Per-shard recovery journals; `None` when recovery is disabled.
     recovery: Option<Vec<Arc<ShardRecovery>>>,
     board: Arc<Board>,
@@ -213,6 +230,11 @@ impl Shared {
             faults: self.fault_plan.clone(),
             processed,
             snapshot_every: self.snapshot_every,
+            sketches: Arc::clone(&self.sketches),
+            sketch_cadence: self.sketch_cadence,
+            // Reset on every (re)spawn: the restored worker re-publishes
+            // its sketches, which the board absorbs idempotently.
+            last_shipped: 0,
             telemetry: self.runtime_telemetry.clone(),
         };
         let board = Arc::clone(&self.board);
@@ -289,10 +311,15 @@ impl Shared {
 /// are per-stream computations: the sharded runtime emits *exactly* the
 /// events a single-threaded monitor would (the determinism test in
 /// `tests/` proves the set equality). Correlation is a cross-stream
-/// computation and is **partitioned**: each shard reports pairs among
-/// its own streams only, so cross-shard pairs are not searched — the
-/// standard throughput/recall trade of partitioned stream joins. With
-/// `S = 1` the runtime is exactly the paper's semantics on one core.
+/// computation with two surfaces: pushed [`Event::Correlation`] events
+/// remain **partitioned** (each shard's index search covers its own
+/// streams only), while the pulled [`Self::correlated_pairs`] query
+/// covers **every** pair, cross-shard included — shards publish
+/// sliding-window sketches to a collector board on a cadence, the
+/// collector prunes distant cross-shard pairs with a no-false-dismissal
+/// distance bound, and surviving candidates are verified exactly
+/// against the owning shards' raw windows. With `S = 1` the runtime is
+/// exactly the paper's semantics on one core.
 ///
 /// **Backpressure.** Per-shard queues are bounded at
 /// [`RuntimeConfig::queue_capacity`] messages. `try_append` /
@@ -551,6 +578,7 @@ impl ShardedRuntime {
         recovery: Option<Vec<Arc<ShardRecovery>>>,
     ) -> Arc<Shared> {
         let n_shards = n_locals.len();
+        let n_streams: usize = n_locals.iter().sum();
         let queue_capacity = config.queue_capacity.max(1);
         Arc::new(Shared {
             spec: spec.clone(),
@@ -562,6 +590,8 @@ impl ShardedRuntime {
             runtime_telemetry,
             queues: (0..n_shards).map(|_| Arc::new(BoundedQueue::new(queue_capacity))).collect(),
             counters,
+            sketches: Arc::new(SketchBoard::new(n_streams)),
+            sketch_cadence: config.sketch_cadence,
             recovery,
             board: Arc::new(Board::new(n_shards)),
             handles: Mutex::new((0..n_shards).map(|_| None).collect()),
@@ -824,21 +854,142 @@ impl ShardedRuntime {
         Ok(merged)
     }
 
-    /// Currently correlated pairs among same-shard streams, merged
-    /// across shards and sorted by `(a, b)` — deterministic across runs
-    /// and shard counts (for the pairs a partition can see).
+    /// Currently correlated pairs among **all** streams — same-shard and
+    /// cross-shard — sorted by `(a, b)`.
+    ///
+    /// The result is set-identical to a single-threaded
+    /// [`stardust_core::query::correlation::CorrelationMonitor::linear_scan_pairs`]
+    /// over all streams at the global instant `t* = min` over every
+    /// stream's correlation clock (queried under quiescence; concurrent
+    /// ingest between the clock and verification phases can expire
+    /// windows and drop pairs, exactly as it would invalidate any
+    /// point-in-time answer).
+    ///
+    /// Three phases:
+    /// 1. **Clock scatter** establishes `t*`. Any stream without a full
+    ///    window yet ⇒ empty result (the reference behaves identically).
+    /// 2. **Sketch prune**: cross-shard pairs whose board sketches are
+    ///    complete, aligned at `t*`, and whose projection lower bound
+    ///    exceeds `radius + PRUNE_SLACK` are dismissed — provably
+    ///    outside the radius (no false dismissals; see
+    ///    [`stardust_core::sketch`]). Stale or missing sketches are
+    ///    never pruned on, only verified.
+    /// 3. **Verify scatter** fetches each shard's exact same-shard pairs
+    ///    at `t*` plus the raw windows of surviving candidates; the
+    ///    collector confirms candidates with the exact z-normed
+    ///    distance.
     ///
     /// # Errors
     /// [`RuntimeError::Disconnected`] if a shard failed terminally.
     pub fn correlated_pairs(&self) -> Result<Vec<(StreamId, StreamId, f64)>, RuntimeError> {
-        let mut merged = Vec::new();
-        for reply in self.scatter(QueryRequest::CorrelatedPairs)? {
-            if let QueryReply::CorrelatedPairs(pairs) = reply {
-                merged.extend(pairs);
+        let Some(corr_spec) = self.shared.spec.correlation.clone() else {
+            return Ok(Vec::new());
+        };
+
+        // Phase 1: global verification instant.
+        let mut clocks = Vec::with_capacity(self.n_streams);
+        for reply in self.scatter(QueryRequest::CorrClock)? {
+            if let QueryReply::CorrClock(c) = reply {
+                clocks.extend(c);
             }
         }
+        let Some(t) = clocks.iter().copied().min().flatten() else {
+            return Ok(Vec::new());
+        };
+
+        // Phase 2: prune cross-shard pairs on the sketch board. A pair
+        // is pruned only when both mirrors are complete windows ending
+        // exactly at t* — anything stale goes to exact verification.
+        let mirrors = self.shared.sketches.mirrors();
+        let s = self.n_shards();
+        let radius = corr_spec.radius;
+        let mut candidates: Vec<(StreamId, StreamId)> = Vec::new();
+        let mut pruned = 0u64;
+        for a in 0..self.n_streams {
+            for b in (a + 1)..self.n_streams {
+                if a % s == b % s {
+                    continue; // same shard: covered by the exact scan below
+                }
+                let bound = match (&mirrors[a], &mirrors[b]) {
+                    (Some(sa), Some(sb))
+                        if sa.end_time() == Some(t) && sb.end_time() == Some(t) =>
+                    {
+                        sa.distance_lower_bound(sb)
+                    }
+                    _ => None,
+                };
+                if bound.is_some_and(|lb| lb > radius + PRUNE_SLACK) {
+                    pruned += 1;
+                } else {
+                    candidates.push((a as StreamId, b as StreamId));
+                }
+            }
+        }
+        self.shared.sketches.pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.shared.sketches.candidates.fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.shared.runtime_telemetry.cross_pruned.add(pruned);
+        self.shared.runtime_telemetry.cross_candidates.add(candidates.len() as u64);
+
+        // Phase 3: exact same-shard pairs at t* plus the raw windows of
+        // every candidate. Requests differ per shard, so this is a
+        // custom scatter.
+        let mut windows_for: Vec<Vec<StreamId>> = vec![Vec::new(); s];
+        for &(a, b) in &candidates {
+            for g in [a, b] {
+                windows_for[g as usize % s].push(g / s as StreamId);
+            }
+        }
+        for locals in &mut windows_for {
+            locals.sort_unstable();
+            locals.dedup();
+        }
+        let (tx, rx) = mpsc::channel();
+        for (shard, queue) in self.shared.queues.iter().enumerate() {
+            let req = QueryRequest::CorrVerify {
+                t,
+                windows_for: std::mem::take(&mut windows_for[shard]),
+            };
+            queue.push(ShardMsg::Query(req, tx.clone())).map_err(|_| RuntimeError::Disconnected)?;
+        }
+        drop(tx);
+        let mut merged = Vec::new();
+        let mut windows: std::collections::HashMap<StreamId, Option<Vec<f64>>> =
+            std::collections::HashMap::new();
+        for _ in 0..s {
+            let (_, reply) = rx.recv().map_err(|_| RuntimeError::Disconnected)?;
+            if let QueryReply::CorrVerify { pairs, windows: w } = reply {
+                merged.extend(pairs);
+                windows.extend(w);
+            }
+        }
+        let mut confirmed = 0u64;
+        for (a, b) in candidates {
+            let (Some(Some(wa)), Some(Some(wb))) = (windows.get(&a), windows.get(&b)) else {
+                continue; // window expired: the reference skips it too
+            };
+            let Some(corr) = normalize::correlation(wa, wb) else { continue };
+            if normalize::correlation_to_distance(corr) <= radius {
+                merged.push((a, b, corr));
+                confirmed += 1;
+            }
+        }
+        self.shared.sketches.confirmed.fetch_add(confirmed, Ordering::Relaxed);
+        self.shared.runtime_telemetry.cross_confirmed.add(confirmed);
         merged.sort_by_key(|x| (x.0, x.1));
         Ok(merged)
+    }
+
+    /// Cumulative cross-shard correlation-path counters: sketch
+    /// publications absorbed by the collector board and the fate of
+    /// every cross-shard pair [`Self::correlated_pairs`] has considered.
+    pub fn cross_corr_stats(&self) -> CrossCorrStats {
+        let b = &self.shared.sketches;
+        CrossCorrStats {
+            exchanges: b.exchanges.load(Ordering::Relaxed),
+            candidates: b.candidates.load(Ordering::Relaxed),
+            pruned: b.pruned.load(Ordering::Relaxed),
+            confirmed: b.confirmed.load(Ordering::Relaxed),
+        }
     }
 
     /// Graceful shutdown: queued batches are fully drained (crashed

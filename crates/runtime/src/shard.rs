@@ -12,7 +12,8 @@ use std::time::{Duration, Instant};
 use stardust_core::query::aggregate::AlarmStats;
 use stardust_core::query::correlation::CorrelationStats;
 use stardust_core::query::trend::TrendStats;
-use stardust_core::stream::StreamId;
+use stardust_core::sketch::{BlockSketch, SketchDelta};
+use stardust_core::stream::{StreamId, Time};
 use stardust_core::unified::{Event, UnifiedMonitor};
 
 use crate::fault::{FaultKind, FaultPlan};
@@ -46,9 +47,19 @@ pub(crate) enum QueryRequest {
     },
     /// Cumulative per-class counters.
     ClassStats,
-    /// Ground-truth correlated pairs among this shard's streams at its
-    /// current time.
-    CorrelatedPairs,
+    /// Phase 1 of the cross-shard correlation query: every local
+    /// stream's correlation clock, so the collector can pick the global
+    /// verification instant `t* = min` over all streams.
+    CorrClock,
+    /// Phase 3: ground-truth same-shard pairs at the global instant `t`,
+    /// plus the raw windows ending at `t` for the listed local streams
+    /// (the collector verifies cross-shard candidates with them).
+    CorrVerify {
+        /// Global verification instant.
+        t: Time,
+        /// Local ids whose raw windows the collector needs.
+        windows_for: Vec<StreamId>,
+    },
 }
 
 /// A shard's answer to a [`QueryRequest`]. Stream ids are already
@@ -59,8 +70,67 @@ pub(crate) enum QueryReply {
     AggregateInterval(Option<(f64, f64)>),
     /// `ClassStats` answer.
     ClassStats(ClassStats),
-    /// `CorrelatedPairs` answer (global ids, unsorted).
-    CorrelatedPairs(Vec<(StreamId, StreamId, f64)>),
+    /// `CorrClock` answer: one clock per local stream (empty when this
+    /// shard runs no correlation monitor).
+    CorrClock(Vec<Option<Time>>),
+    /// `CorrVerify` answer.
+    CorrVerify {
+        /// Same-shard pairs at `t` (global ids, unsorted).
+        pairs: Vec<(StreamId, StreamId, f64)>,
+        /// Requested raw windows (global ids; `None` when the window
+        /// ending at `t` is no longer in the stream's history).
+        windows: Vec<(StreamId, Option<Vec<f64>>)>,
+    },
+}
+
+/// Collector-side mirror of every stream's sliding-window sketch, keyed
+/// by **global** stream id. Workers publish deltas on a cadence;
+/// absorption is idempotent (deltas carry absolute block indices), so a
+/// recovered worker re-shipping already-seen blocks never double-counts
+/// — the exactly-once argument for the exchange is the delta frontier,
+/// not delivery counting.
+pub(crate) struct SketchBoard {
+    slots: Mutex<Vec<Option<BlockSketch>>>,
+    /// Sketch publications absorbed (one per stream per cadence firing).
+    pub exchanges: std::sync::atomic::AtomicU64,
+    /// Cross-shard pairs that survived the sketch prune and went to
+    /// exact verification.
+    pub candidates: std::sync::atomic::AtomicU64,
+    /// Cross-shard pairs dismissed by the sketch lower bound.
+    pub pruned: std::sync::atomic::AtomicU64,
+    /// Cross-shard candidates confirmed by exact verification.
+    pub confirmed: std::sync::atomic::AtomicU64,
+}
+
+impl SketchBoard {
+    pub(crate) fn new(n_streams: usize) -> Self {
+        SketchBoard {
+            slots: Mutex::new((0..n_streams).map(|_| None).collect()),
+            exchanges: std::sync::atomic::AtomicU64::new(0),
+            candidates: std::sync::atomic::AtomicU64::new(0),
+            pruned: std::sync::atomic::AtomicU64::new(0),
+            confirmed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Absorbs one stream's delta into its mirror (created on first
+    /// publication with the shipped geometry).
+    pub(crate) fn publish(
+        &self,
+        stream: StreamId,
+        window: usize,
+        block: usize,
+        delta: &SketchDelta,
+    ) {
+        let mut slots = self.slots.lock().expect("sketch board poisoned");
+        slots[stream as usize].get_or_insert_with(|| BlockSketch::new(window, block)).absorb(delta);
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A clone of every mirror, for the collector's prune pass.
+    pub(crate) fn mirrors(&self) -> Vec<Option<BlockSketch>> {
+        self.slots.lock().expect("sketch board poisoned").clone()
+    }
 }
 
 /// Cumulative counters of all three query classes, mergeable across
@@ -250,6 +320,15 @@ pub(crate) struct Worker {
     /// Snapshot cadence in appends; `0` never snapshots (recovery then
     /// replays the shard's full history from the journal).
     pub snapshot_every: u64,
+    /// Collector-side sketch mirrors this worker publishes to.
+    pub sketches: Arc<SketchBoard>,
+    /// Publish sketches every this many sealed blocks of the slowest
+    /// local stream; `0` disables the exchange entirely.
+    pub sketch_cadence: u64,
+    /// Sealed-block frontier at the last publication. Deliberately reset
+    /// to `0` on worker restore: the re-publication it causes is
+    /// absorbed idempotently by the board.
+    pub last_shipped: u64,
     /// Runtime-level metric handles; detached when telemetry is off.
     pub telemetry: RuntimeTelemetry,
 }
@@ -265,7 +344,11 @@ impl Worker {
             return match req {
                 QueryRequest::AggregateInterval { .. } => QueryReply::AggregateInterval(None),
                 QueryRequest::ClassStats => QueryReply::ClassStats(ClassStats::default()),
-                QueryRequest::CorrelatedPairs => QueryReply::CorrelatedPairs(Vec::new()),
+                QueryRequest::CorrClock => QueryReply::CorrClock(Vec::new()),
+                QueryRequest::CorrVerify { windows_for, .. } => QueryReply::CorrVerify {
+                    pairs: Vec::new(),
+                    windows: windows_for.iter().map(|&s| (self.global(s), None)).collect(),
+                },
             };
         };
         match req {
@@ -291,27 +374,68 @@ impl Worker {
                 }
                 QueryReply::ClassStats(stats)
             }
-            QueryRequest::CorrelatedPairs => {
+            QueryRequest::CorrClock => {
+                let clocks = monitor
+                    .correlation_monitor()
+                    .map(|corr| {
+                        (0..corr.n_streams() as StreamId).map(|s| corr.summary(s).now()).collect()
+                    })
+                    .unwrap_or_default();
+                QueryReply::CorrClock(clocks)
+            }
+            QueryRequest::CorrVerify { t, windows_for } => {
                 let Some(corr) = monitor.correlation_monitor() else {
-                    return QueryReply::CorrelatedPairs(Vec::new());
+                    return QueryReply::CorrVerify {
+                        pairs: Vec::new(),
+                        windows: windows_for.iter().map(|&s| (self.global(s), None)).collect(),
+                    };
                 };
-                // Ground truth needs every stream's window to end at the
-                // same instant: use the slowest stream's clock.
-                let t = (0..corr.n_streams() as StreamId)
-                    .map(|s| corr.summary(s).now())
-                    .min()
-                    .flatten();
-                let pairs = match t {
-                    None => Vec::new(),
-                    Some(t) => corr
-                        .linear_scan_pairs(t)
-                        .into_iter()
-                        .map(|(a, b, c)| (self.global(a), self.global(b), c))
-                        .collect(),
-                };
-                QueryReply::CorrelatedPairs(pairs)
+                let pairs = corr
+                    .linear_scan_pairs(t)
+                    .into_iter()
+                    .map(|(a, b, c)| (self.global(a), self.global(b), c))
+                    .collect();
+                let n = corr.window();
+                let windows = windows_for
+                    .iter()
+                    .map(|&local| (self.global(local), corr.summary(local).history().window(t, n)))
+                    .collect();
+                QueryReply::CorrVerify { pairs, windows }
             }
         }
+    }
+
+    /// Ships every local sketch to the collector board once the slowest
+    /// local stream has sealed `sketch_cadence` new blocks. Publication
+    /// is driven by the sealed-block frontier, not wall time, so it is
+    /// deterministic per batch history — and re-running it after a crash
+    /// restore is a no-op on the board.
+    fn maybe_publish_sketches(&mut self) {
+        if self.sketch_cadence == 0 {
+            return;
+        }
+        let Some(corr) = self.monitor.as_ref().and_then(|m| m.correlation_monitor()) else {
+            return;
+        };
+        let frontier = (0..corr.n_streams() as StreamId)
+            .map(|s| {
+                let sk = corr.sketch(s);
+                sk.end_time().map_or(0, |t| (t + 1) / sk.block() as u64)
+            })
+            .min()
+            .unwrap_or(0);
+        if frontier < self.last_shipped.saturating_add(self.sketch_cadence) {
+            return;
+        }
+        let start = Instant::now();
+        for local in 0..corr.n_streams() as StreamId {
+            let sk = corr.sketch(local);
+            self.sketches.publish(self.global(local), sk.window(), sk.block(), &sk.delta());
+        }
+        self.last_shipped = frontier;
+        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.telemetry.sketch_exchange.observe(ns);
+        self.telemetry.sketch_exchanges.inc();
     }
 
     /// The worker loop: drain messages until `Shutdown` or the queue is
@@ -405,6 +529,7 @@ impl Worker {
                     let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                     self.counters.note_batch(ns);
                     self.telemetry.batch_latency.observe(ns);
+                    self.maybe_publish_sketches();
                     if let Some(rec) = &self.recovery {
                         if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every
                         {

@@ -73,13 +73,25 @@ pub struct MonitorSpec {
     pub trend: Option<TrendSpec>,
     /// Correlation monitoring, if enabled.
     pub correlation: Option<CorrelationSpec>,
+    /// Correlation sketch block granularity override (values per block).
+    /// `None` uses the monitor default (`base_window`). Must divide the
+    /// correlation window `W * 2^(levels-1)`.
+    pub sketch_block: Option<usize>,
 }
 
 impl MonitorSpec {
     /// An empty spec over base window `W` and `levels` resolution
     /// levels; enable at least one query class before building.
     pub fn new(base_window: usize, levels: usize, r_max: f64) -> Self {
-        MonitorSpec { base_window, levels, r_max, aggregate: None, trend: None, correlation: None }
+        MonitorSpec {
+            base_window,
+            levels,
+            r_max,
+            aggregate: None,
+            trend: None,
+            correlation: None,
+            sketch_block: None,
+        }
     }
 
     /// Enables aggregate monitoring.
@@ -100,6 +112,12 @@ impl MonitorSpec {
         self
     }
 
+    /// Overrides the correlation sketch's block granularity.
+    pub fn with_sketch_block(mut self, block: usize) -> Self {
+        self.sketch_block = Some(block);
+        self
+    }
+
     /// Whether any query class is enabled.
     pub fn any_class(&self) -> bool {
         self.aggregate.is_some() || self.trend.is_some() || self.correlation.is_some()
@@ -107,12 +125,12 @@ impl MonitorSpec {
 
     /// Builds a monitor over `n_streams` streams.
     ///
-    /// Correlation requires at least two streams; on a slice with fewer
-    /// it is silently dropped (a one-stream slice has no pairs to
-    /// report), which is exactly the partitioned-correlation contract
-    /// documented on [`crate::ShardedRuntime`]. Returns `Ok(None)` when
-    /// no enabled class is constructible for this slice — the caller
-    /// runs such a shard as a counting pass-through.
+    /// Correlation is kept even on one-stream slices: a lone stream has
+    /// no same-shard pairs, but its sliding-window sketch and raw
+    /// windows still feed the collector's cross-shard correlation path
+    /// (see [`crate::ShardedRuntime::correlated_pairs`]). Returns
+    /// `Ok(None)` when no enabled class is constructible for this slice
+    /// — the caller runs such a shard as a counting pass-through.
     ///
     /// # Errors
     /// Fails when no class is enabled at all, or a trend pattern is
@@ -124,10 +142,6 @@ impl MonitorSpec {
         if n_streams == 0 {
             return Ok(None);
         }
-        let correlation = self.correlation.as_ref().filter(|_| n_streams >= 2);
-        if self.aggregate.is_none() && self.trend.is_none() && correlation.is_none() {
-            return Ok(None);
-        }
         let mut builder =
             UnifiedMonitor::builder(self.base_window, self.levels, n_streams, self.r_max);
         if let Some(agg) = &self.aggregate {
@@ -136,8 +150,11 @@ impl MonitorSpec {
         if let Some(trend) = &self.trend {
             builder = builder.trends(trend.coeffs, trend.box_capacity);
         }
-        if let Some(corr) = correlation {
+        if let Some(corr) = &self.correlation {
             builder = builder.correlations(corr.coeffs, corr.radius);
+            if let Some(block) = self.sketch_block {
+                builder = builder.correlation_sketch_block(block);
+            }
         }
         let mut monitor = builder.build();
         if let Some(trend) = &self.trend {

@@ -143,6 +143,26 @@ pub struct ShardStats {
     pub batch_latency: LatencyStats,
 }
 
+/// Cumulative counters of the cross-shard correlation path: sketch
+/// publications absorbed by the collector board, and the fate of every
+/// cross-shard pair considered by
+/// [`crate::ShardedRuntime::correlated_pairs`]. Pruning is sound
+/// (pruned pairs are provably outside the radius), so
+/// `candidates + pruned` is the number of cross-shard pairs considered
+/// and `confirmed / candidates` is the prune precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrossCorrStats {
+    /// Sketch publications absorbed (one per stream per cadence firing).
+    pub exchanges: u64,
+    /// Cross-shard pairs that survived the prune and were verified
+    /// exactly.
+    pub candidates: u64,
+    /// Cross-shard pairs dismissed by the sketch distance lower bound.
+    pub pruned: u64,
+    /// Candidates confirmed correlated by exact verification.
+    pub confirmed: u64,
+}
+
 /// A point-in-time snapshot of the whole runtime, one entry per shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeStats {

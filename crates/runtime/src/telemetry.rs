@@ -48,6 +48,21 @@ pub(crate) struct RuntimeTelemetry {
     /// `stardust_runtime_rejected_samples_total` — non-finite samples
     /// rejected at the append boundary.
     pub rejected: Counter,
+    /// `stardust_sketch_exchange_ns` — one cadence firing: shipping
+    /// every local sketch delta to the collector board.
+    pub sketch_exchange: Histogram,
+    /// `stardust_sketch_exchanges_total` — cadence firings across
+    /// shards.
+    pub sketch_exchanges: Counter,
+    /// `stardust_cross_corr_candidates_total` — cross-shard pairs that
+    /// survived the sketch prune and went to exact verification.
+    pub cross_candidates: Counter,
+    /// `stardust_cross_corr_pruned_total` — cross-shard pairs dismissed
+    /// by the sketch distance lower bound.
+    pub cross_pruned: Counter,
+    /// `stardust_cross_corr_confirmed_total` — cross-shard candidates
+    /// confirmed by exact verification.
+    pub cross_confirmed: Counter,
 }
 
 impl RuntimeTelemetry {
@@ -105,6 +120,26 @@ impl RuntimeTelemetry {
             rejected: registry.counter(
                 "stardust_runtime_rejected_samples_total",
                 "Non-finite samples rejected at the append boundary",
+            ),
+            sketch_exchange: registry.histogram(
+                "stardust_sketch_exchange_ns",
+                "One sketch-exchange cadence firing in nanoseconds",
+            ),
+            sketch_exchanges: registry.counter(
+                "stardust_sketch_exchanges_total",
+                "Sketch-exchange cadence firings across shards",
+            ),
+            cross_candidates: registry.counter(
+                "stardust_cross_corr_candidates_total",
+                "Cross-shard pairs sent to exact verification after the sketch prune",
+            ),
+            cross_pruned: registry.counter(
+                "stardust_cross_corr_pruned_total",
+                "Cross-shard pairs dismissed by the sketch distance lower bound",
+            ),
+            cross_confirmed: registry.counter(
+                "stardust_cross_corr_confirmed_total",
+                "Cross-shard candidates confirmed by exact verification",
             ),
         }
     }

@@ -86,7 +86,7 @@ fn faulted_run(
             queue_capacity: 32,
             recovery: Some(RecoveryPolicy { snapshot_every }),
             fault_plan: faults,
-            telemetry: None,
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -177,7 +177,7 @@ fn correlation_state_survives_worker_crashes() {
             queue_capacity: 32,
             recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
             fault_plan: Some(Arc::clone(&plan)),
-            telemetry: None,
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -210,6 +210,68 @@ fn correlation_state_survives_worker_crashes() {
     }
     assert_eq!(pairs, rt2.correlated_pairs().unwrap());
     rt2.shutdown();
+}
+
+/// Killing shards mid-cadence must not corrupt the collector's sketch
+/// board: a restored worker's ship frontier resets, so it re-publishes
+/// sketches the board has already absorbed, and the absorb must be
+/// idempotent. The cross-shard pair set after recovery is bit-identical
+/// to an unfaulted run's, and no exchange is double-counted into the
+/// prune accounting.
+#[test]
+fn sketch_exchange_survives_mid_cadence_kills() {
+    let (mut streams, _) = workload(42, N_STREAMS);
+    // Plant a twin: streams 0 and 1 land on different shards for every
+    // shard count > 1 under `g mod S` placement.
+    streams[1] = streams[0].iter().map(|v| v + 1e-9).collect();
+    let r_max = observed_r_max(&streams);
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 0.25 });
+    let shards = 2;
+
+    let drive = |config: RuntimeConfig| {
+        let rt = ShardedRuntime::launch(&spec, N_STREAMS, config).unwrap();
+        for t in 0..N_VALUES {
+            let batch: Batch =
+                streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        let pairs = rt.correlated_pairs().unwrap();
+        let stats = rt.cross_corr_stats();
+        (pairs, stats, rt.shutdown())
+    };
+
+    let (want, clean, _) =
+        drive(RuntimeConfig { shards, queue_capacity: 32, ..RuntimeConfig::default() });
+    assert!(want.iter().any(|&(a, b, _)| (a, b) == (0, 1)), "planted twin missing: {want:?}");
+    assert!(clean.exchanges > 0, "sketches were never exchanged in the clean run");
+
+    // Each shard sees 1536 appends; killing inside [150, 800) lands
+    // strictly between cadence boundaries (one block = 16 appends per
+    // stream), past at least one snapshot.
+    let plan = Arc::new(FaultPlan::seeded_kills(0xD1CE, shards, 150, 800));
+    let (got, faulted, report) = drive(RuntimeConfig {
+        shards,
+        queue_capacity: 32,
+        recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
+        fault_plan: Some(Arc::clone(&plan)),
+        ..RuntimeConfig::default()
+    });
+    assert_eq!(plan.fired_count(), shards, "every scheduled kill must fire");
+    assert_eq!(report.stats.total_restarts(), shards as u64);
+    assert_eq!(got, want, "cross-shard pair set diverged after mid-cadence kills");
+    // Respawned workers re-shipped from a reset frontier (strictly more
+    // publications than the clean run), yet the prune accounting still
+    // covers every cross-shard pair exactly once.
+    assert!(
+        faulted.exchanges >= clean.exchanges,
+        "recovered workers must re-publish sketches: {faulted:?} vs {clean:?}"
+    );
+    assert_eq!(
+        faulted.candidates + faulted.pruned,
+        clean.candidates + clean.pruned,
+        "exchange double-counted into prune accounting: {faulted:?} vs {clean:?}"
+    );
 }
 
 /// A `DelayDrain` fault slows a worker without killing it; nothing may

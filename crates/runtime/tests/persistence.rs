@@ -104,7 +104,7 @@ fn config(shards: usize, faults: Option<Arc<FaultPlan>>, snapshot_every: u64) ->
         queue_capacity: 32,
         recovery: Some(RecoveryPolicy { snapshot_every }),
         fault_plan: faults,
-        telemetry: None,
+        ..RuntimeConfig::default()
     }
 }
 

@@ -141,8 +141,10 @@ fn correlation_equivalence_single_client() {
     const N: usize = 4;
     let streams = {
         // Two near-identical streams guarantee correlation reports.
-        // Correlation is detected within a shard, so the twin must land
-        // on stream 0's shard: with `g % 2` sharding that is stream 2.
+        // *Pushed* correlation events are detected within a shard, so
+        // the twin must land on stream 0's shard: with `g % 2` sharding
+        // that is stream 2. (The pulled `correlated_pairs` query spans
+        // shards; see `cross_shard_pairs_are_tenant_filtered`.)
         let mut s = random_walk_streams(7, N, 128);
         let twin: Vec<f64> = s[0].iter().map(|v| v + 1e-9).collect();
         s[2] = twin;
@@ -188,6 +190,108 @@ fn correlation_equivalence_single_client() {
     let mut got = server.shutdown().events;
     sort_events(&mut got);
     assert_eq!(got, expected, "correlation events diverged between socket and direct ingest");
+}
+
+/// Cross-shard pairs flow through the collector's sketch-prune path and
+/// stay tenant-filtered over the wire: each tenant sees exactly the
+/// pairs whose *both* ends live in its namespace, in tenant-local ids.
+/// A correlated pair spanning two tenants is visible to neither.
+#[test]
+fn cross_shard_pairs_are_tenant_filtered() {
+    const N: usize = 6;
+    let streams = {
+        let mut s = random_walk_streams(9, N, 128);
+        // Twin (0, 1): within tenant a, cross-shard under `g % 2`.
+        s[1] = s[0].iter().map(|v| v + 1e-9).collect();
+        // Twin (3, 4): spans tenants a and b, also cross-shard.
+        s[4] = s[3].iter().map(|v| v + 1e-9).collect();
+        s
+    };
+    let r_max = stardust_datagen::random_walk::observed_r_max(&streams);
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: 0.5 });
+    let n = streams[0].len();
+
+    // Unfiltered ground truth through a direct runtime.
+    let direct = {
+        let rt = ShardedRuntime::launch(&spec, N, runtime_config()).unwrap();
+        for t in 0..n {
+            let batch: Batch = streams.iter().enumerate().map(|(g, s)| (g as u32, s[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        let pairs = rt.correlated_pairs().unwrap();
+        rt.shutdown();
+        pairs
+    };
+    assert!(
+        direct.iter().any(|&(a, b, _)| (a, b) == (0, 1)),
+        "vacuous: within-tenant cross-shard twin not detected: {direct:?}"
+    );
+    assert!(
+        direct.iter().any(|&(a, b, _)| (a, b) == (3, 4)),
+        "vacuous: tenant-spanning twin not detected: {direct:?}"
+    );
+
+    let registry = Registry::new();
+    let rt = ShardedRuntime::launch(
+        &spec,
+        N,
+        RuntimeConfig { telemetry: Some(registry.clone()), ..runtime_config() },
+    )
+    .unwrap();
+    let tenants = vec![
+        TenantConfig { name: "a".into(), token: "a-token".into(), streams: 4, append_rate: 0 },
+        TenantConfig { name: "b".into(), token: "b-token".into(), streams: 2, append_rate: 0 },
+    ];
+    let server =
+        Server::start("127.0.0.1:0", rt, tenants, ServerConfig::default(), Registry::new())
+            .unwrap();
+    let addr = server.local_addr();
+    let (mut a, _) = Client::connect(addr, "a-token").unwrap();
+    let (mut b, _) = Client::connect(addr, "b-token").unwrap();
+    for t in 0..n {
+        let tenant_a: Vec<(u32, f64)> = (0..4).map(|g| (g as u32, streams[g][t])).collect();
+        let tenant_b: Vec<(u32, f64)> = (0..2).map(|l| (l as u32, streams[4 + l][t])).collect();
+        a.append_all(&tenant_a).unwrap();
+        b.append_all(&tenant_b).unwrap();
+    }
+
+    // Tenant a: exactly the direct pairs fully inside globals 0..4
+    // (its base is 0, so local ids equal global ids). The (3, 4) pair
+    // crosses the namespace boundary and must be filtered out.
+    let seen_a = a.correlated_pairs().unwrap();
+    let expect_a: Vec<(u32, u32, f64)> =
+        direct.iter().copied().filter(|&(x, y, _)| x < 4 && y < 4).collect();
+    assert_eq!(seen_a, expect_a, "tenant a's view diverged from the filtered ground truth");
+    assert!(seen_a.iter().any(|&(x, y, _)| (x, y) == (0, 1)));
+    assert!(
+        seen_a.iter().all(|&(x, y, _)| x < 4 && y < 4),
+        "tenant a saw ids outside its namespace: {seen_a:?}"
+    );
+
+    // Tenant b: streams 4 and 5 are uncorrelated, and the (3, 4) pair
+    // has one end outside its namespace — it must see nothing.
+    let seen_b = b.correlated_pairs().unwrap();
+    assert!(seen_b.is_empty(), "tenant b saw pairs outside its namespace: {seen_b:?}");
+
+    // The runtime's cross-shard counters prove the wire queries rode
+    // the sketch-prune path, not a same-shard shortcut.
+    let doc = json::parse(&registry.render_json()).expect("runtime metrics JSON must parse");
+    let counters = doc.get("counters").expect("counters object");
+    let confirmed = counters
+        .get("stardust_cross_corr_confirmed_total")
+        .and_then(|v| v.as_u64())
+        .expect("cross-corr confirmed counter present");
+    assert!(confirmed >= 1, "no cross-shard pair was ever confirmed");
+    let exchanges = counters
+        .get("stardust_sketch_exchanges_total")
+        .and_then(|v| v.as_u64())
+        .expect("sketch exchange counter present");
+    assert!(exchanges > 0, "sketches were never exchanged");
+
+    a.goodbye().unwrap();
+    b.goodbye().unwrap();
+    server.shutdown();
 }
 
 /// Authentication and both quota classes answer with typed replies and

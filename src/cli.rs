@@ -101,8 +101,9 @@ COMMANDS:
               --query-iters K (32: scatter-gather latency samples)
               --emit-bench FILE (write a schema-stable JSON report for
               CI regression gating, including WAL-append and
-              disk-recovery micro-timings plus a socket-level server
-              load section; see crates/bench/src/bin/bench_gate.rs)
+              disk-recovery micro-timings, a socket-level server load
+              section, and a cross-shard correlation prune audit;
+              see crates/bench/src/bin/bench_gate.rs)
               --server-clients C (32)  --server-values V (1024)
               (fleet size for the emitted server load section)
   serve       listen for ingest/query clients over TCP (SDNET001
@@ -650,6 +651,138 @@ fn persistence_micro_bench(
     Ok((wal_append_ns, recovery_ns, recovered_appends))
 }
 
+/// Cross-shard correlation audit for the report's `cross_corr` section.
+struct CrossCorrBench {
+    /// Correlated pairs in the final result.
+    pairs: u64,
+    /// Cross-shard pairs the collector considered (candidates + pruned).
+    considered: u64,
+    /// Pairs that survived the sketch prune into exact verification.
+    candidates: u64,
+    /// Pairs dismissed by the sketch distance lower bound.
+    pruned: u64,
+    /// Verified candidates that were genuinely within the radius.
+    confirmed: u64,
+    /// Sketch publications absorbed by the collector board.
+    exchanges: u64,
+    /// `confirmed / candidates` — how selective the prune filter is.
+    prune_precision: f64,
+    /// Fraction of ground-truth pairs the sharded path reported (the
+    /// no-false-dismissal bound says this is exactly 1).
+    prune_recall: f64,
+    /// Ground-truth pairs missing from the sharded result.
+    false_dismissals: u64,
+    /// Median latency of the pulled cross-shard query over drained queues.
+    query_p50_ns: u64,
+}
+
+/// Runs a phase-structured workload with planted correlated pairs at
+/// four shards, audits the sketch-prune funnel against a single-monitor
+/// linear scan, and times the pulled `correlated_pairs` query. A false
+/// dismissal is a correctness bug, not a slow run, so it fails the
+/// command rather than just skewing a number.
+fn cross_corr_micro_bench(query_iters: usize) -> Result<CrossCorrBench, String> {
+    use stardust_runtime::{Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime};
+
+    const BASE_WINDOW: usize = 8;
+    const LEVELS: usize = 3;
+    const WINDOW: usize = BASE_WINDOW << (LEVELS - 1);
+    const M: usize = 8;
+    const SHARDS: usize = 4;
+    /// Block-aligned with the default sketch block so the final sketches
+    /// end exactly at the query clock and the prune path is live.
+    const N: usize = 160;
+    const RADIUS: f64 = 0.5;
+
+    // Sinusoids one period per correlation window: streams sharing a
+    // phase correlate, the rest sit far outside the radius, and the
+    // block averages resolve the waveform so the prune has teeth. Both
+    // planted pairs are cross-shard under `g mod 4`.
+    let phases = [0.0, 0.0, 2.1, 2.1, 0.9, 2.9, 4.2, 5.1];
+    let mut state = 0xB0B5u64;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let streams: Vec<Vec<f64>> = phases
+        .iter()
+        .enumerate()
+        .map(|(i, &phase)| {
+            let mean = 30.0 + 4.0 * i as f64;
+            (0..N)
+                .map(|t| {
+                    let cycle = 2.0 * std::f64::consts::PI * t as f64 / WINDOW as f64;
+                    mean * (1.0 + 0.2 * (cycle + phase).sin() + 0.004 * rng())
+                })
+                .collect()
+        })
+        .collect();
+    let r_max = streams.iter().flatten().fold(1.0f64, |m, &x| m.max(x.abs()));
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: RADIUS });
+
+    // Ground truth: single monitor, linear scan over every pair.
+    let want = {
+        let mut monitor = spec.build(M).map_err(|e| e.to_string())?.ok_or("no correlation")?;
+        for t in 0..N {
+            for (s, stream) in streams.iter().enumerate() {
+                monitor.append(s as u32, stream[t]);
+            }
+        }
+        monitor.correlation_monitor().ok_or("no correlation")?.linear_scan_pairs(N as u64 - 1)
+    };
+
+    let rt = ShardedRuntime::launch(
+        &spec,
+        M,
+        RuntimeConfig { shards: SHARDS, queue_capacity: 64, ..RuntimeConfig::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    for t in 0..N {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as u32, x[t])).collect();
+        rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+    }
+    let got = rt.correlated_pairs().map_err(|e| e.to_string())?;
+    // Snapshot the funnel after exactly one query: the timing loop
+    // below would otherwise multiply the counters.
+    let stats = rt.cross_corr_stats();
+
+    let hist = stardust_telemetry::Histogram::standalone(stardust_telemetry::duration_buckets_ns());
+    for _ in 0..query_iters.max(1) {
+        let span = hist.span();
+        rt.correlated_pairs().map_err(|e| e.to_string())?;
+        drop(span);
+    }
+    rt.shutdown();
+
+    let false_dismissals = want.iter().filter(|p| !got.contains(p)).count() as u64;
+    if false_dismissals > 0 {
+        return Err(format!(
+            "cross-corr audit FAILED: {false_dismissals} ground-truth pair(s) dismissed \
+             ({want:?} expected, {got:?} reported)"
+        ));
+    }
+    let prune_recall = if want.is_empty() {
+        1.0
+    } else {
+        (want.len() as u64 - false_dismissals) as f64 / want.len() as f64
+    };
+    let prune_precision =
+        if stats.candidates > 0 { stats.confirmed as f64 / stats.candidates as f64 } else { 1.0 };
+    Ok(CrossCorrBench {
+        pairs: got.len() as u64,
+        considered: stats.candidates + stats.pruned,
+        candidates: stats.candidates,
+        pruned: stats.pruned,
+        confirmed: stats.confirmed,
+        exchanges: stats.exchanges,
+        prune_precision,
+        prune_recall,
+        false_dismissals,
+        query_p50_ns: hist.quantile(0.5).unwrap_or(0),
+    })
+}
+
 fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
     use stardust_telemetry::Registry;
@@ -778,6 +911,23 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             load.busy_replies,
             load.audit_events,
         ));
+        // Cross-shard correlation audit: sketch-prune funnel vs a
+        // single-monitor linear scan. A false dismissal fails the
+        // command inside the helper.
+        let cc = cross_corr_micro_bench(query_iters)?;
+        out.push_str(&format!(
+            "cross-corr: {} pair(s), {} cross-shard considered ({} pruned, {} verified, \
+             {} confirmed), precision {:.3}, recall {:.3}, query p50 {}ns, {} exchange(s)\n",
+            cc.pairs,
+            cc.considered,
+            cc.pruned,
+            cc.candidates,
+            cc.confirmed,
+            cc.prune_precision,
+            cc.prune_recall,
+            cc.query_p50_ns,
+            cc.exchanges,
+        ));
         let json = format!(
             concat!(
                 "{{\"schema\":\"stardust-bench/v1\",",
@@ -795,6 +945,10 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "\"append_p99_ns\":{},\"audit_events\":{},\"busy_replies\":{},",
                 "\"clients\":{},\"elapsed_s\":{},",
                 "\"throughput_values_per_s\":{},\"values\":{}}},",
+                "\"cross_corr\":{{\"candidates\":{},\"confirmed\":{},",
+                "\"considered\":{},\"exchanges\":{},\"false_dismissals\":{},",
+                "\"pairs\":{},\"prune_precision\":{},\"prune_recall\":{},",
+                "\"pruned\":{},\"query_p50_ns\":{}}},",
                 "\"metrics\":{}}}\n"
             ),
             batch_rows,
@@ -827,6 +981,16 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             json_num(load.elapsed_s),
             json_num(load.throughput_values_per_s),
             load.values,
+            cc.candidates,
+            cc.confirmed,
+            cc.considered,
+            cc.exchanges,
+            cc.false_dismissals,
+            cc.pairs,
+            json_num(cc.prune_precision),
+            json_num(cc.prune_recall),
+            cc.pruned,
+            cc.query_p50_ns,
             registry.render_json(),
         );
         std::fs::write(path, &json)
@@ -1105,7 +1269,7 @@ fn run_chaos(args: &Args, input: &str) -> Result<String, String> {
                 queue_capacity: queue,
                 recovery: Some(RecoveryPolicy { snapshot_every }),
                 fault_plan: faults,
-                telemetry: None,
+                ..RuntimeConfig::default()
             },
         )
         .map_err(|e| e.to_string())?;
@@ -1267,7 +1431,7 @@ fn run_chaos_disk(args: &Args, input: &str) -> Result<String, String> {
             queue_capacity: queue,
             recovery: Some(RecoveryPolicy { snapshot_every }),
             fault_plan: faults,
-            telemetry: None,
+            ..RuntimeConfig::default()
         };
         let persist = || PersistConfig::new(&dir).sync(SyncPolicy::EveryN(sync_every));
 

@@ -114,6 +114,25 @@ fn serve_bench_emits_schema_stable_report() {
     let sp99 = server.get("append_p99_ns").and_then(Value::as_u64).expect("p99");
     assert!(sp50 > 0 && sp50 <= sp99, "append quantiles out of order: {sp50} vs {sp99}");
 
+    // Cross-shard correlation audit consumed by bench_gate: the prune
+    // funnel conserves (considered = candidates + pruned), recall is
+    // exactly 1 with zero false dismissals (a dismissal errors the
+    // whole command), and precision is a valid fraction.
+    let cc = doc.get("cross_corr").expect("cross_corr section");
+    let considered = cc.get("considered").and_then(Value::as_u64).expect("considered");
+    let candidates = cc.get("candidates").and_then(Value::as_u64).expect("candidates");
+    let pruned = cc.get("pruned").and_then(Value::as_u64).expect("pruned");
+    let confirmed = cc.get("confirmed").and_then(Value::as_u64).expect("confirmed");
+    assert_eq!(candidates + pruned, considered, "prune funnel leaks pairs");
+    assert!(confirmed <= candidates, "confirmed {confirmed} > candidates {candidates}");
+    assert!(pruned > 0, "the audit workload must exercise the prune path");
+    assert_eq!(cc.get("false_dismissals").and_then(Value::as_u64), Some(0));
+    assert_eq!(cc.get("prune_recall").and_then(Value::as_f64), Some(1.0));
+    let precision = cc.get("prune_precision").and_then(Value::as_f64).expect("precision");
+    assert!((0.0..=1.0).contains(&precision), "precision out of range: {precision}");
+    assert!(cc.get("exchanges").and_then(Value::as_u64).expect("exchanges") > 0);
+    assert!(cc.get("pairs").and_then(Value::as_u64).expect("pairs") > 0);
+
     // The embedded registry document: every value ingested is an append
     // seen by the summarizers of the enabled classes (aggregate plus
     // correlation in the default generated workload), and the class

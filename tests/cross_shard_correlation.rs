@@ -1,0 +1,230 @@
+//! Cross-shard correlation vs linear-scan ground truth.
+//!
+//! The tentpole invariant of the cross-shard correlation path: for any
+//! shard count, [`ShardedRuntime::correlated_pairs`] is **set-identical**
+//! to a single-threaded linear scan over every pair of streams at the
+//! global instant `t* = min` over all correlation clocks. Sketch pruning
+//! must be invisible in the result — it may only reduce how many pairs
+//! reach exact verification (zero false dismissals; false positives are
+//! impossible because every surviving candidate is verified exactly).
+
+use stardust::core::stream::StreamId;
+use stardust::runtime::{Batch, CorrelationSpec, MonitorSpec, RuntimeConfig, ShardedRuntime};
+
+const BASE_WINDOW: usize = 8;
+const LEVELS: usize = 3;
+/// Correlation window `W * 2^(levels-1)`.
+const WINDOW: usize = BASE_WINDOW << (LEVELS - 1);
+const N_STREAMS: usize = 6;
+/// Multiple of the sketch block so the final sketches align with `t*`
+/// and the prune path actually fires (correctness holds regardless).
+const N_VALUES: usize = 160;
+const RADIUS: f64 = 0.5;
+
+fn spec(r_max: f64) -> MonitorSpec {
+    MonitorSpec::new(BASE_WINDOW, LEVELS, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 4, radius: RADIUS })
+}
+
+/// Single-threaded ground truth: one monitor over all streams, linear
+/// scan at the slowest stream's clock.
+fn reference_pairs(spec: &MonitorSpec, streams: &[Vec<f64>]) -> Vec<(StreamId, StreamId, f64)> {
+    let mut monitor = spec.build(streams.len()).unwrap().unwrap();
+    for t in 0..N_VALUES {
+        for (s, stream) in streams.iter().enumerate() {
+            monitor.append(s as StreamId, stream[t]);
+        }
+    }
+    let corr = monitor.correlation_monitor().unwrap();
+    let t = (0..streams.len() as StreamId)
+        .map(|s| corr.summary(s).now())
+        .min()
+        .flatten()
+        .expect("every stream has a full window");
+    corr.linear_scan_pairs(t)
+}
+
+/// The same workload through a sharded runtime, queried under
+/// quiescence (everything submitted before the query).
+fn sharded_pairs(
+    spec: &MonitorSpec,
+    streams: &[Vec<f64>],
+    shards: usize,
+) -> (Vec<(StreamId, StreamId, f64)>, stardust::runtime::CrossCorrStats) {
+    let rt = ShardedRuntime::launch(
+        spec,
+        streams.len(),
+        RuntimeConfig { shards, queue_capacity: 32, ..RuntimeConfig::default() },
+    )
+    .unwrap();
+    for t in 0..N_VALUES {
+        let batch: Batch = streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+        rt.submit_blocking(&batch).unwrap();
+    }
+    let pairs = rt.correlated_pairs().unwrap();
+    let stats = rt.cross_corr_stats();
+    rt.shutdown();
+    (pairs, stats)
+}
+
+/// Asserts set identity with explicit no-false-dismissal diagnostics.
+fn assert_identical(
+    shards: usize,
+    got: &[(StreamId, StreamId, f64)],
+    want: &[(StreamId, StreamId, f64)],
+) {
+    for pair in want {
+        assert!(
+            got.contains(pair),
+            "FALSE DISMISSAL at {shards} shard(s): ground-truth pair {pair:?} missing from {got:?}"
+        );
+    }
+    assert_eq!(got, want, "sharded result diverged from linear scan at {shards} shard(s)");
+}
+
+/// Eq. 5-shaped synthetic workload: each stream is a mean plus a
+/// deviation proportional to that mean (the normalized-deviation shape
+/// the paper's §5 analysis assumes), where the deviation is a slow
+/// waveform plus seeded noise. Streams sharing a waveform phase are
+/// correlated; phases are spread so other pairs are far outside the
+/// radius.
+fn eq5_streams() -> Vec<Vec<f64>> {
+    // Streams 0 and 1 share phase 0; 2 and 3 share a second phase; 4
+    // and 5 sit alone. With `g mod S` placement every planted pair is
+    // cross-shard for S in {2, 3, 4}.
+    let phases = [0.0, 0.0, 2.1, 2.1, 4.2, 5.3];
+    let mut seed = 0x5EEDu64;
+    let mut rng = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    phases
+        .iter()
+        .enumerate()
+        .map(|(i, &phase)| {
+            let mean = 40.0 + 5.0 * i as f64;
+            (0..N_VALUES)
+                .map(|t| {
+                    let cycle = 2.0 * std::f64::consts::PI * t as f64 / WINDOW as f64;
+                    let deviation = 0.2 * (cycle + phase).sin() + 0.004 * rng();
+                    mean * (1.0 + deviation)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Datagen workload with a planted cross-shard twin (stream 1 mirrors
+/// stream 0 up to 1e-9), so ground truth is non-empty at every S.
+fn datagen_streams() -> Vec<Vec<f64>> {
+    let mut streams = stardust::datagen::random_walk_streams(42, N_STREAMS, N_VALUES);
+    streams[1] = streams[0].iter().map(|v| v + 1e-9).collect();
+    streams
+}
+
+fn r_max_of(streams: &[Vec<f64>]) -> f64 {
+    streams.iter().flatten().fold(1.0f64, |m, &x| m.max(x.abs()))
+}
+
+#[test]
+fn eq5_workload_matches_linear_scan_at_every_shard_count() {
+    let streams = eq5_streams();
+    let spec = spec(r_max_of(&streams));
+    let want = reference_pairs(&spec, &streams);
+    assert!(
+        want.iter().any(|&(a, b, _)| (a, b) == (0, 1))
+            && want.iter().any(|&(a, b, _)| (a, b) == (2, 3)),
+        "vacuous: planted pairs not in ground truth: {want:?}"
+    );
+
+    for shards in [1usize, 2, 3, 4] {
+        let (got, stats) = sharded_pairs(&spec, &streams, shards);
+        assert_identical(shards, &got, &want);
+        if shards > 1 {
+            let cross =
+                want.iter().filter(|&&(a, b, _)| a as usize % shards != b as usize % shards);
+            assert!(cross.count() >= 2, "planted pairs must span shards at S={shards}");
+            // Every cross-shard pair was either pruned or verified.
+            let total: u64 = (0..N_STREAMS as u32)
+                .flat_map(|a| (a + 1..N_STREAMS as u32).map(move |b| (a, b)))
+                .filter(|&(a, b)| a as usize % shards != b as usize % shards)
+                .count() as u64;
+            assert_eq!(stats.candidates + stats.pruned, total, "S={shards}: {stats:?}");
+            assert!(stats.exchanges > 0, "sketches were never exchanged at S={shards}");
+        }
+    }
+}
+
+#[test]
+fn datagen_workload_matches_linear_scan_at_every_shard_count() {
+    let streams = datagen_streams();
+    let spec = spec(r_max_of(&streams));
+    let want = reference_pairs(&spec, &streams);
+    assert!(!want.is_empty(), "vacuous: twin pair not detected in ground truth");
+
+    for shards in [1usize, 2, 3, 4] {
+        let (got, _) = sharded_pairs(&spec, &streams, shards);
+        assert_identical(shards, &got, &want);
+    }
+}
+
+/// Streams that advance unevenly: the global clock is the slowest
+/// stream's, and stale sketches must never prune (they go to exact
+/// verification instead). Ground truth at the same `t*` must agree —
+/// here that means *empty*: history is exactly one window deep, so a
+/// fast stream's window at the laggard's clock has already expired, and
+/// the reference linear scan skips every pair involving it. The sharded
+/// path must skip identically (via `None` verification windows), not
+/// invent pairs from stale sketches.
+#[test]
+fn uneven_stream_progress_still_matches_ground_truth() {
+    let mut streams = eq5_streams();
+    // Stream 5 lags: it stops 7 values short (not block-aligned), so
+    // t* = N_VALUES - 8 and no sketch ends at t*.
+    let lag = 7;
+    let short = N_VALUES - lag;
+    streams[5].truncate(short);
+
+    let spec = spec(r_max_of(&streams));
+    // Reference at t* = short - 1.
+    let want = {
+        let mut monitor = spec.build(streams.len()).unwrap().unwrap();
+        for t in 0..N_VALUES {
+            for (s, stream) in streams.iter().enumerate() {
+                if t < stream.len() {
+                    monitor.append(s as StreamId, stream[t]);
+                }
+            }
+        }
+        let corr = monitor.correlation_monitor().unwrap();
+        let t =
+            (0..streams.len() as StreamId).map(|s| corr.summary(s).now()).min().flatten().unwrap();
+        assert_eq!(t, short as u64 - 1, "stream 5 must set the global clock");
+        corr.linear_scan_pairs(t)
+    };
+    assert!(
+        want.is_empty(),
+        "with one-window-deep history, lagged clocks must empty the reference: {want:?}"
+    );
+
+    for shards in [2usize, 3, 4] {
+        let rt = ShardedRuntime::launch(
+            &spec,
+            streams.len(),
+            RuntimeConfig { shards, queue_capacity: 32, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        for t in 0..N_VALUES {
+            let batch: Batch = streams
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| t < x.len())
+                .map(|(s, x)| (s as StreamId, x[t]))
+                .collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        let got = rt.correlated_pairs().unwrap();
+        rt.shutdown();
+        assert_identical(shards, &got, &want);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests of the cross-shard correlation sketch
+//! ([`stardust::core::sketch::BlockSketch`]): absorb/merge semantics,
+//! sliding-window expiry against an exact buffer, and the projection
+//! lower bound never exceeding the true z-normed distance — the
+//! invariant the collector's no-false-dismissal prune rests on.
+
+use proptest::prelude::*;
+use stardust::core::normalize;
+use stardust::core::sketch::BlockSketch;
+
+/// (window, block) pairs with block dividing window.
+fn geometry() -> impl Strategy<Value = (usize, usize)> {
+    prop_oneof![
+        Just((8usize, 1usize)),
+        Just((8, 2)),
+        Just((8, 8)),
+        Just((16, 4)),
+        Just((32, 4)),
+        Just((32, 8)),
+        Just((32, 32)),
+    ]
+}
+
+fn values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50.0f64..50.0, n..=n)
+}
+
+/// Exact mean and centered L2 norm over a raw window, mirroring what
+/// the sketch reconstructs from block moments.
+fn exact_moments(window: &[f64]) -> (f64, f64) {
+    let n = window.len() as f64;
+    let mean = window.iter().sum::<f64>() / n;
+    let e2: f64 = window.iter().map(|x| (x - mean) * (x - mean)).sum();
+    (mean, e2.sqrt())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// A mirror built by absorbing deltas after every chunk equals one
+    /// built from a single final delta (merge order does not matter),
+    /// re-absorbing any delta is a no-op (idempotency — the crash
+    /// re-ship guarantee), and absorbing a *stale* delta out of order
+    /// changes nothing (commutativity with the frontier rule).
+    #[test]
+    fn absorb_is_chunk_invariant_idempotent_and_frontier_monotone(
+        geom in geometry(),
+        data in values(96),
+        cuts in proptest::collection::vec(1usize..96, 0..6),
+    ) {
+        let (window, block) = geom;
+        let mut pusher = BlockSketch::new(window, block);
+        let mut incremental = BlockSketch::new(window, block);
+        let mut stale_deltas = vec![pusher.delta()];
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        for (i, &v) in data.iter().enumerate() {
+            pusher.push(v);
+            if cuts.contains(&(i + 1)) {
+                incremental.absorb(&pusher.delta());
+                stale_deltas.push(pusher.delta());
+            }
+        }
+        let final_delta = pusher.delta();
+        incremental.absorb(&final_delta);
+
+        let mut oneshot = BlockSketch::new(window, block);
+        oneshot.absorb(&final_delta);
+        prop_assert_eq!(&incremental, &oneshot, "chunked vs one-shot absorb diverged");
+
+        // Idempotency: the same delta again is a no-op.
+        let before = incremental.clone();
+        incremental.absorb(&final_delta);
+        prop_assert_eq!(&incremental, &before, "re-absorbing the final delta changed state");
+
+        // Out-of-order absorbs of anything already covered are no-ops.
+        for stale in &stale_deltas {
+            incremental.absorb(stale);
+            prop_assert_eq!(&incremental, &before, "stale delta changed state");
+        }
+
+        prop_assert_eq!(incremental.end_time(), pusher.end_time());
+        prop_assert_eq!(incremental.is_complete(), pusher.is_complete());
+    }
+
+    /// The sealed sketch always summarizes exactly the last `window`
+    /// values ending at `end_time()` — expiry matches an exact buffer.
+    #[test]
+    fn sliding_window_expiry_matches_exact_buffer(
+        geom in geometry(),
+        data in values(200),
+    ) {
+        let (window, block) = geom;
+        let mut sketch = BlockSketch::new(window, block);
+        for (i, &v) in data.iter().enumerate() {
+            sketch.push(v);
+            let (Some(e), true) = (sketch.end_time(), sketch.is_complete()) else { continue };
+            let e = e as usize;
+            prop_assert!(e <= i, "sealed frontier ran ahead of the data");
+            let exact = &data[e + 1 - window..=e];
+            let (mean, norm) = exact_moments(exact);
+            if let Some((s_mean, s_norm)) = sketch.moments() {
+                // One-pass block sums vs two-pass exact: tolerance
+                // scales with the magnitudes involved.
+                let scale = 1.0 + mean.abs() + norm;
+                prop_assert!((s_mean - mean).abs() <= 1e-9 * scale,
+                    "mean diverged at t={}: sketch {} vs exact {}", e, s_mean, mean);
+                prop_assert!((s_norm - norm).abs() <= 1e-7 * scale,
+                    "norm diverged at t={}: sketch {} vs exact {}", e, s_norm, norm);
+            }
+        }
+    }
+
+    /// The projection bound: for any two aligned complete sketches, the
+    /// reported lower bound never exceeds the true z-normed distance of
+    /// the raw windows. This is the zero-false-dismissal theorem the
+    /// collector prunes with.
+    #[test]
+    fn lower_bound_never_exceeds_true_distance(
+        geom in geometry(),
+        a in values(64),
+        b in values(64),
+    ) {
+        let (window, block) = geom;
+        // Push a whole number of blocks so both sketches are sealed at
+        // the same instant.
+        let n = (64 / block) * block;
+        let mut sa = BlockSketch::new(window, block);
+        let mut sb = BlockSketch::new(window, block);
+        for i in 0..n {
+            sa.push(a[i]);
+            sb.push(b[i]);
+        }
+        if n < window {
+            prop_assert_eq!(sa.distance_lower_bound(&sb), None, "incomplete sketch must not bound");
+            return Ok(());
+        }
+        let Some(lb) = sa.distance_lower_bound(&sb) else { return Ok(()) };
+        let wa = &a[n - window..n];
+        let wb = &b[n - window..n];
+        let (za, zb) = (normalize::z_norm(wa), normalize::z_norm(wb));
+        let (Some(za), Some(zb)) = (za, zb) else {
+            // The sketch found moments the exact path rejects as
+            // degenerate — cannot happen for non-constant data, and the
+            // strategy draws continuous values.
+            return Err(TestCaseError::fail("sketch bounded a degenerate window"));
+        };
+        let true_d = normalize::l2_distance(&za, &zb);
+        prop_assert!(
+            lb <= true_d + 1e-7,
+            "lower bound {} exceeds true distance {} (window {}, block {})",
+            lb, true_d, window, block
+        );
+        // Full resolution (block = 1) loses nothing: the bound is the
+        // distance itself.
+        if block == 1 {
+            prop_assert!((lb - true_d).abs() <= 1e-7,
+                "b=1 bound {} should equal true distance {}", lb, true_d);
+        }
+    }
+}
