@@ -71,7 +71,7 @@ pub use config::{ComputeMode, Config, UpdatePolicy};
 pub use engine::{IndexEntry, Stardust};
 pub use error::QueryError;
 pub use mbr::FeatureMbr;
-pub use sketch::{BlockSketch, SketchDelta, PRUNE_SLACK};
+pub use sketch::{BlockSketch, SketchDelta, SketchProjection, PRUNE_SLACK};
 pub use stream::{StreamHistory, StreamId, Time};
 pub use summarizer::{StreamSummary, SummaryEvent};
 pub use transform::{MergePrecision, TransformKind};

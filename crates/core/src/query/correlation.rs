@@ -561,12 +561,19 @@ impl CorrelationMonitor {
     /// baselines).
     pub fn linear_scan_pairs(&self, t: Time) -> Vec<(StreamId, StreamId, f64)> {
         let mut out = Vec::new();
-        let windows: Vec<Option<Vec<f64>>> =
-            self.summaries.iter().map(|s| s.history().window(t, self.window)).collect();
+        // z-normalize each window once and evaluate all O(n²) pairs on the
+        // normalized vectors — `z_norm` is deterministic, so the per-pair
+        // correlations are bit-identical to `normalize::correlation` on the
+        // raw windows, at a third of the arithmetic.
+        let znormed: Vec<Option<Vec<f64>>> = self
+            .summaries
+            .iter()
+            .map(|s| s.history().window(t, self.window).and_then(|w| normalize::z_norm(&w)))
+            .collect();
         for a in 0..self.summaries.len() {
             for b in a + 1..self.summaries.len() {
-                let (Some(wa), Some(wb)) = (&windows[a], &windows[b]) else { continue };
-                let Some(corr) = normalize::correlation(wa, wb) else { continue };
+                let (Some(za), Some(zb)) = (&znormed[a], &znormed[b]) else { continue };
+                let corr = normalize::correlation_of_znormed(za, zb);
                 if normalize::correlation_to_distance(corr) <= self.radius {
                     out.push((a as StreamId, b as StreamId, corr));
                 }

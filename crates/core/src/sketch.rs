@@ -210,22 +210,28 @@ impl BlockSketch {
     /// sketches are complete, share the same geometry **and end time**,
     /// and have well-conditioned moments.
     pub fn distance_lower_bound(&self, other: &BlockSketch) -> Option<f64> {
-        if self.window != other.window || self.block != other.block {
-            return None;
-        }
-        if !self.is_complete() || self.end_time() != other.end_time() {
-            return None;
-        }
-        let (mu_a, e_a) = self.moments()?;
-        let (mu_b, e_b) = other.moments()?;
+        self.projection()?.distance_lower_bound(&other.projection()?)
+    }
+
+    /// The z-normalized per-block projection of this sketch, precomputed
+    /// for repeated comparison.
+    ///
+    /// Normalizing each block mean by the window moments is `Θ(m)` work
+    /// that [`Self::distance_lower_bound`] would otherwise redo for every
+    /// pair; a pruning phase comparing `n` sketches pairwise projects each
+    /// once and evaluates the `O(n²)` bounds on the flat coordinate
+    /// vectors. `None` under exactly the per-sketch conditions of
+    /// [`Self::distance_lower_bound`]: incomplete window or
+    /// ill-conditioned moments.
+    pub fn projection(&self) -> Option<SketchProjection> {
+        let (mu, e) = self.moments()?;
         let b = self.block as f64;
-        let mut d2 = 0.0;
-        for (&(sa, _), &(sb, _)) in self.blocks.iter().zip(&other.blocks) {
-            let pa = (sa / b - mu_a) / e_a;
-            let pb = (sb / b - mu_b) / e_b;
-            d2 += b * (pa - pb) * (pa - pb);
-        }
-        Some(d2.max(0.0).sqrt())
+        Some(SketchProjection {
+            window: self.window,
+            block: self.block,
+            end_time: self.end_time()?,
+            coords: self.blocks.iter().map(|&(s, _)| (s / b - mu) / e).collect(),
+        })
     }
 
     /// Serializes the sketch into `w` (embedded in the correlation
@@ -266,6 +272,62 @@ impl BlockSketch {
             return Err(SnapshotError::Corrupt("open sketch block overflows"));
         }
         Ok(BlockSketch { window, block, next_block, blocks, cur, cur_count })
+    }
+}
+
+/// A complete sketch's z-normalized block means, flattened for repeated
+/// lower-bound evaluation (see [`BlockSketch::projection`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchProjection {
+    window: usize,
+    block: usize,
+    end_time: Time,
+    coords: Vec<f64>,
+}
+
+impl SketchProjection {
+    /// Width of the chunks the bound kernel squares per iteration, matching
+    /// the other scan primitives.
+    const LANES: usize = 4;
+
+    /// Time of the last raw value summarized by the projected sketch.
+    pub fn end_time(&self) -> Time {
+        self.end_time
+    }
+
+    /// Lower bound on the z-norm distance between the two raw windows the
+    /// projected sketches summarize. `None` — "cannot prune" — unless both
+    /// projections share the same geometry **and end time**.
+    ///
+    /// Bit-identical to [`BlockSketch::distance_lower_bound`] on the
+    /// originating sketches: the squared differences are formed chunk-wise
+    /// (element-wise, vectorizable) and accumulated in block order with the
+    /// same `b·(pa−pb)·(pa−pb)` association as the reference loop.
+    pub fn distance_lower_bound(&self, other: &SketchProjection) -> Option<f64> {
+        if self.window != other.window
+            || self.block != other.block
+            || self.end_time != other.end_time
+        {
+            return None;
+        }
+        let b = self.block as f64;
+        let (ac, at) = self.coords.as_chunks::<{ Self::LANES }>();
+        let (bc, bt) = other.coords.as_chunks::<{ Self::LANES }>();
+        let mut d2 = 0.0;
+        for (pa, pb) in ac.iter().zip(bc) {
+            let mut diff = [0.0; Self::LANES];
+            for i in 0..Self::LANES {
+                diff[i] = pa[i] - pb[i];
+            }
+            for d in diff {
+                d2 += b * d * d;
+            }
+        }
+        for (pa, pb) in at.iter().zip(bt) {
+            let d = pa - pb;
+            d2 += b * d * d;
+        }
+        Some(d2.max(0.0).sqrt())
     }
 }
 

@@ -81,17 +81,22 @@ pub struct SlidingDft {
     basic: usize,
     n_basic: usize,
     half_f: usize,
-    /// e^{-i 2π k / w} for each kept frequency k.
-    omega_item: Vec<Complex>,
+    /// e^{-i 2π k / w} for each kept frequency k, split into re/im planes so
+    /// the per-item loop is a strictly element-wise kernel over flat `f64`
+    /// slices the optimizer can vectorize.
+    omega_item_re: Vec<f64>,
+    omega_item_im: Vec<f64>,
     /// e^{+i 2π k·bw / w}: rotation applied when the window slides by one
     /// basic window.
     omega_shift: Vec<Complex>,
     /// e^{-i 2π k·(n_b−1)·bw / w}: phase of the newest basic window.
     omega_newest: Vec<Complex>,
     /// Partial sums of the currently-filling basic window (position-local
-    /// phases).
-    cur_partial: Vec<Complex>,
-    cur_phase: Vec<Complex>,
+    /// phases), in the same structure-of-arrays layout as the omegas.
+    cur_partial_re: Vec<f64>,
+    cur_partial_im: Vec<f64>,
+    cur_phase_re: Vec<f64>,
+    cur_phase_im: Vec<f64>,
     cur_len: usize,
     cur_sum: f64,
     cur_sumsq: f64,
@@ -133,6 +138,8 @@ impl SlidingDft {
         let half_f = f / 2;
         let omega_item: Vec<Complex> =
             (1..=half_f).map(|k| Complex::cis(-TAU * k as f64 / window as f64)).collect();
+        let omega_item_re: Vec<f64> = omega_item.iter().map(|c| c.re).collect();
+        let omega_item_im: Vec<f64> = omega_item.iter().map(|c| c.im).collect();
         let omega_shift: Vec<Complex> = (1..=half_f)
             .map(|k| Complex::cis(TAU * k as f64 * basic as f64 / window as f64))
             .collect();
@@ -144,11 +151,14 @@ impl SlidingDft {
             basic,
             n_basic,
             half_f,
-            omega_item,
+            omega_item_re,
+            omega_item_im,
             omega_shift,
             omega_newest,
-            cur_partial: vec![Complex::ZERO; half_f],
-            cur_phase: vec![Complex::new(1.0, 0.0); half_f],
+            cur_partial_re: vec![0.0; half_f],
+            cur_partial_im: vec![0.0; half_f],
+            cur_phase_re: vec![1.0; half_f],
+            cur_phase_im: vec![0.0; half_f],
             cur_len: 0,
             cur_sum: 0.0,
             cur_sumsq: 0.0,
@@ -173,10 +183,25 @@ impl SlidingDft {
     /// Appends one value. Returns a feature when this value completes a
     /// basic window and the full sliding window has been seen.
     pub fn push(&mut self, x: f64) -> Option<DftFeature> {
-        // Accumulate into the current basic window with position-local phase.
-        for k in 0..self.half_f {
-            self.cur_partial[k] += self.cur_phase[k] * x;
-            self.cur_phase[k] = self.cur_phase[k] * self.omega_item[k];
+        // Accumulate into the current basic window with position-local
+        // phase. This is the Θ(f)-per-item hot loop; the arithmetic is the
+        // exact complex form `partial += phase·x; phase *= ω_item`, written
+        // element-wise over flat re/im planes so the optimizer can
+        // vectorize it (no reductions, so results are bit-identical to the
+        // array-of-structs loop by construction).
+        let planes = self
+            .cur_partial_re
+            .iter_mut()
+            .zip(self.cur_partial_im.iter_mut())
+            .zip(self.cur_phase_re.iter_mut().zip(self.cur_phase_im.iter_mut()))
+            .zip(self.omega_item_re.iter().zip(self.omega_item_im.iter()));
+        for (((pr, pi), (hr, hi)), (&wr, &wi)) in planes {
+            *pr += *hr * x;
+            *pi += *hi * x;
+            let rotated_re = *hr * wr - *hi * wi;
+            let rotated_im = *hr * wi + *hi * wr;
+            *hr = rotated_re;
+            *hi = rotated_im;
         }
         self.cur_sum += x;
         self.cur_sumsq += x * x;
@@ -184,7 +209,14 @@ impl SlidingDft {
         if self.cur_len < self.basic {
             return None;
         }
-        // Basic window complete: slide.
+        // Basic window complete (cold path, once per `bw` items): rebuild
+        // the complex partial vector from the planes and slide.
+        let cur: Vec<Complex> = self
+            .cur_partial_re
+            .iter()
+            .zip(&self.cur_partial_im)
+            .map(|(&re, &im)| Complex::new(re, im))
+            .collect();
         if self.partials.len() == self.n_basic {
             let old = self.partials.pop_front().expect("nonempty");
             let (osum, osumsq) = self.moments.pop_front().expect("nonempty");
@@ -195,7 +227,7 @@ impl SlidingDft {
                 // rotate everything one basic window towards the past and
                 // add the newest at position n_b − 1.
                 self.combined[k] = (self.combined[k] - old[k]) * self.omega_shift[k]
-                    + self.omega_newest[k] * self.cur_partial[k];
+                    + self.omega_newest[k] * cur[k];
             }
         } else {
             let j = self.partials.len();
@@ -203,20 +235,20 @@ impl SlidingDft {
                 let phase = Complex::cis(
                     -TAU * (k + 1) as f64 * (j * self.basic) as f64 / self.window as f64,
                 );
-                self.combined[k] += phase * self.cur_partial[k];
+                self.combined[k] += phase * cur[k];
             }
         }
         self.total_sum += self.cur_sum;
         self.total_sumsq += self.cur_sumsq;
-        self.partials
-            .push_back(std::mem::replace(&mut self.cur_partial, vec![Complex::ZERO; self.half_f]));
+        self.partials.push_back(cur);
         self.moments.push_back((self.cur_sum, self.cur_sumsq));
         self.cur_len = 0;
         self.cur_sum = 0.0;
         self.cur_sumsq = 0.0;
-        for p in &mut self.cur_phase {
-            *p = Complex::new(1.0, 0.0);
-        }
+        self.cur_partial_re.fill(0.0);
+        self.cur_partial_im.fill(0.0);
+        self.cur_phase_re.fill(1.0);
+        self.cur_phase_im.fill(0.0);
         if self.partials.len() < self.n_basic {
             return None;
         }

@@ -27,6 +27,46 @@
 /// `1/√2`, the Haar analysis filter tap.
 pub const INV_SQRT2: f64 = std::f64::consts::FRAC_1_SQRT_2;
 
+/// Width of the chunks the pairwise kernels process per iteration: one
+/// 256-bit vector of `f64` outputs, matching the geometry scan primitives.
+const LANES: usize = 4;
+
+/// Writes `(src[2i] + src[2i+1]) * INV_SQRT2` into `out[i]` — one Haar
+/// averaging step as a strictly element-wise kernel. The body is processed
+/// in fixed-width chunks (`LANES` outputs, `2·LANES` inputs per iteration)
+/// so the optimizer can vectorize it; there is no reduction, so the result
+/// is bit-identical to the naive pair loop by construction.
+#[inline]
+fn pairwise_avg_into(src: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(src.len(), out.len() * 2);
+    let (src_c, src_t) = src.as_chunks::<{ 2 * LANES }>();
+    let (out_c, out_t) = out.as_chunks_mut::<LANES>();
+    for (o, s) in out_c.iter_mut().zip(src_c) {
+        for i in 0..LANES {
+            o[i] = (s[2 * i] + s[2 * i + 1]) * INV_SQRT2;
+        }
+    }
+    for (o, p) in out_t.iter_mut().zip(src_t.chunks_exact(2)) {
+        *o = (p[0] + p[1]) * INV_SQRT2;
+    }
+}
+
+/// Differencing twin of [`pairwise_avg_into`]: `(src[2i] − src[2i+1]) · 1/√2`.
+#[inline]
+fn pairwise_diff_into(src: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(src.len(), out.len() * 2);
+    let (src_c, src_t) = src.as_chunks::<{ 2 * LANES }>();
+    let (out_c, out_t) = out.as_chunks_mut::<LANES>();
+    for (o, s) in out_c.iter_mut().zip(src_c) {
+        for i in 0..LANES {
+            o[i] = (s[2 * i] - s[2 * i + 1]) * INV_SQRT2;
+        }
+    }
+    for (o, p) in out_t.iter_mut().zip(src_t.chunks_exact(2)) {
+        *o = (p[0] - p[1]) * INV_SQRT2;
+    }
+}
+
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]
 pub fn is_pow2(n: usize) -> bool {
@@ -43,7 +83,9 @@ pub fn averaging_step(x: &[f64]) -> Vec<f64> {
         !x.is_empty() && x.len().is_multiple_of(2),
         "averaging step needs even, nonzero length"
     );
-    x.chunks_exact(2).map(|p| (p[0] + p[1]) * INV_SQRT2).collect()
+    let mut out = vec![0.0; x.len() / 2];
+    pairwise_avg_into(x, &mut out);
+    out
 }
 
 /// One Haar differencing step: the `m` detail coefficients of a slice of
@@ -56,7 +98,9 @@ pub fn differencing_step(x: &[f64]) -> Vec<f64> {
         !x.is_empty() && x.len().is_multiple_of(2),
         "differencing step needs even, nonzero length"
     );
-    x.chunks_exact(2).map(|p| (p[0] - p[1]) * INV_SQRT2).collect()
+    let mut out = vec![0.0; x.len() / 2];
+    pairwise_diff_into(x, &mut out);
+    out
 }
 
 /// The full ordered Haar DWT `[a^J, d^J, d^{J-1}, …, d^1]` of a signal whose
@@ -138,21 +182,8 @@ pub fn approx(x: &[f64], keep: usize) -> Vec<f64> {
 pub fn merge_halves(left: &[f64], right: &[f64]) -> Vec<f64> {
     assert_eq!(left.len(), right.len(), "halves must have equal coefficient counts");
     assert!(!left.is_empty(), "halves must be nonempty");
-    let f = left.len();
-    let mut out = Vec::with_capacity(f);
-    // Averaging the concatenation [left, right] pairs elements within each
-    // half first (2f -> f), never across the seam, because f is a power of
-    // two: pairs are (left[0],left[1]), ..., (right[f-2],right[f-1]).
-    if f == 1 {
-        out.push((left[0] + right[0]) * INV_SQRT2);
-        return out;
-    }
-    for p in left.chunks_exact(2) {
-        out.push((p[0] + p[1]) * INV_SQRT2);
-    }
-    for p in right.chunks_exact(2) {
-        out.push((p[0] + p[1]) * INV_SQRT2);
-    }
+    let mut out = vec![0.0; left.len()];
+    merge_halves_into(left, right, &mut out);
     out
 }
 
@@ -165,22 +196,40 @@ pub fn merge_halves_into(left: &[f64], right: &[f64], out: &mut [f64]) {
     assert_eq!(left.len(), right.len(), "halves must have equal coefficient counts");
     assert_eq!(out.len(), left.len(), "output buffer must match coefficient count");
     let f = left.len();
+    // Averaging the concatenation [left, right] pairs elements within each
+    // half first (2f -> f), never across the seam, because f is a power of
+    // two: pairs are (left[0],left[1]), ..., (right[f-2],right[f-1]) — except
+    // at f = 1, where the single pair spans the seam.
     if f == 1 {
         out[0] = (left[0] + right[0]) * INV_SQRT2;
         return;
     }
     let half = f / 2;
-    for (o, p) in out[..half].iter_mut().zip(left.chunks_exact(2)) {
-        *o = (p[0] + p[1]) * INV_SQRT2;
-    }
-    for (o, p) in out[half..].iter_mut().zip(right.chunks_exact(2)) {
-        *o = (p[0] + p[1]) * INV_SQRT2;
-    }
+    pairwise_avg_into(left, &mut out[..half]);
+    pairwise_avg_into(right, &mut out[half..]);
 }
 
 /// Energy (squared L2 norm) of a coefficient vector.
+///
+/// The squares are formed in fixed-width chunks (vectorizable) and then
+/// accumulated strictly in element order, so the value is bit-identical to
+/// the naive running sum.
 pub fn energy(x: &[f64]) -> f64 {
-    x.iter().map(|v| v * v).sum()
+    let (chunks, tail) = x.as_chunks::<LANES>();
+    let mut acc = 0.0;
+    for c in chunks {
+        let mut sq = [0.0; LANES];
+        for i in 0..LANES {
+            sq[i] = c[i] * c[i];
+        }
+        for s in sq {
+            acc += s;
+        }
+    }
+    for v in tail {
+        acc += v * v;
+    }
+    acc
 }
 
 /// The value every approximation coefficient takes for the constant signal

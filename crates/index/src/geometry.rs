@@ -11,17 +11,489 @@
 //! slices. The slice form is what the arena tree's flat SoA scans call —
 //! `tree.rs` and `bulk.rs` never reimplement a metric, so every scan loop
 //! computes bit-identical values to the `Rect` API.
+//!
+//! # Vectorization and the determinism contract
+//!
+//! The `coords_*` primitives process bounds in fixed-width chunks of
+//! [`LANE_WIDTH`] dimensions. Each chunk is evaluated *element-wise*
+//! (subtractions, clamps, min/max, comparisons — the branch-light part the
+//! compiler can turn into SIMD lanes), and the final horizontal reduction
+//! (product, sum, or any-separated) runs **in dimension order**, exactly
+//! like the naive loop. That split is what makes the chunked code
+//! bit-identical to the reference implementations in [`scalar`]: per-element
+//! IEEE operations are deterministic, and the reduction order is never
+//! reassociated. The `simd` cargo feature (nightly, `std::simd`) swaps the
+//! element-wise part for explicit `f64x4` operations with the same
+//! structure; the property suite in `tests/geometry_equivalence.rs` pins
+//! all three paths together on random and adversarial boxes.
+//!
+//! Inputs are assumed NaN-free with no negative zeros (the [`Rect`]
+//! constructor enforces ordered, non-NaN corners); outside that domain the
+//! chunked and scalar paths may legitimately disagree (e.g. `max(-0.0,
+//! +0.0)` is sign-unspecified).
+
+/// Fixed chunk width, in `f64` dimensions, used by the chunked scan
+/// primitives: 4 lanes = one 256-bit AVX2 register, or two 128-bit SSE2 /
+/// NEON registers — wide enough to cover the 8-d feature boxes the
+/// summarizer indexes in two chunks, and harmless for 2-d boxes (which
+/// fall through to the remainder loop).
+pub const LANE_WIDTH: usize = 4;
+
+/// Naive scalar reference implementations of the `coords_*` primitives.
+///
+/// These are the semantics the chunked (and `simd`-feature) fast paths
+/// must reproduce **bit-for-bit** on NaN-free inputs; the equivalence
+/// property suite compares against them directly. They are also the
+/// clearest statement of what each metric computes, so they double as
+/// documentation.
+pub mod scalar {
+    /// Reference for [`super::coords_area`]: ordered product of extents.
+    #[inline]
+    pub fn area(lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 1.0;
+        for i in 0..lo.len() {
+            acc *= hi[i] - lo[i];
+        }
+        acc
+    }
+
+    /// Reference for [`super::coords_margin`]: ordered sum of extents.
+    #[inline]
+    pub fn margin(lo: &[f64], hi: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..lo.len() {
+            acc += hi[i] - lo[i];
+        }
+        acc
+    }
+
+    /// Reference for [`super::coords_intersect`]: no separating axis.
+    #[inline]
+    pub fn intersect(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        for i in 0..alo.len() {
+            if alo[i] > bhi[i] || blo[i] > ahi[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reference for [`super::coords_contain`]: `b` inside `a` on every
+    /// axis.
+    #[inline]
+    pub fn contain(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        for i in 0..alo.len() {
+            if alo[i] > blo[i] || bhi[i] > ahi[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reference for [`super::coords_overlap_area`]: ordered product of
+    /// intersection extents, zero as soon as any axis is empty.
+    #[inline]
+    pub fn overlap_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 1.0;
+        for i in 0..alo.len() {
+            let lo = alo[i].max(blo[i]);
+            let hi = ahi[i].min(bhi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            acc *= hi - lo;
+        }
+        acc
+    }
+
+    /// Reference for [`super::coords_union_area`]: ordered product of
+    /// union extents.
+    #[inline]
+    pub fn union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let mut acc = 1.0;
+        for i in 0..alo.len() {
+            acc *= ahi[i].max(bhi[i]) - alo[i].min(blo[i]);
+        }
+        acc
+    }
+
+    /// Reference for [`super::coords_min_dist_point_sqr`]: ordered sum of
+    /// squared per-axis clamp distances.
+    #[inline]
+    pub fn min_dist_point_sqr(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..lo.len() {
+            let x = p[i];
+            let d = if x < lo[i] {
+                lo[i] - x
+            } else if x > hi[i] {
+                x - hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Chunked element-wise implementations (default build): plain std code
+/// shaped so the optimizer vectorizes each [`LANE_WIDTH`]-wide block, with
+/// in-order horizontal reductions for bit-identity with [`scalar`].
+#[cfg(not(feature = "simd"))]
+mod lanes {
+    use super::LANE_WIDTH as W;
+
+    #[inline]
+    pub fn area(lo: &[f64], hi: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let mut acc = 1.0;
+        for (l, h) in lc.iter().zip(hc) {
+            let mut e = [0.0; W];
+            for i in 0..W {
+                e[i] = h[i] - l[i];
+            }
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for (l, h) in lt.iter().zip(ht) {
+            acc *= h - l;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn margin(lo: &[f64], hi: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let mut acc = 0.0;
+        for (l, h) in lc.iter().zip(hc) {
+            let mut e = [0.0; W];
+            for i in 0..W {
+                e[i] = h[i] - l[i];
+            }
+            for &x in &e {
+                acc += x;
+            }
+        }
+        for (l, h) in lt.iter().zip(ht) {
+            acc += h - l;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn intersect(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        // Each chunk's separation test is element-wise (vectorizable);
+        // chunks short-circuit. Early exit cannot change the boolean
+        // result — the reduction is order-free — so bit-identity with the
+        // scalar reference is unaffected.
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let mut s = false;
+            for i in 0..W {
+                s |= al[i] > bh[i];
+                s |= bl[i] > ah[i];
+            }
+            if s {
+                return false;
+            }
+        }
+        for i in 0..alt.len() {
+            if alt[i] > bht[i] || blt[i] > aht[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    pub fn contain(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        // Early exit per chunk, as in `intersect`: order-free reduction.
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let mut s = false;
+            for i in 0..W {
+                s |= al[i] > bl[i];
+                s |= bh[i] > ah[i];
+            }
+            if s {
+                return false;
+            }
+        }
+        for i in 0..alt.len() {
+            if alt[i] > blt[i] || bht[i] > aht[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    pub fn overlap_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        let mut acc = 1.0;
+        let mut empty = false;
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let mut e = [0.0; W];
+            for i in 0..W {
+                let lo = al[i].max(bl[i]);
+                let hi = ah[i].min(bh[i]);
+                empty |= hi <= lo;
+                e[i] = hi - lo;
+            }
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for i in 0..alt.len() {
+            let lo = alt[i].max(blt[i]);
+            let hi = aht[i].min(bht[i]);
+            empty |= hi <= lo;
+            acc *= hi - lo;
+        }
+        if empty {
+            0.0
+        } else {
+            acc
+        }
+    }
+
+    #[inline]
+    pub fn union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        let mut acc = 1.0;
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let mut e = [0.0; W];
+            for i in 0..W {
+                e[i] = ah[i].max(bh[i]) - al[i].min(bl[i]);
+            }
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for i in 0..alt.len() {
+            acc *= aht[i].max(bht[i]) - alt[i].min(blt[i]);
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn min_dist_point_sqr(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let (pc, pt) = p.as_chunks::<W>();
+        let mut acc = 0.0;
+        for ((l, h), q) in lc.iter().zip(hc).zip(pc) {
+            let mut e = [0.0; W];
+            for i in 0..W {
+                let below = (l[i] - q[i]).max(0.0);
+                let above = (q[i] - h[i]).max(0.0);
+                let d = below + above;
+                e[i] = d * d;
+            }
+            for &x in &e {
+                acc += x;
+            }
+        }
+        for i in 0..lt.len() {
+            let below = (lt[i] - pt[i]).max(0.0);
+            let above = (pt[i] - ht[i]).max(0.0);
+            let d = below + above;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Explicit `std::simd` implementations (nightly, `--features simd`):
+/// identical chunk structure to the default build — element-wise `f64x4`
+/// operations, in-order horizontal reductions — so results stay
+/// bit-identical to [`scalar`].
+#[cfg(feature = "simd")]
+mod lanes {
+    use super::LANE_WIDTH as W;
+    use std::simd::cmp::SimdPartialOrd;
+    use std::simd::f64x4;
+    use std::simd::num::SimdFloat;
+
+    #[inline]
+    fn load(c: &[f64; W]) -> f64x4 {
+        f64x4::from_array(*c)
+    }
+
+    #[inline]
+    pub fn area(lo: &[f64], hi: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let mut acc = 1.0;
+        for (l, h) in lc.iter().zip(hc) {
+            let e = (load(h) - load(l)).to_array();
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for (l, h) in lt.iter().zip(ht) {
+            acc *= h - l;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn margin(lo: &[f64], hi: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let mut acc = 0.0;
+        for (l, h) in lc.iter().zip(hc) {
+            let e = (load(h) - load(l)).to_array();
+            for &x in &e {
+                acc += x;
+            }
+        }
+        for (l, h) in lt.iter().zip(ht) {
+            acc += h - l;
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn intersect(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        // Chunks short-circuit, as in the default build: early exit
+        // cannot change an order-free boolean reduction.
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let sep = load(al).simd_gt(load(bh)) | load(bl).simd_gt(load(ah));
+            if sep.any() {
+                return false;
+            }
+        }
+        for i in 0..alt.len() {
+            if alt[i] > bht[i] || blt[i] > aht[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    pub fn contain(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let out = load(al).simd_gt(load(bl)) | load(bh).simd_gt(load(ah));
+            if out.any() {
+                return false;
+            }
+        }
+        for i in 0..alt.len() {
+            if alt[i] > blt[i] || bht[i] > aht[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    pub fn overlap_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        let mut acc = 1.0;
+        let mut empty = false;
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let glo = load(al).simd_max(load(bl));
+            let ghi = load(ah).simd_min(load(bh));
+            empty |= ghi.simd_le(glo).any();
+            let e = (ghi - glo).to_array();
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for i in 0..alt.len() {
+            let lo = alt[i].max(blt[i]);
+            let hi = aht[i].min(bht[i]);
+            empty |= hi <= lo;
+            acc *= hi - lo;
+        }
+        if empty {
+            0.0
+        } else {
+            acc
+        }
+    }
+
+    #[inline]
+    pub fn union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
+        let (alc, alt) = alo.as_chunks::<W>();
+        let (ahc, aht) = ahi.as_chunks::<W>();
+        let (blc, blt) = blo.as_chunks::<W>();
+        let (bhc, bht) = bhi.as_chunks::<W>();
+        let mut acc = 1.0;
+        for (((al, ah), bl), bh) in alc.iter().zip(ahc).zip(blc).zip(bhc) {
+            let e = (load(ah).simd_max(load(bh)) - load(al).simd_min(load(bl))).to_array();
+            for &x in &e {
+                acc *= x;
+            }
+        }
+        for i in 0..alt.len() {
+            acc *= aht[i].max(bht[i]) - alt[i].min(blt[i]);
+        }
+        acc
+    }
+
+    #[inline]
+    pub fn min_dist_point_sqr(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
+        let (lc, lt) = lo.as_chunks::<W>();
+        let (hc, ht) = hi.as_chunks::<W>();
+        let (pc, pt) = p.as_chunks::<W>();
+        let zero = f64x4::splat(0.0);
+        let mut acc = 0.0;
+        for ((l, h), q) in lc.iter().zip(hc).zip(pc) {
+            let lv = load(l);
+            let hv = load(h);
+            let qv = load(q);
+            let d = (lv - qv).simd_max(zero) + (qv - hv).simd_max(zero);
+            let e = (d * d).to_array();
+            for &x in &e {
+                acc += x;
+            }
+        }
+        for i in 0..lt.len() {
+            let below = (lt[i] - pt[i]).max(0.0);
+            let above = (pt[i] - ht[i]).max(0.0);
+            let d = below + above;
+            acc += d * d;
+        }
+        acc
+    }
+}
 
 /// Volume (product of extents) of the box `[lo, hi]`. Zero for degenerate
 /// boxes.
 #[inline]
 pub fn coords_area(lo: &[f64], hi: &[f64]) -> f64 {
     debug_assert_eq!(lo.len(), hi.len());
-    let mut acc = 1.0;
-    for i in 0..lo.len() {
-        acc *= hi[i] - lo[i];
-    }
-    acc
+    lanes::area(lo, hi)
 }
 
 /// Margin (sum of extents; half-perimeter generalized to d dimensions) of
@@ -29,11 +501,7 @@ pub fn coords_area(lo: &[f64], hi: &[f64]) -> f64 {
 #[inline]
 pub fn coords_margin(lo: &[f64], hi: &[f64]) -> f64 {
     debug_assert_eq!(lo.len(), hi.len());
-    let mut acc = 0.0;
-    for i in 0..lo.len() {
-        acc += hi[i] - lo[i];
-    }
-    acc
+    lanes::margin(lo, hi)
 }
 
 /// `true` if the boxes `[alo, ahi]` and `[blo, bhi]` share at least a
@@ -41,51 +509,28 @@ pub fn coords_margin(lo: &[f64], hi: &[f64]) -> f64 {
 #[inline]
 pub fn coords_intersect(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
     debug_assert_eq!(alo.len(), blo.len());
-    for i in 0..alo.len() {
-        if alo[i] > bhi[i] || blo[i] > ahi[i] {
-            return false;
-        }
-    }
-    true
+    lanes::intersect(alo, ahi, blo, bhi)
 }
 
 /// `true` if the box `[blo, bhi]` lies fully inside `[alo, ahi]`.
 #[inline]
 pub fn coords_contain(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> bool {
     debug_assert_eq!(alo.len(), blo.len());
-    for i in 0..alo.len() {
-        if alo[i] > blo[i] || bhi[i] > ahi[i] {
-            return false;
-        }
-    }
-    true
+    lanes::contain(alo, ahi, blo, bhi)
 }
 
 /// Volume of the intersection of two boxes, zero if disjoint.
 #[inline]
 pub fn coords_overlap_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
     debug_assert_eq!(alo.len(), blo.len());
-    let mut acc = 1.0;
-    for i in 0..alo.len() {
-        let lo = alo[i].max(blo[i]);
-        let hi = ahi[i].min(bhi[i]);
-        if hi <= lo {
-            return 0.0;
-        }
-        acc *= hi - lo;
-    }
-    acc
+    lanes::overlap_area(alo, ahi, blo, bhi)
 }
 
 /// Area of the union of two boxes without materializing it.
 #[inline]
 pub fn coords_union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> f64 {
     debug_assert_eq!(alo.len(), blo.len());
-    let mut acc = 1.0;
-    for i in 0..alo.len() {
-        acc *= ahi[i].max(bhi[i]) - alo[i].min(blo[i]);
-    }
-    acc
+    lanes::union_area(alo, ahi, blo, bhi)
 }
 
 /// Squared minimum Euclidean distance from point `p` to the box
@@ -94,19 +539,156 @@ pub fn coords_union_area(alo: &[f64], ahi: &[f64], blo: &[f64], bhi: &[f64]) -> 
 #[inline]
 pub fn coords_min_dist_point_sqr(lo: &[f64], hi: &[f64], p: &[f64]) -> f64 {
     debug_assert_eq!(lo.len(), p.len());
-    let mut acc = 0.0;
-    for i in 0..lo.len() {
-        let x = p[i];
-        let d = if x < lo[i] {
-            lo[i] - x
-        } else if x > hi[i] {
-            x - hi[i]
-        } else {
-            0.0
-        };
-        acc += d * d;
+    lanes::min_dist_point_sqr(lo, hi, p)
+}
+
+/// Batched node scan: tests every entry of a node's interleaved SoA
+/// bounds block (entry `i` occupies `coords[2*dims*i .. 2*dims*(i+1))`,
+/// `dims` los then `dims` his) against the query box `[qlo, qhi]`, and
+/// invokes `on_hit` with each intersecting entry's index, in entry order.
+///
+/// Selection-identical to calling [`coords_intersect`] per entry: the
+/// per-dimension comparisons are the same and the OR-reduction over
+/// separations is order-free. The win is structural — query bounds and
+/// slice bookkeeping are hoisted out of the per-entry loop, and the common
+/// dimensionalities get monomorphized bodies the compiler fully unrolls
+/// (and, for the branch-free fixed-width paths, vectorizes): one node scan
+/// is a single tight loop instead of `entries` separate primitive calls.
+#[inline]
+pub fn coords_scan_intersecting<F: FnMut(usize)>(
+    coords: &[f64],
+    dims: usize,
+    qlo: &[f64],
+    qhi: &[f64],
+    on_hit: F,
+) {
+    debug_assert_eq!(qlo.len(), dims);
+    debug_assert_eq!(qhi.len(), dims);
+    match dims {
+        1 => scan_intersecting_fixed::<1, F>(coords, qlo, qhi, on_hit),
+        2 => scan_intersecting_fixed::<2, F>(coords, qlo, qhi, on_hit),
+        3 => scan_intersecting_fixed::<3, F>(coords, qlo, qhi, on_hit),
+        4 => scan_intersecting_fixed::<4, F>(coords, qlo, qhi, on_hit),
+        8 => scan_intersecting_fixed::<8, F>(coords, qlo, qhi, on_hit),
+        16 => scan_intersecting_fixed::<16, F>(coords, qlo, qhi, on_hit),
+        _ => scan_intersecting_generic(coords, dims, qlo, qhi, on_hit),
     }
-    acc
+}
+
+/// Fixed-dimensionality body of [`coords_scan_intersecting`]. Branch-free
+/// across dimensions (`|`-joined comparisons, no early exit) so rejecting
+/// an entry costs no data-dependent branches — on query workloads the
+/// separating axis is effectively random, and a mispredict per entry is
+/// dearer than the handful of extra compares.
+#[inline]
+fn scan_intersecting_fixed<const D: usize, F: FnMut(usize)>(
+    coords: &[f64],
+    qlo: &[f64],
+    qhi: &[f64],
+    mut on_hit: F,
+) {
+    let qlo: &[f64; D] = qlo.try_into().expect("query dims mismatch");
+    let qhi: &[f64; D] = qhi.try_into().expect("query dims mismatch");
+    for (i, entry) in coords.chunks_exact(2 * D).enumerate() {
+        let (lo, hi) = entry.split_at(D);
+        let mut sep = false;
+        for j in 0..D {
+            sep = sep | (lo[j] > qhi[j]) | (qlo[j] > hi[j]);
+        }
+        if !sep {
+            on_hit(i);
+        }
+    }
+}
+
+/// Runtime-dimensionality fallback of [`coords_scan_intersecting`]:
+/// defers to the per-entry primitive (chunked or `std::simd`, per the
+/// build) so uncommon dimensionalities keep the lane-width fast path.
+fn scan_intersecting_generic<F: FnMut(usize)>(
+    coords: &[f64],
+    dims: usize,
+    qlo: &[f64],
+    qhi: &[f64],
+    mut on_hit: F,
+) {
+    for (i, entry) in coords.chunks_exact(2 * dims).enumerate() {
+        if coords_intersect(&entry[..dims], &entry[dims..], qlo, qhi) {
+            on_hit(i);
+        }
+    }
+}
+
+/// Batched within-radius node scan over the same interleaved SoA layout as
+/// [`coords_scan_intersecting`]: invokes `on_hit` with the index of every
+/// entry whose box lies within Euclidean distance `r` of `point`
+/// (`d_min(point, B) ≤ r`), in entry order.
+///
+/// Bit-identical selection to per-entry
+/// `coords_min_dist_point_sqr(..).sqrt() <= r`: per-axis clamp distances
+/// are accumulated in dimension order with the exact formulation of the
+/// chunked primitive, so the squared distance — and therefore the
+/// comparison — carries the same bits.
+#[inline]
+pub fn coords_scan_within<F: FnMut(usize)>(
+    coords: &[f64],
+    dims: usize,
+    point: &[f64],
+    r: f64,
+    on_hit: F,
+) {
+    debug_assert_eq!(point.len(), dims);
+    match dims {
+        1 => scan_within_fixed::<1, F>(coords, point, r, on_hit),
+        2 => scan_within_fixed::<2, F>(coords, point, r, on_hit),
+        3 => scan_within_fixed::<3, F>(coords, point, r, on_hit),
+        4 => scan_within_fixed::<4, F>(coords, point, r, on_hit),
+        8 => scan_within_fixed::<8, F>(coords, point, r, on_hit),
+        16 => scan_within_fixed::<16, F>(coords, point, r, on_hit),
+        _ => scan_within_generic(coords, dims, point, r, on_hit),
+    }
+}
+
+/// Fixed-dimensionality body of [`coords_scan_within`]. The per-axis
+/// distance uses the branch-free `max(0.0)` clamp of the chunked
+/// primitive — for a valid box (`lo ≤ hi`) at most one side is positive,
+/// so `below + above` is exactly the scalar clamp distance — and the
+/// accumulation stays in dimension order for bit-identity.
+#[inline]
+fn scan_within_fixed<const D: usize, F: FnMut(usize)>(
+    coords: &[f64],
+    point: &[f64],
+    r: f64,
+    mut on_hit: F,
+) {
+    let point: &[f64; D] = point.try_into().expect("query dims mismatch");
+    for (i, entry) in coords.chunks_exact(2 * D).enumerate() {
+        let (lo, hi) = entry.split_at(D);
+        let mut acc = 0.0;
+        for j in 0..D {
+            let below = (lo[j] - point[j]).max(0.0);
+            let above = (point[j] - hi[j]).max(0.0);
+            let d = below + above;
+            acc += d * d;
+        }
+        if acc.sqrt() <= r {
+            on_hit(i);
+        }
+    }
+}
+
+/// Runtime-dimensionality fallback of [`coords_scan_within`].
+fn scan_within_generic<F: FnMut(usize)>(
+    coords: &[f64],
+    dims: usize,
+    point: &[f64],
+    r: f64,
+    mut on_hit: F,
+) {
+    for (i, entry) in coords.chunks_exact(2 * dims).enumerate() {
+        if coords_min_dist_point_sqr(&entry[..dims], &entry[dims..], point).sqrt() <= r {
+            on_hit(i);
+        }
+    }
 }
 
 /// An axis-aligned hyper-rectangle with `f64` coordinates.
@@ -408,5 +990,36 @@ mod tests {
         assert_eq!(coords_min_dist_point_sqr(&lo, &hi, &[1.0, 1.0]), 0.0);
         assert!((coords_min_dist_point_sqr(&lo, &hi, &[3.0, 3.0]) - 2.0).abs() < EPS);
         assert!((coords_min_dist_point_sqr(&lo, &hi, &[-1.0, 1.0]) - 1.0).abs() < EPS);
+    }
+
+    /// Smoke-level pin of chunked-vs-scalar bit-identity on a box wider
+    /// than one chunk; the exhaustive 256-case suite lives in
+    /// `tests/geometry_equivalence.rs`.
+    #[test]
+    fn chunked_matches_scalar_reference() {
+        let alo: Vec<f64> = (0..11).map(|i| i as f64 * 0.37 - 2.0).collect();
+        let ahi: Vec<f64> = alo.iter().map(|l| l + 1.25).collect();
+        let blo: Vec<f64> = (0..11).map(|i| (i as f64 * 0.91).sin()).collect();
+        let bhi: Vec<f64> = blo.iter().map(|l| l + 0.75).collect();
+        let p: Vec<f64> = (0..11).map(|i| (i as f64 * 1.3).cos() * 3.0).collect();
+        assert_eq!(coords_area(&alo, &ahi).to_bits(), scalar::area(&alo, &ahi).to_bits());
+        assert_eq!(coords_margin(&alo, &ahi).to_bits(), scalar::margin(&alo, &ahi).to_bits());
+        assert_eq!(
+            coords_intersect(&alo, &ahi, &blo, &bhi),
+            scalar::intersect(&alo, &ahi, &blo, &bhi)
+        );
+        assert_eq!(coords_contain(&alo, &ahi, &blo, &bhi), scalar::contain(&alo, &ahi, &blo, &bhi));
+        assert_eq!(
+            coords_overlap_area(&alo, &ahi, &blo, &bhi).to_bits(),
+            scalar::overlap_area(&alo, &ahi, &blo, &bhi).to_bits()
+        );
+        assert_eq!(
+            coords_union_area(&alo, &ahi, &blo, &bhi).to_bits(),
+            scalar::union_area(&alo, &ahi, &blo, &bhi).to_bits()
+        );
+        assert_eq!(
+            coords_min_dist_point_sqr(&alo, &ahi, &p).to_bits(),
+            scalar::min_dist_point_sqr(&alo, &ahi, &p).to_bits()
+        );
     }
 }

@@ -13,6 +13,12 @@
 //!   behind Algorithms 2–4,
 //! * STR bulk loading ([`bulk`]) used by the offline baselines,
 //! * best-first k-NN search ([`knn`], Roussopoulos et al. \[17\]).
+//!
+//! The geometry scan primitives process bounds in fixed-width chunks the
+//! optimizer can vectorize; building with `--features simd` (nightly)
+//! swaps in explicit `std::simd` kernels with bit-identical results (see
+//! [`geometry`] for the determinism contract).
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod bulk;
 pub mod geometry;

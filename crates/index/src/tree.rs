@@ -36,21 +36,23 @@
 //! public API (`search_*` visitors, [`NodeRef`], [`Iter`]) and exact
 //! `PartialEq` matching in `remove`/`update`.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::geometry::{
-    coords_area, coords_intersect, coords_margin, coords_min_dist_point_sqr, coords_overlap_area,
+    coords_area, coords_margin, coords_overlap_area, coords_scan_intersecting, coords_scan_within,
     coords_union_area, Rect,
 };
 
 /// Cumulative structural-operation counters for one [`RStarTree`].
 ///
-/// Maintained in `Cell`s so read paths (`search_*`, which take `&self`)
-/// can record node visits without locks or `&mut`; the tree therefore
-/// stays `Send` (one shard owns one tree — exactly the runtime's
-/// threading model) while costing a plain register increment per event.
-/// Read with [`RStarTree::counters`], or [`RStarTree::reset_counters`]
-/// for per-query deltas.
+/// Maintained in relaxed atomics so read paths (`search_*`, which take
+/// `&self`) can record node visits without locks or `&mut`, and so the
+/// parallel range queries ([`RStarTree::par_collect_intersecting`]) can
+/// share the tree across scoped worker threads — the tree is `Sync`
+/// whenever its payload is. Uncontended relaxed increments cost about as
+/// much as the plain register increment they replaced. Read with
+/// [`RStarTree::counters`], or [`RStarTree::reset_counters`] for
+/// per-query deltas.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TreeCounters {
     /// Data items inserted via [`RStarTree::insert`] (bulk-loaded items
@@ -82,13 +84,45 @@ impl TreeCounters {
     }
 }
 
-/// Applies `f` to the counter cell (a copy-update-store on a `Copy`
-/// struct; the optimizer reduces it to one increment).
+/// Interior-mutable backing store for [`TreeCounters`]: one relaxed
+/// atomic per field. Counters are monotonic event tallies with no
+/// cross-field invariants, so relaxed ordering (and non-atomic snapshots
+/// across fields) is sound.
+#[derive(Debug, Default)]
+struct CounterCell {
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    splits: AtomicU64,
+    reinserted_entries: AtomicU64,
+    node_visits: AtomicU64,
+}
+
+impl CounterCell {
+    fn snapshot(&self) -> TreeCounters {
+        TreeCounters {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            reinserted_entries: self.reinserted_entries.load(Ordering::Relaxed),
+            node_visits: self.node_visits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) -> TreeCounters {
+        TreeCounters {
+            inserts: self.inserts.swap(0, Ordering::Relaxed),
+            removes: self.removes.swap(0, Ordering::Relaxed),
+            splits: self.splits.swap(0, Ordering::Relaxed),
+            reinserted_entries: self.reinserted_entries.swap(0, Ordering::Relaxed),
+            node_visits: self.node_visits.swap(0, Ordering::Relaxed),
+        }
+    }
+}
+
+/// Adds `n` to one counter field (relaxed; see [`CounterCell`]).
 #[inline]
-fn bump(cell: &Cell<TreeCounters>, f: impl FnOnce(&mut TreeCounters)) {
-    let mut c = cell.get();
-    f(&mut c);
-    cell.set(c);
+fn bump(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Tuning parameters for an [`RStarTree`].
@@ -289,7 +323,7 @@ pub struct RStarTree<T> {
     dims: usize,
     params: Params,
     len: usize,
-    counters: Cell<TreeCounters>,
+    counters: CounterCell,
 }
 
 impl<T> RStarTree<T> {
@@ -324,7 +358,7 @@ impl<T> RStarTree<T> {
             dims,
             params,
             len: 0,
-            counters: Cell::new(TreeCounters::default()),
+            counters: CounterCell::default(),
         }
     }
 
@@ -367,19 +401,19 @@ impl<T> RStarTree<T> {
     /// Cumulative structural-operation counters since construction (or
     /// the last [`RStarTree::reset_counters`]).
     pub fn counters(&self) -> TreeCounters {
-        self.counters.get()
+        self.counters.snapshot()
     }
 
     /// Returns the current counters and resets them to zero; callers
     /// use this to attribute node visits to a single query.
     pub fn reset_counters(&self) -> TreeCounters {
-        self.counters.replace(TreeCounters::default())
+        self.counters.reset()
     }
 
     /// Records one node visit; crate-internal hook for traversals that
     /// walk the tree through [`NodeRef`] (best-first k-NN).
     pub(crate) fn note_node_visit(&self) {
-        bump(&self.counters, |c| c.node_visits += 1);
+        bump(&self.counters.node_visits, 1);
     }
 
     /// Number of data items stored.
@@ -419,7 +453,7 @@ impl<T> RStarTree<T> {
     pub fn insert(&mut self, rect: Rect, value: T) {
         assert_eq!(rect.dims(), self.dims, "rectangle dimensionality mismatch");
         self.len += 1;
-        bump(&self.counters, |c| c.inserts += 1);
+        bump(&self.counters.inserts, 1);
         self.insert_queue(vec![(Entry::Item(rect, value), 0)]);
     }
 
@@ -508,13 +542,13 @@ impl<T> RStarTree<T> {
             // is the closest, matching the paper's "close reinsert"
             // ordering.
             removed.reverse();
-            bump(&self.counters, |c| c.reinserted_entries += removed.len() as u64);
+            bump(&self.counters.reinserted_entries, removed.len() as u64);
             for e in removed {
                 queue.push((e, level));
             }
             None
         } else {
-            bump(&self.counters, |c| c.splits += 1);
+            bump(&self.counters.splits, 1);
             Some(self.split_node(id))
         }
     }
@@ -696,10 +730,8 @@ impl<T> RStarTree<T> {
             return None;
         }
         self.len -= 1;
-        bump(&self.counters, |c| {
-            c.removes += 1;
-            c.reinserted_entries += orphans.len() as u64;
-        });
+        bump(&self.counters.removes, 1);
+        bump(&self.counters.reinserted_entries, orphans.len() as u64);
         // Shrink the root while it is an internal node with a single child.
         while self.node(self.root).level > 0 && self.node(self.root).count() == 1 {
             let old = self.root;
@@ -840,29 +872,35 @@ impl<T> RStarTree<T> {
         F: FnMut(&'a Rect, &'a T),
     {
         assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
-        self.search_rec(self.root, query.lo(), query.hi(), &mut visit);
+        let mut visits = 0;
+        self.search_rec(self.root, query.lo(), query.hi(), &mut visits, &mut visit);
+        bump(&self.counters.node_visits, visits);
     }
 
-    fn search_rec<'a, F>(&'a self, id: u32, qlo: &[f64], qhi: &[f64], visit: &mut F)
-    where
+    /// `visits` batches the node-visit count for one atomic add per query
+    /// instead of one per node — the counter is shared (the tree is
+    /// queryable from several threads), but the hot path must not pay a
+    /// read-modify-write per visited node.
+    fn search_rec<'a, F>(
+        &'a self,
+        id: u32,
+        qlo: &[f64],
+        qhi: &[f64],
+        visits: &mut u64,
+        visit: &mut F,
+    ) where
         F: FnMut(&'a Rect, &'a T),
     {
-        bump(&self.counters, |c| c.node_visits += 1);
+        *visits += 1;
         let node = &self.nodes[id as usize];
-        let dims = self.dims;
-        let w = 2 * dims;
         if node.level == 0 {
-            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
-                if coords_intersect(&chunk[..dims], &chunk[dims..], qlo, qhi) {
-                    visit(&node.rects[i], &node.values[i]);
-                }
-            }
+            coords_scan_intersecting(&node.coords, self.dims, qlo, qhi, |i| {
+                visit(&node.rects[i], &node.values[i]);
+            });
         } else {
-            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
-                if coords_intersect(&chunk[..dims], &chunk[dims..], qlo, qhi) {
-                    self.search_rec(node.children[i], qlo, qhi, visit);
-                }
-            }
+            coords_scan_intersecting(&node.coords, self.dims, qlo, qhi, |i| {
+                self.search_rec(node.children[i], qlo, qhi, visits, visit);
+            });
         }
     }
 
@@ -882,29 +920,25 @@ impl<T> RStarTree<T> {
     {
         assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
         assert!(r >= 0.0, "radius must be nonnegative");
-        self.within_rec(self.root, point, r, &mut visit);
+        let mut visits = 0;
+        self.within_rec(self.root, point, r, &mut visits, &mut visit);
+        bump(&self.counters.node_visits, visits);
     }
 
-    fn within_rec<'a, F>(&'a self, id: u32, point: &[f64], r: f64, visit: &mut F)
+    fn within_rec<'a, F>(&'a self, id: u32, point: &[f64], r: f64, visits: &mut u64, visit: &mut F)
     where
         F: FnMut(&'a Rect, &'a T),
     {
-        bump(&self.counters, |c| c.node_visits += 1);
+        *visits += 1;
         let node = &self.nodes[id as usize];
-        let dims = self.dims;
-        let w = 2 * dims;
         if node.level == 0 {
-            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
-                if coords_min_dist_point_sqr(&chunk[..dims], &chunk[dims..], point).sqrt() <= r {
-                    visit(&node.rects[i], &node.values[i]);
-                }
-            }
+            coords_scan_within(&node.coords, self.dims, point, r, |i| {
+                visit(&node.rects[i], &node.values[i]);
+            });
         } else {
-            for (i, chunk) in node.coords.chunks_exact(w).enumerate() {
-                if coords_min_dist_point_sqr(&chunk[..dims], &chunk[dims..], point).sqrt() <= r {
-                    self.within_rec(node.children[i], point, r, visit);
-                }
-            }
+            coords_scan_within(&node.coords, self.dims, point, r, |i| {
+                self.within_rec(node.children[i], point, r, visits, visit);
+            });
         }
     }
 
@@ -913,6 +947,104 @@ impl<T> RStarTree<T> {
         let mut out = Vec::new();
         self.search_within(point, r, |rect, v| out.push((rect, v)));
         out
+    }
+
+    /// [`Self::collect_intersecting`] split across up to `threads` scoped
+    /// worker threads — intra-query parallelism for range queries that
+    /// touch many nodes.
+    ///
+    /// The root's intersecting subtrees are partitioned into contiguous
+    /// runs, each run is walked serially by one worker, and the per-run
+    /// results are concatenated in run order. Serial depth-first search
+    /// visits those same subtrees in the same order, so the result is
+    /// **identical — contents and order — to the serial path at every
+    /// thread count** (pinned by `par_queries_match_serial` and the
+    /// runtime's chaos equivalence suite). With `threads <= 1`, a
+    /// single-level tree, or fewer than two intersecting subtrees, no
+    /// threads are spawned and the serial path runs directly.
+    pub fn par_collect_intersecting(&self, query: &Rect, threads: usize) -> Vec<(&Rect, &T)>
+    where
+        T: Sync,
+    {
+        assert_eq!(query.dims(), self.dims, "query dimensionality mismatch");
+        let root = self.node(self.root);
+        if threads <= 1 || root.level == 0 {
+            return self.collect_intersecting(query);
+        }
+        let (qlo, qhi) = (query.lo(), query.hi());
+        bump(&self.counters.node_visits, 1);
+        let mut subtrees: Vec<u32> = Vec::new();
+        coords_scan_intersecting(&root.coords, self.dims, qlo, qhi, |i| {
+            subtrees.push(root.children[i]);
+        });
+        self.fan_out(&subtrees, threads, |id, out| {
+            let mut visits = 0;
+            self.search_rec(id, qlo, qhi, &mut visits, &mut |r, v| out.push((r, v)));
+            bump(&self.counters.node_visits, visits);
+        })
+    }
+
+    /// [`Self::collect_within`] split across up to `threads` scoped worker
+    /// threads; same partitioning and determinism contract as
+    /// [`Self::par_collect_intersecting`].
+    pub fn par_collect_within(&self, point: &[f64], r: f64, threads: usize) -> Vec<(&Rect, &T)>
+    where
+        T: Sync,
+    {
+        assert_eq!(point.len(), self.dims, "query dimensionality mismatch");
+        assert!(r >= 0.0, "radius must be nonnegative");
+        let root = self.node(self.root);
+        if threads <= 1 || root.level == 0 {
+            return self.collect_within(point, r);
+        }
+        bump(&self.counters.node_visits, 1);
+        let mut subtrees: Vec<u32> = Vec::new();
+        coords_scan_within(&root.coords, self.dims, point, r, |i| {
+            subtrees.push(root.children[i]);
+        });
+        self.fan_out(&subtrees, threads, |id, out| {
+            let mut visits = 0;
+            self.within_rec(id, point, r, &mut visits, &mut |rect, v| out.push((rect, v)));
+            bump(&self.counters.node_visits, visits);
+        })
+    }
+
+    /// Walks each subtree id in `subtrees` with `walk`, spreading
+    /// contiguous runs across scoped threads, and concatenates the per-run
+    /// outputs in run order — exactly the serial visit order.
+    fn fan_out<'a, F>(&'a self, subtrees: &[u32], threads: usize, walk: F) -> Vec<(&'a Rect, &'a T)>
+    where
+        T: Sync,
+        F: Fn(u32, &mut Vec<(&'a Rect, &'a T)>) + Sync,
+    {
+        if subtrees.len() < 2 {
+            let mut out = Vec::new();
+            for &id in subtrees {
+                walk(id, &mut out);
+            }
+            return out;
+        }
+        let run = subtrees.len().div_ceil(threads.min(subtrees.len()));
+        let mut parts: Vec<Vec<(&Rect, &T)>> = Vec::with_capacity(subtrees.len().div_ceil(run));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = subtrees
+                .chunks(run)
+                .map(|ids| {
+                    let walk = &walk;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &id in ids {
+                            walk(id, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("parallel query worker panicked"));
+            }
+        });
+        parts.concat()
     }
 
     /// Iterates over all items in unspecified order.
@@ -1055,7 +1187,7 @@ impl<T> RStarTree<T> {
             self.release(old);
         }
         self.len = n_items;
-        bump(&self.counters, |c| c.inserts += n_items as u64);
+        bump(&self.counters.inserts, n_items as u64);
     }
 }
 
@@ -1602,5 +1734,37 @@ mod tests {
     fn wrong_dims_rejected() {
         let mut tree = RStarTree::new(2);
         tree.insert(Rect::point(&[1.0, 2.0, 3.0]), 0);
+    }
+
+    /// The parallel range queries must return the serial result exactly —
+    /// same items, same order — at every thread count, including counts
+    /// exceeding the number of intersecting subtrees.
+    #[test]
+    fn par_queries_match_serial() {
+        let mut seed = 7u64;
+        let mut rng = move || {
+            seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for dims in [2usize, 8] {
+            let mut tree = RStarTree::new(dims);
+            for i in 0..600u64 {
+                let lo: Vec<f64> = (0..dims).map(|_| rng() * 100.0).collect();
+                let hi: Vec<f64> = lo.iter().map(|l| l + rng() * 3.0).collect();
+                tree.insert(Rect::new(lo, hi), i);
+            }
+            let q = Rect::new(vec![20.0; dims], vec![70.0; dims]);
+            let serial = tree.collect_intersecting(&q);
+            let point = vec![50.0; dims];
+            let serial_within = tree.collect_within(&point, 25.0);
+            assert!(!serial.is_empty(), "query should hit something");
+            for threads in [1usize, 2, 3, 4, 64] {
+                assert_eq!(tree.par_collect_intersecting(&q, threads), serial, "t={threads}");
+                assert_eq!(tree.par_collect_within(&point, 25.0, threads), serial_within);
+            }
+        }
     }
 }

@@ -74,6 +74,7 @@ use stardust_core::stream::StreamId;
 
 mod fault;
 mod persist;
+pub mod pool;
 mod queue;
 mod runtime;
 mod shard;

@@ -1,0 +1,125 @@
+//! Deterministic intra-query fan-out.
+//!
+//! Collector-side query phases (sketch pruning, candidate verification)
+//! iterate over an item list whose per-item work is independent. This
+//! module splits such a list into **contiguous runs**, maps each run on its
+//! own scoped thread, and concatenates the per-run outputs in run order —
+//! so the combined output is *exactly* the serial `items.iter().map(work)`
+//! order at every thread count. Nothing about the result (values, order,
+//! float bits) depends on scheduling; only wall-clock time does.
+//!
+//! The same argument carries to the R\*-tree's parallel range queries
+//! (`stardust_index::tree`): determinism comes from partitioning the work
+//! *statically* and merging *positionally*, never from synchronization
+//! order. Workers that die mid-query surface as a panic on `join`, which
+//! propagates to the caller rather than silently dropping a run.
+
+/// Maps `work` over `items` using at most `threads` scoped workers.
+///
+/// The output equals `items.iter().map(work).collect()` — element for
+/// element, in order — for every `threads` value. `threads <= 1`, an empty
+/// slice, or a single item short-circuits to the serial map with no thread
+/// overhead.
+///
+/// # Panics
+/// Propagates a panic from `work` (the querying thread observes the same
+/// panic it would have hit serially).
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, work: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(work).collect();
+    }
+    let runs = threads.min(items.len());
+    let run_len = items.len().div_ceil(runs);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(runs);
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(run_len)
+            .map(|run| scope.spawn(move || run.iter().map(work).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("intra-query worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Resolves a configured thread-count knob: `0` means one per available
+/// CPU, anything else is taken literally.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_at_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let work = |x: &u64| x.wrapping_mul(0x9E3779B97F4A7C15) ^ (x >> 3);
+        let serial: Vec<u64> = items.iter().map(work).collect();
+        for threads in [0usize, 1, 2, 3, 4, 7, 96, 97, 200] {
+            assert_eq!(parallel_map(&items, threads.max(1), work), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_accumulations_are_bit_identical() {
+        // Per-item work that is itself an ordered reduction: the fan-out
+        // must not perturb a single bit of any item's result.
+        let items: Vec<Vec<f64>> = (0..31)
+            .map(|i| (0..64).map(|j| ((i * 64 + j) as f64 * 0.37).sin() * 1e3).collect())
+            .collect();
+        let work = |v: &Vec<f64>| v.iter().fold(0.0f64, |acc, x| acc + x * x);
+        let serial: Vec<u64> = items.iter().map(|v| work(v).to_bits()).collect();
+        for threads in [2usize, 3, 5, 31] {
+            let par: Vec<u64> =
+                parallel_map(&items, threads, work).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[42], 8, |x| *x * 2), vec![84]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items = [1, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-query worker panicked")]
+    fn worker_death_propagates() {
+        // A worker dying mid-query must surface, not silently drop a run.
+        let items: Vec<u32> = (0..16).collect();
+        let _ = parallel_map(&items, 4, |x| {
+            assert!(*x != 9, "injected worker fault");
+            *x
+        });
+    }
+}

@@ -9,12 +9,13 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use stardust_core::normalize;
-use stardust_core::sketch::PRUNE_SLACK;
+use stardust_core::sketch::{SketchProjection, PRUNE_SLACK};
 use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
 use crate::fault::FaultPlan;
 use crate::persist::{self, PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport};
+use crate::pool;
 use crate::queue::{BoundedQueue, PushError};
 use crate::shard::{
     remap_event, Board, DeathNotice, QueryReply, QueryRequest, ShardMsg, SketchBoard, Worker,
@@ -146,6 +147,13 @@ pub struct RuntimeConfig {
     /// exchange — [`ShardedRuntime::correlated_pairs`] stays exact but
     /// verifies every cross-shard pair without sketch pruning.
     pub sketch_cadence: u64,
+    /// Collector-side workers for the pruning and verification phases of
+    /// [`ShardedRuntime::correlated_pairs`]. `1` — the default — runs them
+    /// on the querying thread; `0` means one per available CPU. Results
+    /// are bit-identical at every setting (see [`crate::pool`]): the work
+    /// is split into contiguous runs merged positionally, so only
+    /// wall-clock time changes.
+    pub intra_query_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -157,6 +165,7 @@ impl Default for RuntimeConfig {
             fault_plan: None,
             telemetry: None,
             sketch_cadence: 1,
+            intra_query_threads: 1,
         }
     }
 }
@@ -196,6 +205,8 @@ struct Shared {
     sketches: Arc<SketchBoard>,
     /// Sketch-exchange cadence in sealed blocks (`0` = disabled).
     sketch_cadence: u64,
+    /// Resolved collector-side worker count for query fan-out (≥ 1).
+    intra_query_threads: usize,
     /// Per-shard recovery journals; `None` when recovery is disabled.
     recovery: Option<Vec<Arc<ShardRecovery>>>,
     board: Arc<Board>,
@@ -592,6 +603,7 @@ impl ShardedRuntime {
             counters,
             sketches: Arc::new(SketchBoard::new(n_streams)),
             sketch_cadence: config.sketch_cadence,
+            intra_query_threads: pool::resolve_threads(config.intra_query_threads),
             recovery,
             board: Arc::new(Board::new(n_shards)),
             handles: Mutex::new((0..n_shards).map(|_| None).collect()),
@@ -900,30 +912,43 @@ impl ShardedRuntime {
         // Phase 2: prune cross-shard pairs on the sketch board. A pair
         // is pruned only when both mirrors are complete windows ending
         // exactly at t* — anything stale goes to exact verification.
+        // Each mirror is projected once (Θ(m), amortizing the moment
+        // normalization out of the O(n²) pair loop), and the pair rows
+        // fan out across the intra-query pool; rows merge in row order,
+        // so the candidate list is identical to the serial nested loop
+        // at every thread count.
         let mirrors = self.shared.sketches.mirrors();
         let s = self.n_shards();
         let radius = corr_spec.radius;
-        let mut candidates: Vec<(StreamId, StreamId)> = Vec::new();
-        let mut pruned = 0u64;
-        for a in 0..self.n_streams {
+        let projections: Vec<Option<SketchProjection>> = mirrors
+            .iter()
+            .map(|m| m.as_ref().and_then(|sk| sk.projection()).filter(|p| p.end_time() == t))
+            .collect();
+        let rows: Vec<usize> = (0..self.n_streams).collect();
+        let row_results = pool::parallel_map(&rows, self.shared.intra_query_threads, |&a| {
+            let mut row_candidates: Vec<(StreamId, StreamId)> = Vec::new();
+            let mut row_pruned = 0u64;
             for b in (a + 1)..self.n_streams {
                 if a % s == b % s {
                     continue; // same shard: covered by the exact scan below
                 }
-                let bound = match (&mirrors[a], &mirrors[b]) {
-                    (Some(sa), Some(sb))
-                        if sa.end_time() == Some(t) && sb.end_time() == Some(t) =>
-                    {
-                        sa.distance_lower_bound(sb)
-                    }
+                let bound = match (&projections[a], &projections[b]) {
+                    (Some(pa), Some(pb)) => pa.distance_lower_bound(pb),
                     _ => None,
                 };
                 if bound.is_some_and(|lb| lb > radius + PRUNE_SLACK) {
-                    pruned += 1;
+                    row_pruned += 1;
                 } else {
-                    candidates.push((a as StreamId, b as StreamId));
+                    row_candidates.push((a as StreamId, b as StreamId));
                 }
             }
+            (row_candidates, row_pruned)
+        });
+        let mut candidates: Vec<(StreamId, StreamId)> = Vec::new();
+        let mut pruned = 0u64;
+        for (row_candidates, row_pruned) in row_results {
+            candidates.extend(row_candidates);
+            pruned += row_pruned;
         }
         self.shared.sketches.pruned.fetch_add(pruned, Ordering::Relaxed);
         self.shared.sketches.candidates.fetch_add(candidates.len() as u64, Ordering::Relaxed);
@@ -962,16 +987,28 @@ impl ShardedRuntime {
                 windows.extend(w);
             }
         }
+        // Verify candidates on the pool: each fetched window is
+        // z-normalized once, and every pair is evaluated on the
+        // normalized vectors in candidate order — bit-identical to
+        // serially correlating the raw windows pair by pair, because
+        // `z_norm` is deterministic and the fan-out merges positionally.
+        let znormed: std::collections::HashMap<StreamId, Vec<f64>> = windows
+            .iter()
+            .filter_map(|(&g, w)| Some((g, normalize::z_norm(w.as_deref()?)?)))
+            .collect();
+        let verdicts =
+            pool::parallel_map(&candidates, self.shared.intra_query_threads, |&(a, b)| {
+                // A missing window (expired) or undefined z-norm
+                // (constant window) skips the pair, as the reference
+                // linear scan does.
+                let (za, zb) = (znormed.get(&a)?, znormed.get(&b)?);
+                let corr = normalize::correlation_of_znormed(za, zb);
+                (normalize::correlation_to_distance(corr) <= radius).then_some((a, b, corr))
+            });
         let mut confirmed = 0u64;
-        for (a, b) in candidates {
-            let (Some(Some(wa)), Some(Some(wb))) = (windows.get(&a), windows.get(&b)) else {
-                continue; // window expired: the reference skips it too
-            };
-            let Some(corr) = normalize::correlation(wa, wb) else { continue };
-            if normalize::correlation_to_distance(corr) <= radius {
-                merged.push((a, b, corr));
-                confirmed += 1;
-            }
+        for (a, b, corr) in verdicts.into_iter().flatten() {
+            merged.push((a, b, corr));
+            confirmed += 1;
         }
         self.shared.sketches.confirmed.fetch_add(confirmed, Ordering::Relaxed);
         self.shared.runtime_telemetry.cross_confirmed.add(confirmed);

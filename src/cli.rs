@@ -99,6 +99,9 @@ COMMANDS:
               --lambda L (6.0)  --radius r (0.05)
               --classes agg,corr (of agg|corr|trend)
               --query-iters K (32: scatter-gather latency samples)
+              --query-threads T (1: collector-side intra-query worker
+              pool; 0 = one per CPU; results are bit-identical at
+              every setting)
               --emit-bench FILE (write a schema-stable JSON report for
               CI regression gating, including WAL-append and
               disk-recovery micro-timings, a socket-level server load
@@ -791,6 +794,7 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     let queue: usize = args.get_or("queue", 64)?;
     let batch_rows: usize = args.get_or("batch", 16)?;
     let query_iters: usize = args.get_or("query-iters", 32)?;
+    let query_threads: usize = args.get_or("query-threads", 1)?;
 
     let streams = workload_from_args(args, input, 64)?;
     let m = streams.len();
@@ -804,6 +808,7 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
         RuntimeConfig {
             shards,
             queue_capacity: queue,
+            intra_query_threads: query_threads,
             telemetry: Some(registry.clone()),
             ..RuntimeConfig::default()
         },
