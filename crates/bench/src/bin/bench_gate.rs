@@ -7,6 +7,11 @@
 //!
 //! * `ingest.throughput_values_per_s` — higher is better; a regression
 //!   is a candidate below `baseline × (1 − tolerance)`.
+//! * `ingest.durable_throughput_values_per_s` — higher is better, gated
+//!   with `--tolerance`: the same workload through the on-disk WAL under
+//!   `SyncPolicy::Always`, where group commit coalesces each drained run
+//!   of batches into one write + one fsync. This is the number the
+//!   group-commit work is accountable to.
 //! * `query.p50_ns` — lower is better; a regression is a candidate
 //!   above `baseline × (1 + tolerance)`.
 //! * `index.insert_ns`, `index.query_ns`, `maintenance.rebuild_bulk_ns`
@@ -36,6 +41,7 @@
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
 //! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`,
+//! `ingest.group_size_p50`/`ingest.wal_group_writes`,
 //! `cross_corr.query_p50_ns`) is informational: those values shift with
 //! machine load and workload shape, so only the headline numbers are
 //! enforced.
@@ -59,6 +65,9 @@ const DEFAULT_MICRO_TOLERANCE: f64 = 0.35;
 
 struct Report {
     throughput: f64,
+    durable_throughput: f64,
+    group_size_p50: f64,
+    wal_group_writes: f64,
     query_p50_ns: f64,
     index_insert_ns: f64,
     index_query_ns: f64,
@@ -88,6 +97,9 @@ fn load(path: &str) -> Result<Report, String> {
     };
     Ok(Report {
         throughput: num("ingest", "throughput_values_per_s")?,
+        durable_throughput: num("ingest", "durable_throughput_values_per_s")?,
+        group_size_p50: num("ingest", "group_size_p50")?,
+        wal_group_writes: num("ingest", "wal_group_writes")?,
         query_p50_ns: num("query", "p50_ns")?,
         index_insert_ns: num("index", "insert_ns")?,
         index_query_ns: num("index", "query_ns")?,
@@ -163,6 +175,13 @@ fn run() -> Result<bool, String> {
         "ingest throughput (values/s)",
         baseline.throughput,
         candidate.throughput,
+        true,
+        tolerance,
+    );
+    check(
+        "durable ingest, Always (values/s)",
+        baseline.durable_throughput,
+        candidate.durable_throughput,
         true,
         tolerance,
     );
@@ -243,6 +262,14 @@ fn run() -> Result<bool, String> {
         "     info  rebuild speedup (replay/bulk): baseline {:.2}x, candidate {:.2}x",
         speedup(&baseline),
         speedup(&candidate)
+    );
+    println!(
+        "     info  commit groups: p50 {:.0} batch(es)/group over {:.0} coalesced write(s) \
+         (baseline p50 {:.0} over {:.0})",
+        candidate.group_size_p50,
+        candidate.wal_group_writes,
+        baseline.group_size_p50,
+        baseline.wal_group_writes,
     );
     Ok(ok)
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! load_driver [--quick] [--clients N] [--values N] [--batch N]
-//!             [--shards N] [--queue N] [--seed N]
+//!             [--pipeline N] [--shards N] [--queue N] [--seed N]
 //!             [--addr HOST:PORT --token TOK]   # target a live server
 //! ```
 //!
@@ -33,6 +33,7 @@ fn main() {
     cfg.clients = parse(&args, "--clients", cfg.clients);
     cfg.values_per_client = parse(&args, "--values", cfg.values_per_client);
     cfg.batch = parse(&args, "--batch", cfg.batch);
+    cfg.pipeline = parse(&args, "--pipeline", cfg.pipeline);
     cfg.shards = parse(&args, "--shards", cfg.shards);
     cfg.queue_capacity = parse(&args, "--queue", cfg.queue_capacity);
     cfg.seed = parse(&args, "--seed", cfg.seed);

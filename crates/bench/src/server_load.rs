@@ -39,6 +39,9 @@ pub struct LoadConfig {
     pub values_per_client: usize,
     /// Values per append request.
     pub batch: usize,
+    /// Append frames kept in flight per round trip (pipelining depth;
+    /// 1 = the pre-group-commit request/reply lockstep).
+    pub pipeline: usize,
     /// Runtime worker shards (0 = one per CPU).
     pub shards: usize,
     /// Per-shard queue capacity in batches.
@@ -53,6 +56,7 @@ impl Default for LoadConfig {
             clients: 32,
             values_per_client: 4_096,
             batch: 64,
+            pipeline: 8,
             shards: 0,
             queue_capacity: 256,
             seed: 42,
@@ -123,8 +127,10 @@ fn run_fleet(
     token: &str,
     streams: &[Vec<f64>],
     batch: usize,
+    pipeline: usize,
     lat: &Histogram,
 ) -> (u64, u64, u64) {
+    let pipeline = pipeline.max(1);
     let totals = Mutex::new((0u64, 0u64, 0u64));
     std::thread::scope(|scope| {
         for (g, s) in streams.iter().enumerate() {
@@ -135,14 +141,20 @@ fn run_fleet(
                 let mut appended = 0u64;
                 let mut busy = 0u64;
                 let mut waits = 0u64;
-                for chunk in s.chunks(batch) {
-                    let items: Vec<(u32, f64)> = chunk.iter().map(|&v| (g as u32, v)).collect();
+                // Each round trip pipelines up to `pipeline` append
+                // frames; the server admits the run as one try_submit
+                // group and replies to each frame.
+                for window in s.chunks(batch * pipeline) {
+                    let batches: Vec<Vec<(u32, f64)>> = window
+                        .chunks(batch)
+                        .map(|chunk| chunk.iter().map(|&v| (g as u32, v)).collect())
+                        .collect();
                     let span = lat.span();
                     let stats = client
-                        .append_all(&items)
+                        .append_group_all(&batches)
                         .unwrap_or_else(|e| panic!("client {g} append failed: {e}"));
                     drop(span);
-                    appended += items.len() as u64;
+                    appended += window.len() as u64;
                     busy += stats.busy_replies;
                     waits += stats.rate_waits;
                 }
@@ -196,7 +208,7 @@ pub fn run_self_hosted(cfg: &LoadConfig) -> LoadResult {
     let lat = Histogram::standalone(stardust_telemetry::duration_buckets_ns());
     let start = Instant::now();
     let (values, busy_replies, rate_waits) =
-        run_fleet(server.local_addr(), TOKEN, &streams, cfg.batch, &lat);
+        run_fleet(server.local_addr(), TOKEN, &streams, cfg.batch, cfg.pipeline, &lat);
     let elapsed_s = start.elapsed().as_secs_f64();
     let mut socket_events = server.shutdown().events;
 
@@ -237,7 +249,8 @@ pub fn run_remote(addr: &str, token: &str, cfg: &LoadConfig) -> LoadResult {
         addr.parse().unwrap_or_else(|e| panic!("bad --addr '{addr}': {e}"));
     let lat = Histogram::standalone(stardust_telemetry::duration_buckets_ns());
     let start = Instant::now();
-    let (values, busy_replies, rate_waits) = run_fleet(addr, token, &streams, cfg.batch, &lat);
+    let (values, busy_replies, rate_waits) =
+        run_fleet(addr, token, &streams, cfg.batch, cfg.pipeline, &lat);
     let elapsed_s = start.elapsed().as_secs_f64();
     let (append_p50_ns, append_p95_ns, append_p99_ns) = percentiles(&lat);
     LoadResult {

@@ -682,6 +682,9 @@ pub(crate) struct ShardDisk {
     pub wedged: bool,
     faults: Option<Arc<FaultPlan>>,
     tel: RuntimeTelemetry,
+    /// Scratch for coalesced group writes, reused across groups so the
+    /// steady-state ingest path performs no per-group allocation.
+    group_buf: Vec<u8>,
 }
 
 impl ShardDisk {
@@ -714,6 +717,7 @@ impl ShardDisk {
             wedged: false,
             faults,
             tel,
+            group_buf: Vec::new(),
         };
         if !disk.rotate(appends, emitted, monitor)? {
             disk.wal = Some(match fs::metadata(&disk.paths.wal) {
@@ -724,10 +728,22 @@ impl ShardDisk {
         Ok(disk)
     }
 
-    /// Appends one batch record (the write-ahead step). A failure —
-    /// including an injected torn write — wedges the handle; the caller
-    /// must fail stop.
-    pub fn append_batch(&mut self, items: &[(StreamId, f64)]) -> io::Result<()> {
+    /// Appends a run of batch records as one coalesced `write(2)`
+    /// followed by at most one fsync — the group-commit write-ahead
+    /// step (a one-batch group is the degenerate case; this is the only
+    /// batch-record write path). The on-disk bytes are identical to
+    /// framing and appending each record separately (same framed
+    /// records, same order), so recovery is unchanged: a tear anywhere
+    /// inside the group leaves a clean prefix of complete records plus
+    /// a truncatable tail. Under [`SyncPolicy::Always`] the single
+    /// `maybe_sync` at the end covers every record in the group; the
+    /// caller must not apply or ack any batch of the group before this
+    /// returns `Ok`. A failure — including an injected torn write —
+    /// wedges the handle; the caller must fail stop.
+    pub fn append_group<'a, I>(&mut self, batches: I) -> io::Result<()>
+    where
+        I: Iterator<Item = &'a [(StreamId, f64)]>,
+    {
         if self.wedged {
             // A prior failure may have left partial bytes on disk;
             // appending after them would bury them mid-log.
@@ -737,16 +753,25 @@ impl ShardDisk {
             self.wedged = true;
             return Err(io::Error::other("shard WAL is wedged"));
         };
-        let payload = wal::encode_batch(items);
-        let frame_end = w.bytes + 8 + payload.len() as u64;
-        let tear = self.faults.as_ref().and_then(|p| p.tear_wal(self.shard, w.bytes, frame_end));
+        self.group_buf.clear();
+        let mut records = 0u64;
+        for items in batches {
+            wal::frame_record_into(&mut self.group_buf, |buf| wal::encode_batch_into(buf, items));
+            records += 1;
+        }
+        if records == 0 {
+            return Ok(());
+        }
+        let group_end = w.bytes + self.group_buf.len() as u64;
+        let tear = self.faults.as_ref().and_then(|p| p.tear_wal(self.shard, w.bytes, group_end));
         let span = self.tel.wal_append.span();
-        match w.append(&payload, tear) {
+        match w.append_coalesced(&self.group_buf, tear) {
             Ok(n) => {
                 drop(span);
-                self.tel.wal_records.inc();
+                self.tel.wal_records.add(records);
                 self.tel.wal_bytes.add(n);
-                self.records_since_sync += 1;
+                self.tel.wal_group_writes.inc();
+                self.records_since_sync += records;
                 self.maybe_sync();
                 Ok(())
             }
@@ -915,13 +940,19 @@ mod tests {
         .unwrap()
     }
 
+    /// One batch as a degenerate commit group — the production write
+    /// path for a queue with no backlog.
+    fn append_one(d: &mut ShardDisk, items: &[(StreamId, f64)]) -> io::Result<()> {
+        d.append_group(std::iter::once(items))
+    }
+
     #[test]
     fn write_rotate_recover_round_trip() {
         let dir = tempdir("rt");
         let mut d = disk(&dir, None);
-        d.append_batch(&[(0, 1.0), (1, 2.0)]).unwrap();
+        append_one(&mut d, &[(0, 1.0), (1, 2.0)]).unwrap();
         d.append_ack(1);
-        d.append_batch(&[(2, 3.0)]).unwrap();
+        append_one(&mut d, &[(2, 3.0)]).unwrap();
         let r = recover_shard(&dir, 0).unwrap();
         assert_eq!(r.suffix, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
         assert_eq!(r.last_ack, 1);
@@ -930,7 +961,7 @@ mod tests {
 
         // Rotate: state folds into the snapshot, the WAL restarts.
         assert!(d.rotate(3, 1, Some(b"mon")).unwrap());
-        d.append_batch(&[(0, 4.0)]).unwrap();
+        append_one(&mut d, &[(0, 4.0)]).unwrap();
         let r = recover_shard(&dir, 0).unwrap();
         assert_eq!(r.snapshot.as_deref(), Some(b"mon".as_slice()));
         assert_eq!((r.snapshot_appends, r.emitted_at_snapshot), (3, 1));
@@ -943,9 +974,9 @@ mod tests {
     fn corrupt_snapshot_falls_back_a_generation() {
         let dir = tempdir("fb");
         let mut d = disk(&dir, None);
-        d.append_batch(&[(0, 1.0)]).unwrap();
+        append_one(&mut d, &[(0, 1.0)]).unwrap();
         assert!(d.rotate(1, 0, Some(b"state-1")).unwrap());
-        d.append_batch(&[(0, 2.0)]).unwrap();
+        append_one(&mut d, &[(0, 2.0)]).unwrap();
 
         // Damage the current snapshot: recovery must rebuild the same
         // state from snap.prev + wal.prev + wal.
@@ -968,7 +999,7 @@ mod tests {
     fn both_generations_corrupt_is_a_typed_error() {
         let dir = tempdir("dbl");
         let mut d = disk(&dir, None);
-        d.append_batch(&[(0, 1.0)]).unwrap();
+        append_one(&mut d, &[(0, 1.0)]).unwrap();
         assert!(d.rotate(1, 0, Some(b"state-1")).unwrap());
         let paths = ShardPaths::new(&dir, 0);
         for p in [&paths.snap, &paths.snap_prev] {
@@ -986,7 +1017,7 @@ mod tests {
         let dir = tempdir("fsync");
         {
             let mut d = disk(&dir, None);
-            d.append_batch(&[(0, 1.0)]).unwrap();
+            append_one(&mut d, &[(0, 1.0)]).unwrap();
         }
         // Reopen with the first fsync (the open-time rotation's tmp
         // sync) failing: the rotation aborts and the shard resumes the
@@ -1006,7 +1037,7 @@ mod tests {
         )
         .unwrap();
         assert!(!d.wedged);
-        d.append_batch(&[(0, 2.0)]).unwrap();
+        append_one(&mut d, &[(0, 2.0)]).unwrap();
         let r = recover_shard(&dir, 0).unwrap();
         assert_eq!(r.suffix, vec![(0, 1.0), (0, 2.0)], "appends landed on the resumed segment");
         fs::remove_dir_all(&dir).unwrap();
@@ -1018,11 +1049,11 @@ mod tests {
         let plan =
             Arc::new(FaultPlan::new().disk_fault(0, DiskFaultKind::TornWrite { at_byte: 60 }));
         let mut d = disk(&dir, Some(plan));
-        d.append_batch(&[(0, 1.0)]).unwrap();
+        append_one(&mut d, &[(0, 1.0)]).unwrap();
         // Byte 60 lands inside the second record's frame: it tears.
-        assert!(d.append_batch(&[(0, 2.0), (1, 3.0)]).is_err());
+        assert!(append_one(&mut d, &[(0, 2.0), (1, 3.0)]).is_err());
         assert!(d.wedged);
-        assert!(d.append_batch(&[(0, 9.0)]).is_err(), "wedged handles fail stop");
+        assert!(append_one(&mut d, &[(0, 9.0)]).is_err(), "wedged handles fail stop");
         let r = recover_shard(&dir, 0).unwrap();
         assert_eq!(r.suffix, vec![(0, 1.0)], "pre-tear prefix survives");
         assert!(r.truncated_bytes > 0);
@@ -1033,7 +1064,7 @@ mod tests {
     fn adopted_tmp_snapshot_is_the_newest_state() {
         let dir = tempdir("tmp");
         let mut d = disk(&dir, None);
-        d.append_batch(&[(0, 1.0)]).unwrap();
+        append_one(&mut d, &[(0, 1.0)]).unwrap();
         // Simulate a crash between tmp fsync and the renames: write the
         // next generation's snapshot at the tmp path by hand.
         let paths = ShardPaths::new(&dir, 0);

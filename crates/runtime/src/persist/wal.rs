@@ -57,15 +57,24 @@ pub enum WalEntry {
     Ack(u64),
 }
 
-/// Encodes a batch payload (tag + count + items).
-pub(crate) fn encode_batch(items: &[(StreamId, f64)]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(5 + items.len() * 12);
+/// Encodes a batch payload (tag + count + items) into `buf`.
+pub(crate) fn encode_batch_into(buf: &mut Vec<u8>, items: &[(StreamId, f64)]) {
+    buf.reserve(5 + items.len() * 12);
     buf.push(TAG_BATCH);
     buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
     for &(stream, value) in items {
         buf.extend_from_slice(&stream.to_le_bytes());
         buf.extend_from_slice(&value.to_bits().to_le_bytes());
     }
+}
+
+/// Encodes a batch payload (tag + count + items). Production framing
+/// goes through [`frame_record_into`]; this allocation-per-payload
+/// variant remains for tests that build WALs record by record.
+#[cfg(test)]
+pub(crate) fn encode_batch(items: &[(StreamId, f64)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(5 + items.len() * 12);
+    encode_batch_into(&mut buf, items);
     buf
 }
 
@@ -111,6 +120,20 @@ fn frame(payload: &[u8]) -> Vec<u8> {
     buf.extend_from_slice(&crc32(payload).to_le_bytes());
     buf.extend_from_slice(payload);
     buf
+}
+
+/// Appends one framed record to `buf`, with the payload produced in
+/// place by `encode` — no intermediate payload allocation. The 8-byte
+/// frame head is reserved up front and backpatched with the payload's
+/// length and checksum once it is encoded.
+pub(crate) fn frame_record_into(buf: &mut Vec<u8>, encode: impl FnOnce(&mut Vec<u8>)) {
+    let head = buf.len();
+    buf.extend_from_slice(&[0u8; 8]);
+    encode(buf);
+    let payload_len = (buf.len() - head - 8) as u32;
+    let crc = crc32(&buf[head + 8..]);
+    buf[head..head + 4].copy_from_slice(&payload_len.to_le_bytes());
+    buf[head + 4..head + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
 /// Append handle over one shard's live WAL file. Writes go straight to
@@ -169,6 +192,27 @@ impl WalWriter {
             )));
         }
         self.file.write_all(&framed)?;
+        self.bytes += framed.len() as u64;
+        Ok(framed.len() as u64)
+    }
+
+    /// Appends a pre-framed run of records (built with
+    /// [`frame_record_into`]) as one `write(2)` — the group-commit
+    /// coalesced write. Tear semantics match [`Self::append`]: `tear_at`
+    /// is an absolute file offset anywhere inside the coalesced span;
+    /// the bytes before it hit disk (a clean prefix of complete records
+    /// plus at most one partial frame), the write errors, and `bytes`
+    /// does not advance.
+    pub fn append_coalesced(&mut self, framed: &[u8], tear_at: Option<u64>) -> io::Result<u64> {
+        if let Some(at) = tear_at {
+            let keep = at.saturating_sub(self.bytes).min(framed.len() as u64) as usize;
+            self.file.write_all(&framed[..keep])?;
+            return Err(io::Error::other(format!(
+                "injected torn write at byte {at} ({keep} of {} group bytes hit disk)",
+                framed.len()
+            )));
+        }
+        self.file.write_all(framed)?;
         self.bytes += framed.len() as u64;
         Ok(framed.len() as u64)
     }
@@ -381,6 +425,54 @@ mod tests {
         let WalFile::Valid(scan) = scan_wal(&path).unwrap() else { panic!("valid") };
         assert_eq!(scan.items.len(), 3, "only the pre-tear record survives");
         assert_eq!(scan.torn_bytes, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesced_group_is_byte_identical_to_sequential_appends() {
+        let dir = std::env::temp_dir().join(format!("sdwal-grp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let seq = dir.join("seq.wal");
+        let grp = dir.join("grp.wal");
+        let batches = [sample_items(4), sample_items(1), sample_items(9)];
+        let mut w = WalWriter::create(&seq, 2, 0).unwrap();
+        for b in &batches {
+            w.append(&encode_batch(b), None).unwrap();
+        }
+        let mut w = WalWriter::create(&grp, 2, 0).unwrap();
+        let mut buf = Vec::new();
+        for b in &batches {
+            frame_record_into(&mut buf, |out| encode_batch_into(out, b));
+        }
+        w.append_coalesced(&buf, None).unwrap();
+        assert_eq!(
+            std::fs::read(&seq).unwrap(),
+            std::fs::read(&grp).unwrap(),
+            "group commit must not change the on-disk format"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_group_write_leaves_a_recoverable_record_prefix() {
+        let dir = std::env::temp_dir().join(format!("sdwal-grptear-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-0.wal");
+        let mut w = WalWriter::create(&path, 0, 0).unwrap();
+        let mut buf = Vec::new();
+        let first = sample_items(3);
+        frame_record_into(&mut buf, |out| encode_batch_into(out, &first));
+        let first_len = buf.len() as u64;
+        let second = sample_items(5);
+        frame_record_into(&mut buf, |out| encode_batch_into(out, &second));
+        // Tear inside the second record of the group: the first record
+        // is a complete prefix, the second is a torn tail.
+        let tear = w.bytes + first_len + 6;
+        let err = w.append_coalesced(&buf, Some(tear)).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        let WalFile::Valid(scan) = scan_wal(&path).unwrap() else { panic!("valid") };
+        assert_eq!(scan.items, first, "exactly the pre-tear records survive");
+        assert_eq!(scan.torn_bytes, 6);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

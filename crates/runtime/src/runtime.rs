@@ -213,7 +213,9 @@ struct Shared {
     handles: Mutex<Vec<Option<JoinHandle<()>>>>,
     /// The collector sender respawned workers clone; dropped (set to
     /// `None`) once every worker has joined so the receiver disconnects.
-    events_tx: Mutex<Option<Sender<Event>>>,
+    /// Carries one `Vec<Event>` per commit group (bulk delivery), not
+    /// one message per event.
+    events_tx: Mutex<Option<Sender<Vec<Event>>>>,
 }
 
 impl Shared {
@@ -282,6 +284,9 @@ impl Shared {
             self.n_shards,
             &events,
             &self.counters[shard],
+            &self.sketches,
+            self.sketch_cadence,
+            &self.runtime_telemetry,
         );
         drop(restore_span);
         let Some((mut monitor, processed)) = rebuilt else {
@@ -355,8 +360,9 @@ pub struct ShardedRuntime {
     /// The collector receiver. `mpsc::Receiver` is `!Sync`, so it lives
     /// behind a mutex: the runtime itself is then `Sync` and a network
     /// front end can share one instance across handler threads while a
-    /// single collector thread drains events.
-    events_rx: Mutex<Receiver<Event>>,
+    /// single collector thread drains events. Each message is one commit
+    /// group's events; `drain_events` flattens them in arrival order.
+    events_rx: Mutex<Receiver<Vec<Event>>>,
     supervisor: Option<JoinHandle<()>>,
     finished: bool,
 }
@@ -494,16 +500,20 @@ impl ShardedRuntime {
             let mut re_emitted = 0u64;
             if let Some(monitor) = monitor.as_mut() {
                 let mut buf = Vec::new();
+                let mut resend = Vec::new();
                 for &(local, value) in &rec.suffix {
                     buf.clear();
                     monitor.append_into(local, value, &mut buf);
                     for ev in buf.drain(..) {
                         regenerated += 1;
                         if regenerated > already {
-                            let _ = events_tx.send(remap_event(shard, n_shards, ev));
-                            re_emitted += 1;
+                            resend.push(remap_event(shard, n_shards, ev));
                         }
                     }
+                }
+                if !resend.is_empty() {
+                    re_emitted = resend.len() as u64;
+                    let _ = events_tx.send(resend);
                 }
             }
             runtime_telemetry.replayed.add(rec.suffix.len() as u64);
@@ -583,7 +593,7 @@ impl ShardedRuntime {
         spec: &MonitorSpec,
         n_locals: Vec<usize>,
         config: RuntimeConfig,
-        events_tx: Sender<Event>,
+        events_tx: Sender<Vec<Event>>,
         runtime_telemetry: RuntimeTelemetry,
         counters: Vec<Arc<ShardCounters>>,
         recovery: Option<Vec<Arc<ShardRecovery>>>,
@@ -794,14 +804,16 @@ impl ShardedRuntime {
     }
 
     /// Every event collected so far, in collector arrival order
-    /// (interleaved across shards; per-stream order is preserved).
-    /// Concurrent callers serialize on the collector receiver; each
-    /// event is delivered to exactly one of them.
+    /// (interleaved across shards; per-stream order is preserved —
+    /// groups arrive whole, so flattening them preserves each shard's
+    /// emission order). Concurrent callers serialize on the collector
+    /// receiver; each event is delivered to exactly one of them.
     pub fn drain_events(&self) -> Vec<Event> {
         self.events_rx
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .try_iter()
+            .flatten()
             .collect()
     }
 

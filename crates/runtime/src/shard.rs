@@ -163,6 +163,51 @@ fn global_id(shard: usize, n_shards: usize, local: StreamId) -> StreamId {
     local * n_shards as StreamId + shard as StreamId
 }
 
+/// Frontier-driven sketch publication, shared by the live worker loop
+/// and the recovery replay: once the slowest local stream has sealed
+/// `cadence` new blocks past `last_shipped`, every local sketch ships
+/// to the collector board (absorbed idempotently — re-publication after
+/// a crash restore is a no-op on the mirrors). The recovery replay must
+/// drive this too: batches a dead worker drained but never applied are
+/// replayed from the journal rather than re-popped, and any cadence
+/// boundary they cross has to fire exactly as it would have on the live
+/// path.
+pub(crate) fn publish_sketches_if_due(
+    monitor: Option<&UnifiedMonitor>,
+    shard: usize,
+    n_shards: usize,
+    sketches: &SketchBoard,
+    cadence: u64,
+    last_shipped: &mut u64,
+    telemetry: &RuntimeTelemetry,
+) {
+    if cadence == 0 {
+        return;
+    }
+    let Some(corr) = monitor.and_then(|m| m.correlation_monitor()) else {
+        return;
+    };
+    let frontier = (0..corr.n_streams() as StreamId)
+        .map(|s| {
+            let sk = corr.sketch(s);
+            sk.end_time().map_or(0, |t| (t + 1) / sk.block() as u64)
+        })
+        .min()
+        .unwrap_or(0);
+    if frontier < last_shipped.saturating_add(cadence) {
+        return;
+    }
+    let start = Instant::now();
+    for local in 0..corr.n_streams() as StreamId {
+        let sk = corr.sketch(local);
+        sketches.publish(global_id(shard, n_shards, local), sk.window(), sk.block(), &sk.delta());
+    }
+    *last_shipped = frontier;
+    let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    telemetry.sketch_exchange.observe(ns);
+    telemetry.sketch_exchanges.inc();
+}
+
 /// Rewrites an event's shard-local stream ids back to global ids.
 pub(crate) fn remap_event(shard: usize, n_shards: usize, ev: Event) -> Event {
     match ev {
@@ -301,6 +346,11 @@ impl Drop for DeathNotice {
     }
 }
 
+/// Most batches one drain may move into a commit group. Bounds the
+/// coalesced WAL write (and the grouped event send) regardless of queue
+/// capacity; a longer backlog simply commits as consecutive groups.
+const MAX_GROUP_BATCHES: usize = 256;
+
 /// Everything one worker thread owns.
 pub(crate) struct Worker {
     pub shard: usize,
@@ -308,7 +358,7 @@ pub(crate) struct Worker {
     pub n_local_streams: usize,
     pub monitor: Option<UnifiedMonitor>,
     pub inbox: Arc<BoundedQueue<ShardMsg>>,
-    pub events: Sender<Event>,
+    pub events: Sender<Vec<Event>>,
     pub counters: Arc<ShardCounters>,
     /// Crash-recovery journal; `None` disables journaling entirely.
     pub recovery: Option<Arc<ShardRecovery>>,
@@ -411,140 +461,174 @@ impl Worker {
     /// deterministic per batch history — and re-running it after a crash
     /// restore is a no-op on the board.
     fn maybe_publish_sketches(&mut self) {
-        if self.sketch_cadence == 0 {
-            return;
-        }
-        let Some(corr) = self.monitor.as_ref().and_then(|m| m.correlation_monitor()) else {
-            return;
-        };
-        let frontier = (0..corr.n_streams() as StreamId)
-            .map(|s| {
-                let sk = corr.sketch(s);
-                sk.end_time().map_or(0, |t| (t + 1) / sk.block() as u64)
-            })
-            .min()
-            .unwrap_or(0);
-        if frontier < self.last_shipped.saturating_add(self.sketch_cadence) {
-            return;
-        }
-        let start = Instant::now();
-        for local in 0..corr.n_streams() as StreamId {
-            let sk = corr.sketch(local);
-            self.sketches.publish(self.global(local), sk.window(), sk.block(), &sk.delta());
-        }
-        self.last_shipped = frontier;
-        let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        self.telemetry.sketch_exchange.observe(ns);
-        self.telemetry.sketch_exchanges.inc();
+        publish_sketches_if_due(
+            self.monitor.as_ref(),
+            self.shard,
+            self.n_shards,
+            &self.sketches,
+            self.sketch_cadence,
+            &mut self.last_shipped,
+            &self.telemetry,
+        );
     }
 
-    /// The worker loop: drain messages until `Shutdown` or the queue is
-    /// closed and empty, whichever comes first. `notice` reports the
-    /// exit (or a panic's unwind) to the board.
+    /// The worker loop: drain message runs until `Shutdown` or the
+    /// queue is closed and empty, whichever comes first. A contiguous
+    /// run of batches commits as one group ([`Self::commit_group`]);
+    /// queries and shutdown break runs and are handled singly, at their
+    /// queue position — they are never buffered in worker-local state,
+    /// so a crash mid-group cannot lose a query reply (journaled
+    /// batches are the only messages the recovery protocol can replay).
+    /// `notice` reports the exit (or a panic's unwind) to the board.
     pub fn run(mut self, notice: &mut DeathNotice) {
         let mut pending_delay: Option<Duration> = None;
-        // Event buffer reused across batches: the monitor's batched-append
-        // API pushes into it without per-value allocation.
-        let mut event_buf = Vec::new();
+        // Buffers reused across commit groups: the drained run, the
+        // per-batch monitor output, and the group's remapped events.
+        // Steady state allocates nothing per group — the one exception
+        // is the exact-sized Vec that hands a non-empty group's events
+        // to the collector (ownership crosses the channel).
+        let mut msgs: Vec<ShardMsg> = Vec::new();
+        let mut event_buf: Vec<Event> = Vec::new();
+        let mut group_events: Vec<Event> = Vec::new();
         loop {
             if let Some(pause) = pending_delay.take() {
                 std::thread::sleep(pause);
             }
-            let Some(msg) = self.inbox.pop() else {
+            msgs.clear();
+            let n = self
+                .inbox
+                .drain_into(&mut msgs, MAX_GROUP_BATCHES, |m| matches!(m, ShardMsg::Batch(..)));
+            if n == 0 {
                 notice.clean = true;
                 return;
+            }
+            if matches!(msgs[0], ShardMsg::Batch(..)) {
+                self.commit_group(&msgs, &mut event_buf, &mut group_events, &mut pending_delay);
+            } else {
+                match msgs.pop().expect("drained run is non-empty") {
+                    ShardMsg::Query(req, reply) => {
+                        let _ = reply.send((self.shard, self.answer(req)));
+                    }
+                    ShardMsg::Shutdown => {
+                        notice.clean = true;
+                        return;
+                    }
+                    ShardMsg::Batch(..) => unreachable!("batch heads commit as groups"),
+                }
+            }
+        }
+    }
+
+    /// Commits one drained run of batches as a group: the queue's
+    /// high-water mark was sampled at the pre-drain depth, the whole
+    /// group is journaled under one coalesced WAL write (a single fsync
+    /// under `SyncPolicy::Always`) before any batch is applied, and the
+    /// group's events leave in one channel send followed by one durable
+    /// ack.
+    ///
+    /// Crash safety: a panic anywhere past the journal step loses
+    /// nothing — every batch of the group is already journaled, so the
+    /// recovery replay regenerates exactly the journaled prefix's
+    /// events, suppressing the ones this worker already sent (none
+    /// mid-group: the send is a single all-or-nothing handoff after the
+    /// last batch applied).
+    fn commit_group(
+        &mut self,
+        msgs: &[ShardMsg],
+        event_buf: &mut Vec<Event>,
+        group_events: &mut Vec<Event>,
+        pending_delay: &mut Option<Duration>,
+    ) {
+        // Only batches count toward queue depth; the drain predicate
+        // guarantees the run is all batches.
+        self.counters.note_drained(msgs.len());
+        // Write-ahead for the whole group, before anything is applied.
+        if let Some(rec) = &self.recovery {
+            let batches = msgs.iter().map(|m| match m {
+                ShardMsg::Batch(items, _) => items.as_slice(),
+                _ => unreachable!("commit groups contain only batches"),
+            });
+            let _span = self.telemetry.journal.span();
+            rec.journal_group(batches);
+        }
+        self.telemetry.group_size.observe(msgs.len() as u64);
+        let mut rejected_total = 0u64;
+        for msg in msgs {
+            let ShardMsg::Batch(items, submitted) = msg else {
+                unreachable!("commit groups contain only batches")
             };
-            match msg {
-                ShardMsg::Batch(items, submitted) => {
-                    // Only batches count toward queue depth; queries and
-                    // shutdown ride the queue but are not backpressure
-                    // signals.
-                    self.counters.note_dequeued();
-                    // Write-ahead: the batch is journaled before any of
-                    // it is applied, so a crash at any point inside it
-                    // loses nothing.
-                    if let Some(rec) = &self.recovery {
-                        let _span = self.telemetry.journal.span();
-                        rec.journal_batch(&items);
-                    }
-                    let mut events = 0u64;
-                    let mut rejected = 0u64;
-                    if let Some(monitor) = &mut self.monitor {
-                        event_buf.clear();
-                        for &(local, value) in &items {
-                            self.processed += 1;
-                            if let Some(plan) = &self.faults {
-                                match plan.fire(self.shard, self.processed) {
-                                    Some(FaultKind::Panic) => panic!(
-                                        "injected fault: shard {} killed at append {}",
-                                        self.shard, self.processed
-                                    ),
-                                    Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
-                                    Some(FaultKind::DelayDrain(pause)) => {
-                                        pending_delay = Some(pause);
-                                    }
-                                    None => {}
-                                }
+            let mut rejected = 0u64;
+            if let Some(monitor) = &mut self.monitor {
+                event_buf.clear();
+                for &(local, value) in items {
+                    self.processed += 1;
+                    if let Some(plan) = &self.faults {
+                        match plan.fire(self.shard, self.processed) {
+                            Some(FaultKind::Panic) => panic!(
+                                "injected fault: shard {} killed at append {}",
+                                self.shard, self.processed
+                            ),
+                            Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
+                            Some(FaultKind::DelayDrain(pause)) => {
+                                *pending_delay = Some(pause);
                             }
-                            // Non-finite samples are rejected at the append
-                            // boundary (the monitor guards identically, so a
-                            // journaled NaN replays as the same no-op). The
-                            // fault clock above still ticks for them.
-                            if !value.is_finite() {
-                                rejected += 1;
-                                continue;
-                            }
-                            monitor.append_into(local, value, &mut event_buf);
-                        }
-                        // One send pass after the whole batch applied. A
-                        // mid-batch crash sends nothing from this batch, and
-                        // replay regenerates the unsent events — exactly-once
-                        // either way (see ShardRecovery::rebuild).
-                        for ev in event_buf.drain(..) {
-                            // A send error means the runtime dropped its
-                            // receiver (shutdown already under way); keep
-                            // draining so producers unblock.
-                            events += 1;
-                            let global = remap_event(self.shard, self.n_shards, ev);
-                            let _ = self.events.send(global);
-                            if let Some(rec) = &self.recovery {
-                                rec.note_emitted();
-                            }
+                            None => {}
                         }
                     }
-                    self.counters.appends.fetch_add(items.len() as u64, Ordering::Relaxed);
-                    if rejected > 0 {
-                        self.counters.rejected.fetch_add(rejected, Ordering::Relaxed);
-                        self.telemetry.rejected.add(rejected);
+                    // Non-finite samples are rejected at the append
+                    // boundary (the monitor guards identically, so a
+                    // journaled NaN replays as the same no-op). The
+                    // fault clock above still ticks for them.
+                    if !value.is_finite() {
+                        rejected += 1;
+                        continue;
                     }
-                    if events > 0 {
-                        self.counters.events.fetch_add(events, Ordering::Relaxed);
-                        if let Some(rec) = &self.recovery {
-                            // The events are out; ack the cumulative count to
-                            // the durable WAL so a process-level recovery
-                            // suppresses exactly these.
-                            rec.ack_emitted();
-                        }
-                    }
-                    let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                    self.counters.note_batch(ns);
-                    self.telemetry.batch_latency.observe(ns);
-                    self.maybe_publish_sketches();
-                    if let Some(rec) = &self.recovery {
-                        if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every
-                        {
-                            let _span = self.telemetry.snapshot.span();
-                            rec.record_snapshot(self.monitor.as_ref().map(|m| m.snapshot()));
-                        }
-                    }
+                    monitor.append_into(local, value, event_buf);
                 }
-                ShardMsg::Query(req, reply) => {
-                    let _ = reply.send((self.shard, self.answer(req)));
+                // Collect this batch's events behind the group's; they
+                // ship once the whole group has applied, in batch order.
+                for ev in event_buf.drain(..) {
+                    group_events.push(remap_event(self.shard, self.n_shards, ev));
                 }
-                ShardMsg::Shutdown => {
-                    notice.clean = true;
-                    return;
-                }
+            }
+            self.counters.appends.fetch_add(items.len() as u64, Ordering::Relaxed);
+            rejected_total += rejected;
+            let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.counters.note_batch(ns);
+            self.telemetry.batch_latency.observe(ns);
+            // Cadence is frontier-driven and board absorption is
+            // idempotent, so publishing inside the group keeps the
+            // exchange on the same per-batch schedule as before.
+            self.maybe_publish_sketches();
+        }
+        if rejected_total > 0 {
+            self.counters.rejected.fetch_add(rejected_total, Ordering::Relaxed);
+            self.telemetry.rejected.add(rejected_total);
+        }
+        let emitted = group_events.len() as u64;
+        if emitted > 0 {
+            // One send per event-bearing group. `split_off(0)` moves the
+            // events into an exact-sized Vec for the collector while the
+            // buffer keeps its capacity for the next group. A send error
+            // means the runtime dropped its receiver (shutdown already
+            // under way); keep draining so producers unblock.
+            let _ = self.events.send(group_events.split_off(0));
+            self.counters.events.fetch_add(emitted, Ordering::Relaxed);
+            if let Some(rec) = &self.recovery {
+                // The events are out; ack the cumulative count to the
+                // durable WAL so a process-level recovery suppresses
+                // exactly these.
+                rec.note_emitted_n(emitted);
+                rec.ack_emitted();
+            }
+        }
+        // Snapshot only at group boundaries: the journal suffix holds
+        // the whole group from the write-ahead step, and a snapshot must
+        // not cover appends that have not been applied yet.
+        if let Some(rec) = &self.recovery {
+            if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every {
+                let _span = self.telemetry.snapshot.span();
+                rec.record_snapshot(self.monitor.as_ref().map(|m| m.snapshot()));
             }
         }
     }

@@ -37,9 +37,10 @@ use stardust_core::stream::StreamId;
 use stardust_core::unified::{Event, UnifiedMonitor};
 
 use crate::persist::ShardDisk;
-use crate::shard::remap_event;
+use crate::shard::{publish_sketches_if_due, remap_event, SketchBoard};
 use crate::spec::MonitorSpec;
 use crate::stats::ShardCounters;
+use crate::telemetry::RuntimeTelemetry;
 
 /// The journaled, not-yet-snapshotted tail of one shard's input.
 struct Journal {
@@ -108,28 +109,40 @@ impl ShardRecovery {
         }
     }
 
-    /// Write-ahead step: records a batch before the worker applies it —
-    /// on disk first (when persistence is on), then in memory.
+    /// Group-commit write-ahead step: journals a run of batches before
+    /// the worker applies any of them — on disk first as one coalesced
+    /// WAL write with a single fsync covering the whole group (see
+    /// [`ShardDisk::append_group`]), then mirrored into the in-memory
+    /// suffix in order. Per-batch ordering is preserved: the on-disk
+    /// bytes are identical to per-batch journaling.
     ///
     /// # Panics
-    /// Panics when the durable WAL cannot accept the record (torn write
-    /// or wedged handle). The worker thread dies mid-batch *before*
-    /// applying anything, the supervisor sees the wedge and closes the
-    /// shard, and producers observe `Disconnected` — fail-stop rather
-    /// than divergence between the monitor and its log.
-    pub(crate) fn journal_batch(&self, items: &[(StreamId, f64)]) {
+    /// Panics when the durable WAL cannot accept the group (torn write
+    /// or wedged handle). The worker thread dies *before* applying
+    /// anything from the group, the supervisor sees the wedge and
+    /// closes the shard, and producers observe `Disconnected` —
+    /// fail-stop rather than divergence between the monitor and its
+    /// log. A tear mid-group leaves a clean prefix of complete records
+    /// on disk; recovery replays exactly that journaled prefix.
+    pub(crate) fn journal_group<'a, I>(&self, batches: I)
+    where
+        I: Iterator<Item = &'a [(StreamId, f64)]> + Clone,
+    {
         let mut journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let journal = &mut *journal;
         if let Some(disk) = journal.disk.as_mut() {
-            if let Err(e) = disk.append_batch(items) {
-                panic!("shard WAL append failed; failing stop: {e}");
+            if let Err(e) = disk.append_group(batches.clone()) {
+                panic!("shard WAL group append failed; failing stop: {e}");
             }
         }
-        journal.suffix.extend_from_slice(items);
+        for items in batches {
+            journal.suffix.extend_from_slice(items);
+        }
     }
 
-    /// One event delivered to the collector.
-    pub(crate) fn note_emitted(&self) {
-        self.emitted.fetch_add(1, Ordering::Relaxed);
+    /// `n` events delivered to the collector in one grouped send.
+    pub(crate) fn note_emitted_n(&self, n: u64) {
+        self.emitted.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Acks the cumulative delivered-event count to the durable WAL
@@ -165,7 +178,7 @@ impl ShardRecovery {
         let journal = &mut *journal;
         if let Some(disk) = journal.disk.as_mut() {
             // Rename/create failures wedge the handle; the next
-            // journal_batch fails stop. The snapshot itself stays
+            // journal_group fails stop. The snapshot itself stays
             // consistent in memory either way.
             let _ = disk.rotate(appends, emitted, journal.snapshot.as_deref());
         }
@@ -178,19 +191,27 @@ impl ShardRecovery {
 
     /// Supervisor path: rebuilds the monitor of a dead shard and
     /// replays the journaled suffix, delivering only the events the
-    /// dead worker had not yet sent. Returns the warm monitor and the
-    /// number of appends it has processed (the restored worker's fault
-    /// clock) — or `None` when the shard's durable WAL is wedged, in
-    /// which case the shard must stay down: an in-memory rebuild would
-    /// accept appends the disk can no longer journal.
+    /// dead worker had not yet sent (one grouped send) and firing the
+    /// sketch-exchange cadence for every boundary the replay crosses —
+    /// batches the dead worker drained into a commit group but never
+    /// applied exist only in the journal, so their publications must
+    /// happen here. Returns the warm monitor and the number of appends
+    /// it has processed (the restored worker's fault clock) — or `None`
+    /// when the shard's durable WAL is wedged, in which case the shard
+    /// must stay down: an in-memory rebuild would accept appends the
+    /// disk can no longer journal.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rebuild(
         &self,
         spec: &MonitorSpec,
         n_local: usize,
         shard: usize,
         n_shards: usize,
-        events: &Sender<Event>,
+        events: &Sender<Vec<Event>>,
         counters: &ShardCounters,
+        sketches: &SketchBoard,
+        sketch_cadence: u64,
+        telemetry: &RuntimeTelemetry,
     ) -> Option<(Option<UnifiedMonitor>, u64)> {
         let journal = self.journal.lock().unwrap_or_else(PoisonError::into_inner);
         if journal.disk.as_ref().is_some_and(|d| d.wedged) {
@@ -208,16 +229,33 @@ impl ShardRecovery {
         let mut regenerated = 0u64;
         if let Some(monitor) = monitor.as_mut() {
             let mut buf = Vec::new();
+            let mut resend = Vec::new();
+            // Like a respawned worker's, the replay's ship frontier
+            // starts at zero: the first crossed boundary re-publishes
+            // state the board may already hold (absorbed idempotently).
+            let mut last_shipped = 0u64;
             for &(local, value) in &journal.suffix {
                 buf.clear();
                 monitor.append_into(local, value, &mut buf);
                 for ev in buf.drain(..) {
                     regenerated += 1;
                     if regenerated > already {
-                        let _ = events.send(remap_event(shard, n_shards, ev));
-                        self.emitted.fetch_add(1, Ordering::Relaxed);
+                        resend.push(remap_event(shard, n_shards, ev));
                     }
                 }
+                publish_sketches_if_due(
+                    Some(monitor),
+                    shard,
+                    n_shards,
+                    sketches,
+                    sketch_cadence,
+                    &mut last_shipped,
+                    telemetry,
+                );
+            }
+            if !resend.is_empty() {
+                self.note_emitted_n(resend.len() as u64);
+                let _ = events.send(resend);
             }
         }
         debug_assert!(

@@ -54,13 +54,20 @@ impl ShardCounters {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Worker side: one batch dequeued. The high-water mark is sampled
-    /// here too, not just on enqueue: a queue that filled while the
-    /// worker was stalled and is drained without concurrent enqueues
-    /// would otherwise under-report its peak (producers may bail out
-    /// with `QueueFull` before ever bumping the mark past the stall).
-    pub fn note_dequeued(&self) {
-        let depth = self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    /// Worker side: `n` batches dequeued in one bulk drain. The depth is
+    /// sampled *before* the group is subtracted — a grouped drain that
+    /// empties a backlogged queue must record the backlog as the
+    /// high-water mark, not the post-drain zero. The sample matters on
+    /// the drain side, not just on enqueue: a queue that filled while
+    /// the worker was stalled and is drained without concurrent
+    /// enqueues would otherwise under-report its peak (producers may
+    /// bail out with `QueueFull` before ever bumping the mark past the
+    /// stall).
+    pub fn note_drained(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let depth = self.queue_depth.fetch_sub(n, Ordering::Relaxed);
         self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
     }
 
@@ -302,14 +309,33 @@ mod tests {
         // Simulate the enqueue-side mark having been missed (e.g. reset
         // by a racing reader of a fresh counter set after restore).
         c.queue_high_water.store(0, Ordering::Relaxed);
-        c.note_dequeued();
+        c.note_drained(1);
         assert_eq!(c.snapshot().queue_high_water, 5, "drain must observe the pre-pop depth");
         for _ in 0..4 {
-            c.note_dequeued();
+            c.note_drained(1);
         }
         let s = c.snapshot();
         assert_eq!(s.queue_depth, 0);
         assert_eq!(s.queue_high_water, 5);
+    }
+
+    #[test]
+    fn bulk_drain_samples_high_water_before_the_pop() {
+        // A grouped drain removes the whole backlog in one step; the
+        // high-water mark must still reflect the pre-drain depth rather
+        // than the post-drain zero.
+        let c = ShardCounters::new();
+        for _ in 0..7 {
+            c.note_enqueued();
+        }
+        c.queue_high_water.store(0, Ordering::Relaxed);
+        c.note_drained(7);
+        let s = c.snapshot();
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_high_water, 7, "bulk drain must observe the pre-pop depth");
+        // A zero-batch drain (a group of queries, say) records nothing.
+        c.note_drained(0);
+        assert_eq!(c.snapshot().queue_depth, 0);
     }
 
     #[test]

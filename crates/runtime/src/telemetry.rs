@@ -48,6 +48,15 @@ pub(crate) struct RuntimeTelemetry {
     /// `stardust_runtime_rejected_samples_total` — non-finite samples
     /// rejected at the append boundary.
     pub rejected: Counter,
+    /// `stardust_runtime_group_size` — batches per commit group: how
+    /// many queued batches one worker drain journaled under a single
+    /// coalesced WAL write (and, under `SyncPolicy::Always`, one fsync).
+    pub group_size: Histogram,
+    /// `stardust_persist_wal_group_writes_total` — coalesced group
+    /// writes issued to on-disk WALs (one per commit group, i.e. one
+    /// per batch-record `write(2)` regardless of how many records it
+    /// carried).
+    pub wal_group_writes: Counter,
     /// `stardust_sketch_exchange_ns` — one cadence firing: shipping
     /// every local sketch delta to the collector board.
     pub sketch_exchange: Histogram,
@@ -120,6 +129,17 @@ impl RuntimeTelemetry {
             rejected: registry.counter(
                 "stardust_runtime_rejected_samples_total",
                 "Non-finite samples rejected at the append boundary",
+            ),
+            group_size: registry.histogram_with(
+                "stardust_runtime_group_size",
+                "Batches per commit group (one coalesced WAL write / fsync)",
+                // Group sizes span 1..=256 batches, not nanoseconds:
+                // power-of-two buckets keep the quantiles meaningful.
+                (0..9).map(|i| 1u64 << i).collect(),
+            ),
+            wal_group_writes: registry.counter(
+                "stardust_persist_wal_group_writes_total",
+                "Coalesced group writes issued to on-disk WALs (one per commit group)",
             ),
             sketch_exchange: registry.histogram(
                 "stardust_sketch_exchange_ns",

@@ -292,6 +292,65 @@ fn delayed_drain_changes_timing_but_not_events() {
     assert_eq!(events, reference);
 }
 
+/// Group commit must be invisible in the event stream. The drain loop
+/// is paused several times per shard so the queue backs up and the
+/// following drains commit genuinely multi-batch groups — asserted via
+/// the group-size telemetry, so the test cannot silently degenerate to
+/// single-batch groups — and the grouped event delivery at S ∈ {1, 2,
+/// 4} must stay bit-identical to the per-event single-threaded
+/// monitor.
+#[test]
+fn grouped_delivery_matches_per_event_delivery() {
+    let (streams, r_max) = workload(42, N_STREAMS);
+    let spec = agg_trend_spec(&streams, r_max);
+    let mut reference = single_threaded_events(&spec, &streams);
+    assert!(!reference.is_empty(), "vacuous equivalence: reference run emitted nothing");
+    sort_events(&mut reference);
+
+    for shards in [1usize, 2, 4] {
+        let mut plan = FaultPlan::new();
+        for shard in 0..shards {
+            for at in [50u64, 200, 350] {
+                plan = plan.delay_drain(shard, at, Duration::from_millis(25));
+            }
+        }
+        let plan = Arc::new(plan);
+        let registry = stardust_telemetry::Registry::new();
+        let rt = ShardedRuntime::launch(
+            &spec,
+            streams.len(),
+            RuntimeConfig {
+                shards,
+                queue_capacity: 32,
+                recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
+                fault_plan: Some(Arc::clone(&plan)),
+                telemetry: Some(registry.clone()),
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        for t in 0..N_VALUES {
+            let batch: Batch =
+                streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
+            rt.submit_blocking(&batch).unwrap();
+        }
+        let report = rt.shutdown();
+        assert_eq!(plan.fired_count(), 3 * shards, "every drain delay must fire");
+        let group_max =
+            registry.histogram("stardust_runtime_group_size", "").snapshot().max.unwrap_or(0);
+        assert!(
+            group_max >= 2,
+            "delayed drains never produced a multi-batch group at {shards} shard(s)"
+        );
+        let mut grouped = report.events;
+        sort_events(&mut grouped);
+        assert_eq!(
+            grouped, reference,
+            "grouped delivery diverged from per-event delivery at {shards} shard(s)"
+        );
+    }
+}
+
 /// Stress variant for CI's chaos job: more shards, multiple seeds.
 /// Run with `cargo test --test chaos -- --ignored`.
 #[test]

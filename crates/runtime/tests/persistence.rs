@@ -25,6 +25,7 @@ use stardust_runtime::{
     PersistConfig, RecoveryPolicy, RuntimeConfig, ShardedRuntime, SyncPolicy, TrendPattern,
     TrendSpec,
 };
+use stardust_telemetry::Registry;
 
 const BASE_WINDOW: usize = 16;
 const LEVELS: usize = 3;
@@ -400,19 +401,52 @@ struct WalFixture {
 
 impl WalFixture {
     fn build(tag: &str, seed: u64, n_values: usize) -> Self {
+        Self::build_with(tag, seed, n_values, SyncPolicy::EveryN(16), None)
+    }
+
+    /// Like [`WalFixture::build`], but the worker is stalled on its
+    /// first append so the queue backs up and the backlog commits as
+    /// genuinely multi-batch groups — the WAL is then a product of
+    /// coalesced group writes (verified via the group telemetry, so
+    /// the mid-group sweep cannot go vacuous).
+    fn build_grouped(tag: &str, seed: u64, n_values: usize) -> Self {
+        let plan = Arc::new(FaultPlan::new().stall(0, 1, std::time::Duration::from_millis(150)));
+        Self::build_with(tag, seed, n_values, SyncPolicy::Always, Some(plan))
+    }
+
+    fn build_with(
+        tag: &str,
+        seed: u64,
+        n_values: usize,
+        sync: SyncPolicy,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        let grouped = faults.is_some();
         let (streams, r_max) = workload(seed, 2, n_values);
         let spec = spec_for(&streams, r_max);
         let ordered = emission_ordered_events(&spec, &streams, n_values);
         let dir = tempdir(tag);
-        let persist = PersistConfig::new(&dir).sync(SyncPolicy::EveryN(16));
-        let (rt, _) =
-            ShardedRuntime::open(&spec, streams.len(), config(1, None, 0), persist).unwrap();
+        let registry = Registry::new();
+        let persist = PersistConfig::new(&dir).sync(sync);
+        let mut cfg = config(1, faults, 0);
+        cfg.telemetry = Some(registry.clone());
+        let (rt, _) = ShardedRuntime::open(&spec, streams.len(), cfg, persist).unwrap();
         for t in 0..n_values {
             let batch: Batch =
                 streams.iter().enumerate().map(|(s, x)| (s as StreamId, x[t])).collect();
             rt.submit_blocking(&batch).unwrap();
         }
         drop(rt.crash());
+        if grouped {
+            // Fewer group writes than batches proves at least one
+            // coalesced multi-batch group landed on disk.
+            let groups = registry.counter("stardust_persist_wal_group_writes_total", "").get();
+            assert!(groups >= 1, "no group writes recorded");
+            assert!(
+                groups < n_values as u64,
+                "stalled worker never coalesced a group ({groups} writes / {n_values} batches)"
+            );
+        }
         let clean_wal = std::fs::read(dir.join("shard-0.wal")).unwrap();
         let frames = wal_frames(&clean_wal);
         let total: u64 = frames.iter().map(|f| f.items).sum();
@@ -550,6 +584,24 @@ mod wal_damage {
             fx.check(&format!("{damage:?}"), damage, true);
         }
     }
+}
+
+/// Crash-mid-group sweep: the fixture WAL was written by coalesced
+/// multi-batch group commits under `SyncPolicy::Always` (asserted, not
+/// assumed). Killing the process after every byte prefix of that WAL
+/// must recover exactly the complete-record prefix the tear left —
+/// batches of a torn group that made it to disk whole are applied
+/// once, the torn tail is truncated, nothing is duplicated, and
+/// `open()` never panics. Event-set equality is re-proven on a stride
+/// of offsets (every recovery is still watermark-checked).
+#[test]
+fn crash_mid_group_prefix_sweep() {
+    let fx = WalFixture::build_grouped("midgroup", 23, 48);
+    for offset in 0..fx.clean_wal.len() {
+        let check_equality = offset % 7 == 0;
+        fx.check(&format!("group-truncate@{offset}"), Damage::Truncate(offset), check_equality);
+    }
+    let _ = std::fs::remove_dir_all(&fx.dir);
 }
 
 /// Exhaustive sweep: every byte offset, both damage modes. Run with

@@ -239,6 +239,104 @@ impl Client {
         Ok(stats)
     }
 
+    /// Pipelined append: encodes one `Append` frame per batch, writes
+    /// them all in a single syscall, then reads the replies back in
+    /// order. The server admits the whole run as one `try_submit`
+    /// group (one shard sub-batch per shard, one coalesced WAL write)
+    /// and answers each frame individually, so the outcomes map
+    /// one-to-one onto `batches`.
+    ///
+    /// # Errors
+    /// Any transport error; [`ClientError::Server`] on a typed error
+    /// reply; [`ClientError::ServerClosed`] on an unsolicited `Bye`.
+    /// Either aborts the remaining reads — the connection should be
+    /// dropped, as unread replies may still be in flight.
+    pub fn append_group(
+        &mut self,
+        batches: &[Vec<(u32, f64)>],
+    ) -> Result<Vec<AppendOutcome>, ClientError> {
+        let mut wire = Vec::new();
+        for items in batches {
+            wire.extend_from_slice(&encode_frame(
+                &Request::Append { items: items.clone() }.encode(),
+            ));
+        }
+        self.stream.write_all(&wire)?;
+        let mut out = Vec::with_capacity(batches.len());
+        for _ in batches {
+            match self.read_reply()? {
+                Reply::AppendOk { appended } => out.push(AppendOutcome::Appended(appended)),
+                Reply::Busy { retry_after_ms, rejected } => {
+                    out.push(AppendOutcome::Busy { retry_after_ms, rejected })
+                }
+                Reply::QuotaExceeded { kind, retry_after_ms, detail } => {
+                    out.push(AppendOutcome::Quota { kind, retry_after_ms, detail })
+                }
+                Reply::Error { code, detail } => return Err(ClientError::Server { code, detail }),
+                Reply::Bye => return Err(ClientError::ServerClosed),
+                other => return Err(unexpected("AppendOk/Busy/QuotaExceeded", &other)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pipelined [`Client::append_all`]: keeps a whole window of
+    /// batches in flight per round trip, absorbing `Busy` partial
+    /// rejections (only the rejected indices of each batch are resent)
+    /// and append-rate waits (the whole batch is resent — a rate-
+    /// rejected frame admitted nothing). Exactly-once: each value is
+    /// admitted by the server exactly one time.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] on a `StreamCount` quota rejection
+    /// (retrying cannot fix an out-of-range id), otherwise any
+    /// transport/server error.
+    pub fn append_group_all(
+        &mut self,
+        batches: &[Vec<(u32, f64)>],
+    ) -> Result<AppendAllStats, ClientError> {
+        let mut stats = AppendAllStats::default();
+        let mut pending: Vec<Vec<(u32, f64)>> = batches.to_vec();
+        while !pending.is_empty() {
+            let outcomes = self.append_group(&pending)?;
+            let mut retry: Vec<Vec<(u32, f64)>> = Vec::new();
+            let mut backoff_ms = 0u32;
+            for (items, outcome) in pending.iter().zip(&outcomes) {
+                match outcome {
+                    AppendOutcome::Appended(_) => {}
+                    AppendOutcome::Busy { retry_after_ms, rejected } => {
+                        stats.busy_replies += 1;
+                        backoff_ms = backoff_ms.max(*retry_after_ms);
+                        let left: Vec<(u32, f64)> = rejected
+                            .iter()
+                            .filter_map(|&i| items.get(i as usize).copied())
+                            .collect();
+                        if !left.is_empty() {
+                            retry.push(left);
+                        }
+                    }
+                    AppendOutcome::Quota {
+                        kind: QuotaKind::AppendRate, retry_after_ms, ..
+                    } => {
+                        stats.rate_waits += 1;
+                        backoff_ms = backoff_ms.max(*retry_after_ms);
+                        retry.push(items.clone());
+                    }
+                    AppendOutcome::Quota { kind: QuotaKind::StreamCount, detail, .. } => {
+                        return Err(ClientError::Protocol(format!(
+                            "stream-count quota cannot be retried: {detail}"
+                        )));
+                    }
+                }
+            }
+            if !retry.is_empty() {
+                std::thread::sleep(Duration::from_millis(u64::from(backoff_ms.max(1))));
+            }
+            pending = retry;
+        }
+        Ok(stats)
+    }
+
     /// Current composed interval of one monitored aggregate window.
     pub fn aggregate_interval(
         &mut self,

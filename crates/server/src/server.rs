@@ -14,6 +14,21 @@
 //! server-side: a full queue becomes a `Busy` reply, never unbounded
 //! memory.
 //!
+//! # Group admission and buffered replies
+//!
+//! A pipelining client may have several frames in flight; the handler
+//! decodes every complete frame out of each read chunk before replying
+//! to any of them. A run of consecutive authenticated `Append` frames
+//! is admitted as *one* `try_submit` group — one shard sub-batch per
+//! shard for the whole run, which the runtime journals under one
+//! coalesced WAL write — while each frame still gets its own quota
+//! check and its own `AppendOk`/`Busy` reply (rejection is per shard
+//! sub-batch, so the rejected global ids identify each frame's
+//! rejected indices exactly). Every reply produced for the chunk is
+//! encoded into one write buffer and flushed with a single `write_all`
+//! — one syscall covers the whole pipelined window instead of one per
+//! frame.
+//!
 //! # Timeouts
 //!
 //! The handler's socket read is a short tick; each tick it checks (a)
@@ -410,6 +425,10 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, last_seen: &AtomicU64
     }
 
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    // Reply bytes for the current chunk, flushed in one write_all, and
+    // the decoded-but-unanswered frames — both reused across chunks.
+    let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut pending: Vec<Result<Request, crate::protocol::WireError>> = Vec::new();
     let mut chunk = [0u8; 8192];
     let mut tenant: Option<usize> = None;
     let mut last_activity = Instant::now();
@@ -452,54 +471,114 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream, last_seen: &AtomicU64
         last_seen.store(inner.now_ms(), Ordering::SeqCst);
         buf.extend_from_slice(&chunk[..n]);
 
+        // Phase 1: slice every complete frame out of the read buffer
+        // before answering any of them, so a pipelined client's whole
+        // in-flight window is visible to the group-admission pass. A
+        // framing error is fatal (the byte stream is unrecoverable) but
+        // still answered after the frames that preceded it.
+        pending.clear();
+        let mut fatal: Option<Reply> = None;
         loop {
             let consumed = match parse_frame(&buf, inner.cfg.max_frame) {
                 FrameParse::NeedMore(_) => break,
                 FrameParse::TooLarge(len) => {
                     inner.tel.frame_errors.inc();
-                    let _ = send(
-                        &mut stream,
-                        &Reply::Error {
-                            code: ErrorCode::FrameTooLarge,
-                            detail: format!(
-                                "frame of {len} bytes exceeds the {}-byte cap",
-                                inner.cfg.max_frame
-                            ),
-                        },
-                    );
-                    return;
+                    fatal = Some(Reply::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        detail: format!(
+                            "frame of {len} bytes exceeds the {}-byte cap",
+                            inner.cfg.max_frame
+                        ),
+                    });
+                    break;
                 }
                 FrameParse::BadCrc => {
                     inner.tel.frame_errors.inc();
-                    let _ = send(
-                        &mut stream,
-                        &Reply::Error {
-                            code: ErrorCode::BadCrc,
-                            detail: "frame checksum mismatch; stream out of sync".into(),
-                        },
-                    );
-                    return;
+                    fatal = Some(Reply::Error {
+                        code: ErrorCode::BadCrc,
+                        detail: "frame checksum mismatch; stream out of sync".into(),
+                    });
+                    break;
                 }
                 FrameParse::Frame { consumed } => consumed,
             };
-            let started = Instant::now();
             inner.tel.requests.inc();
             let decoded = Request::decode(&buf[FRAME_HEADER_LEN..consumed]);
+            if decoded.is_err() {
+                inner.tel.frame_errors.inc();
+            }
+            pending.push(decoded);
             buf.drain(..consumed);
-            let (reply, close) = match decoded {
+        }
+
+        // Phase 2: answer the pending frames in order, admitting each
+        // run of consecutive authenticated Append frames as one
+        // try_submit group. Replies accumulate in wbuf; one write_all
+        // flushes the whole chunk's worth.
+        wbuf.clear();
+        let started = Instant::now();
+        let mut close = false;
+        let mut answered = 0u64;
+        let mut it = pending.drain(..).peekable();
+        while let Some(decoded) = it.next() {
+            if close {
+                // A closing reply (Goodbye, fatal error) ends the
+                // conversation; later frames are never answered,
+                // matching the unbuffered behavior.
+                break;
+            }
+            match decoded {
+                Ok(Request::Append { items }) if tenant.is_some() => {
+                    let mut frames: Vec<Vec<(u32, f64)>> = vec![items];
+                    while let Some(Ok(Request::Append { .. })) = it.peek() {
+                        match it.next() {
+                            Some(Ok(Request::Append { items })) => frames.push(items),
+                            _ => unreachable!("peek saw an Append"),
+                        }
+                    }
+                    let idx = tenant.expect("guarded by tenant.is_some()");
+                    let (replies, c) = handle_append_group(
+                        inner,
+                        &inner.tenants[idx],
+                        &inner.tel.tenants[idx],
+                        &frames,
+                    );
+                    answered += replies.len() as u64;
+                    for reply in &replies {
+                        wbuf.extend_from_slice(&encode_frame(&reply.encode()));
+                    }
+                    close = c;
+                }
+                Ok(req) => {
+                    let (reply, c) = handle_request(inner, &mut tenant, req);
+                    answered += 1;
+                    wbuf.extend_from_slice(&encode_frame(&reply.encode()));
+                    close = c;
+                }
                 Err(e) => {
                     // Frame boundaries are intact, so the connection
                     // can continue past a single bad payload.
-                    inner.tel.frame_errors.inc();
-                    (Reply::Error { code: ErrorCode::BadMessage, detail: e.to_string() }, false)
+                    let reply = Reply::Error { code: ErrorCode::BadMessage, detail: e.to_string() };
+                    answered += 1;
+                    wbuf.extend_from_slice(&encode_frame(&reply.encode()));
                 }
-                Ok(req) => handle_request(inner, &mut tenant, req),
-            };
-            let ok = send(&mut stream, &reply).is_ok();
-            inner.tel.request_latency.observe_duration(started.elapsed());
-            if close || !ok {
-                return;
             }
+        }
+        if let Some(reply) = fatal {
+            if !close {
+                wbuf.extend_from_slice(&encode_frame(&reply.encode()));
+                close = true;
+            }
+        }
+        let ok = wbuf.is_empty() || stream.write_all(&wbuf).is_ok();
+        // One handling pass covered `answered` frames; attribute the
+        // chunk's latency to each so the histogram count stays
+        // per-request.
+        for _ in 0..answered {
+            inner.tel.request_latency.observe_duration(started.elapsed());
+        }
+        if close || !ok {
+            return;
         }
     }
 }
@@ -552,7 +631,14 @@ fn handle_request(inner: &Inner, tenant: &mut Option<usize>, req: Request) -> (R
     let tt = &inner.tel.tenants[idx];
 
     match req {
-        Request::Append { items } => handle_append(inner, t, tt, &items),
+        // The connection loop admits authenticated Append runs through
+        // handle_append_group directly; this arm only serves the
+        // degenerate single-frame case (e.g. a frame that arrived
+        // alone).
+        Request::Append { items } => {
+            let (mut replies, close) = handle_append_group(inner, t, tt, &[items]);
+            (replies.pop().expect("one reply per frame"), close)
+        }
         Request::AggregateInterval { stream, window } => match t.to_global(stream) {
             None => {
                 tt.rejected_streams.inc();
@@ -608,59 +694,87 @@ fn internal_error() -> Reply {
     Reply::Error { code: ErrorCode::Internal, detail: "runtime unavailable".into() }
 }
 
-fn handle_append(
+/// Admits a run of `Append` frames from one connection as a single
+/// `try_submit` group, answering each frame individually. Per-frame
+/// quota checks happen first (a frame a quota rejects contributes
+/// nothing to the group); the surviving frames are concatenated into
+/// one batch, so the runtime sees one shard sub-batch per shard for
+/// the whole run — one queue message, journaled under one coalesced
+/// WAL write. Rejection stays all-or-nothing per shard sub-batch, so
+/// the rejected global ids identify each frame's rejected indices
+/// exactly, and per-frame `AppendOk`/`Busy` replies stay precise.
+fn handle_append_group(
     inner: &Inner,
     t: &TenantState,
     tt: &crate::telemetry::TenantTelemetry,
-    items: &[(u32, f64)],
-) -> (Reply, bool) {
-    if let Some(&(bad, _)) = items.iter().find(|&&(s, _)| s >= t.cfg.streams) {
-        tt.rejected_streams.inc();
-        return (
-            Reply::QuotaExceeded {
+    frames: &[Vec<(u32, f64)>],
+) -> (Vec<Reply>, bool) {
+    let mut replies: Vec<Option<Reply>> = frames.iter().map(|_| None).collect();
+    let mut admitted: Vec<usize> = Vec::with_capacity(frames.len());
+    let mut batch = Batch::new();
+    for (k, items) in frames.iter().enumerate() {
+        if let Some(&(bad, _)) = items.iter().find(|&&(s, _)| s >= t.cfg.streams) {
+            tt.rejected_streams.inc();
+            replies[k] = Some(Reply::QuotaExceeded {
                 kind: QuotaKind::StreamCount,
                 retry_after_ms: 0,
                 detail: format!("stream {bad} outside the tenant's 0..{}", t.cfg.streams),
-            },
-            false,
-        );
-    }
-    let n = items.len() as u64;
-    if let Err(wait_ms) = t.bucket.try_take(n) {
-        tt.rejected_rate.add(n);
-        return (
-            Reply::QuotaExceeded {
+            });
+            continue;
+        }
+        let n = items.len() as u64;
+        if let Err(wait_ms) = t.bucket.try_take(n) {
+            tt.rejected_rate.add(n);
+            replies[k] = Some(Reply::QuotaExceeded {
                 kind: QuotaKind::AppendRate,
                 retry_after_ms: wait_ms,
                 detail: format!("append-rate quota is {} values/s", t.cfg.append_rate),
-            },
-            false,
-        );
-    }
-    let batch: Batch = items.iter().map(|&(s, v)| (t.base + s, v)).collect();
-    match inner.rt.try_submit(&batch) {
-        Ok(None) => {
-            tt.accepted_values.add(n);
-            (Reply::AppendOk { appended: items.len() as u32 }, false)
+            });
+            continue;
         }
-        Ok(Some(partial)) => {
-            // Rejection is all-or-nothing per shard sub-batch, so the
-            // set of rejected global ids identifies the rejected batch
-            // indices exactly.
-            let rejected_globals: HashSet<u32> =
-                partial.rejected.items().iter().map(|&(s, _)| s).collect();
-            let rejected: Vec<u32> = items
-                .iter()
-                .enumerate()
-                .filter(|&(_, &(s, _))| rejected_globals.contains(&(t.base + s)))
-                .map(|(i, _)| i as u32)
-                .collect();
-            t.bucket.refund(rejected.len() as u64);
-            tt.accepted_values.add(partial.accepted as u64);
-            tt.rejected_busy.add(rejected.len() as u64);
-            inner.tel.busy_replies.inc();
-            (Reply::Busy { retry_after_ms: BUSY_RETRY_MS, rejected }, false)
+        admitted.push(k);
+        for &(s, v) in items {
+            batch.push(t.base + s, v);
         }
-        Err(_) => (internal_error(), true),
     }
+    let mut close = false;
+    if !admitted.is_empty() {
+        match inner.rt.try_submit(&batch) {
+            Ok(None) => {
+                for &k in &admitted {
+                    tt.accepted_values.add(frames[k].len() as u64);
+                    replies[k] = Some(Reply::AppendOk { appended: frames[k].len() as u32 });
+                }
+            }
+            Ok(Some(partial)) => {
+                let rejected_globals: HashSet<u32> =
+                    partial.rejected.items().iter().map(|&(s, _)| s).collect();
+                for &k in &admitted {
+                    let rejected: Vec<u32> = frames[k]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &(s, _))| rejected_globals.contains(&(t.base + s)))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    if rejected.is_empty() {
+                        tt.accepted_values.add(frames[k].len() as u64);
+                        replies[k] = Some(Reply::AppendOk { appended: frames[k].len() as u32 });
+                    } else {
+                        t.bucket.refund(rejected.len() as u64);
+                        tt.accepted_values.add((frames[k].len() - rejected.len()) as u64);
+                        tt.rejected_busy.add(rejected.len() as u64);
+                        inner.tel.busy_replies.inc();
+                        replies[k] = Some(Reply::Busy { retry_after_ms: BUSY_RETRY_MS, rejected });
+                    }
+                }
+            }
+            Err(_) => {
+                for &k in &admitted {
+                    replies[k] = Some(internal_error());
+                }
+                close = true;
+            }
+        }
+    }
+    (replies.into_iter().map(|r| r.expect("every frame answered")).collect(), close)
 }

@@ -424,6 +424,82 @@ fn busy_reply_lists_rejected_indices_exactly_once() {
     assert_eq!(admitted, 8 * batch.len() as u64);
 }
 
+/// Pipelined clients (whole windows of append frames in flight, group-
+/// admitted server-side) produce the same bit-identical event set as
+/// the direct runtime — batching at the socket must not change what
+/// the monitor computes.
+#[test]
+fn pipelined_append_equivalence() {
+    const N: usize = 8;
+    const PIPELINE: usize = 4;
+    let (streams, r_max) = workload(44, N, 192);
+    let spec = spec_for(&streams, r_max);
+    let expected = direct_events(&spec, &streams);
+    assert!(!expected.is_empty(), "vacuous equivalence: reference run emitted nothing");
+
+    let rt = ShardedRuntime::launch(&spec, N, runtime_config()).unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        rt,
+        single_tenant(N as u32),
+        ServerConfig::default(),
+        Registry::new(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for (g, s) in streams.iter().enumerate() {
+            scope.spawn(move || {
+                let (mut client, _) = Client::connect(addr, TOKEN).unwrap();
+                for window in s.chunks(16 * PIPELINE) {
+                    let batches: Vec<Vec<(u32, f64)>> = window
+                        .chunks(16)
+                        .map(|chunk| chunk.iter().map(|&v| (g as u32, v)).collect())
+                        .collect();
+                    let outcomes = client.append_group(&batches).unwrap();
+                    assert_eq!(outcomes.len(), batches.len(), "one reply per pipelined frame");
+                    for (outcome, batch) in outcomes.iter().zip(&batches) {
+                        assert_eq!(*outcome, AppendOutcome::Appended(batch.len() as u32));
+                    }
+                }
+                client.goodbye().unwrap();
+            });
+        }
+    });
+    let mut got = server.shutdown().events;
+    sort_events(&mut got);
+    assert_eq!(got, expected, "event sets diverged between pipelined and direct ingest");
+}
+
+/// A pipelined group answers every frame individually: a frame a quota
+/// rejects (out-of-range stream) contributes nothing to the group and
+/// gets its own typed reply, while its neighbors are admitted — and
+/// the admitted count is exact.
+#[test]
+fn pipelined_group_answers_frames_individually() {
+    let spec = spec_for(&workload(45, 2, 64).0, 100.0);
+    let rt = ShardedRuntime::launch(&spec, 2, runtime_config()).unwrap();
+    let server =
+        Server::start("127.0.0.1:0", rt, single_tenant(2), fast_config(), Registry::new()).unwrap();
+    let (mut client, _) = Client::connect(server.local_addr(), TOKEN).unwrap();
+
+    let good: Vec<(u32, f64)> = vec![(0, 1.0), (1, 2.0)];
+    let bad: Vec<(u32, f64)> = vec![(0, 3.0), (9, 4.0)]; // stream 9 outside 0..2
+    let outcomes = client.append_group(&[good.clone(), bad, good.clone()]).unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(outcomes[0], AppendOutcome::Appended(2));
+    assert!(
+        matches!(&outcomes[1], AppendOutcome::Quota { kind: QuotaKind::StreamCount, .. }),
+        "out-of-range frame must be quota-rejected, got {:?}",
+        outcomes[1]
+    );
+    assert_eq!(outcomes[2], AppendOutcome::Appended(2));
+
+    client.goodbye().unwrap();
+    let report = server.shutdown();
+    assert_eq!(report.stats.total_appends(), 4, "only the two good frames were admitted");
+}
+
 /// `stardust metrics` over the wire: both export formats round-trip,
 /// the JSON parses against the `stardust-metrics/v1` schema, and the
 /// server series reflect the traffic just sent (golden assertions).

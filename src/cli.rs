@@ -654,6 +654,60 @@ fn persistence_micro_bench(
     Ok((wal_append_ns, recovery_ns, recovered_appends))
 }
 
+/// Durable group-commit ingest: the serve-bench workload through a
+/// persisted runtime under `SyncPolicy::Always`, where every commit
+/// group pays exactly one fsync. Returns (values/s, batches-per-group
+/// p50, coalesced WAL group writes) — the numbers the CI gate uses to
+/// hold the group-commit win.
+fn durable_ingest_bench(
+    spec: &stardust_runtime::MonitorSpec,
+    streams: &[Vec<f64>],
+    shards: usize,
+    queue: usize,
+    batch_rows: usize,
+) -> Result<(f64, u64, u64), String> {
+    use stardust_runtime::{Batch, PersistConfig, RuntimeConfig, ShardedRuntime, SyncPolicy};
+    use stardust_telemetry::Registry;
+
+    let m = streams.len();
+    let n = streams[0].len();
+    let dir = std::env::temp_dir().join(format!("stardust-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::new();
+    let config = RuntimeConfig {
+        shards,
+        queue_capacity: queue,
+        telemetry: Some(registry.clone()),
+        ..RuntimeConfig::default()
+    };
+    let persist = PersistConfig::new(&dir).sync(SyncPolicy::Always);
+
+    let (rt, _) = ShardedRuntime::open(spec, m, config, persist).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let mut row = 0;
+    while row < n {
+        let rows = batch_rows.min(n - row);
+        let batch: Batch = (row..row + rows)
+            .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+            .collect();
+        rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+        row += rows;
+    }
+    // Scatter-gather barrier: every batch above is journaled, fsynced,
+    // and applied before the clock stops.
+    rt.class_stats().map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
+    drop(rt.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = (m * n) as u64;
+    let rate = total as f64 / elapsed.as_secs_f64();
+    let group_p50 =
+        registry.histogram("stardust_runtime_group_size", "").quantile(0.5).unwrap_or(0);
+    let group_writes = registry.counter("stardust_persist_wal_group_writes_total", "").get();
+    Ok((rate, group_p50, group_writes))
+}
+
 /// Cross-shard correlation audit for the report's `cross_corr` section.
 struct CrossCorrBench {
     /// Correlated pairs in the final result.
@@ -888,6 +942,15 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             "persistence micro: WAL append {wal_append_ns}ns/append (EveryN(64)), \
              recovery of {recovered_appends} append(s) in {recovery_ns}ns\n"
         ));
+        // Durable group-commit phase: the same workload under
+        // SyncPolicy::Always, where the coalesced write + single fsync
+        // per commit group is what makes the rate.
+        let (durable_rate, group_size_p50, wal_group_writes) =
+            durable_ingest_bench(&spec, &streams, shards, queue, batch_rows)?;
+        out.push_str(&format!(
+            "durable ingest (SyncPolicy::Always): {durable_rate:.0} values/s, \
+             group p50 {group_size_p50} batch(es), {wal_group_writes} coalesced WAL write(s)\n"
+        ));
         // Socket-level load: the same self-hosted fleet CI's serve job
         // drives, with the zero-loss/zero-duplication event audit. An
         // audit failure is a correctness bug, not a slow run, so it
@@ -938,8 +1001,10 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "{{\"schema\":\"stardust-bench/v1\",",
                 "\"config\":{{\"batch_rows\":{},\"queue\":{},\"shards\":{},",
                 "\"streams\":{},\"values\":{}}},",
-                "\"ingest\":{{\"elapsed_s\":{},\"events\":{},",
-                "\"throughput_values_per_s\":{},\"values\":{}}},",
+                "\"ingest\":{{\"durable_throughput_values_per_s\":{},",
+                "\"elapsed_s\":{},\"events\":{},\"group_size_p50\":{},",
+                "\"throughput_values_per_s\":{},\"values\":{},",
+                "\"wal_group_writes\":{}}},",
                 "\"query\":{{\"iterations\":{},\"p50_ns\":{},\"p95_ns\":{}}},",
                 "\"index\":{{\"insert_ns\":{},\"items\":{},\"query_ns\":{}}},",
                 "\"maintenance\":{{\"rebuild_bulk_ns\":{},\"rebuild_replay_ns\":{},",
@@ -961,10 +1026,13 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             n_shards,
             m,
             n,
+            json_num(durable_rate),
             json_num(elapsed.as_secs_f64()),
             events,
+            group_size_p50,
             json_num(rate),
             total,
+            wal_group_writes,
             query_iters,
             query.p50.unwrap_or(0),
             query.p95.unwrap_or(0),
