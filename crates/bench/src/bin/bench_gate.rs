@@ -38,6 +38,13 @@
 //!   dismissals exactly 0 in the *candidate*, no tolerance. A sketch
 //!   bound that dismisses a true pair is a bug, never a regression to
 //!   wave through.
+//! * `rebalance.recovery_ratio` — candidate-only floor of 1.2: the
+//!   hot-shard load-relief factor of an online split under live ingest
+//!   (the hot worker's share of appends before the split over its share
+//!   after, derived from exact per-shard counters, so it is
+//!   deterministic on a noisy CI core). At least one migration must
+//!   have run. Baselines predating the section are accepted; a
+//!   candidate without it fails — the bench silently dropped a phase.
 //!
 //! Everything else in the report (the embedded metrics registry, p95,
 //! event counts, `maintenance.rebuild_replay_ns`/`rebuild_speedup`,
@@ -80,6 +87,10 @@ struct Report {
     cross_precision: f64,
     cross_recall: f64,
     cross_false_dismissals: f64,
+    /// `None` on reports emitted before the elastic-rebalancing phase.
+    rebalance_recovery_ratio: Option<f64>,
+    rebalance_migrations: Option<f64>,
+    rebalance_migration_ms_p50: Option<f64>,
 }
 
 fn load(path: &str) -> Result<Report, String> {
@@ -94,6 +105,9 @@ fn load(path: &str) -> Result<Report, String> {
             .and_then(|s| s.get(field))
             .and_then(Value::as_f64)
             .ok_or_else(|| format!("'{path}': missing number {section}.{field}"))
+    };
+    let opt = |section: &str, field: &str| {
+        doc.get(section).and_then(|s| s.get(field)).and_then(Value::as_f64)
     };
     Ok(Report {
         throughput: num("ingest", "throughput_values_per_s")?,
@@ -112,6 +126,9 @@ fn load(path: &str) -> Result<Report, String> {
         cross_precision: num("cross_corr", "prune_precision")?,
         cross_recall: num("cross_corr", "prune_recall")?,
         cross_false_dismissals: num("cross_corr", "false_dismissals")?,
+        rebalance_recovery_ratio: opt("rebalance", "recovery_ratio"),
+        rebalance_migrations: opt("rebalance", "migrations"),
+        rebalance_migration_ms_p50: opt("rebalance", "migration_ms_p50"),
     })
 }
 
@@ -251,6 +268,33 @@ fn run() -> Result<bool, String> {
         candidate.cross_false_dismissals,
     );
     ok &= recall_ok;
+    // Elastic rebalancing: candidate-only floor, like the recall check.
+    // An online split must relieve the hot shard by at least 1.2x and
+    // must actually have migrated groups; a candidate without the
+    // section means the bench silently dropped the phase.
+    match (candidate.rebalance_recovery_ratio, candidate.rebalance_migrations) {
+        (Some(ratio), Some(migrations)) => {
+            let rebalance_ok = ratio >= 1.2 && migrations >= 1.0;
+            println!(
+                "{:>9}  rebalance hot-shard relief: candidate {ratio:.2}x over \
+                 {migrations:.0} migration(s), required >= 1.20x and >= 1",
+                if rebalance_ok { "ok" } else { "REGRESSED" },
+            );
+            ok &= rebalance_ok;
+            let base_ms = match baseline.rebalance_migration_ms_p50 {
+                Some(ms) => format!("{ms:.0}ms"),
+                None => "n/a".into(),
+            };
+            println!(
+                "     info  migration p50: candidate {:.0}ms, baseline {base_ms}",
+                candidate.rebalance_migration_ms_p50.unwrap_or(0.0),
+            );
+        }
+        _ => {
+            println!("REGRESSED  rebalance: candidate report has no rebalance section");
+            ok = false;
+        }
+    }
     let speedup = |r: &Report| {
         if r.rebuild_bulk_ns > 0.0 {
             r.rebuild_replay_ns / r.rebuild_bulk_ns

@@ -76,6 +76,7 @@ mod fault;
 mod persist;
 pub mod pool;
 mod queue;
+mod routing;
 mod runtime;
 mod shard;
 mod snapshot;
@@ -83,12 +84,12 @@ mod spec;
 mod stats;
 mod telemetry;
 
-pub use fault::{DiskFault, DiskFaultKind, DiskFile, Fault, FaultKind, FaultPlan};
+pub use fault::{DiskFault, DiskFaultKind, DiskFile, Fault, FaultKind, FaultPlan, MigrationStep};
 pub use persist::crc32::crc32;
 pub use persist::{PersistConfig, RecoveryError, RecoveryReport, ShardRecoveryReport, SyncPolicy};
 pub use runtime::{
-    sort_events, Batch, PartialSubmit, QueueFull, RecoveryPolicy, RuntimeConfig, ShardedRuntime,
-    ShutdownReport,
+    sort_events, Batch, PartialSubmit, QueueFull, RebalanceAction, RecoveryPolicy, RuntimeConfig,
+    ShardedRuntime, ShutdownReport,
 };
 pub use shard::ClassStats;
 pub use spec::{AggregateSpec, CorrelationSpec, MonitorSpec, TrendPattern, TrendSpec};
@@ -119,6 +120,25 @@ pub enum RuntimeError {
     Spawn(std::io::Error),
     /// `open()` could not recover the persistence directory.
     Recovery(RecoveryError),
+    /// The supervisor gave up restarting a shard that kept dying faster
+    /// than [`RuntimeConfig::max_restarts_in_window`] allows; the shard
+    /// is failed for good.
+    RespawnStorm {
+        /// The fail-stopped worker slot.
+        shard: usize,
+        /// Restarts observed inside the window when the cap tripped.
+        restarts: u32,
+    },
+    /// Shard split/merge needs the recovery journal as its handoff
+    /// mechanism; the runtime was launched with `recovery: None`.
+    MigrationUnsupported,
+    /// A rebalancing call was given arguments the current layout cannot
+    /// satisfy (out-of-range slot or group, a group not owned by the
+    /// source, or a group already mid-migration).
+    Rebalance {
+        /// What was wrong.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -134,6 +154,14 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Disconnected => f.write_str("a worker thread is gone"),
             RuntimeError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
             RuntimeError::Recovery(e) => write!(f, "persistence recovery failed: {e}"),
+            RuntimeError::RespawnStorm { shard, restarts } => write!(
+                f,
+                "shard {shard} fail-stopped after {restarts} restarts inside the storm window"
+            ),
+            RuntimeError::MigrationUnsupported => {
+                f.write_str("shard split/merge requires recovery journaling (recovery: None)")
+            }
+            RuntimeError::Rebalance { detail } => write!(f, "rebalance rejected: {detail}"),
         }
     }
 }

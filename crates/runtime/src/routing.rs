@@ -1,0 +1,366 @@
+//! Epoch-versioned group→worker routing for elastic rebalancing.
+//!
+//! The runtime partitions streams into `G` *groups* (`stream % G`), each
+//! owned by exactly one worker slot at any instant. Before rebalancing
+//! existed the assignment was the identity and immutable; now a
+//! migration walks a group through a small state machine:
+//!
+//! ```text
+//! Steady(from) --freeze--> Frozen{from,to} --seal--> Handed{from,to}
+//!      ^                        |                          |
+//!      |                        | thaw (marker push failed)|
+//!      |                        v                          v
+//!      +----- Steady(from)  rollback          --promote--> Steady(to), epoch+1
+//! ```
+//!
+//! * `Frozen`: the coordinator has claimed the group and is about to
+//!   queue a `MigrateOut` marker on the source. Producers and queries
+//!   block ([`Routing::wait_steady`]) — admission closures evaluated
+//!   under the *queue* lock refuse the message, guaranteeing nothing
+//!   for the group lands behind the marker.
+//! * `Handed`: the source worker processed the marker — it sealed the
+//!   group (journal quiesced, events acked) and no longer owns it. The
+//!   coordinator now rebuilds the group's state from its journal and
+//!   queues an `Adopt` on the destination.
+//! * `promote` flips the route to `Steady(to)` and bumps the epoch;
+//!   parked producers wake and re-resolve.
+//!
+//! A worker that dies mid-protocol is healed by the supervisor: its
+//! respawn set ([`Routing::respawn_set`]) is every group the slot still
+//! owes state for — `Steady(me)`, `Frozen{from: me}` (the marker may
+//! have been consumed without sealing and must be re-pushed), and
+//! `Handed{to: me}` (adopted-but-not-yet-promoted state lives in the
+//! journal, not the dead heap). A slot that fail-stops for good
+//! ([`Routing::mark_worker_failed`]) poisons every route referencing it
+//! so blocked producers surface an error instead of parking forever.
+//!
+//! Lock order: the route mutex is leaf-level *except* inside queue
+//! admission closures, where the queue lock is taken first. Nothing
+//! here ever takes a queue lock, so the order is acyclic.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Where a group's messages go, and what state any migration is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum GroupRoute {
+    /// Owned by one live worker; messages flow freely.
+    Steady(usize),
+    /// Migration claimed: marker queued (or about to be) on `from`;
+    /// producers hold off.
+    Frozen { from: usize, to: usize },
+    /// Source sealed the group; destination adoption in flight.
+    Handed { from: usize, to: usize },
+    /// A worker this group depended on fail-stopped; the group is
+    /// permanently unroutable.
+    Failed,
+}
+
+struct RouteState {
+    epoch: u64,
+    routes: Vec<GroupRoute>,
+    worker_failed: Vec<bool>,
+    shutdown: bool,
+}
+
+/// Shared routing table; one per runtime, read on every append/query.
+pub(crate) struct Routing {
+    state: Mutex<RouteState>,
+    changed: Condvar,
+}
+
+impl Routing {
+    pub(crate) fn new(assignment: Vec<usize>, n_workers: usize) -> Self {
+        Routing {
+            state: Mutex::new(RouteState {
+                epoch: 0,
+                routes: assignment.into_iter().map(GroupRoute::Steady).collect(),
+                worker_failed: vec![false; n_workers],
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RouteState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Routing epoch: bumped once per completed migration.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Snapshot of the current steady owner of every group; groups mid-
+    /// migration report their *source* (the side whose journal is still
+    /// authoritative for yet-unsealed appends).
+    pub(crate) fn owners(&self) -> Vec<usize> {
+        self.lock()
+            .routes
+            .iter()
+            .map(|r| match *r {
+                GroupRoute::Steady(w)
+                | GroupRoute::Frozen { from: w, .. }
+                | GroupRoute::Handed { from: w, .. } => w,
+                GroupRoute::Failed => usize::MAX,
+            })
+            .collect()
+    }
+
+    /// Number of worker slots currently owning at least one group.
+    pub(crate) fn live_workers(&self) -> usize {
+        let state = self.lock();
+        let mut live = vec![false; state.worker_failed.len()];
+        for r in &state.routes {
+            if let GroupRoute::Steady(w) = *r {
+                live[w] = true;
+            }
+        }
+        live.iter().filter(|&&l| l).count()
+    }
+
+    /// `true` iff group `g` is steady on worker `w` *right now*. Called
+    /// from queue admission closures (queue lock already held).
+    pub(crate) fn is_steady_at(&self, group: usize, worker: usize) -> bool {
+        matches!(self.lock().routes[group], GroupRoute::Steady(w) if w == worker)
+    }
+
+    /// Blocks until group `g` has a steady owner and returns it.
+    /// `Err(true)` means the route (or runtime) failed permanently;
+    /// `Err(false)` means the runtime is shutting down.
+    pub(crate) fn wait_steady(&self, group: usize) -> Result<usize, bool> {
+        let mut state = self.lock();
+        loop {
+            if state.shutdown {
+                return Err(false);
+            }
+            match state.routes[group] {
+                GroupRoute::Steady(w) => return Ok(w),
+                GroupRoute::Failed => return Err(true),
+                GroupRoute::Frozen { .. } | GroupRoute::Handed { .. } => {
+                    state = self.changed.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking owner lookup for the `try_*` ingestion paths.
+    /// `Err(true)` means the route failed permanently (or shutdown);
+    /// `Err(false)` means the group is mid-migration — transient, the
+    /// caller should report backpressure rather than park.
+    pub(crate) fn try_owner(&self, group: usize) -> Result<usize, bool> {
+        let state = self.lock();
+        if state.shutdown {
+            return Err(true);
+        }
+        match state.routes[group] {
+            GroupRoute::Steady(w) => Ok(w),
+            GroupRoute::Failed => Err(true),
+            GroupRoute::Frozen { .. } | GroupRoute::Handed { .. } => Err(false),
+        }
+    }
+
+    /// Claims group `g` for migration to `to`; returns the source slot.
+    /// Fails if the group is not steady or already lives on `to`.
+    pub(crate) fn freeze(&self, group: usize, to: usize) -> Result<usize, GroupRoute> {
+        let mut state = self.lock();
+        match state.routes[group] {
+            GroupRoute::Steady(from) if from != to && !state.worker_failed[to] => {
+                state.routes[group] = GroupRoute::Frozen { from, to };
+                Ok(from)
+            }
+            other => Err(other),
+        }
+    }
+
+    /// Rolls a freeze back (the marker could not be queued).
+    pub(crate) fn thaw(&self, group: usize, from: usize) {
+        let mut state = self.lock();
+        if let GroupRoute::Frozen { from: f, .. } = state.routes[group] {
+            if f == from {
+                state.routes[group] = GroupRoute::Steady(from);
+            }
+        }
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Source worker `from` finished sealing group `g`. Idempotent: a
+    /// respawned worker may seal a group its predecessor already sealed
+    /// (re-pushed marker); the second seal is a no-op returning `false`.
+    pub(crate) fn seal(&self, group: usize, from: usize) -> bool {
+        let mut state = self.lock();
+        match state.routes[group] {
+            GroupRoute::Frozen { from: f, to } if f == from => {
+                state.routes[group] = GroupRoute::Handed { from, to };
+                drop(state);
+                self.changed.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Blocks until group `g` leaves `Frozen` (sealed, failed, or rolled
+    /// back). Returns the route observed.
+    pub(crate) fn wait_handed(&self, group: usize) -> GroupRoute {
+        let mut state = self.lock();
+        loop {
+            match state.routes[group] {
+                GroupRoute::Frozen { .. } => {
+                    if state.shutdown {
+                        return GroupRoute::Failed;
+                    }
+                    state = self.changed.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Completes the migration: the destination owns the group, the
+    /// epoch advances, parked producers re-resolve.
+    pub(crate) fn promote(&self, group: usize) {
+        let mut state = self.lock();
+        if let GroupRoute::Handed { to, .. } = state.routes[group] {
+            state.routes[group] = GroupRoute::Steady(to);
+            state.epoch += 1;
+        }
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Everything slot `slot` must rebuild when respawning, and whether
+    /// that group's `MigrateOut` marker needs re-pushing (the group was
+    /// frozen with this slot as source, so the dead worker may have
+    /// consumed the marker without sealing).
+    pub(crate) fn respawn_set(&self, slot: usize) -> Vec<(usize, bool)> {
+        let state = self.lock();
+        state
+            .routes
+            .iter()
+            .enumerate()
+            .filter_map(|(g, r)| match *r {
+                GroupRoute::Steady(w) if w == slot => Some((g, false)),
+                GroupRoute::Frozen { from, .. } if from == slot => Some((g, true)),
+                GroupRoute::Handed { to, .. } if to == slot => Some((g, false)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fail-stops a single group (its durable journal wedged mid-
+    /// migration): the route becomes `Failed`, other groups unaffected.
+    pub(crate) fn mark_group_failed(&self, group: usize) {
+        let mut state = self.lock();
+        state.routes[group] = GroupRoute::Failed;
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Fail-stops a worker slot: every route referencing it becomes
+    /// `Failed` and blocked producers wake into an error.
+    pub(crate) fn mark_worker_failed(&self, slot: usize) {
+        let mut state = self.lock();
+        state.worker_failed[slot] = true;
+        for r in state.routes.iter_mut() {
+            let involved = match *r {
+                GroupRoute::Steady(w) => w == slot,
+                GroupRoute::Frozen { from, to } | GroupRoute::Handed { from, to } => {
+                    from == slot || to == slot
+                }
+                GroupRoute::Failed => false,
+            };
+            if involved {
+                *r = GroupRoute::Failed;
+            }
+        }
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Wakes every parked waiter into the shutdown path.
+    pub(crate) fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn freeze_seal_promote_bumps_epoch() {
+        let r = Routing::new(vec![0, 1], 3);
+        assert_eq!(r.epoch(), 0);
+        assert_eq!(r.freeze(1, 2), Ok(1));
+        assert!(!r.is_steady_at(1, 1));
+        assert!(r.seal(1, 1));
+        assert!(!r.seal(1, 1), "second seal is a no-op");
+        assert_eq!(r.wait_handed(1), GroupRoute::Handed { from: 1, to: 2 });
+        r.promote(1);
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.wait_steady(1), Ok(2));
+        assert_eq!(r.owners(), vec![0, 2]);
+        assert_eq!(r.live_workers(), 2);
+    }
+
+    #[test]
+    fn freeze_rejects_non_steady_and_self_moves() {
+        let r = Routing::new(vec![0], 2);
+        assert_eq!(r.freeze(0, 0), Err(GroupRoute::Steady(0)));
+        assert_eq!(r.freeze(0, 1), Ok(0));
+        assert!(r.freeze(0, 1).is_err(), "already frozen");
+        r.thaw(0, 0);
+        assert_eq!(r.wait_steady(0), Ok(0));
+    }
+
+    #[test]
+    fn wait_steady_parks_across_a_migration() {
+        let r = Arc::new(Routing::new(vec![0], 2));
+        r.freeze(0, 1).unwrap();
+        let r2 = Arc::clone(&r);
+        let waiter = std::thread::spawn(move || r2.wait_steady(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(r.seal(0, 0));
+        r.promote(0);
+        assert_eq!(waiter.join().unwrap(), Ok(1));
+    }
+
+    #[test]
+    fn respawn_set_covers_all_owed_states() {
+        let r = Routing::new(vec![0, 0, 1, 1], 3);
+        r.freeze(1, 2).unwrap(); // Frozen{from: 0}
+        r.freeze(2, 0).unwrap(); // Frozen{from: 1}
+        assert!(r.seal(2, 1)); // Handed{to: 0}
+        let set = r.respawn_set(0);
+        assert_eq!(set, vec![(0, false), (1, true), (2, false)]);
+        assert_eq!(r.respawn_set(2), vec![]);
+    }
+
+    #[test]
+    fn failed_worker_poisons_routes_and_wakes_waiters() {
+        let r = Arc::new(Routing::new(vec![0, 1], 2));
+        r.freeze(0, 1).unwrap();
+        let r2 = Arc::clone(&r);
+        let waiter = std::thread::spawn(move || r2.wait_steady(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.mark_worker_failed(1);
+        assert_eq!(waiter.join().unwrap(), Err(true));
+        assert_eq!(r.wait_handed(0), GroupRoute::Failed);
+        // Group 1 was Steady(1) on the failed worker: also poisoned.
+        assert_eq!(r.wait_steady(1), Err(true));
+    }
+
+    #[test]
+    fn shutdown_wakes_waiters_with_non_failure() {
+        let r = Arc::new(Routing::new(vec![0], 2));
+        r.freeze(0, 1).unwrap();
+        let r2 = Arc::clone(&r);
+        let waiter = std::thread::spawn(move || r2.wait_steady(0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        r.begin_shutdown();
+        assert_eq!(waiter.join().unwrap(), Err(false));
+    }
+}

@@ -1,9 +1,12 @@
-//! The per-shard worker: drains batches into its own
-//! [`UnifiedMonitor`], remaps local stream ids back to global ones, and
-//! answers scatter-gather queries in queue order. The worker also hosts
-//! the fault-injection hooks and the crash-reporting [`Board`] the
+//! The per-shard worker: drains batches into the [`UnifiedMonitor`]s of
+//! the stream *groups* it currently owns, remaps local stream ids back
+//! to global ones, and answers scatter-gather queries in queue order.
+//! The worker also executes its half of the live-migration protocol
+//! (sealing groups out, adopting groups in) and hosts the
+//! fault-injection hooks and the crash-reporting [`Board`] the
 //! supervisor watches.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -16,20 +19,52 @@ use stardust_core::sketch::{BlockSketch, SketchDelta};
 use stardust_core::stream::{StreamId, Time};
 use stardust_core::unified::{Event, UnifiedMonitor};
 
-use crate::fault::{FaultKind, FaultPlan};
+use crate::fault::{FaultKind, FaultPlan, MigrationStep};
 use crate::queue::BoundedQueue;
+use crate::routing::Routing;
 use crate::snapshot::ShardRecovery;
 use crate::stats::ShardCounters;
 use crate::telemetry::RuntimeTelemetry;
 
-/// Messages a shard's bounded queue carries. Queries ride the same
-/// queue as batches, so a query observes every batch submitted before
-/// it (per-shard sequential consistency).
+/// State of one stream group: owned by exactly one worker at any
+/// instant, moved across workers by the migration protocol and rebuilt
+/// from its journal after a crash.
+pub(crate) struct GroupState {
+    /// Local streams in this group.
+    pub n_locals: usize,
+    /// The group's monitor (`None` when the spec builds none).
+    pub monitor: Option<UnifiedMonitor>,
+    /// The group's crash-recovery journal; `None` disables journaling.
+    pub recovery: Option<Arc<ShardRecovery>>,
+    /// Lifetime appends applied to this group (including rejected
+    /// non-finite samples — they are journaled and tick the clock).
+    pub appends: u64,
+    /// Lifetime events emitted for this group.
+    pub emitted: u64,
+    /// Sealed-block frontier at the last sketch publication.
+    /// Deliberately reset to `0` on restore/adopt: the re-publication
+    /// it causes is absorbed idempotently by the board.
+    pub last_shipped: u64,
+}
+
+/// Messages a shard's bounded queue carries. Queries and migration
+/// control ride the same queue as batches, so each observes every batch
+/// submitted before it (per-shard sequential consistency) — the FIFO is
+/// what makes the freeze/handoff protocol exact.
 pub(crate) enum ShardMsg {
-    /// Local-id value batch plus its submission instant (for latency).
-    Batch(Vec<(StreamId, f64)>, Instant),
-    /// A query and the channel to answer on (tagged with shard id).
-    Query(QueryRequest, Sender<(usize, QueryReply)>),
+    /// One group's local-id value batch plus its submission instant.
+    Batch(usize, Vec<(StreamId, f64)>, Instant),
+    /// A query against one group and the channel to answer on (tagged
+    /// with the group id).
+    Query(usize, QueryRequest, Sender<(usize, QueryReply)>),
+    /// Migration marker: seal the group out of this worker. Everything
+    /// for the group already admitted is ahead of this message; nothing
+    /// for it will be admitted behind (the route froze first).
+    MigrateOut(usize),
+    /// Migration payload: install the group's rebuilt state. Queued on
+    /// the destination *before* the route promotes, so it precedes any
+    /// post-cutover batch.
+    Adopt(usize, Box<GroupState>),
     /// Drain nothing further; reply channelless, exit the loop.
     Shutdown,
 }
@@ -81,6 +116,9 @@ pub(crate) enum QueryReply {
         /// ending at `t` is no longer in the stream's history).
         windows: Vec<(StreamId, Option<Vec<f64>>)>,
     },
+    /// The worker does not own the queried group (it migrated after the
+    /// query was routed). The gatherer re-resolves and re-sends.
+    Declined,
 }
 
 /// Collector-side mirror of every stream's sliding-window sketch, keyed
@@ -158,7 +196,9 @@ impl ClassStats {
     }
 }
 
-/// Local stream id → global stream id for shard `shard` of `n_shards`.
+/// Local stream id → global stream id for group `shard` of `n_shards`
+/// groups (the parameter names predate elastic routing: partitioning is
+/// by *group*, and `stream % G` / `stream / G` are its two halves).
 fn global_id(shard: usize, n_shards: usize, local: StreamId) -> StreamId {
     local * n_shards as StreamId + shard as StreamId
 }
@@ -351,53 +391,53 @@ impl Drop for DeathNotice {
 /// capacity; a longer backlog simply commits as consecutive groups.
 const MAX_GROUP_BATCHES: usize = 256;
 
-/// Everything one worker thread owns.
+/// Everything one worker thread owns: the slot identity plus the state
+/// of every stream group currently routed to it.
 pub(crate) struct Worker {
-    pub shard: usize,
-    pub n_shards: usize,
-    pub n_local_streams: usize,
-    pub monitor: Option<UnifiedMonitor>,
+    /// Worker slot index (stable across restarts; *not* a group id).
+    pub slot: usize,
+    /// Total stream groups in the runtime (the routing modulus).
+    pub n_groups: usize,
+    /// Groups this worker currently owns, keyed by group id.
+    pub groups: BTreeMap<usize, GroupState>,
     pub inbox: Arc<BoundedQueue<ShardMsg>>,
     pub events: Sender<Vec<Event>>,
     pub counters: Arc<ShardCounters>,
-    /// Crash-recovery journal; `None` disables journaling entirely.
-    pub recovery: Option<Arc<ShardRecovery>>,
     /// Injected faults; `None` costs nothing on the append path.
     pub faults: Option<Arc<FaultPlan>>,
-    /// Appends applied over the shard's lifetime, across restarts — the
-    /// deterministic fault clock.
+    /// Appends applied across every group this slot currently owns,
+    /// over the slot's lifetime — the deterministic fault clock.
+    /// Migration moves a group's contribution with the group.
     pub processed: u64,
-    /// Snapshot cadence in appends; `0` never snapshots (recovery then
-    /// replays the shard's full history from the journal).
+    /// Snapshot cadence in appends (per group); `0` never snapshots.
     pub snapshot_every: u64,
     /// Collector-side sketch mirrors this worker publishes to.
     pub sketches: Arc<SketchBoard>,
     /// Publish sketches every this many sealed blocks of the slowest
     /// local stream; `0` disables the exchange entirely.
     pub sketch_cadence: u64,
-    /// Sealed-block frontier at the last publication. Deliberately reset
-    /// to `0` on worker restore: the re-publication it causes is
-    /// absorbed idempotently by the board.
-    pub last_shipped: u64,
+    /// Shared routing table (this worker seals groups through it).
+    pub routing: Arc<Routing>,
     /// Runtime-level metric handles; detached when telemetry is off.
     pub telemetry: RuntimeTelemetry,
 }
 
 impl Worker {
-    /// Local stream id → global stream id for this shard.
-    fn global(&self, local: StreamId) -> StreamId {
-        global_id(self.shard, self.n_shards, local)
-    }
-
-    fn answer(&self, req: QueryRequest) -> QueryReply {
-        let Some(monitor) = &self.monitor else {
+    fn answer(&self, group: usize, req: QueryRequest) -> QueryReply {
+        let Some(gs) = self.groups.get(&group) else {
+            // The group migrated off between routing and delivery; the
+            // gatherer re-resolves and retries on the new owner.
+            return QueryReply::Declined;
+        };
+        let global = |local: StreamId| global_id(group, self.n_groups, local);
+        let Some(monitor) = &gs.monitor else {
             return match req {
                 QueryRequest::AggregateInterval { .. } => QueryReply::AggregateInterval(None),
                 QueryRequest::ClassStats => QueryReply::ClassStats(ClassStats::default()),
                 QueryRequest::CorrClock => QueryReply::CorrClock(Vec::new()),
                 QueryRequest::CorrVerify { windows_for, .. } => QueryReply::CorrVerify {
                     pairs: Vec::new(),
-                    windows: windows_for.iter().map(|&s| (self.global(s), None)).collect(),
+                    windows: windows_for.iter().map(|&s| (global(s), None)).collect(),
                 },
             };
         };
@@ -409,7 +449,7 @@ impl Worker {
                 let mut stats = ClassStats::default();
                 // Aggregate stats live per stream; trend/correlation are
                 // monitor-wide.
-                for local in 0..self.n_local_streams as StreamId {
+                for local in 0..gs.n_locals as StreamId {
                     let Some(m) = monitor.aggregate_monitor(local) else { break };
                     let s = m.stats();
                     stats.aggregate.checks += s.checks;
@@ -437,59 +477,97 @@ impl Worker {
                 let Some(corr) = monitor.correlation_monitor() else {
                     return QueryReply::CorrVerify {
                         pairs: Vec::new(),
-                        windows: windows_for.iter().map(|&s| (self.global(s), None)).collect(),
+                        windows: windows_for.iter().map(|&s| (global(s), None)).collect(),
                     };
                 };
                 let pairs = corr
                     .linear_scan_pairs(t)
                     .into_iter()
-                    .map(|(a, b, c)| (self.global(a), self.global(b), c))
+                    .map(|(a, b, c)| (global(a), global(b), c))
                     .collect();
                 let n = corr.window();
                 let windows = windows_for
                     .iter()
-                    .map(|&local| (self.global(local), corr.summary(local).history().window(t, n)))
+                    .map(|&local| (global(local), corr.summary(local).history().window(t, n)))
                     .collect();
                 QueryReply::CorrVerify { pairs, windows }
             }
         }
     }
 
-    /// Ships every local sketch to the collector board once the slowest
-    /// local stream has sealed `sketch_cadence` new blocks. Publication
-    /// is driven by the sealed-block frontier, not wall time, so it is
-    /// deterministic per batch history — and re-running it after a crash
-    /// restore is a no-op on the board.
-    fn maybe_publish_sketches(&mut self) {
-        publish_sketches_if_due(
-            self.monitor.as_ref(),
-            self.shard,
-            self.n_shards,
-            &self.sketches,
-            self.sketch_cadence,
-            &mut self.last_shipped,
-            &self.telemetry,
-        );
+    /// Fires a one-shot migration fault for `group` at `step`, if the
+    /// plan scheduled one. Stalls happen in place; panics unwind
+    /// through [`DeathNotice`] like any injected kill.
+    fn fire_migration(&self, group: usize, step: MigrationStep) {
+        if let Some(plan) = &self.faults {
+            match plan.fire_migration(group, step) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected migration fault: group {group} killed at {step:?}")
+                }
+                Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
+                _ => {}
+            }
+        }
+    }
+
+    /// Seals group `group` out of this worker: every batch admitted for
+    /// it is already applied (the marker is FIFO-behind them and the
+    /// frozen route admits no more), its events are acked, so the
+    /// journal is the group's complete, quiescent state. The group
+    /// leaves this slot's counters and fault clock with it.
+    ///
+    /// Idempotent: a supervisor re-pushed marker for an already-sealed
+    /// group finds nothing to do (`routing.seal` is a no-op too).
+    fn seal_group(&mut self, group: usize) {
+        if !self.groups.contains_key(&group) {
+            let _ = self.routing.seal(group, self.slot);
+            return;
+        }
+        self.fire_migration(group, MigrationStep::BeforeSeal);
+        let gs = self.groups.remove(&group).expect("checked present");
+        self.counters.appends.fetch_sub(gs.appends, Ordering::Relaxed);
+        self.counters.events.fetch_sub(gs.emitted, Ordering::Relaxed);
+        self.processed -= gs.appends;
+        self.routing.seal(group, self.slot);
+        self.fire_migration(group, MigrationStep::AfterSeal);
+    }
+
+    /// Installs a migrated group's rebuilt state. If a crash-respawn of
+    /// this slot already rebuilt the group from its journal (the route
+    /// said `Handed{to: me}` or had promoted), the in-flight payload is
+    /// stale — the journal-derived copy wins and the payload is
+    /// dropped, counters untouched.
+    fn adopt_group(&mut self, group: usize, state: GroupState) {
+        if self.groups.contains_key(&group) {
+            return;
+        }
+        self.fire_migration(group, MigrationStep::BeforeAdopt);
+        self.counters.appends.fetch_add(state.appends, Ordering::Relaxed);
+        self.counters.events.fetch_add(state.emitted, Ordering::Relaxed);
+        self.processed += state.appends;
+        self.groups.insert(group, state);
+        self.fire_migration(group, MigrationStep::AfterAdopt);
     }
 
     /// The worker loop: drain message runs until `Shutdown` or the
     /// queue is closed and empty, whichever comes first. A contiguous
     /// run of batches commits as one group ([`Self::commit_group`]);
-    /// queries and shutdown break runs and are handled singly, at their
-    /// queue position — they are never buffered in worker-local state,
-    /// so a crash mid-group cannot lose a query reply (journaled
-    /// batches are the only messages the recovery protocol can replay).
-    /// `notice` reports the exit (or a panic's unwind) to the board.
+    /// queries, migration control, and shutdown break runs and are
+    /// handled singly, at their queue position — they are never
+    /// buffered in worker-local state, so a crash mid-group cannot lose
+    /// a query reply or a protocol step (journaled batches are the only
+    /// messages the recovery protocol can replay). `notice` reports the
+    /// exit (or a panic's unwind) to the board.
     pub fn run(mut self, notice: &mut DeathNotice) {
         let mut pending_delay: Option<Duration> = None;
         // Buffers reused across commit groups: the drained run, the
-        // per-batch monitor output, and the group's remapped events.
-        // Steady state allocates nothing per group — the one exception
-        // is the exact-sized Vec that hands a non-empty group's events
+        // per-batch monitor output, and the run's remapped events.
+        // Steady state allocates nothing per run — the one exception
+        // is the exact-sized Vec that hands a non-empty run's events
         // to the collector (ownership crosses the channel).
         let mut msgs: Vec<ShardMsg> = Vec::new();
         let mut event_buf: Vec<Event> = Vec::new();
-        let mut group_events: Vec<Event> = Vec::new();
+        let mut run_events: Vec<Event> = Vec::new();
         loop {
             if let Some(pause) = pending_delay.take() {
                 std::thread::sleep(pause);
@@ -503,12 +581,14 @@ impl Worker {
                 return;
             }
             if matches!(msgs[0], ShardMsg::Batch(..)) {
-                self.commit_group(&msgs, &mut event_buf, &mut group_events, &mut pending_delay);
+                self.commit_group(&msgs, &mut event_buf, &mut run_events, &mut pending_delay);
             } else {
                 match msgs.pop().expect("drained run is non-empty") {
-                    ShardMsg::Query(req, reply) => {
-                        let _ = reply.send((self.shard, self.answer(req)));
+                    ShardMsg::Query(group, req, reply) => {
+                        let _ = reply.send((group, self.answer(group, req)));
                     }
+                    ShardMsg::MigrateOut(group) => self.seal_group(group),
+                    ShardMsg::Adopt(group, state) => self.adopt_group(group, *state),
                     ShardMsg::Shutdown => {
                         notice.clean = true;
                         return;
@@ -519,54 +599,79 @@ impl Worker {
         }
     }
 
-    /// Commits one drained run of batches as a group: the queue's
-    /// high-water mark was sampled at the pre-drain depth, the whole
-    /// group is journaled under one coalesced WAL write (a single fsync
-    /// under `SyncPolicy::Always`) before any batch is applied, and the
-    /// group's events leave in one channel send followed by one durable
-    /// ack.
+    /// Commits one drained run of batches as a group commit: the
+    /// queue's high-water mark was sampled at the pre-drain depth, the
+    /// whole run is journaled — bucketed per stream group, each group's
+    /// sub-run under one coalesced WAL write — before any batch is
+    /// applied, and the run's events leave in one channel send followed
+    /// by one durable ack per event-bearing group.
     ///
     /// Crash safety: a panic anywhere past the journal step loses
-    /// nothing — every batch of the group is already journaled, so the
+    /// nothing — every batch of the run is already journaled, so the
     /// recovery replay regenerates exactly the journaled prefix's
     /// events, suppressing the ones this worker already sent (none
-    /// mid-group: the send is a single all-or-nothing handoff after the
+    /// mid-run: the send is a single all-or-nothing handoff after the
     /// last batch applied).
     fn commit_group(
         &mut self,
         msgs: &[ShardMsg],
         event_buf: &mut Vec<Event>,
-        group_events: &mut Vec<Event>,
+        run_events: &mut Vec<Event>,
         pending_delay: &mut Option<Duration>,
     ) {
         // Only batches count toward queue depth; the drain predicate
         // guarantees the run is all batches.
         self.counters.note_drained(msgs.len());
-        // Write-ahead for the whole group, before anything is applied.
-        if let Some(rec) = &self.recovery {
-            let batches = msgs.iter().map(|m| match m {
-                ShardMsg::Batch(items, _) => items.as_slice(),
-                _ => unreachable!("commit groups contain only batches"),
-            });
+        let batch_group = |m: &ShardMsg| match m {
+            ShardMsg::Batch(group, ..) => *group,
+            _ => unreachable!("commit groups contain only batches"),
+        };
+        // Distinct groups in the run, in first-appearance order. A run
+        // rarely spans more than a couple of groups, so a linear scan
+        // beats any map.
+        let mut touched: Vec<usize> = Vec::new();
+        for msg in msgs {
+            let g = batch_group(msg);
+            if !touched.contains(&g) {
+                touched.push(g);
+            }
+        }
+        // Write-ahead for the whole run, before anything is applied:
+        // each group's sub-run goes to that group's journal in order.
+        {
             let _span = self.telemetry.journal.span();
-            rec.journal_group(batches);
+            for &g in &touched {
+                let gs = self.groups.get(&g).expect("routed batch for unowned group");
+                if let Some(rec) = &gs.recovery {
+                    let batches = msgs.iter().filter_map(move |m| match m {
+                        ShardMsg::Batch(bg, items, _) if *bg == g => Some(items.as_slice()),
+                        _ => None,
+                    });
+                    rec.journal_group(batches);
+                }
+            }
         }
         self.telemetry.group_size.observe(msgs.len() as u64);
         let mut rejected_total = 0u64;
+        // Events emitted per group within this run (parallel to
+        // `touched` is overkill — runs are short, scan again).
+        let mut emitted_by: Vec<(usize, u64)> = Vec::new();
         for msg in msgs {
-            let ShardMsg::Batch(items, submitted) = msg else {
+            let ShardMsg::Batch(group, items, submitted) = msg else {
                 unreachable!("commit groups contain only batches")
             };
+            let group = *group;
+            let gs = self.groups.get_mut(&group).expect("routed batch for unowned group");
             let mut rejected = 0u64;
-            if let Some(monitor) = &mut self.monitor {
+            if let Some(monitor) = &mut gs.monitor {
                 event_buf.clear();
                 for &(local, value) in items {
                     self.processed += 1;
                     if let Some(plan) = &self.faults {
-                        match plan.fire(self.shard, self.processed) {
+                        match plan.fire(self.slot, self.processed) {
                             Some(FaultKind::Panic) => panic!(
                                 "injected fault: shard {} killed at append {}",
-                                self.shard, self.processed
+                                self.slot, self.processed
                             ),
                             Some(FaultKind::Stall(pause)) => std::thread::sleep(pause),
                             Some(FaultKind::DelayDrain(pause)) => {
@@ -585,50 +690,75 @@ impl Worker {
                     }
                     monitor.append_into(local, value, event_buf);
                 }
-                // Collect this batch's events behind the group's; they
-                // ship once the whole group has applied, in batch order.
+                // Collect this batch's events behind the run's; they
+                // ship once the whole run has applied, in batch order.
+                let n_new = event_buf.len() as u64;
+                if n_new > 0 {
+                    match emitted_by.iter_mut().find(|(g, _)| *g == group) {
+                        Some((_, n)) => *n += n_new,
+                        None => emitted_by.push((group, n_new)),
+                    }
+                }
                 for ev in event_buf.drain(..) {
-                    group_events.push(remap_event(self.shard, self.n_shards, ev));
+                    run_events.push(remap_event(group, self.n_groups, ev));
                 }
             }
+            gs.appends += items.len() as u64;
             self.counters.appends.fetch_add(items.len() as u64, Ordering::Relaxed);
             rejected_total += rejected;
             let ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             self.counters.note_batch(ns);
             self.telemetry.batch_latency.observe(ns);
             // Cadence is frontier-driven and board absorption is
-            // idempotent, so publishing inside the group keeps the
+            // idempotent, so publishing inside the run keeps the
             // exchange on the same per-batch schedule as before.
-            self.maybe_publish_sketches();
+            publish_sketches_if_due(
+                gs.monitor.as_ref(),
+                group,
+                self.n_groups,
+                &self.sketches,
+                self.sketch_cadence,
+                &mut gs.last_shipped,
+                &self.telemetry,
+            );
         }
         if rejected_total > 0 {
             self.counters.rejected.fetch_add(rejected_total, Ordering::Relaxed);
             self.telemetry.rejected.add(rejected_total);
         }
-        let emitted = group_events.len() as u64;
+        let emitted = run_events.len() as u64;
         if emitted > 0 {
-            // One send per event-bearing group. `split_off(0)` moves the
+            // One send per event-bearing run. `split_off(0)` moves the
             // events into an exact-sized Vec for the collector while the
-            // buffer keeps its capacity for the next group. A send error
+            // buffer keeps its capacity for the next run. A send error
             // means the runtime dropped its receiver (shutdown already
             // under way); keep draining so producers unblock.
-            let _ = self.events.send(group_events.split_off(0));
+            let _ = self.events.send(run_events.split_off(0));
             self.counters.events.fetch_add(emitted, Ordering::Relaxed);
-            if let Some(rec) = &self.recovery {
-                // The events are out; ack the cumulative count to the
-                // durable WAL so a process-level recovery suppresses
-                // exactly these.
-                rec.note_emitted_n(emitted);
-                rec.ack_emitted();
+            for &(group, n) in &emitted_by {
+                let gs = self.groups.get_mut(&group).expect("group applied above");
+                gs.emitted += n;
+                if let Some(rec) = &gs.recovery {
+                    // The events are out; ack the cumulative count to
+                    // the durable WAL so a process-level recovery
+                    // suppresses exactly these.
+                    rec.note_emitted_n(n);
+                    rec.ack_emitted();
+                }
             }
         }
-        // Snapshot only at group boundaries: the journal suffix holds
-        // the whole group from the write-ahead step, and a snapshot must
+        // Snapshot only at run boundaries: the journal suffix holds
+        // whole batches from the write-ahead step, and a snapshot must
         // not cover appends that have not been applied yet.
-        if let Some(rec) = &self.recovery {
-            if self.snapshot_every > 0 && rec.suffix_len() as u64 >= self.snapshot_every {
-                let _span = self.telemetry.snapshot.span();
-                rec.record_snapshot(self.monitor.as_ref().map(|m| m.snapshot()));
+        if self.snapshot_every > 0 {
+            for &g in &touched {
+                let gs = self.groups.get(&g).expect("group applied above");
+                if let Some(rec) = &gs.recovery {
+                    if rec.suffix_len() as u64 >= self.snapshot_every {
+                        let _span = self.telemetry.snapshot.span();
+                        rec.record_snapshot(gs.monitor.as_ref().map(|m| m.snapshot()));
+                    }
+                }
             }
         }
     }

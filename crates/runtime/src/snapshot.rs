@@ -39,7 +39,6 @@ use stardust_core::unified::{Event, UnifiedMonitor};
 use crate::persist::ShardDisk;
 use crate::shard::{publish_sketches_if_due, remap_event, SketchBoard};
 use crate::spec::MonitorSpec;
-use crate::stats::ShardCounters;
 use crate::telemetry::RuntimeTelemetry;
 
 /// The journaled, not-yet-snapshotted tail of one shard's input.
@@ -67,8 +66,6 @@ pub(crate) struct ShardRecovery {
     /// Events delivered to the collector over the shard's lifetime,
     /// bumped once per successful send — exact even mid-batch.
     emitted: AtomicU64,
-    /// Times the supervisor restored this shard.
-    restarts: AtomicU64,
 }
 
 impl ShardRecovery {
@@ -82,7 +79,6 @@ impl ShardRecovery {
                 disk,
             }),
             emitted: AtomicU64::new(0),
-            restarts: AtomicU64::new(0),
         }
     }
 
@@ -105,7 +101,6 @@ impl ShardRecovery {
                 disk,
             }),
             emitted: AtomicU64::new(emitted),
-            restarts: AtomicU64::new(0),
         }
     }
 
@@ -184,31 +179,38 @@ impl ShardRecovery {
         }
     }
 
-    /// Times this shard was restored.
-    pub(crate) fn restarts(&self) -> u64 {
-        self.restarts.load(Ordering::Relaxed)
+    /// Events delivered to the collector over this group's lifetime.
+    pub(crate) fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
     }
 
-    /// Supervisor path: rebuilds the monitor of a dead shard and
-    /// replays the journaled suffix, delivering only the events the
-    /// dead worker had not yet sent (one grouped send) and firing the
+    /// Rebuilds the monitor of a dead-or-migrating group and replays
+    /// the journaled suffix, delivering only the events the previous
+    /// owner had not yet sent (one grouped send) and firing the
     /// sketch-exchange cadence for every boundary the replay crosses —
-    /// batches the dead worker drained into a commit group but never
+    /// batches a dead worker drained into a commit group but never
     /// applied exist only in the journal, so their publications must
     /// happen here. Returns the warm monitor and the number of appends
-    /// it has processed (the restored worker's fault clock) — or `None`
-    /// when the shard's durable WAL is wedged, in which case the shard
-    /// must stay down: an in-memory rebuild would accept appends the
-    /// disk can no longer journal.
+    /// it has processed (the new owner's fault clock) — or `None` when
+    /// the group's durable WAL is wedged, in which case the group must
+    /// stay down: an in-memory rebuild would accept appends the disk
+    /// can no longer journal.
+    ///
+    /// Pure with respect to shard accounting: callers (the supervisor
+    /// respawning a worker, the migration coordinator handing a sealed
+    /// group to its destination) apply their own counter/restart
+    /// bookkeeping, because the same rebuild serves both paths.
+    /// Safe to run concurrently with itself (journal mutex): a sealed
+    /// group being adopted may race its destination's respawn — both
+    /// rebuilds resend the same (empty, post-seal) tail.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn rebuild(
+    pub(crate) fn rebuild_state(
         &self,
         spec: &MonitorSpec,
         n_local: usize,
         shard: usize,
         n_shards: usize,
         events: &Sender<Vec<Event>>,
-        counters: &ShardCounters,
         sketches: &SketchBoard,
         sketch_cadence: u64,
         telemetry: &RuntimeTelemetry,
@@ -263,11 +265,6 @@ impl ShardRecovery {
             "replay regenerated {regenerated} events but {already} were already delivered"
         );
         let processed = journal.snapshot_appends + journal.suffix.len() as u64;
-        // The dead worker updated these per batch; make them exact again.
-        counters.appends.store(processed, Ordering::Relaxed);
-        counters.events.store(self.emitted.load(Ordering::Relaxed), Ordering::Relaxed);
-        counters.restarts.fetch_add(1, Ordering::Relaxed);
-        self.restarts.fetch_add(1, Ordering::Relaxed);
         drop(journal);
         // The replay delivered events the dead worker had not acked.
         self.ack_emitted();

@@ -32,6 +32,13 @@ pub enum ClientError {
     ServerClosed,
     /// The server answered with a reply of the wrong type.
     Protocol(String),
+    /// The retry budget ran out: the server kept answering `Busy` or
+    /// an append-rate quota rejection for every round the
+    /// [`RetryPolicy`] allowed.
+    RetriesExhausted {
+        /// Backoff rounds performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -44,6 +51,9 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::ServerClosed => f.write_str("server is draining (Bye)"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "gave up after {attempts} backoff retries (server still busy)")
+            }
         }
     }
 }
@@ -98,6 +108,59 @@ pub enum AppendOutcome {
     },
 }
 
+/// Deterministic bounded-exponential backoff for the busy/quota retry
+/// loops of [`Client::append_all`] and [`Client::append_group_all`].
+///
+/// Attempt `n` sleeps an equal-jitter delay drawn from the step
+/// `min(cap_ms, max(server_hint, base_ms · 2ⁿ))`: half the step
+/// guaranteed, the other half seeded pseudo-randomly, so a fleet of
+/// clients bounced by the same `Busy` reply fans back out instead of
+/// thundering in again in lockstep — while any `(seed, attempt)` pair
+/// stays reproducible for tests and drills. The server's
+/// `retry_after_ms` hint floors the step but never pierces the cap,
+/// and after [`Self::max_attempts`] rounds the client stops sleeping
+/// and surfaces [`ClientError::RetriesExhausted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff step in milliseconds; doubles every attempt.
+    pub base_ms: u64,
+    /// Ceiling on any single sleep, in milliseconds.
+    pub cap_ms: u64,
+    /// Backoff rounds before the client gives up. `0` retries never.
+    pub max_attempts: u32,
+    /// Jitter seed: same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { base_ms: 2, cap_ms: 1_000, max_attempts: 32, seed: 0x5EED_CAFE }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry `attempt` (0-based), given the server's
+    /// `retry_after_ms` hint.
+    pub fn delay_ms(&self, attempt: u32, server_hint_ms: u32) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64 << attempt.min(32));
+        let step = exp.max(u64::from(server_hint_ms)).clamp(1, self.cap_ms.max(1));
+        let half = step / 2;
+        let roll = splitmix64(
+            self.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        half + roll % (step - half + 1)
+    }
+}
+
+/// SplitMix64 — a tiny, well-mixed PRNG step; one call per retry is
+/// plenty, and it keeps the schedule dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Retry accounting from [`Client::append_all`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AppendAllStats {
@@ -112,6 +175,7 @@ pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
     max_frame: u32,
+    retry: RetryPolicy,
 }
 
 impl Client {
@@ -134,8 +198,12 @@ impl Client {
         if &magic != NET_MAGIC {
             return Err(ClientError::Protocol("server did not echo the protocol magic".into()));
         }
-        let mut client =
-            Client { stream, buf: Vec::with_capacity(4096), max_frame: DEFAULT_MAX_FRAME };
+        let mut client = Client {
+            stream,
+            buf: Vec::with_capacity(4096),
+            max_frame: DEFAULT_MAX_FRAME,
+            retry: RetryPolicy::default(),
+        };
         let info = match client.request(&Request::Hello { token: token.into() })? {
             Reply::HelloOk { tenant, streams, append_rate } => {
                 HelloInfo { tenant, streams, append_rate }
@@ -204,18 +272,37 @@ impl Client {
         }
     }
 
+    /// Replaces the backoff schedule used by the `*_all` retry loops.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Sleeps out one backoff round, or gives up typed once the
+    /// policy's budget is spent.
+    fn backoff(&self, attempt: &mut u32, server_hint_ms: u32) -> Result<(), ClientError> {
+        if *attempt >= self.retry.max_attempts {
+            return Err(ClientError::RetriesExhausted { attempts: *attempt });
+        }
+        std::thread::sleep(Duration::from_millis(self.retry.delay_ms(*attempt, server_hint_ms)));
+        *attempt += 1;
+        Ok(())
+    }
+
     /// Appends every value, absorbing `Busy` partial rejections (resend
-    /// only the rejected indices, after the quoted backoff) and
-    /// append-rate waits. Returns the retry accounting. Exactly-once:
-    /// each value is admitted by the server exactly one time.
+    /// only the rejected indices, after one [`RetryPolicy`] backoff
+    /// round) and append-rate waits. Returns the retry accounting.
+    /// Exactly-once: each value is admitted by the server exactly one
+    /// time.
     ///
     /// # Errors
     /// [`ClientError::Protocol`] on a `StreamCount` quota rejection
-    /// (retrying cannot fix an out-of-range id), otherwise any
-    /// transport/server error.
+    /// (retrying cannot fix an out-of-range id);
+    /// [`ClientError::RetriesExhausted`] when the policy's attempt
+    /// budget runs out; otherwise any transport/server error.
     pub fn append_all(&mut self, items: &[(u32, f64)]) -> Result<AppendAllStats, ClientError> {
         let mut stats = AppendAllStats::default();
         let mut pending: Vec<(u32, f64)> = items.to_vec();
+        let mut attempt = 0u32;
         while !pending.is_empty() {
             match self.append(&pending)? {
                 AppendOutcome::Appended(_) => break,
@@ -223,11 +310,11 @@ impl Client {
                     stats.busy_replies += 1;
                     pending =
                         rejected.iter().filter_map(|&i| pending.get(i as usize).copied()).collect();
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                    self.backoff(&mut attempt, retry_after_ms)?;
                 }
                 AppendOutcome::Quota { kind: QuotaKind::AppendRate, retry_after_ms, .. } => {
                     stats.rate_waits += 1;
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                    self.backoff(&mut attempt, retry_after_ms)?;
                 }
                 AppendOutcome::Quota { kind: QuotaKind::StreamCount, detail, .. } => {
                     return Err(ClientError::Protocol(format!(
@@ -289,14 +376,16 @@ impl Client {
     ///
     /// # Errors
     /// [`ClientError::Protocol`] on a `StreamCount` quota rejection
-    /// (retrying cannot fix an out-of-range id), otherwise any
-    /// transport/server error.
+    /// (retrying cannot fix an out-of-range id);
+    /// [`ClientError::RetriesExhausted`] when the policy's attempt
+    /// budget runs out; otherwise any transport/server error.
     pub fn append_group_all(
         &mut self,
         batches: &[Vec<(u32, f64)>],
     ) -> Result<AppendAllStats, ClientError> {
         let mut stats = AppendAllStats::default();
         let mut pending: Vec<Vec<(u32, f64)>> = batches.to_vec();
+        let mut attempt = 0u32;
         while !pending.is_empty() {
             let outcomes = self.append_group(&pending)?;
             let mut retry: Vec<Vec<(u32, f64)>> = Vec::new();
@@ -330,7 +419,7 @@ impl Client {
                 }
             }
             if !retry.is_empty() {
-                std::thread::sleep(Duration::from_millis(u64::from(backoff_ms.max(1))));
+                self.backoff(&mut attempt, backoff_ms)?;
             }
             pending = retry;
         }
@@ -407,4 +496,52 @@ fn unexpected(wanted: &str, got: &Reply) -> ClientError {
         Reply::Bye => "Bye",
     };
     ClientError::Protocol(format!("expected {wanted}, got {tag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_seeded() {
+        let p = RetryPolicy { base_ms: 2, cap_ms: 100, max_attempts: 8, seed: 7 };
+        let a: Vec<u64> = (0..12).map(|n| p.delay_ms(n, 0)).collect();
+        let b: Vec<u64> = (0..12).map(|n| p.delay_ms(n, 0)).collect();
+        assert_eq!(a, b, "same seed must reproduce the same schedule");
+        let q = RetryPolicy { seed: 8, ..p };
+        let c: Vec<u64> = (0..12).map(|n| q.delay_ms(n, 0)).collect();
+        assert_ne!(a, c, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_inside_the_jitter_band() {
+        let p = RetryPolicy { base_ms: 2, cap_ms: 100, max_attempts: 8, seed: 7 };
+        for n in 0..12u32 {
+            let step = 2u64.saturating_mul(1 << n.min(32)).min(100);
+            let d = p.delay_ms(n, 0);
+            assert!(
+                d >= step / 2 && d <= step,
+                "attempt {n}: delay {d} outside the equal-jitter band [{}, {step}]",
+                step / 2
+            );
+        }
+    }
+
+    #[test]
+    fn server_hint_floors_the_step_but_never_pierces_the_cap() {
+        let p = RetryPolicy { base_ms: 1, cap_ms: 64, max_attempts: 4, seed: 1 };
+        let hinted = p.delay_ms(0, 40);
+        assert!((20..=40).contains(&hinted), "hint 40 must floor the 1 ms base step: {hinted}");
+        let capped = p.delay_ms(0, 10_000);
+        assert!((32..=64).contains(&capped), "a huge hint must stay under the cap: {capped}");
+        // Degenerate configs still sleep at least a millisecond.
+        let tiny = RetryPolicy { base_ms: 0, cap_ms: 0, max_attempts: 1, seed: 0 };
+        assert_eq!(tiny.delay_ms(0, 0), 1);
+    }
+
+    #[test]
+    fn exhaustion_error_reports_the_attempt_count() {
+        let e = ClientError::RetriesExhausted { attempts: 5 };
+        assert_eq!(e.to_string(), "gave up after 5 backoff retries (server still busy)");
+    }
 }

@@ -73,7 +73,7 @@ mod server;
 mod telemetry;
 mod tenant;
 
-pub use client::{AppendAllStats, AppendOutcome, Client, ClientError, HelloInfo};
+pub use client::{AppendAllStats, AppendOutcome, Client, ClientError, HelloInfo, RetryPolicy};
 pub use protocol::{ErrorCode, MetricsFormat, QuotaKind, Reply, Request, WireError, NET_MAGIC};
 pub use server::{Server, ServerConfig, ServerError, ServerReport};
 pub use tenant::TenantConfig;

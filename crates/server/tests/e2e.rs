@@ -424,6 +424,61 @@ fn busy_reply_lists_rejected_indices_exactly_once() {
     assert_eq!(admitted, 8 * batch.len() as u64);
 }
 
+/// A wedged shard must not trap `append_all` in its retry loop
+/// forever: once the [`stardust_server::RetryPolicy`] budget is spent,
+/// the client gives up with the typed `RetriesExhausted` error.
+#[test]
+fn append_all_gives_up_typed_when_the_server_stays_busy() {
+    let spec = MonitorSpec::new(BASE_WINDOW, LEVELS, 100.0).with_aggregates(
+        stardust_runtime::AggregateSpec {
+            transform: stardust_core::transform::TransformKind::Sum,
+            windows: vec![stardust_core::query::aggregate::WindowSpec {
+                window: 2 * BASE_WINDOW,
+                threshold: 1e12,
+            }],
+            box_capacity: 4,
+        },
+    );
+    // Stall the only shard well past the retry budget's total sleep
+    // (3 rounds × ≤ 4 ms) so every retry still finds the queue full.
+    let plan = Arc::new(FaultPlan::new().stall(0, 1, Duration::from_millis(600)));
+    let rt = ShardedRuntime::launch(
+        &spec,
+        2,
+        RuntimeConfig {
+            shards: 1,
+            queue_capacity: 2,
+            fault_plan: Some(plan),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    let server =
+        Server::start("127.0.0.1:0", rt, single_tenant(2), fast_config(), Registry::new()).unwrap();
+    let (mut client, _) = Client::connect(server.local_addr(), TOKEN).unwrap();
+    client.set_retry_policy(stardust_server::RetryPolicy {
+        base_ms: 1,
+        cap_ms: 4,
+        max_attempts: 3,
+        seed: 42,
+    });
+
+    // Fill the 2-deep queue behind the stalled worker, then ask
+    // `append_all` to push one more batch: every round is `Busy`.
+    let batch: Vec<(u32, f64)> = (0..8).map(|i| (i % 2, i as f64)).collect();
+    for _ in 0..3 {
+        let _ = client.append(&batch).unwrap();
+    }
+    match client.append_all(&batch) {
+        Err(ClientError::RetriesExhausted { attempts: 3 }) => {}
+        other => panic!("expected RetriesExhausted after 3 rounds, got {other:?}"),
+    }
+    // The connection survives giving up; the server drains normally.
+    client.ping().unwrap();
+    client.goodbye().unwrap();
+    server.shutdown();
+}
+
 /// Pipelined clients (whole windows of append frames in flight, group-
 /// admitted server-side) produce the same bit-identical event set as
 /// the direct runtime — batching at the socket must not change what

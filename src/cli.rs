@@ -158,6 +158,17 @@ COMMANDS:
               --streams M (16)  --values N (2048)  --seed (42)
               --base W (16)  --levels L (3)  --min-corr c (0.9)
               --classes agg,corr (of agg|corr|trend)
+  rebalance   elastic rebalancing drill: split a hot shard onto a spare
+              and merge it back under live ingest, under deterministic
+              worker kills at every migration protocol step, and across
+              a whole-process crash mid-migration recovered from disk;
+              every phase audited bit-identical to a never-resized run;
+              generates random-walk streams when no input is given
+              --shards S (2)  --groups G (2*S)  --queue Q (32)
+              --batch rows (16)  --snapshot-every A (64)
+              --dir PATH (temp dir)  --streams M (8)  --values N (2048)
+              --seed (42)  --base W (16)  --levels L (3)
+              --min-corr c (0.9)  --classes agg,corr (of agg|corr|trend)
 
 EXAMPLE:
   stardust burst --base 20 --windows 8 --lambda 8 traffic.csv
@@ -167,6 +178,7 @@ EXAMPLE:
   stardust metrics --format prom --streams 8 --values 1024
   stardust chaos --shards 4 --snapshot-every 128 --seed 7
   stardust chaos-disk --shards 2 --streams 8 --values 1024
+  stardust rebalance --shards 2 --groups 4 --streams 8 --values 1024
 "
     .to_string()
 }
@@ -232,6 +244,7 @@ pub fn run(cmd: &str, args: &Args, input: &str) -> Result<String, String> {
         "metrics" => run_metrics(args, input),
         "chaos" => run_chaos(args, input),
         "chaos-disk" => run_chaos_disk(args, input),
+        "rebalance" => run_rebalance(args, input),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -840,6 +853,106 @@ fn cross_corr_micro_bench(query_iters: usize) -> Result<CrossCorrBench, String> 
     })
 }
 
+/// Elastic-rebalancing recovery numbers for the report's `rebalance`
+/// section.
+struct RebalanceBench {
+    /// Ingest rate with every group packed onto one hot worker.
+    pre_rate: f64,
+    /// Ingest rate after half the groups were split onto the spare.
+    post_rate: f64,
+    /// Hot-shard load relief: the hot worker's share of ingest before
+    /// the split divided by its share after (2.0 when half the groups
+    /// move off). The CI gate holds this at >= 1.2 — an online split
+    /// must actually relieve the hot shard. Load shares come from the
+    /// exact per-shard append counters, so the ratio is deterministic
+    /// where wall-clock throughput on a shared CI core is not.
+    recovery_ratio: f64,
+    /// Group migrations the split performed.
+    migrations: u64,
+    /// Median end-to-end migration latency (freeze to promote).
+    migration_ms_p50: u64,
+}
+
+/// One deliberately hot primary worker (plus an idle spare) ingests a
+/// correlation-heavy workload; halfway through, half of its stream
+/// groups are split onto the spare under live ingest and the clock
+/// restarts. The interesting number is how much of the hot shard's
+/// load the online split sheds without stopping the stream.
+fn rebalance_micro_bench(batch_rows: usize) -> Result<RebalanceBench, String> {
+    use stardust_runtime::{
+        Batch, CorrelationSpec, MonitorSpec, RecoveryPolicy, RuntimeConfig, ShardedRuntime,
+    };
+    use stardust_telemetry::Registry;
+
+    const M: usize = 16;
+    const N: usize = 4096;
+
+    let streams = stardust_datagen::random_walk_streams(0xE1A5, M, N);
+    let r_max = streams.iter().flatten().fold(1.0f64, |acc, &x| acc.max(x.abs()));
+    let spec = MonitorSpec::new(32, 5, r_max)
+        .with_correlations(CorrelationSpec { coeffs: 31, radius: 0.25 });
+
+    let registry = Registry::new();
+    let rt = ShardedRuntime::launch(
+        &spec,
+        M,
+        RuntimeConfig {
+            shards: 1,
+            groups: 4,
+            spare_shards: 1,
+            queue_capacity: 32,
+            recovery: Some(RecoveryPolicy { snapshot_every: 64 }),
+            telemetry: Some(registry.clone()),
+            ..RuntimeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Per-phase ingest rate plus the hot slot's appends over the phase.
+    let phase = |lo: usize, hi: usize| -> Result<(f64, u64), String> {
+        let before = rt.stats().shards[0].appends;
+        let started = std::time::Instant::now();
+        let mut row = lo;
+        while row < hi {
+            let rows = batch_rows.min(hi - row);
+            let batch: Batch = (row..row + rows)
+                .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+                .collect();
+            rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+            row += rows;
+        }
+        // Scatter-gather barrier: every batch above is applied before
+        // the clock stops (and any in-flight adoption has landed, so
+        // the counter transfer is settled).
+        rt.class_stats().map_err(|e| e.to_string())?;
+        let rate = (M * (hi - lo)) as f64 / started.elapsed().as_secs_f64();
+        Ok((rate, rt.stats().shards[0].appends - before))
+    };
+
+    let (pre_rate, pre_hot) = phase(0, N / 2)?;
+    rt.split_shard(0, 1, &[1, 3]).map_err(|e| format!("bench split failed: {e}"))?;
+    // Barrier between split and the post phase: the adoption's counter
+    // transfer must not be misread as phase-2 hot-shard load.
+    rt.class_stats().map_err(|e| e.to_string())?;
+    let (post_rate, post_hot) = phase(N / 2, N)?;
+    let stats = rt.stats();
+    rt.shutdown();
+
+    let phase_total = (M * N / 2) as f64;
+    let pre_share = pre_hot as f64 / phase_total;
+    let post_share = post_hot as f64 / phase_total;
+    Ok(RebalanceBench {
+        pre_rate,
+        post_rate,
+        recovery_ratio: if post_share > 0.0 { pre_share / post_share } else { 0.0 },
+        migrations: stats.migrations,
+        migration_ms_p50: registry
+            .histogram("stardust_runtime_migration_ms", "")
+            .quantile(0.5)
+            .unwrap_or(0),
+    })
+}
+
 fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
     use stardust_runtime::{Batch, RuntimeConfig, ShardedRuntime};
     use stardust_telemetry::Registry;
@@ -996,6 +1109,15 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             cc.query_p50_ns,
             cc.exchanges,
         ));
+        // Elastic-rebalancing recovery: an online split of a hot shard
+        // must win back throughput under live ingest; the gate holds
+        // the recovery ratio.
+        let rb = rebalance_micro_bench(batch_rows)?;
+        out.push_str(&format!(
+            "rebalance: hot-shard load relief {:.2}x ({} migration(s), p50 {}ms), \
+             pre-split {:.0} values/s, post-split {:.0} values/s\n",
+            rb.recovery_ratio, rb.migrations, rb.migration_ms_p50, rb.pre_rate, rb.post_rate,
+        ));
         let json = format!(
             concat!(
                 "{{\"schema\":\"stardust-bench/v1\",",
@@ -1019,6 +1141,9 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
                 "\"considered\":{},\"exchanges\":{},\"false_dismissals\":{},",
                 "\"pairs\":{},\"prune_precision\":{},\"prune_recall\":{},",
                 "\"pruned\":{},\"query_p50_ns\":{}}},",
+                "\"rebalance\":{{\"migration_ms_p50\":{},\"migrations\":{},",
+                "\"recovery_ratio\":{},\"throughput_post_split_values_per_s\":{},",
+                "\"throughput_pre_split_values_per_s\":{}}},",
                 "\"metrics\":{}}}\n"
             ),
             batch_rows,
@@ -1064,6 +1189,11 @@ fn run_serve_bench(args: &Args, input: &str) -> Result<String, String> {
             json_num(cc.prune_recall),
             cc.pruned,
             cc.query_p50_ns,
+            rb.migration_ms_p50,
+            rb.migrations,
+            json_num(rb.recovery_ratio),
+            json_num(rb.post_rate),
+            json_num(rb.pre_rate),
             registry.render_json(),
         );
         std::fs::write(path, &json)
@@ -1579,6 +1709,237 @@ fn run_chaos_disk(args: &Args, input: &str) -> Result<String, String> {
     out.push_str(&format!(
         "AUDIT OK: all {} disk-fault drills recovered the unfaulted event set ({} event(s))\n",
         drills.len(),
+        reference.len(),
+    ));
+    Ok(out)
+}
+
+/// Elastic rebalancing drill: prove that online shard split/merge is
+/// invisible in the event stream — under live concurrent ingest
+/// (phase B), under deterministic worker kills at migration protocol
+/// steps (phase C), and across a whole-process crash mid-migration
+/// recovered through `ShardedRuntime::open` (phase D). Every phase is
+/// audited bit-for-bit against a never-resized baseline (phase A).
+fn run_rebalance(args: &Args, input: &str) -> Result<String, String> {
+    use stardust_runtime::{
+        sort_events, Batch, FaultKind, FaultPlan, MigrationStep, PersistConfig, RecoveryPolicy,
+        RuntimeConfig, ShardedRuntime, SyncPolicy,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let shards: usize = args.get_or("shards", 2)?;
+    let queue: usize = args.get_or("queue", 32)?;
+    let batch_rows: usize = args.get_or("batch", 16)?;
+    let snapshot_every: u64 = args.get_or("snapshot-every", 64)?;
+    if shards == 0 {
+        return Err("--shards must be positive for a rebalance drill".into());
+    }
+    let streams = workload_from_args(args, input, 8)?;
+    let m = streams.len();
+    let n = streams[0].len();
+    let groups: usize = args.get_or("groups", (2 * shards).min(m))?;
+    if groups <= shards || groups > m {
+        return Err(format!(
+            "--groups must exceed --shards and not exceed the stream count \
+             ({groups} groups, {shards} shards, {m} streams)"
+        ));
+    }
+    let spec = monitor_spec_from_args(args, &streams)?;
+    // The first slot past the primaries: idle until a split lands on it.
+    let spare = shards;
+    // Slot 0 owns groups {0, S, 2S, …} under `g mod S` placement; the
+    // drill moves all of them (≥ 2, since groups > shards).
+    let moving: Vec<usize> = (0..groups).filter(|&g| g % shards == 0).collect();
+
+    let config = |fault_plan: Option<Arc<FaultPlan>>| RuntimeConfig {
+        shards,
+        groups,
+        spare_shards: 1,
+        queue_capacity: queue,
+        recovery: Some(RecoveryPolicy { snapshot_every }),
+        fault_plan,
+        ..RuntimeConfig::default()
+    };
+    let feed = |rt: &ShardedRuntime, lo: usize, hi: usize| -> Result<(), String> {
+        let mut row = lo;
+        while row < hi {
+            let rows = batch_rows.min(hi - row);
+            let batch: Batch = (row..row + rows)
+                .flat_map(|t| streams.iter().enumerate().map(move |(s, x)| (s as u32, x[t])))
+                .collect();
+            rt.submit_blocking(&batch).map_err(|e| e.to_string())?;
+            row += rows;
+        }
+        Ok(())
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# rebalance drill: {m} streams x {n} values, {shards} shard(s) + 1 spare, \
+         {groups} group(s), snapshot every {snapshot_every} append(s)\n"
+    ));
+
+    // Phase A — baseline: the same elastic layout, never resized.
+    let rt = ShardedRuntime::launch(&spec, m, config(None)).map_err(|e| e.to_string())?;
+    feed(&rt, 0, n)?;
+    let mut reference = rt.shutdown().events;
+    sort_events(&mut reference);
+    out.push_str(&format!("baseline: never resized, {} event(s)\n", reference.len()));
+
+    // Phase B — live resize: a feeder thread never stops submitting
+    // while the drill splits slot 0's groups onto the spare and later
+    // merges the spare away again.
+    let rt = ShardedRuntime::launch(&spec, m, config(None)).map_err(|e| e.to_string())?;
+    let total = (m * n) as u64;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let feeder = scope.spawn(|| feed(&rt, 0, n));
+        while rt.stats().total_appends() < total / 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rt.split_shard(0, spare, &moving).map_err(|e| format!("live split failed: {e}"))?;
+        while rt.stats().total_appends() < 2 * total / 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let merged = rt.merge_shard(spare, 0).map_err(|e| format!("live merge failed: {e}"))?;
+        if merged != moving.len() {
+            return Err(format!("merge drained {merged} group(s), expected {}", moving.len()));
+        }
+        feeder.join().map_err(|_| "feeder thread panicked".to_string())?
+    })?;
+    let stats = rt.stats();
+    out.push_str(&format!(
+        "live resize: split groups {moving:?} 0 -> {spare}, merged back, \
+         epoch {}, {} migration(s)\n",
+        stats.epoch, stats.migrations,
+    ));
+    let expected_migrations = 2 * moving.len() as u64;
+    if stats.migrations != expected_migrations {
+        return Err(format!(
+            "{out}AUDIT FAILED: {} migration(s) recorded, expected {expected_migrations}",
+            stats.migrations,
+        ));
+    }
+    let mut resized = rt.shutdown().events;
+    sort_events(&mut resized);
+    if resized != reference {
+        return Err(format!(
+            "{out}AUDIT FAILED: live resize emitted {} event(s), baseline {} — \
+             migration lost or duplicated events",
+            resized.len(),
+            reference.len(),
+        ));
+    }
+    out.push_str("AUDIT OK: live split+merge bit-identical to the never-resized baseline\n");
+
+    // Phase C — protocol chaos: kill the source worker right after it
+    // seals one group and the destination worker right before it
+    // adopts another; the supervisor must heal both handoffs.
+    let plan = Arc::new(
+        FaultPlan::new()
+            .migration_fault(moving[0], MigrationStep::AfterSeal, FaultKind::Panic)
+            .migration_fault(moving[1], MigrationStep::BeforeAdopt, FaultKind::Panic),
+    );
+    let rt = ShardedRuntime::launch(&spec, m, config(Some(Arc::clone(&plan))))
+        .map_err(|e| e.to_string())?;
+    feed(&rt, 0, n / 3)?;
+    rt.split_shard(0, spare, &moving).map_err(|e| format!("chaos split failed: {e}"))?;
+    feed(&rt, n / 3, 2 * n / 3)?;
+    rt.merge_shard(spare, 0).map_err(|e| format!("chaos merge failed: {e}"))?;
+    feed(&rt, 2 * n / 3, n)?;
+    let report = rt.shutdown();
+    out.push_str(&format!(
+        "migration kills: faults fired: {}/2, worker restarts: {}\n",
+        plan.fired_count(),
+        report.stats.total_restarts(),
+    ));
+    if plan.fired_count() != 2 || report.stats.total_restarts() != 2 {
+        return Err(format!("{out}AUDIT FAILED: scheduled migration kills did not all fire"));
+    }
+    let mut chaotic = report.events;
+    sort_events(&mut chaotic);
+    if chaotic != reference {
+        return Err(format!(
+            "{out}AUDIT FAILED: killed-migration run emitted {} event(s), baseline {} — \
+             the handoff lost or duplicated events",
+            chaotic.len(),
+            reference.len(),
+        ));
+    }
+    out.push_str("AUDIT OK: kills at seal and adopt recovered bit-identically\n");
+
+    // Phase D — process crash mid-migration: persist to disk, stall the
+    // destination inside an adoption, kill the whole process while the
+    // handoff is in flight, and reopen. The shard layout is not
+    // durable — `open()` re-places every group at epoch 0 and recovers
+    // it from its own journal, so the half-applied migration must be
+    // invisible after the re-submission.
+    let base_dir = match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("stardust-rebalance-{}", std::process::id())),
+    };
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let plan = Arc::new(FaultPlan::new().migration_fault(
+        moving[0],
+        MigrationStep::BeforeAdopt,
+        FaultKind::Stall(Duration::from_millis(300)),
+    ));
+    let persist = || PersistConfig::new(&base_dir).sync(SyncPolicy::EveryN(8));
+    let (rt, _) = ShardedRuntime::open(&spec, m, config(Some(Arc::clone(&plan))), persist())
+        .map_err(|e| format!("persisted open failed: {e}"))?;
+    let mut events = Vec::new();
+    feed(&rt, 0, n / 2)?;
+    events.extend(rt.drain_events());
+    rt.split_shard(0, spare, &moving).map_err(|e| format!("persisted split failed: {e}"))?;
+    // The destination is stalled inside the first adoption; kill the
+    // process with the handoff half-applied.
+    events.extend(rt.crash().events);
+    let (rt, report) = ShardedRuntime::open(&spec, m, config(None), persist())
+        .map_err(|e| format!("reopen after mid-migration crash failed: {e}"))?;
+    events.extend(rt.drain_events());
+    let reopened_epoch = rt.epoch();
+    // Re-submit everything past each group's durable watermark, in the
+    // same per-group order the journals saw.
+    let mut resubmitted = 0u64;
+    for (g, group_report) in report.shards.iter().enumerate() {
+        let feed_for_group: Vec<(u32, f64)> = (0..n)
+            .flat_map(|t| {
+                streams
+                    .iter()
+                    .enumerate()
+                    .filter(move |(s, _)| s % groups == g)
+                    .map(move |(s, x)| (s as u32, x[t]))
+            })
+            .collect();
+        for &(stream, value) in &feed_for_group[group_report.durable_appends as usize..] {
+            rt.append_blocking(stream, value)
+                .map_err(|e| format!("post-recovery re-submission failed: {e}"))?;
+            resubmitted += 1;
+        }
+    }
+    events.extend(rt.shutdown().events);
+    sort_events(&mut events);
+    out.push_str(&format!(
+        "process crash mid-migration: durable {}/{} append(s), replayed {}, \
+         re-submitted {resubmitted}, reopened at epoch {reopened_epoch}\n",
+        report.total_durable_appends(),
+        m * n,
+        report.total_replayed(),
+    ));
+    if args.get("dir").is_none() {
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+    if events != reference {
+        return Err(format!(
+            "{out}AUDIT FAILED: crash-recovered run emitted {} event(s), baseline {} — \
+             the interrupted migration corrupted recovery",
+            events.len(),
+            reference.len(),
+        ));
+    }
+    out.push_str(&format!(
+        "AUDIT OK: all rebalance drills recovered the baseline event set \
+         ({} event(s))\n",
         reference.len(),
     ));
     Ok(out)

@@ -195,6 +195,15 @@ fn metrics_command_emits_model_gauges() {
     assert!(prom.contains("# TYPE stardust_aggregate_latency_ns histogram"));
     assert!(prom.contains("stardust_aggregate_latency_ns_bucket{le=\"+Inf\"}"));
 
+    // Elastic-rebalancing telemetry is registered even when no migration
+    // ran: the counter, the latency histogram, and the per-epoch gauges
+    // exported from the final runtime stats.
+    assert!(prom.contains("# TYPE stardust_runtime_migrations_total counter"));
+    assert!(prom.contains("# TYPE stardust_runtime_migration_ms histogram"));
+    assert!(prom.contains("stardust_runtime_migration_ms_bucket{le=\"+Inf\"}"));
+    assert!(prom.contains("stardust_runtime_epoch 0"));
+    assert!(prom.contains("stardust_runtime_live_shards 1"));
+
     let (cmd, args) = argv(&["metrics", "--format", "bogus"]);
     assert!(run(&cmd, &args, "").is_err(), "unknown format must be rejected");
 }
@@ -263,6 +272,24 @@ fn chaos_drill_still_audits_after_telemetry_wiring() {
     let (cmd, args) = argv(&["chaos", "--streams", "8", "--values", "256", "--shards", "2"]);
     let out = run(&cmd, &args, "").expect("chaos runs");
     assert!(out.contains("AUDIT OK"), "chaos audit failed:\n{out}");
+}
+
+/// The `stardust rebalance` drill: live split/merge, deterministic
+/// migration kills, and a whole-process crash mid-migration must all
+/// audit bit-identical against the never-resized baseline.
+#[test]
+fn rebalance_drill_audits_live_chaos_and_crash_phases() {
+    let (cmd, args) =
+        argv(&["rebalance", "--streams", "8", "--values", "512", "--shards", "2", "--groups", "4"]);
+    let out = run(&cmd, &args, "").expect("rebalance runs");
+    assert!(out.contains("baseline: never resized"), "baseline phase missing:\n{out}");
+    assert!(out.contains("epoch 4, 4 migration(s)"), "live resize summary missing:\n{out}");
+    assert!(
+        out.contains("faults fired: 2/2, worker restarts: 2"),
+        "migration kills must both fire and both heal:\n{out}"
+    );
+    assert!(out.contains("reopened at epoch 0"), "crash phase must reopen fresh:\n{out}");
+    assert_eq!(out.matches("AUDIT OK").count(), 3, "every phase must audit clean:\n{out}");
 }
 
 #[test]
